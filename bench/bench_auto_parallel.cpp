@@ -1,0 +1,142 @@
+// Section 3.3 (experimental): automatic parallelization. Demonstrates the
+// greedy sharding-conversion search against exhaustive Dijkstra (plan
+// quality and planning speed), and the strategy planner choosing per-layer
+// parallelization + activation checkpointing for transformer MLP chains
+// under different meshes and memory budgets.
+
+#include <chrono>
+
+#include "autop/planner.hpp"
+#include "bench_common.hpp"
+
+using namespace ca;
+namespace ap = ca::autop;
+
+namespace {
+
+void conversion_quality() {
+  bench::header("Greedy vs exhaustive sharding conversion (4x2 mesh, 64 MB "
+                "tensor)");
+  const ap::Mesh mesh{4, 2, 100e9, 25e9, 5e-6};
+  const std::int64_t bytes = 64 << 20;
+
+  std::vector<ap::ShardingSpec> all;
+  const ap::DimShard kinds[] = {ap::DimShard::kR, ap::DimShard::kS0,
+                                ap::DimShard::kS1, ap::DimShard::kS01};
+  for (auto a : kinds)
+    for (auto b : kinds) {
+      ap::ShardingSpec s({a, b});
+      if (s.valid()) all.push_back(s);
+    }
+
+  double greedy_total = 0.0, optimal_total = 0.0;
+  double greedy_us = 0.0, optimal_us = 0.0;
+  int pairs = 0, exact = 0;
+  for (const auto& from : all) {
+    for (const auto& to : all) {
+      auto t0 = std::chrono::steady_clock::now();
+      const auto g = ap::plan_greedy(from, to, mesh, bytes);
+      auto t1 = std::chrono::steady_clock::now();
+      const auto o = ap::plan_optimal(from, to, mesh, bytes);
+      auto t2 = std::chrono::steady_clock::now();
+      greedy_us += std::chrono::duration<double, std::micro>(t1 - t0).count();
+      optimal_us += std::chrono::duration<double, std::micro>(t2 - t1).count();
+      greedy_total += g.total_cost;
+      optimal_total += o.total_cost;
+      if (g.total_cost <= o.total_cost + 1e-12) ++exact;
+      ++pairs;
+    }
+  }
+  std::printf("pairs: %d   greedy exactly optimal: %d (%.0f%%)\n", pairs,
+              exact, 100.0 * exact / pairs);
+  std::printf("total plan cost: greedy %.3f ms vs optimal %.3f ms (+%.1f%%)\n",
+              1e3 * greedy_total, 1e3 * optimal_total,
+              100.0 * (greedy_total / optimal_total - 1.0));
+  std::printf("planning time:   greedy %.0f us vs dijkstra %.0f us (%.0fx "
+              "faster)\n",
+              greedy_us, optimal_us, optimal_us / greedy_us);
+  std::printf("(Alpa hardcodes a conversion table; the greedy search keeps "
+              "more sharded dimensions tractable at near-zero quality loss)\n");
+
+  bench::header("Example conversion plans");
+  struct Case {
+    ap::ShardingSpec from, to;
+  };
+  for (const auto& c :
+       {Case{ap::ShardingSpec({ap::DimShard::kS0, ap::DimShard::kR}),
+             ap::ShardingSpec({ap::DimShard::kR, ap::DimShard::kS0})},
+        Case{ap::ShardingSpec({ap::DimShard::kS0, ap::DimShard::kS1}),
+             ap::ShardingSpec({ap::DimShard::kS1, ap::DimShard::kS0})},
+        Case{ap::ShardingSpec({ap::DimShard::kR, ap::DimShard::kR}),
+             ap::ShardingSpec({ap::DimShard::kS01, ap::DimShard::kR})}}) {
+    const auto plan = ap::plan_greedy(c.from, c.to, mesh, bytes);
+    std::printf("%s -> %s : ", c.from.str().c_str(), c.to.str().c_str());
+    if (plan.steps.empty()) std::printf("(no-op)");
+    for (const auto& s : plan.steps) std::printf("%s  ", s.str().c_str());
+    std::printf("(%.2f ms)\n", 1e3 * plan.total_cost);
+  }
+}
+
+void planner_demo() {
+  bench::header("Strategy planner: GPT-style MLP chain (rows = batch*seq)");
+  std::printf("%-26s %-14s %-34s\n", "scenario", "mesh", "chosen strategies");
+
+  struct Scenario {
+    const char* name;
+    std::int64_t rows, hidden;
+    ap::Mesh mesh;
+  };
+  for (const auto& sc : {
+           Scenario{"small model, big batch", 1 << 16, 512, {8, 1}},
+           Scenario{"huge model, small batch", 1 << 9, 16384, {8, 1}},
+           Scenario{"huge model, 2D mesh", 1 << 11, 16384, {4, 2}},
+       }) {
+    ap::Planner planner(sc.mesh, 100e12);
+    std::vector<ap::LinearNode> graph{
+        {"fc1", sc.rows, sc.hidden, 4 * sc.hidden},
+        {"fc2", sc.rows, 4 * sc.hidden, sc.hidden}};
+    const auto plan = planner.plan(graph, std::int64_t{64} << 30);
+    std::string strategies;
+    for (const auto& n : plan.nodes) {
+      strategies += n.strategy;
+      strategies += n.checkpointed ? "* " : " ";
+    }
+    char mesh_str[16];
+    std::snprintf(mesh_str, sizeof mesh_str, "%dx%d", sc.mesh.dim0,
+                  sc.mesh.dim1);
+    std::printf("%-26s %-14s %-34s\n", sc.name, mesh_str, strategies.c_str());
+  }
+
+  bench::header("Checkpointing under a shrinking memory budget "
+                "(8-layer chain, 8-way mesh)");
+  ap::Planner planner(ap::Mesh{8, 1}, 100e12);
+  std::vector<ap::LinearNode> graph;
+  for (int i = 0; i < 8; ++i)
+    graph.push_back({"l" + std::to_string(i), 1 << 14, 4096, 4096});
+  const auto loose = planner.plan(graph, std::int64_t{256} << 30);
+  std::printf("%-16s %-14s %-14s %-12s\n", "budget", "step (ms)",
+              "peak (MiB)", "#checkpointed");
+  // activations are ~1/3 of the loose peak here; sweep budgets through the
+  // feasible band down to the params+inputs floor
+  for (double frac : {1.0, 0.95, 0.9, 0.87, 0.84}) {
+    const auto budget =
+        static_cast<std::int64_t>(static_cast<double>(loose.peak_bytes) * frac);
+    const auto plan = planner.plan(graph, budget);
+    int ck = 0;
+    for (const auto& n : plan.nodes) ck += n.checkpointed ? 1 : 0;
+    std::printf("%-16.2f %-14.3f %-14lld %-12d%s\n", frac,
+                1e3 * plan.step_seconds,
+                static_cast<long long>(plan.peak_bytes >> 20), ck,
+                plan.feasible ? "" : "  (infeasible)");
+  }
+  std::printf("(recompute time rises as the budget tightens — the "
+              "checkpoint/time trade folded into the search)\n");
+}
+
+}  // namespace
+
+int main() {
+  conversion_quality();
+  planner_demo();
+  return 0;
+}

@@ -1,0 +1,42 @@
+#pragma once
+
+// Shared scaffolding for the experiment harnesses: each bench binary
+// regenerates one table or figure from the paper (see EXPERIMENTS.md for the
+// index), printing the same rows/series the paper reports.
+
+#include <cstdio>
+#include <string>
+
+#include "collective/backend.hpp"
+#include "core/context.hpp"
+#include "sim/cluster.hpp"
+#include "tp/env.hpp"
+
+namespace bench {
+
+/// A cluster + backend + parallel context bundle for one experiment run.
+struct World {
+  World(ca::sim::Topology topo, ca::core::Config cfg)
+      : cluster(std::move(topo)), backend(cluster), ctx(backend, cfg) {}
+
+  ca::tp::Env env(int grank) { return ca::tp::Env{&ctx, grank}; }
+
+  ca::sim::Cluster cluster;
+  ca::collective::Backend backend;
+  ca::core::ParallelContext ctx;
+};
+
+inline ca::core::Config tp_config(ca::core::TpMode mode, int size,
+                                  int depth = 1) {
+  ca::core::Config cfg;
+  cfg.tensor_parallel_size = size;
+  cfg.tensor_mode = mode;
+  cfg.tensor_depth = depth;
+  return cfg;
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace bench

@@ -1,0 +1,100 @@
+// google-benchmark microbenchmarks of the substrate kernels: the matmul and
+// activation kernels that dominate functional-mode time, and the collective
+// primitives under concurrent SPMD execution.
+
+#include <benchmark/benchmark.h>
+
+#include "collective/backend.hpp"
+#include "nn/layers.hpp"
+#include "sim/cluster.hpp"
+#include "tensor/ops.hpp"
+
+namespace t = ca::tensor;
+
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  auto a = t::randn(t::Shape{n, n}, 1);
+  auto b = t::randn(t::Shape{n, n}, 2);
+  for (auto _ : state) {
+    auto c = t::matmul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulTransposed(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  auto a = t::randn(t::Shape{n, n}, 1);
+  auto b = t::randn(t::Shape{n, n}, 2);
+  for (auto _ : state) {
+    auto c = t::matmul_nt(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulTransposed)->Arg(128);
+
+void BM_Softmax(benchmark::State& state) {
+  auto x = t::randn(t::Shape{256, state.range(0)}, 3);
+  for (auto _ : state) {
+    auto y = t::softmax_lastdim(x);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_Softmax)->Arg(128)->Arg(1024);
+
+void BM_LayerNorm(benchmark::State& state) {
+  auto x = t::randn(t::Shape{256, state.range(0)}, 4);
+  auto gamma = t::ones(t::Shape{state.range(0)});
+  auto beta = t::zeros(t::Shape{state.range(0)});
+  t::Tensor mean, rstd;
+  for (auto _ : state) {
+    auto y = t::layernorm_forward(x, gamma, beta, 1e-5f, mean, rstd);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_LayerNorm)->Arg(768);
+
+void BM_Gelu(benchmark::State& state) {
+  auto x = t::randn(t::Shape{1 << 16}, 5);
+  for (auto _ : state) {
+    auto y = t::gelu(x);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_Gelu);
+
+void BM_AttentionForward(benchmark::State& state) {
+  ca::nn::MultiHeadAttention attn("a", 256, 8, 7);
+  auto x = t::randn(t::Shape{4, 64, 256}, 8);
+  for (auto _ : state) {
+    auto y = attn.forward(x);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_AttentionForward);
+
+void BM_AllReduce(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  ca::sim::Cluster cluster(ca::sim::Topology::uniform(p, 100e9));
+  ca::collective::Backend backend(cluster);
+  std::vector<std::vector<float>> bufs(
+      static_cast<std::size_t>(p), std::vector<float>(1 << 14, 1.0f));
+  for (auto _ : state) {
+    cluster.run([&](int r) {
+      backend.world().all_reduce(r, bufs[static_cast<std::size_t>(r)]);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * p * (1 << 14));
+}
+BENCHMARK(BM_AllReduce)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Figure 11: ViT training throughput per tensor-parallel mode on System I
+// (full NVLink) vs System II (pairwise NVLink + PCIe), 4 and 8 GPUs, each
+// mode at its best batch size (grown until the memory model reports OOM).
+//
+// The paper's finding: on System I, 1D wins at this scale (it exploits the
+// uniform NVLink bandwidth, and advanced modes only surpass it at higher
+// device counts); on System II, 2D/2.5D beat 1D by ~40% / ~20% because only
+// they keep most traffic on the NVLink pairs.
+
+#include <functional>
+
+#include "bench_common.hpp"
+#include "tp/sim_transformer.hpp"
+
+using namespace ca;
+
+namespace {
+
+/// First 4 GPUs of System II: NVLink inside (0,1) and (2,3), PCIe across.
+sim::Topology system_ii_slice4() {
+  const int n = 4;
+  std::vector<double> m(16, 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (i != j) m[static_cast<std::size_t>(i * n + j)] =
+          (i / 2 == j / 2) ? 184.0e9 : 15.0e9;
+  return sim::Topology("System II (4-GPU slice)", sim::a100_80gb(), n,
+                       std::move(m), 5e-6);
+}
+
+sim::Topology system_i_slice4() {
+  return sim::Topology::uniform(4, 184.0e9, sim::a100_80gb(), 5e-6);
+}
+
+struct ModeSpec {
+  const char* label;
+  core::TpMode mode;
+  int depth;
+};
+
+/// Largest batch (multiple of 8) whose memory-model peak fits the device.
+std::int64_t max_batch(core::TpMode mode, int p, int depth,
+                       tp::TransformerShape shape) {
+  std::int64_t best = 0;
+  for (std::int64_t b = 8; b <= 4096; b += 8) {
+    shape.batch = b;
+    if (tp::transformer_peak(mode, shape, p, depth) >
+        sim::a100_80gb().memory_bytes)
+      break;
+    best = b;
+  }
+  return best;
+}
+
+void run_system(const std::string& title, sim::Topology (*topo4)(),
+                sim::Topology (*topo8)()) {
+  bench::header("Figure 11: ViT throughput on " + title);
+  std::printf("%-8s %-12s %-10s %-14s %-16s\n", "#GPUs", "mode", "batch",
+              "img/sec", "vs 1D");
+
+  auto run = [&](int gpus, sim::Topology topo, const ModeSpec& spec,
+                 double* base) {
+    tp::TransformerShape shape;
+    shape.layers = 64;
+    shape.hidden = gpus == 4 ? 3072 : 4096;
+    shape.heads = gpus == 4 ? 48 : 64;
+    shape.seq = 197;  // ViT-224/16
+    shape.bytes_per_elem = 2;
+    shape.with_optimizer = true;
+    const std::int64_t batch = max_batch(spec.mode, gpus, spec.depth, shape);
+    shape.batch = batch;
+
+    bench::World w(std::move(topo),
+                   bench::tp_config(spec.mode, gpus, spec.depth));
+    w.cluster.run([&](int g) {
+      tp::SimTransformer model(w.env(g), spec.mode, shape);
+      model.train_step();
+    });
+    const double imgs = static_cast<double>(batch) / w.cluster.max_clock();
+    if (*base == 0.0) *base = imgs;
+    std::printf("%-8d %-12s %-10lld %-14.1f %+.1f%%\n", gpus, spec.label,
+                static_cast<long long>(batch), imgs,
+                100.0 * (imgs / *base - 1.0));
+  };
+
+  double base4 = 0.0;
+  for (const auto& spec : {ModeSpec{"1D", core::TpMode::k1d, 1},
+                           ModeSpec{"2D", core::TpMode::k2d, 1},
+                           ModeSpec{"2.5D(d=1)", core::TpMode::k2p5d, 1}}) {
+    run(4, topo4(), spec, &base4);
+  }
+  double base8 = 0.0;
+  for (const auto& spec : {ModeSpec{"1D", core::TpMode::k1d, 1},
+                           ModeSpec{"2.5D(d=2)", core::TpMode::k2p5d, 2},
+                           ModeSpec{"3D", core::TpMode::k3d, 1}}) {
+    run(8, topo8(), spec, &base8);
+  }
+}
+
+}  // namespace
+
+int main() {
+  run_system("System I (full NVLink)", system_i_slice4,
+             sim::Topology::system_i);
+  run_system("System II (pairwise NVLink + PCIe)", system_ii_slice4,
+             sim::Topology::system_ii);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Heterogeneous training of a 10B-parameter GPT-2 on one simulated DGX-class
+// node: Colossal-AI's dynamic tensor placement + chunk manager + hybrid Adam
+// against the DeepSpeed-style static offload baseline (the Figure 14 setup).
+//
+//   build/examples/gpt_offload
+
+#include <cstdio>
+
+#include "collective/backend.hpp"
+#include "core/context.hpp"
+#include "models/configs.hpp"
+#include "sim/cluster.hpp"
+#include "zero/offload.hpp"
+
+using namespace ca;
+
+namespace {
+
+double step_time(const zero::OffloadPolicy& policy, int gpus,
+                 const models::ModelConfig& model, std::int64_t batch,
+                 std::int64_t* device_bytes = nullptr) {
+  sim::Cluster cluster(gpus == 8
+                           ? sim::Topology::system_ii()
+                           : sim::Topology::uniform(gpus, 15e9, sim::a100_80gb()));
+  collective::Backend backend(cluster);
+  core::Config cfg;
+  cfg.data_parallel_size = gpus;
+  core::ParallelContext ctx(backend, cfg);
+
+  zero::OffloadWorkload w;
+  w.layers = model.layers;
+  w.hidden = model.hidden;
+  w.batch_per_gpu = batch;
+  w.seq = model.seq;
+
+  std::vector<std::int64_t> dev(static_cast<std::size_t>(gpus), 0);
+  cluster.run([&](int rank) {
+    zero::SimOffloadTrainer trainer(tp::Env{&ctx, rank}, w, policy);
+    trainer.train_step();
+    dev[static_cast<std::size_t>(rank)] = trainer.device_param_bytes();
+  });
+  if (device_bytes != nullptr) *device_bytes = dev[0];
+  return cluster.max_clock();
+}
+
+}  // namespace
+
+int main() {
+  const zero::StaticOffloadPolicy deepspeed;
+  const zero::DynamicOffloadPolicy colossal;
+
+  auto gpt = models::gpt2_10b();
+  std::printf("GPT-2 %.1fB, batch 4 per GPU, ZeRO-3 + offloading:\n",
+              static_cast<double>(gpt.params()) / 1e9);
+  std::printf("  %-5s %-26s %-26s %-8s\n", "GPUs", "DeepSpeed-static (s/step)",
+              "Colossal-dynamic (s/step)", "speedup");
+  for (int gpus : {1, 2, 4, 8}) {
+    std::int64_t dev_bytes = 0;
+    const double ts = step_time(deepspeed, gpus, gpt, 4);
+    const double td = step_time(colossal, gpus, gpt, 4, &dev_bytes);
+    std::printf("  %-5d %-26.3f %-26.3f %.2fx   (%.1f GB of fp16 shards kept "
+                "on GPU)\n",
+                gpus, ts, td, ts / td, static_cast<double>(dev_bytes) / 1e9);
+  }
+
+  auto opt = models::opt_13b();
+  std::printf("\nOPT-13B, batch 32 per GPU, 8 GPUs:\n");
+  const double ts = step_time(deepspeed, 8, opt, 32);
+  const double td = step_time(colossal, 8, opt, 32);
+  std::printf("  static %.3f s/step, dynamic %.3f s/step -> %.2fx speedup\n",
+              ts, td, ts / td);
+  std::printf("  (the paper reports 1.33x here: with the larger batch both "
+              "systems fill the GPU)\n");
+  return 0;
+}

@@ -1,0 +1,186 @@
+#include "autop/conversion.hpp"
+
+#include <cassert>
+#include <limits>
+#include <map>
+#include <queue>
+
+namespace ca::autop {
+
+std::string ConvStep::str() const {
+  switch (kind) {
+    case Kind::kAllGather:
+      return "all-gather(axis" + std::to_string(axis) + ", dim" +
+             std::to_string(dim) + ")";
+    case Kind::kShard:
+      return "shard(axis" + std::to_string(axis) + ", dim" +
+             std::to_string(dim) + ")";
+    case Kind::kAllToAll:
+      return "all-to-all(axis" + std::to_string(axis) + ", dim" +
+             std::to_string(dim) + "->dim" + std::to_string(dim_to) + ")";
+  }
+  return "?";
+}
+
+double all_gather_cost(const Mesh& mesh, int axis, std::int64_t bytes) {
+  const double n = mesh.axis_size(axis);
+  if (n <= 1 || bytes == 0) return 0.0;
+  return (n - 1) / n * static_cast<double>(bytes) / mesh.axis_bw(axis) +
+         mesh.alpha * (n - 1);
+}
+
+double all_to_all_cost(const Mesh& mesh, int axis, std::int64_t bytes) {
+  const double n = mesh.axis_size(axis);
+  if (n <= 1 || bytes == 0) return 0.0;
+  return (n - 1) / n * static_cast<double>(bytes) / mesh.axis_bw(axis) +
+         mesh.alpha * (n - 1);
+}
+
+ShardingSpec apply(const ShardingSpec& spec, const ConvStep& step) {
+  ShardingSpec out = spec;
+  switch (step.kind) {
+    case ConvStep::Kind::kAllGather:
+      out.set_dim(step.dim, remove_axis(spec.dim(step.dim), step.axis));
+      break;
+    case ConvStep::Kind::kShard:
+      out.set_dim(step.dim, add_axis(spec.dim(step.dim), step.axis));
+      break;
+    case ConvStep::Kind::kAllToAll:
+      out.set_dim(step.dim, remove_axis(spec.dim(step.dim), step.axis));
+      out.set_dim(step.dim_to, add_axis(out.dim(step.dim_to), step.axis));
+      break;
+  }
+  assert(out.valid());
+  return out;
+}
+
+std::vector<ConvStep> enumerate_steps(const ShardingSpec& spec,
+                                      const Mesh& mesh, std::int64_t bytes) {
+  std::vector<ConvStep> steps;
+  const std::int64_t local = spec.local_numel(bytes, mesh);
+  for (int a : {0, 1}) {
+    if (mesh.axis_size(a) <= 1) continue;
+    for (std::size_t d = 0; d < spec.ndim(); ++d) {
+      if (spec.uses_axis(d, a)) {
+        // all-gather removes axis a from dim d
+        ConvStep ag{ConvStep::Kind::kAllGather, a, d, 0, 0.0};
+        ag.cost = all_gather_cost(mesh, a, local * mesh.axis_size(a));
+        steps.push_back(ag);
+        // all-to-all moves it to another dim that doesn't use axis a yet
+        for (std::size_t d2 = 0; d2 < spec.ndim(); ++d2) {
+          if (d2 == d || spec.uses_axis(d2, a)) continue;
+          ConvStep a2a{ConvStep::Kind::kAllToAll, a, d, d2, 0.0};
+          a2a.cost = all_to_all_cost(mesh, a, local);
+          steps.push_back(a2a);
+        }
+      } else if (!spec.axis_in_use(a)) {
+        // axis free: sharding dim d on it is a local slice
+        steps.push_back(ConvStep{ConvStep::Kind::kShard, a, d, 0, 0.0});
+      }
+    }
+  }
+  return steps;
+}
+
+namespace {
+/// Axis-level distance: per dimension, the symmetric difference between the
+/// mesh-axis sets of the two shard states. Finer than per-dim inequality, so
+/// e.g. sharding R -> S0 on a dim whose target is S01 counts as progress.
+int mismatch(const ShardingSpec& a, const ShardingSpec& b) {
+  int m = 0;
+  for (std::size_t i = 0; i < a.ndim(); ++i) {
+    for (int axis : {0, 1}) {
+      if (has_axis(a.dim(i), axis) != has_axis(b.dim(i), axis)) ++m;
+    }
+  }
+  return m;
+}
+}  // namespace
+
+ConversionPlan plan_greedy(const ShardingSpec& from, const ShardingSpec& to,
+                           const Mesh& mesh, std::int64_t bytes) {
+  assert(from.ndim() == to.ndim());
+  ConversionPlan plan;
+  ShardingSpec cur = from;
+  const int kMaxSteps = 16;
+  while (cur != to && static_cast<int>(plan.steps.size()) < kMaxSteps) {
+    auto candidates = enumerate_steps(cur, mesh, bytes);
+    const int cur_mismatch = mismatch(cur, to);
+    const ConvStep* best_progress = nullptr;
+    const ConvStep* best_any = nullptr;
+    for (const auto& s : candidates) {
+      if (best_any == nullptr || s.cost < best_any->cost) best_any = &s;
+      if (mismatch(apply(cur, s), to) < cur_mismatch) {
+        if (best_progress == nullptr || s.cost < best_progress->cost)
+          best_progress = &s;
+      }
+    }
+    const ConvStep* chosen = best_progress;
+    if (chosen == nullptr) {
+      // stuck: peel a shard off with the cheapest all-gather to open moves
+      for (const auto& s : candidates) {
+        if (s.kind != ConvStep::Kind::kAllGather) continue;
+        if (chosen == nullptr || s.cost < chosen->cost) chosen = &s;
+      }
+    }
+    if (chosen == nullptr) chosen = best_any;
+    assert(chosen != nullptr && "no legal conversion step");
+    plan.steps.push_back(*chosen);
+    plan.total_cost += chosen->cost;
+    cur = apply(cur, *chosen);
+  }
+  assert(cur == to && "greedy conversion did not converge");
+  return plan;
+}
+
+ConversionPlan plan_optimal(const ShardingSpec& from, const ShardingSpec& to,
+                            const Mesh& mesh, std::int64_t bytes) {
+  assert(from.ndim() == to.ndim());
+  using Entry = std::pair<double, std::string>;
+  std::map<std::string, double> dist;
+  std::map<std::string, std::pair<ShardingSpec, ConvStep>> parent;
+  std::map<std::string, ShardingSpec> specs;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+
+  dist[from.str()] = 0.0;
+  specs.emplace(from.str(), from);
+  pq.emplace(0.0, from.str());
+
+  while (!pq.empty()) {
+    auto [d, key] = pq.top();
+    pq.pop();
+    if (d > dist[key] + 1e-15) continue;
+    const ShardingSpec cur = specs.at(key);
+    if (cur == to) break;
+    for (const auto& s : enumerate_steps(cur, mesh, bytes)) {
+      const ShardingSpec nxt = apply(cur, s);
+      const std::string nk = nxt.str();
+      const double nd = d + s.cost;
+      auto it = dist.find(nk);
+      if (it == dist.end() || nd < it->second - 1e-15) {
+        dist[nk] = nd;
+        specs.emplace(nk, nxt);
+        specs.insert_or_assign(nk, nxt);
+        parent.insert_or_assign(nk, std::make_pair(cur, s));
+        pq.emplace(nd, nk);
+      }
+    }
+  }
+
+  ConversionPlan plan;
+  const auto it = dist.find(to.str());
+  assert(it != dist.end() && "target spec unreachable");
+  plan.total_cost = it->second;
+  // rebuild path
+  std::string key = to.str();
+  std::vector<ConvStep> rev;
+  while (key != from.str()) {
+    const auto& [prev, step] = parent.at(key);
+    rev.push_back(step);
+    key = prev.str();
+  }
+  plan.steps.assign(rev.rbegin(), rev.rend());
+  return plan;
+}
+
+}  // namespace ca::autop

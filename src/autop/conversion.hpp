@@ -1,0 +1,57 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "autop/sharding_spec.hpp"
+
+namespace ca::autop {
+
+/// One primitive redistribution step on a sharded tensor.
+struct ConvStep {
+  enum class Kind { kAllGather, kShard, kAllToAll };
+  Kind kind = Kind::kAllGather;
+  int axis = 0;       ///< mesh axis involved
+  std::size_t dim = 0;       ///< tensor dim (source dim for all-to-all)
+  std::size_t dim_to = 0;    ///< destination dim (all-to-all only)
+  double cost = 0.0;  ///< seconds, for the given tensor size
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Cost of redistributions on a tensor of `bytes` total (unsharded) size.
+/// All-gather over axis a: each device receives the other shards.
+double all_gather_cost(const Mesh& mesh, int axis, std::int64_t bytes);
+/// Shard (slice) is free: every device already holds the data it keeps.
+inline double shard_cost(const Mesh&, int, std::int64_t) { return 0.0; }
+/// All-to-all over axis a moving a dim's sharding: each device exchanges
+/// (n-1)/n of its local shard.
+double all_to_all_cost(const Mesh& mesh, int axis, std::int64_t bytes);
+
+/// Apply one step to a spec (must be legal; see enumerate_steps).
+ShardingSpec apply(const ShardingSpec& spec, const ConvStep& step);
+
+/// All single legal steps from `spec` with costs for a tensor of `bytes`.
+std::vector<ConvStep> enumerate_steps(const ShardingSpec& spec,
+                                      const Mesh& mesh, std::int64_t bytes);
+
+/// Result of a conversion search.
+struct ConversionPlan {
+  std::vector<ConvStep> steps;
+  double total_cost = 0.0;
+};
+
+/// The paper's greedy search (Section 3.3): repeatedly take the cheapest
+/// step that strictly reduces the mismatch with the target spec; fall back
+/// to the cheapest all-gather when stuck. Fast — O(steps * branching) — and
+/// near-optimal in practice (test_autop compares it against Dijkstra).
+ConversionPlan plan_greedy(const ShardingSpec& from, const ShardingSpec& to,
+                           const Mesh& mesh, std::int64_t bytes);
+
+/// Exact minimum-cost conversion via Dijkstra over the (small) spec space —
+/// the reference the greedy algorithm is validated against, and what a
+/// hardcoded table (Alpa) would have to enumerate.
+ConversionPlan plan_optimal(const ShardingSpec& from, const ShardingSpec& to,
+                            const Mesh& mesh, std::int64_t bytes);
+
+}  // namespace ca::autop

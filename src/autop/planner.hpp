@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autop/conversion.hpp"
+
+namespace ca::autop {
+
+/// One way to execute a linear layer on the mesh: the sharding of its
+/// activations, the per-device costs, and the memory it pins.
+struct OpStrategy {
+  std::string name;
+  ShardingSpec in_spec;   ///< required input activation spec (rows, features)
+  ShardingSpec out_spec;  ///< produced output activation spec
+  double compute = 0.0;   ///< seconds per step (fwd+bwd) per device
+  double comm = 0.0;      ///< strategy-internal collective seconds per step
+  std::int64_t param_bytes = 0;  ///< per-device weights + grads
+  std::int64_t act_bytes = 0;    ///< per-device activations held for backward
+  std::int64_t in_bytes = 0;     ///< per-device input (held if checkpointed)
+};
+
+/// A linear layer node in the (chain) computation graph.
+struct LinearNode {
+  std::string name;
+  std::int64_t rows = 0;  ///< batch * seq
+  std::int64_t in = 0;
+  std::int64_t out = 0;
+
+  /// Enumerate execution strategies on the mesh: replicated, data-parallel
+  /// (rows sharded), column-parallel, row-parallel — the building blocks
+  /// every hand-designed scheme in this repository uses.
+  [[nodiscard]] std::vector<OpStrategy> strategies(const Mesh& mesh,
+                                                   double flops_per_sec) const;
+};
+
+/// The plan for one node.
+struct NodePlan {
+  std::string strategy;
+  bool checkpointed = false;
+  double conversion_cost = 0.0;  ///< redistribution from the previous node
+};
+
+struct Plan {
+  std::vector<NodePlan> nodes;
+  double step_seconds = 0.0;       ///< compute + comm + conversions (+ recompute)
+  std::int64_t peak_bytes = 0;     ///< per-device params + held activations
+  bool feasible = true;
+};
+
+/// Intra-operator strategy search over a chain of linear layers, in the
+/// spirit of Alpa's intra-op pass with the paper's two extensions:
+/// conversions between adjacent strategies are priced by the greedy
+/// redistribution search (not a fixed table), and activation checkpointing
+/// is folded into the same optimization — after the Viterbi pass picks the
+/// cheapest strategy sequence, nodes are greedily checkpointed (best
+/// memory-saved per recompute-second first) until the plan fits the budget.
+class Planner {
+ public:
+  Planner(Mesh mesh, double flops_per_sec)
+      : mesh_(mesh), flops_(flops_per_sec) {}
+
+  [[nodiscard]] Plan plan(const std::vector<LinearNode>& graph,
+                          std::int64_t memory_budget) const;
+
+ private:
+  Mesh mesh_;
+  double flops_;
+};
+
+}  // namespace ca::autop

@@ -1,0 +1,73 @@
+#include "autop/sharding_spec.hpp"
+
+#include <cassert>
+
+namespace ca::autop {
+
+bool has_axis(DimShard s, int a) {
+  switch (s) {
+    case DimShard::kR: return false;
+    case DimShard::kS0: return a == 0;
+    case DimShard::kS1: return a == 1;
+    case DimShard::kS01: return true;
+  }
+  return false;
+}
+
+DimShard add_axis(DimShard s, int a) {
+  assert(!has_axis(s, a));
+  if (s == DimShard::kR) return a == 0 ? DimShard::kS0 : DimShard::kS1;
+  return DimShard::kS01;  // kS0 + axis1 or kS1 + axis0
+}
+
+DimShard remove_axis(DimShard s, int a) {
+  assert(has_axis(s, a));
+  if (s == DimShard::kS01) return a == 0 ? DimShard::kS1 : DimShard::kS0;
+  return DimShard::kR;
+}
+
+bool ShardingSpec::uses_axis(std::size_t i, int a) const {
+  return has_axis(dims_.at(i), a);
+}
+
+bool ShardingSpec::axis_in_use(int a) const {
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (uses_axis(i, a)) return true;
+  }
+  return false;
+}
+
+bool ShardingSpec::valid() const {
+  for (int a : {0, 1}) {
+    int users = 0;
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (uses_axis(i, a)) ++users;
+    }
+    if (users > 1) return false;
+  }
+  return true;
+}
+
+std::int64_t ShardingSpec::local_numel(std::int64_t numel,
+                                       const Mesh& mesh) const {
+  std::int64_t denom = 1;
+  if (axis_in_use(0)) denom *= mesh.dim0;
+  if (axis_in_use(1)) denom *= mesh.dim1;
+  return numel / denom;
+}
+
+std::string ShardingSpec::str() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) out += ",";
+    switch (dims_[i]) {
+      case DimShard::kR: out += "R"; break;
+      case DimShard::kS0: out += "S0"; break;
+      case DimShard::kS1: out += "S1"; break;
+      case DimShard::kS01: out += "S01"; break;
+    }
+  }
+  return out + "]";
+}
+
+}  // namespace ca::autop

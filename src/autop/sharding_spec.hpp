@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ca::autop {
+
+/// A 2-axis logical device mesh (the standard shape for intra-operator
+/// auto-parallelization; a 1-axis mesh is dim1 == 1). Axis bandwidths let
+/// the planner prefer putting heavy collectives on the faster axis.
+struct Mesh {
+  int dim0 = 1;
+  int dim1 = 1;
+  double bw0 = 100e9;  ///< bytes/s along axis 0
+  double bw1 = 100e9;  ///< bytes/s along axis 1
+  double alpha = 5e-6;
+
+  [[nodiscard]] int devices() const { return dim0 * dim1; }
+  [[nodiscard]] int axis_size(int a) const { return a == 0 ? dim0 : dim1; }
+  [[nodiscard]] double axis_bw(int a) const { return a == 0 ? bw0 : bw1; }
+};
+
+/// How one tensor dimension is split over the mesh.
+enum class DimShard : std::uint8_t {
+  kR,    ///< replicated
+  kS0,   ///< sharded over mesh axis 0
+  kS1,   ///< sharded over mesh axis 1
+  kS01,  ///< sharded over both axes (flattened)
+};
+
+/// Per-dimension sharding layout of a logical tensor over a Mesh — the
+/// object whose conversions Section 3.3 searches over. Alpa hardcodes a
+/// conversion table between these; Colossal-AI's extension searches the op
+/// space instead so more sharded dimensions stay tractable.
+class ShardingSpec {
+ public:
+  ShardingSpec() = default;
+  explicit ShardingSpec(std::vector<DimShard> dims) : dims_(std::move(dims)) {}
+  /// All-replicated spec of the given rank.
+  static ShardingSpec replicated(std::size_t ndim) {
+    return ShardingSpec(std::vector<DimShard>(ndim, DimShard::kR));
+  }
+
+  [[nodiscard]] std::size_t ndim() const { return dims_.size(); }
+  [[nodiscard]] DimShard dim(std::size_t i) const { return dims_.at(i); }
+  void set_dim(std::size_t i, DimShard s) { dims_.at(i) = s; }
+
+  /// True if each mesh axis shards at most one tensor dimension.
+  [[nodiscard]] bool valid() const;
+
+  /// Does this spec use mesh axis `a` on dimension `i`?
+  [[nodiscard]] bool uses_axis(std::size_t i, int a) const;
+  /// Is mesh axis `a` used by any dimension?
+  [[nodiscard]] bool axis_in_use(int a) const;
+
+  /// Number of elements each device holds for a tensor with `numel` total.
+  [[nodiscard]] std::int64_t local_numel(std::int64_t numel,
+                                         const Mesh& mesh) const;
+
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const ShardingSpec&, const ShardingSpec&) = default;
+
+ private:
+  std::vector<DimShard> dims_;
+};
+
+/// Add mesh axis `a` to a dim shard (kR + axis0 -> kS0, kS1 + axis0 -> kS01).
+DimShard add_axis(DimShard s, int a);
+/// Remove mesh axis `a` (inverse of add_axis).
+DimShard remove_axis(DimShard s, int a);
+/// Does the shard state include mesh axis `a`?
+bool has_axis(DimShard s, int a);
+
+}  // namespace ca::autop

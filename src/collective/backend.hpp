@@ -1,0 +1,58 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "collective/group.hpp"
+#include "collective/p2p.hpp"
+
+namespace ca::collective {
+
+/// Factory and registry for process groups and point-to-point channels over
+/// one Cluster — the NCCL-communicator bookkeeping layer. Groups are created
+/// on the launching thread *before* the SPMD region (mirroring
+/// torch.distributed, where new_group() is collective at init time); the
+/// returned references stay valid for the Backend's lifetime and are then
+/// used concurrently from rank threads.
+class Backend {
+ public:
+  explicit Backend(sim::Cluster& cluster) : cluster_(cluster) {
+    const int n = cluster.world_size();
+    channels_.resize(static_cast<std::size_t>(n) * n);
+    std::vector<int> all(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) all[static_cast<std::size_t>(r)] = r;
+    world_ = &create_group(all);
+  }
+
+  [[nodiscard]] sim::Cluster& cluster() { return cluster_; }
+
+  /// Group containing every rank.
+  [[nodiscard]] Group& world() { return *world_; }
+
+  /// Create a new process group over `ranks`. Main-thread only.
+  Group& create_group(std::vector<int> ranks) {
+    groups_.push_back(std::make_unique<Group>(cluster_, std::move(ranks)));
+    return *groups_.back();
+  }
+
+  /// Channel for the ordered pair (src, dst), created lazily on first use
+  /// from the launching thread or any rank thread (channel creation itself
+  /// races only on distinct slots because a pair has exactly two endpoints
+  /// and only they touch the slot — guarded by the mutex anyway).
+  [[nodiscard]] P2pChannel& channel(int src, int dst) {
+    const int n = cluster_.world_size();
+    auto& slot = channels_[static_cast<std::size_t>(src) * n + dst];
+    std::scoped_lock lock(channel_mutex_);
+    if (!slot) slot = std::make_unique<P2pChannel>(cluster_, src, dst);
+    return *slot;
+  }
+
+ private:
+  sim::Cluster& cluster_;
+  std::vector<std::unique_ptr<Group>> groups_;
+  std::vector<std::unique_ptr<P2pChannel>> channels_;
+  std::mutex channel_mutex_;
+  Group* world_ = nullptr;
+};
+
+}  // namespace ca::collective

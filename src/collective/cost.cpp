@@ -1,0 +1,62 @@
+#include "collective/cost.hpp"
+
+#include <cassert>
+
+namespace ca::collective {
+
+double collective_time(Op op, const sim::Topology& topo,
+                       std::span<const int> ranks, std::int64_t bytes) {
+  const auto p = static_cast<double>(ranks.size());
+  if (ranks.size() < 2 || bytes == 0) return 0.0;
+  const double bw = topo.ring_bottleneck(ranks);
+  const double alpha = topo.latency();
+  const double b = static_cast<double>(bytes);
+
+  switch (op) {
+    case Op::kAllReduce:
+      // ring: 2(p-1) steps of b/p each
+      return 2.0 * (p - 1.0) * (alpha + b / p / bw);
+    case Op::kReduceScatter:
+    case Op::kAllGather:
+      return (p - 1.0) * (alpha + b / p / bw);
+    case Op::kBroadcast:
+    case Op::kReduce:
+      // pipelined ring/chain: latency per hop, payload streams once
+      return (p - 1.0) * alpha + b / bw;
+    case Op::kAllToAll:
+      // p-1 pairwise rounds of b/p each
+      return (p - 1.0) * (alpha + b / p / bw);
+    case Op::kGather:
+    case Op::kScatter:
+      // root moves (p-1)/p of the payload through its slowest incident link
+      return (p - 1.0) * alpha + (p - 1.0) / p * b / bw;
+  }
+  return 0.0;
+}
+
+double p2p_time(const sim::Topology& topo, int src, int dst, std::int64_t bytes) {
+  if (src == dst || bytes == 0) return 0.0;
+  return topo.latency() + static_cast<double>(bytes) / topo.bandwidth(src, dst);
+}
+
+std::int64_t bytes_sent_per_rank(Op op, int group_size, std::int64_t bytes) {
+  if (group_size < 2 || bytes == 0) return 0;
+  const auto p = static_cast<std::int64_t>(group_size);
+  switch (op) {
+    case Op::kAllReduce:
+      return 2 * (p - 1) * bytes / p;
+    case Op::kReduceScatter:
+    case Op::kAllGather:
+    case Op::kAllToAll:
+      return (p - 1) * bytes / p;
+    case Op::kBroadcast:
+    case Op::kReduce:
+    case Op::kGather:
+    case Op::kScatter:
+      // chain traffic averaged over ranks: total (p-1)*b/p per rank
+      return (p - 1) * bytes / p;
+  }
+  return 0;
+}
+
+}  // namespace ca::collective

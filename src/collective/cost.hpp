@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sim/topology.hpp"
+
+namespace ca::collective {
+
+/// Collective operations modeled by the cost layer.
+enum class Op {
+  kAllReduce,
+  kReduceScatter,
+  kAllGather,
+  kBroadcast,
+  kReduce,
+  kAllToAll,
+  kGather,
+  kScatter,
+};
+
+/// Alpha-beta time for a collective over `ranks` moving `bytes` per rank,
+/// using ring algorithms (the NCCL default at these sizes). The bottleneck
+/// link of the rank ring bounds bandwidth — this is what makes 1D tensor
+/// parallelism collapse on partially-connected machines (paper Figs 10-11).
+double collective_time(Op op, const sim::Topology& topo,
+                       std::span<const int> ranks, std::int64_t bytes);
+
+/// Point-to-point transfer time between two devices.
+double p2p_time(const sim::Topology& topo, int src, int dst, std::int64_t bytes);
+
+/// Bytes a single rank pushes onto the interconnect during the ring
+/// implementation of `op` with `bytes` of payload per rank.
+std::int64_t bytes_sent_per_rank(Op op, int group_size, std::int64_t bytes);
+
+}  // namespace ca::collective

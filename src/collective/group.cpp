@@ -1,0 +1,293 @@
+#include "collective/group.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ca::collective {
+
+namespace {
+constexpr std::int64_t kFloatBytes = 4;
+}
+
+Group::Group(sim::Cluster& cluster, std::vector<int> ranks)
+    : cluster_(cluster),
+      ranks_(std::move(ranks)),
+      barrier_(static_cast<std::ptrdiff_t>(ranks_.size())),
+      ptrs_(ranks_.size(), nullptr),
+      counts_(ranks_.size(), 0),
+      clocks_(ranks_.size(), 0.0) {
+  assert(!ranks_.empty());
+  for (std::size_t i = 0; i < ranks_.size(); ++i) {
+    index_.emplace(ranks_[i], static_cast<int>(i));
+  }
+}
+
+void Group::publish(int idx, const float* ptr, std::int64_t count) {
+  ptrs_[static_cast<std::size_t>(idx)] = ptr;
+  counts_[static_cast<std::size_t>(idx)] = count;
+  clocks_[static_cast<std::size_t>(idx)] = cluster_.device(ranks_[static_cast<std::size_t>(idx)]).clock();
+  barrier_.arrive_and_wait();
+  // Safe to read the slots from here until the *next* barrier: nobody can
+  // republish before every rank has passed the current op's final barrier.
+}
+
+void Group::settle(int idx, Op op, std::int64_t bytes) {
+  const double t_start = *std::max_element(clocks_.begin(), clocks_.end());
+  const double t = collective_time(op, cluster_.topology(), ranks_, bytes);
+  auto& dev = cluster_.device(ranks_[static_cast<std::size_t>(idx)]);
+  dev.set_clock(t_start + t);
+  dev.add_bytes_sent(bytes_sent_per_rank(op, size(), bytes));
+}
+
+void Group::barrier(int grank) {
+  const int idx = index_of(grank);
+  if (size() == 1) return;
+  publish(idx, nullptr, 0);
+  const double t_start = *std::max_element(clocks_.begin(), clocks_.end());
+  barrier_.arrive_and_wait();
+  cluster_.device(grank).set_clock(t_start);
+}
+
+void Group::all_reduce(int grank, std::span<float> data) {
+  if (size() == 1) return;
+  const int idx = index_of(grank);
+  publish(idx, data.data(), static_cast<std::int64_t>(data.size()));
+  const double t_start = *std::max_element(clocks_.begin(), clocks_.end());
+
+  std::vector<float> temp(data.size(), 0.0f);
+  for (int m = 0; m < size(); ++m) {
+    assert(counts_[static_cast<std::size_t>(m)] ==
+           static_cast<std::int64_t>(data.size()));
+    const float* src = ptrs_[static_cast<std::size_t>(m)];
+    for (std::size_t i = 0; i < data.size(); ++i) temp[i] += src[i];
+  }
+  barrier_.arrive_and_wait();
+  std::copy(temp.begin(), temp.end(), data.begin());
+
+  const std::int64_t bytes = static_cast<std::int64_t>(data.size()) * kFloatBytes;
+  const double t = collective_time(Op::kAllReduce, cluster_.topology(), ranks_, bytes);
+  auto& dev = cluster_.device(grank);
+  dev.set_clock(t_start + t);
+  dev.add_bytes_sent(bytes_sent_per_rank(Op::kAllReduce, size(), bytes));
+}
+
+void Group::reduce_scatter(int grank, std::span<const float> in,
+                           std::span<float> out) {
+  if (size() == 1) {
+    assert(in.size() == out.size());
+    std::copy(in.begin(), in.end(), out.begin());
+    return;
+  }
+  const int idx = index_of(grank);
+  assert(in.size() == out.size() * static_cast<std::size_t>(size()));
+  publish(idx, in.data(), static_cast<std::int64_t>(in.size()));
+  const double t_start = *std::max_element(clocks_.begin(), clocks_.end());
+
+  const std::size_t chunk = out.size();
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (int m = 0; m < size(); ++m) {
+    const float* src = ptrs_[static_cast<std::size_t>(m)] +
+                       static_cast<std::size_t>(idx) * chunk;
+    for (std::size_t i = 0; i < chunk; ++i) out[i] += src[i];
+  }
+  barrier_.arrive_and_wait();
+
+  const std::int64_t bytes = static_cast<std::int64_t>(in.size()) * kFloatBytes;
+  const double t =
+      collective_time(Op::kReduceScatter, cluster_.topology(), ranks_, bytes);
+  auto& dev = cluster_.device(grank);
+  dev.set_clock(t_start + t);
+  dev.add_bytes_sent(bytes_sent_per_rank(Op::kReduceScatter, size(), bytes));
+}
+
+void Group::all_gather(int grank, std::span<const float> in,
+                       std::span<float> out) {
+  if (size() == 1) {
+    assert(in.size() == out.size());
+    std::copy(in.begin(), in.end(), out.begin());
+    return;
+  }
+  const int idx = index_of(grank);
+  assert(out.size() == in.size() * static_cast<std::size_t>(size()));
+  publish(idx, in.data(), static_cast<std::int64_t>(in.size()));
+  const double t_start = *std::max_element(clocks_.begin(), clocks_.end());
+
+  const std::size_t chunk = in.size();
+  for (int m = 0; m < size(); ++m) {
+    const float* src = ptrs_[static_cast<std::size_t>(m)];
+    std::copy(src, src + chunk, out.data() + static_cast<std::size_t>(m) * chunk);
+  }
+  barrier_.arrive_and_wait();
+
+  // Payload convention: bytes = the full gathered size (matches NCCL docs).
+  const std::int64_t bytes = static_cast<std::int64_t>(out.size()) * kFloatBytes;
+  const double t =
+      collective_time(Op::kAllGather, cluster_.topology(), ranks_, bytes);
+  auto& dev = cluster_.device(grank);
+  dev.set_clock(t_start + t);
+  dev.add_bytes_sent(bytes_sent_per_rank(Op::kAllGather, size(), bytes));
+}
+
+void Group::broadcast(int grank, std::span<float> data, int root) {
+  if (size() == 1) return;
+  const int idx = index_of(grank);
+  publish(idx, data.data(), static_cast<std::int64_t>(data.size()));
+  const double t_start = *std::max_element(clocks_.begin(), clocks_.end());
+
+  if (idx != root) {
+    const float* src = ptrs_[static_cast<std::size_t>(root)];
+    assert(counts_[static_cast<std::size_t>(root)] ==
+           static_cast<std::int64_t>(data.size()));
+    std::copy(src, src + data.size(), data.begin());
+  }
+  barrier_.arrive_and_wait();
+
+  const std::int64_t bytes = static_cast<std::int64_t>(data.size()) * kFloatBytes;
+  const double t =
+      collective_time(Op::kBroadcast, cluster_.topology(), ranks_, bytes);
+  auto& dev = cluster_.device(grank);
+  dev.set_clock(t_start + t);
+  dev.add_bytes_sent(bytes_sent_per_rank(Op::kBroadcast, size(), bytes));
+}
+
+void Group::reduce(int grank, std::span<float> data, int root) {
+  if (size() == 1) return;
+  const int idx = index_of(grank);
+  publish(idx, data.data(), static_cast<std::int64_t>(data.size()));
+  const double t_start = *std::max_element(clocks_.begin(), clocks_.end());
+
+  if (idx == root) {
+    std::vector<float> temp(data.size(), 0.0f);
+    for (int m = 0; m < size(); ++m) {
+      const float* src = ptrs_[static_cast<std::size_t>(m)];
+      for (std::size_t i = 0; i < data.size(); ++i) temp[i] += src[i];
+    }
+    barrier_.arrive_and_wait();
+    std::copy(temp.begin(), temp.end(), data.begin());
+  } else {
+    barrier_.arrive_and_wait();
+  }
+
+  const std::int64_t bytes = static_cast<std::int64_t>(data.size()) * kFloatBytes;
+  const double t = collective_time(Op::kReduce, cluster_.topology(), ranks_, bytes);
+  auto& dev = cluster_.device(grank);
+  dev.set_clock(t_start + t);
+  dev.add_bytes_sent(bytes_sent_per_rank(Op::kReduce, size(), bytes));
+}
+
+void Group::all_to_all(int grank, std::span<const float> in,
+                       std::span<float> out) {
+  if (size() == 1) {
+    assert(in.size() == out.size());
+    std::copy(in.begin(), in.end(), out.begin());
+    return;
+  }
+  const int idx = index_of(grank);
+  assert(in.size() == out.size());
+  assert(in.size() % static_cast<std::size_t>(size()) == 0);
+  publish(idx, in.data(), static_cast<std::int64_t>(in.size()));
+  const double t_start = *std::max_element(clocks_.begin(), clocks_.end());
+
+  const std::size_t chunk = in.size() / static_cast<std::size_t>(size());
+  for (int m = 0; m < size(); ++m) {
+    const float* src = ptrs_[static_cast<std::size_t>(m)] +
+                       static_cast<std::size_t>(idx) * chunk;
+    std::copy(src, src + chunk, out.data() + static_cast<std::size_t>(m) * chunk);
+  }
+  barrier_.arrive_and_wait();
+
+  const std::int64_t bytes = static_cast<std::int64_t>(in.size()) * kFloatBytes;
+  const double t =
+      collective_time(Op::kAllToAll, cluster_.topology(), ranks_, bytes);
+  auto& dev = cluster_.device(grank);
+  dev.set_clock(t_start + t);
+  dev.add_bytes_sent(bytes_sent_per_rank(Op::kAllToAll, size(), bytes));
+}
+
+void Group::gather(int grank, std::span<const float> in, std::span<float> out,
+                   int root) {
+  const int idx = index_of(grank);
+  if (size() == 1) {
+    std::copy(in.begin(), in.end(), out.begin());
+    return;
+  }
+  publish(idx, in.data(), static_cast<std::int64_t>(in.size()));
+  const double t_start = *std::max_element(clocks_.begin(), clocks_.end());
+
+  if (idx == root) {
+    assert(out.size() == in.size() * static_cast<std::size_t>(size()));
+    const std::size_t chunk = in.size();
+    for (int m = 0; m < size(); ++m) {
+      const float* src = ptrs_[static_cast<std::size_t>(m)];
+      std::copy(src, src + chunk, out.data() + static_cast<std::size_t>(m) * chunk);
+    }
+  }
+  barrier_.arrive_and_wait();
+
+  const std::int64_t bytes =
+      static_cast<std::int64_t>(in.size()) * size() * kFloatBytes;
+  const double t = collective_time(Op::kGather, cluster_.topology(), ranks_, bytes);
+  auto& dev = cluster_.device(grank);
+  dev.set_clock(t_start + t);
+  dev.add_bytes_sent(bytes_sent_per_rank(Op::kGather, size(), bytes));
+}
+
+void Group::scatter(int grank, std::span<const float> in, std::span<float> out,
+                    int root) {
+  const int idx = index_of(grank);
+  if (size() == 1) {
+    std::copy(in.begin(), in.end(), out.begin());
+    return;
+  }
+  // only root's input matters; everyone publishes so sizes are visible
+  publish(idx, in.data(), static_cast<std::int64_t>(in.size()));
+  const double t_start = *std::max_element(clocks_.begin(), clocks_.end());
+
+  const float* src_root = ptrs_[static_cast<std::size_t>(root)];
+  assert(counts_[static_cast<std::size_t>(root)] ==
+         static_cast<std::int64_t>(out.size()) * size());
+  std::copy(src_root + static_cast<std::size_t>(idx) * out.size(),
+            src_root + (static_cast<std::size_t>(idx) + 1) * out.size(),
+            out.begin());
+  barrier_.arrive_and_wait();
+
+  const std::int64_t bytes =
+      static_cast<std::int64_t>(out.size()) * size() * kFloatBytes;
+  const double t = collective_time(Op::kScatter, cluster_.topology(), ranks_, bytes);
+  auto& dev = cluster_.device(grank);
+  dev.set_clock(t_start + t);
+  dev.add_bytes_sent(bytes_sent_per_rank(Op::kScatter, size(), bytes));
+}
+
+void Group::account(int grank, Op op, std::int64_t bytes) {
+  const int idx = index_of(grank);
+  if (size() == 1) return;
+  publish(idx, nullptr, bytes);
+  const double t_start = *std::max_element(clocks_.begin(), clocks_.end());
+  barrier_.arrive_and_wait();
+  const double t = collective_time(op, cluster_.topology(), ranks_, bytes);
+  auto& dev = cluster_.device(grank);
+  dev.set_clock(t_start + t);
+  dev.add_bytes_sent(bytes_sent_per_rank(op, size(), bytes));
+}
+
+void Group::account_all_reduce(int grank, std::int64_t bytes) {
+  account(grank, Op::kAllReduce, bytes);
+}
+void Group::account_reduce_scatter(int grank, std::int64_t bytes) {
+  account(grank, Op::kReduceScatter, bytes);
+}
+void Group::account_all_gather(int grank, std::int64_t bytes) {
+  account(grank, Op::kAllGather, bytes);
+}
+void Group::account_broadcast(int grank, std::int64_t bytes) {
+  account(grank, Op::kBroadcast, bytes);
+}
+void Group::account_reduce(int grank, std::int64_t bytes) {
+  account(grank, Op::kReduce, bytes);
+}
+void Group::account_all_to_all(int grank, std::int64_t bytes) {
+  account(grank, Op::kAllToAll, bytes);
+}
+
+}  // namespace ca::collective

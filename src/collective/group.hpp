@@ -1,0 +1,93 @@
+#pragma once
+
+#include <barrier>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "collective/cost.hpp"
+#include "sim/cluster.hpp"
+
+namespace ca::collective {
+
+/// A process group: the subset of ranks a collective runs over, with its own
+/// rendezvous barrier. Mirrors an MPI communicator / NCCL communicator.
+///
+/// All collective methods are SPMD: every member rank must call the same
+/// method in the same order with equally-sized buffers. `grank` is the
+/// caller's *global* rank. Real data moves through shared memory; on top of
+/// the data movement each call advances the member devices' logical clocks by
+/// the topology-model time and charges per-rank interconnect bytes, so
+/// functional runs produce simulated timings for free.
+///
+/// Each method also has an `account_*` twin that performs only the
+/// clock/byte accounting — the cost-model execution mode for paper-scale
+/// models that would not fit in host memory.
+class Group {
+ public:
+  Group(sim::Cluster& cluster, std::vector<int> ranks);
+
+  Group(const Group&) = delete;
+  Group& operator=(const Group&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(ranks_.size()); }
+  [[nodiscard]] const std::vector<int>& ranks() const { return ranks_; }
+  /// Index of a global rank inside this group.
+  [[nodiscard]] int index_of(int grank) const { return index_.at(grank); }
+  [[nodiscard]] bool contains(int grank) const { return index_.contains(grank); }
+
+  /// Pure synchronization (also aligns logical clocks to the max).
+  void barrier(int grank);
+
+  /// In-place sum over all members.
+  void all_reduce(int grank, std::span<float> data);
+  /// out[i-th chunk] = sum over members of their in[i-th chunk];
+  /// in.size() must be size() * out.size(); in and out must not alias.
+  void reduce_scatter(int grank, std::span<const float> in, std::span<float> out);
+  /// out = concatenation of every member's in, in group-index order.
+  void all_gather(int grank, std::span<const float> in, std::span<float> out);
+  /// Copy root's buffer to every member. `root` is a group index.
+  void broadcast(int grank, std::span<float> data, int root);
+  /// Sum every member's buffer into root's buffer (others' unchanged).
+  void reduce(int grank, std::span<float> data, int root);
+  /// Chunk i of my `in` goes to member i; my out chunk j comes from member j.
+  void all_to_all(int grank, std::span<const float> in, std::span<float> out);
+  /// Concatenate every member's `in` (group order) into root's `out`
+  /// (size in.size() * size()); other members' `out` may be empty.
+  void gather(int grank, std::span<const float> in, std::span<float> out,
+              int root);
+  /// Root's `in` (size out.size() * size()) is split into per-member chunks;
+  /// each member receives its chunk in `out`. Non-root `in` may be empty.
+  void scatter(int grank, std::span<const float> in, std::span<float> out,
+               int root);
+
+  // ---- cost-model-only twins (no data movement) ---------------------------
+
+  void account_all_reduce(int grank, std::int64_t bytes);
+  void account_reduce_scatter(int grank, std::int64_t bytes);
+  void account_all_gather(int grank, std::int64_t bytes);
+  void account_broadcast(int grank, std::int64_t bytes);
+  void account_reduce(int grank, std::int64_t bytes);
+  void account_all_to_all(int grank, std::int64_t bytes);
+
+ private:
+  /// Publish my pointer + clock, rendezvous; returns after all published.
+  void publish(int idx, const float* ptr, std::int64_t count);
+  /// Clock/byte accounting once per call; uses the clocks published earlier.
+  void settle(int idx, Op op, std::int64_t bytes);
+  void account(int grank, Op op, std::int64_t bytes);
+
+  sim::Cluster& cluster_;
+  std::vector<int> ranks_;
+  std::unordered_map<int, int> index_;
+  std::barrier<> barrier_;
+
+  // rendezvous slots (indexed by group index; raced only between barriers)
+  std::vector<const float*> ptrs_;
+  std::vector<std::int64_t> counts_;
+  std::vector<double> clocks_;
+};
+
+}  // namespace ca::collective

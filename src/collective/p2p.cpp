@@ -1,0 +1,87 @@
+#include "collective/p2p.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "collective/cost.hpp"
+
+namespace ca::collective {
+
+void P2pChannel::do_send(const float* ptr, std::int64_t count,
+                         std::int64_t bytes, bool async) {
+  auto msg = std::make_shared<Message>();
+  msg->count = count;
+  msg->bytes = bytes;
+  msg->send_clock = cluster_.device(src_).clock();
+  msg->sync = !async;
+  if (async) {
+    if (ptr != nullptr && count > 0) msg->buffer.assign(ptr, ptr + count);
+    // eager injection: the sender only pays the injection latency
+    cluster_.device(src_).advance_clock(cluster_.topology().latency());
+    cluster_.device(src_).add_bytes_sent(bytes);
+    std::scoped_lock lock(m_);
+    queue_.push_back(std::move(msg));
+    cv_.notify_all();
+    return;
+  }
+  msg->src_ptr = ptr;
+  std::unique_lock lock(m_);
+  queue_.push_back(msg);
+  cv_.notify_all();
+  cv_.wait(lock, [&] { return msg->consumed; });
+  // Receiver computed the common finish time; adopt it (synchronous send).
+  cluster_.device(src_).set_clock(msg->finish_clock);
+  cluster_.device(src_).add_bytes_sent(bytes);
+}
+
+void P2pChannel::do_recv(float* ptr, std::int64_t count, std::int64_t bytes) {
+  std::shared_ptr<Message> msg;
+  {
+    std::unique_lock lock(m_);
+    cv_.wait(lock, [&] { return !queue_.empty(); });
+    msg = queue_.front();
+    queue_.pop_front();
+  }
+  assert(msg->count == count);
+  assert(msg->bytes == bytes);
+  const float* src = msg->sync ? msg->src_ptr : msg->buffer.data();
+  if (ptr != nullptr && count > 0 && src != nullptr) {
+    std::copy(src, src + count, ptr);
+  }
+  auto& dst_dev = cluster_.device(dst_);
+  const double t_start = std::max(msg->send_clock, dst_dev.clock());
+  const double finish =
+      t_start + p2p_time(cluster_.topology(), src_, dst_, bytes);
+  dst_dev.set_clock(finish);
+  if (msg->sync) {
+    std::scoped_lock lock(m_);
+    msg->finish_clock = finish;
+    msg->consumed = true;
+    cv_.notify_all();
+  }
+}
+
+void P2pChannel::send(std::span<const float> data) {
+  do_send(data.data(), static_cast<std::int64_t>(data.size()),
+          static_cast<std::int64_t>(data.size()) * 4, /*async=*/false);
+}
+
+void P2pChannel::send_async(std::span<const float> data) {
+  do_send(data.data(), static_cast<std::int64_t>(data.size()),
+          static_cast<std::int64_t>(data.size()) * 4, /*async=*/true);
+}
+
+void P2pChannel::recv(std::span<float> data) {
+  do_recv(data.data(), static_cast<std::int64_t>(data.size()),
+          static_cast<std::int64_t>(data.size()) * 4);
+}
+
+void P2pChannel::send_bytes(std::int64_t bytes) {
+  do_send(nullptr, 0, bytes, /*async=*/false);
+}
+void P2pChannel::send_async_bytes(std::int64_t bytes) {
+  do_send(nullptr, 0, bytes, /*async=*/true);
+}
+void P2pChannel::recv_bytes(std::int64_t bytes) { do_recv(nullptr, 0, bytes); }
+
+}  // namespace ca::collective

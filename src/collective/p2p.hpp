@@ -1,0 +1,70 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "sim/cluster.hpp"
+
+namespace ca::collective {
+
+/// Point-to-point channel for one ordered (src, dst) device pair — the
+/// primitive under pipeline-stage activation transfer and ring
+/// self-attention. Messages form an unbounded FIFO (like NCCL's buffered
+/// isend), with two send flavours:
+///
+///  * send / send_bytes — synchronous rendezvous (MPI_Ssend): blocks until
+///    the matching receive has consumed the payload; both endpoint clocks
+///    advance to max(sender, receiver) + transfer time.
+///  * send_async / send_async_bytes — eagerly buffered: copies the payload
+///    into the channel and returns immediately; the sender's clock advances
+///    by the injection latency only, and the receiver finishes at
+///    max(arrival, receiver clock) + transfer time. Pipeline schedules rely
+///    on this: stages send to each other simultaneously (1F1B) and wrap
+///    multiple in-flight activations around the ring (interleaved chunks).
+class P2pChannel {
+ public:
+  P2pChannel(sim::Cluster& cluster, int src, int dst)
+      : cluster_(cluster), src_(src), dst_(dst) {}
+
+  /// Blocking (rendezvous) send of `data` (may be empty).
+  void send(std::span<const float> data);
+  /// Buffered send: returns as soon as the payload is parked in the channel.
+  void send_async(std::span<const float> data);
+  /// Blocking receive into `data`; sizes must match the paired send.
+  void recv(std::span<float> data);
+
+  /// Cost-model-only twins (no payload).
+  void send_bytes(std::int64_t bytes);
+  void send_async_bytes(std::int64_t bytes);
+  void recv_bytes(std::int64_t bytes);
+
+ private:
+  struct Message {
+    const float* src_ptr = nullptr;  // rendezvous payload (sender's memory)
+    std::vector<float> buffer;       // async payload copy
+    std::int64_t count = 0;
+    std::int64_t bytes = 0;
+    double send_clock = 0.0;
+    bool sync = false;
+    bool consumed = false;
+    double finish_clock = 0.0;
+  };
+
+  void do_send(const float* ptr, std::int64_t count, std::int64_t bytes,
+               bool async);
+  void do_recv(float* ptr, std::int64_t count, std::int64_t bytes);
+
+  sim::Cluster& cluster_;
+  int src_, dst_;
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Message>> queue_;
+};
+
+}  // namespace ca::collective

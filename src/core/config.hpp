@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace ca::core {
+
+/// Tensor-parallel sharding mode, as in the paper's `mode='1d'|'2d'|'2.5d'|'3d'`
+/// configuration field (Listing 1).
+enum class TpMode { kNone, k1d, k2d, k2p5d, k3d };
+
+[[nodiscard]] inline std::string to_string(TpMode m) {
+  switch (m) {
+    case TpMode::kNone: return "none";
+    case TpMode::k1d: return "1d";
+    case TpMode::k2d: return "2d";
+    case TpMode::k2p5d: return "2.5d";
+    case TpMode::k3d: return "3d";
+  }
+  return "?";
+}
+
+/// The training-parallelism configuration a user writes — the C++ analogue
+/// of the dict passed to colossalai.launch (Listing 1). World size must equal
+/// data * pipeline * tensor * sequence.
+struct Config {
+  int data_parallel_size = 1;
+  int pipeline_parallel_size = 1;
+  int tensor_parallel_size = 1;
+  TpMode tensor_mode = TpMode::kNone;
+  int tensor_depth = 1;  ///< the 'd' of 2.5D parallelism; ignored otherwise
+  int sequence_parallel_size = 1;
+
+  [[nodiscard]] int world_size() const {
+    return data_parallel_size * pipeline_parallel_size * tensor_parallel_size *
+           sequence_parallel_size;
+  }
+
+  /// Integer side length if n is a perfect square, else 0.
+  static int exact_sqrt(int n) {
+    const int r = static_cast<int>(std::lround(std::sqrt(static_cast<double>(n))));
+    return r * r == n ? r : 0;
+  }
+  /// Integer side length if n is a perfect cube, else 0.
+  static int exact_cbrt(int n) {
+    const int r = static_cast<int>(std::lround(std::cbrt(static_cast<double>(n))));
+    return r * r * r == n ? r : 0;
+  }
+
+  /// Throws std::invalid_argument when sizes are inconsistent with the mode's
+  /// topology requirement (2D: j^2 GPUs, 2.5D: d*k^2, 3D: l^3 — Section 2.2).
+  void validate() const {
+    auto require = [](bool ok, const std::string& msg) {
+      if (!ok) throw std::invalid_argument(msg);
+    };
+    require(data_parallel_size >= 1 && pipeline_parallel_size >= 1 &&
+                tensor_parallel_size >= 1 && sequence_parallel_size >= 1,
+            "parallel sizes must be >= 1");
+    require(tensor_parallel_size == 1 || sequence_parallel_size == 1,
+            "tensor and sequence parallelism cannot be combined");
+    switch (tensor_mode) {
+      case TpMode::kNone:
+        require(tensor_parallel_size == 1,
+                "tensor_parallel_size > 1 requires a tensor mode");
+        break;
+      case TpMode::k1d:
+        break;  // any size
+      case TpMode::k2d:
+        require(exact_sqrt(tensor_parallel_size) != 0,
+                "2D tensor parallelism requires a square number of GPUs");
+        break;
+      case TpMode::k2p5d: {
+        require(tensor_depth >= 1, "2.5D depth must be >= 1");
+        require(tensor_parallel_size % tensor_depth == 0 &&
+                    exact_sqrt(tensor_parallel_size / tensor_depth) != 0,
+                "2.5D tensor parallelism requires d * k^2 GPUs");
+        break;
+      }
+      case TpMode::k3d:
+        require(exact_cbrt(tensor_parallel_size) != 0,
+                "3D tensor parallelism requires a cubic number of GPUs");
+        break;
+    }
+  }
+};
+
+}  // namespace ca::core

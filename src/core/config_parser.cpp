@@ -1,0 +1,78 @@
+#include "core/config_parser.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ca::core {
+
+namespace {
+
+TpMode parse_mode(const std::string& v) {
+  if (v == "1d") return TpMode::k1d;
+  if (v == "2d") return TpMode::k2d;
+  if (v == "2.5d" || v == "2p5d") return TpMode::k2p5d;
+  if (v == "3d") return TpMode::k3d;
+  if (v == "none") return TpMode::kNone;
+  throw std::invalid_argument("unknown tensor mode '" + v + "'");
+}
+
+int parse_int(const std::string& key, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const int n = std::stoi(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return n;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad integer for '" + key + "': '" + v + "'");
+  }
+}
+
+/// Strip an optional "parallel." prefix (the paper's full schema path).
+std::string normalize(std::string key) {
+  const std::string prefix = "parallel.";
+  if (key.rfind(prefix, 0) == 0) key = key.substr(prefix.size());
+  return key;
+}
+
+}  // namespace
+
+Config parse_config(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string token;
+  bool mode_given = false;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("expected key=value, got '" + token + "'");
+    }
+    const std::string key = normalize(token.substr(0, eq));
+    const std::string value = token.substr(eq + 1);
+
+    if (key == "data" || key == "data.size") {
+      cfg.data_parallel_size = parse_int(key, value);
+    } else if (key == "pipeline" || key == "pipeline.size") {
+      cfg.pipeline_parallel_size = parse_int(key, value);
+    } else if (key == "tensor.size") {
+      cfg.tensor_parallel_size = parse_int(key, value);
+    } else if (key == "tensor.mode") {
+      cfg.tensor_mode = parse_mode(value);
+      mode_given = true;
+    } else if (key == "tensor.depth") {
+      cfg.tensor_depth = parse_int(key, value);
+    } else if (key == "sequence" || key == "sequence.size") {
+      cfg.sequence_parallel_size = parse_int(key, value);
+    } else {
+      throw std::invalid_argument("unknown configuration key '" + key + "'");
+    }
+  }
+  // convenience: a tensor size without a mode defaults to 1D, as Megatron
+  // users expect
+  if (!mode_given && cfg.tensor_parallel_size > 1) {
+    cfg.tensor_mode = TpMode::k1d;
+  }
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace ca::core

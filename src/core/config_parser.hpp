@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+#include "core/config.hpp"
+
+namespace ca::core {
+
+/// Parse the textual form of the Listing-1 configuration dict:
+///
+///   "data=2 pipeline=2 tensor.size=4 tensor.mode=2d tensor.depth=2"
+///
+/// Whitespace-separated key=value pairs; keys follow the paper's schema
+/// (`parallel.tensor.size` etc. may drop the `parallel.` prefix). Unknown
+/// keys and malformed values throw std::invalid_argument with the offending
+/// token — the user-friendliness contract: configuration is data, errors are
+/// loud and early. The parsed Config is validate()d before returning.
+Config parse_config(const std::string& text);
+
+}  // namespace ca::core

@@ -1,0 +1,234 @@
+#include "core/context.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ca::core {
+
+namespace {
+/// Assign `group` to `slots[r]` for every rank r in the group.
+void assign(std::vector<collective::Group*>& slots, collective::Group& group) {
+  for (int r : group.ranks()) slots.at(static_cast<std::size_t>(r)) = &group;
+}
+}  // namespace
+
+int ParallelContext::tp_slot() const {
+  return config_.tensor_parallel_size * config_.sequence_parallel_size;
+}
+
+ParallelContext::ParallelContext(collective::Backend& backend, Config config)
+    : backend_(backend), config_(config) {
+  config_.validate();
+  const int world = config_.world_size();
+  if (world != backend.cluster().world_size()) {
+    throw std::invalid_argument(
+        "config world size " + std::to_string(world) + " != cluster size " +
+        std::to_string(backend.cluster().world_size()));
+  }
+  const int tp = tp_slot();
+  const int pp = config_.pipeline_parallel_size;
+  const int dp = config_.data_parallel_size;
+
+  data_groups_.resize(static_cast<std::size_t>(world), nullptr);
+  tensor_groups_.resize(static_cast<std::size_t>(world), nullptr);
+  row_groups_.resize(static_cast<std::size_t>(world), nullptr);
+  col_groups_.resize(static_cast<std::size_t>(world), nullptr);
+  depth_groups_.resize(static_cast<std::size_t>(world), nullptr);
+  cube_i_groups_.resize(static_cast<std::size_t>(world), nullptr);
+  cube_j_groups_.resize(static_cast<std::size_t>(world), nullptr);
+  cube_k_groups_.resize(static_cast<std::size_t>(world), nullptr);
+
+  // Data groups: same (pipe, tp) slot across all data replicas.
+  for (int p = 0; p < pp; ++p) {
+    for (int t = 0; t < tp; ++t) {
+      std::vector<int> ranks;
+      ranks.reserve(static_cast<std::size_t>(dp));
+      for (int d = 0; d < dp; ++d) ranks.push_back((d * pp + p) * tp + t);
+      assign(data_groups_, backend_.create_group(std::move(ranks)));
+    }
+  }
+
+  // Tensor groups: tp consecutive ranks.
+  for (int d = 0; d < dp; ++d) {
+    for (int p = 0; p < pp; ++p) {
+      const int base = (d * pp + p) * tp;
+      std::vector<int> ranks;
+      ranks.reserve(static_cast<std::size_t>(tp));
+      for (int t = 0; t < tp; ++t) ranks.push_back(base + t);
+      auto& g = backend_.create_group(std::move(ranks));
+      assign(tensor_groups_, g);
+
+      // Sub-groups inside this tensor group, by mode.
+      switch (config_.tensor_mode) {
+        case TpMode::kNone:
+        case TpMode::k1d:
+          break;
+        case TpMode::k2d: {
+          const int q = Config::exact_sqrt(config_.tensor_parallel_size);
+          grid_side_ = q;
+          for (int r = 0; r < q; ++r) {  // rows
+            std::vector<int> row;
+            for (int c = 0; c < q; ++c) row.push_back(base + r * q + c);
+            assign(row_groups_, backend_.create_group(std::move(row)));
+          }
+          for (int c = 0; c < q; ++c) {  // columns
+            std::vector<int> col;
+            for (int r = 0; r < q; ++r) col.push_back(base + r * q + c);
+            assign(col_groups_, backend_.create_group(std::move(col)));
+          }
+          break;
+        }
+        case TpMode::k2p5d: {
+          const int depth = config_.tensor_depth;
+          const int layer = config_.tensor_parallel_size / depth;
+          const int q = Config::exact_sqrt(layer);
+          grid_side_ = q;
+          for (int dd = 0; dd < depth; ++dd) {
+            const int lbase = base + dd * layer;
+            for (int r = 0; r < q; ++r) {
+              std::vector<int> row;
+              for (int c = 0; c < q; ++c) row.push_back(lbase + r * q + c);
+              assign(row_groups_, backend_.create_group(std::move(row)));
+            }
+            for (int c = 0; c < q; ++c) {
+              std::vector<int> col;
+              for (int r = 0; r < q; ++r) col.push_back(lbase + r * q + c);
+              assign(col_groups_, backend_.create_group(std::move(col)));
+            }
+          }
+          for (int cell = 0; cell < layer; ++cell) {
+            std::vector<int> dg;
+            for (int dd = 0; dd < depth; ++dd) dg.push_back(base + dd * layer + cell);
+            assign(depth_groups_, backend_.create_group(std::move(dg)));
+          }
+          break;
+        }
+        case TpMode::k3d: {
+          const int l = Config::exact_cbrt(config_.tensor_parallel_size);
+          grid_side_ = l;
+          // coords: t = (i * l + j) * l + k
+          for (int j = 0; j < l; ++j)
+            for (int k = 0; k < l; ++k) {  // vary i
+              std::vector<int> g3;
+              for (int i = 0; i < l; ++i) g3.push_back(base + (i * l + j) * l + k);
+              assign(cube_i_groups_, backend_.create_group(std::move(g3)));
+            }
+          for (int i = 0; i < l; ++i)
+            for (int k = 0; k < l; ++k) {  // vary j
+              std::vector<int> g3;
+              for (int j = 0; j < l; ++j) g3.push_back(base + (i * l + j) * l + k);
+              assign(cube_j_groups_, backend_.create_group(std::move(g3)));
+            }
+          for (int i = 0; i < l; ++i)
+            for (int j = 0; j < l; ++j) {  // vary k
+              std::vector<int> g3;
+              for (int k = 0; k < l; ++k) g3.push_back(base + (i * l + j) * l + k);
+              assign(cube_k_groups_, backend_.create_group(std::move(g3)));
+            }
+          break;
+        }
+      }
+    }
+  }
+}
+
+int ParallelContext::data_rank(int grank) const {
+  return grank / (config_.pipeline_parallel_size * tp_slot());
+}
+
+int ParallelContext::pipeline_rank(int grank) const {
+  return (grank / tp_slot()) % config_.pipeline_parallel_size;
+}
+
+int ParallelContext::tensor_rank(int grank) const { return grank % tp_slot(); }
+
+int ParallelContext::pipeline_prev(int grank) const {
+  return pipeline_rank(grank) == 0 ? -1 : grank - tp_slot();
+}
+
+int ParallelContext::pipeline_next(int grank) const {
+  return pipeline_rank(grank) == config_.pipeline_parallel_size - 1
+             ? -1
+             : grank + tp_slot();
+}
+
+bool ParallelContext::is_first_stage(int grank) const {
+  return pipeline_rank(grank) == 0;
+}
+
+bool ParallelContext::is_last_stage(int grank) const {
+  return pipeline_rank(grank) == config_.pipeline_parallel_size - 1;
+}
+
+namespace {
+collective::Group& require_group(const std::vector<collective::Group*>& v,
+                                 int grank, const char* what) {
+  collective::Group* g = v.at(static_cast<std::size_t>(grank));
+  if (g == nullptr) {
+    throw std::logic_error(std::string(what) +
+                           " group not available under this configuration");
+  }
+  return *g;
+}
+}  // namespace
+
+collective::Group& ParallelContext::data_group(int grank) {
+  return require_group(data_groups_, grank, "data");
+}
+collective::Group& ParallelContext::tensor_group(int grank) {
+  return require_group(tensor_groups_, grank, "tensor");
+}
+collective::Group& ParallelContext::sequence_group(int grank) {
+  return require_group(tensor_groups_, grank, "sequence");
+}
+collective::Group& ParallelContext::row_group(int grank) {
+  return require_group(row_groups_, grank, "row");
+}
+collective::Group& ParallelContext::col_group(int grank) {
+  return require_group(col_groups_, grank, "col");
+}
+collective::Group& ParallelContext::depth_group(int grank) {
+  return require_group(depth_groups_, grank, "depth");
+}
+collective::Group& ParallelContext::cube_i_group(int grank) {
+  return require_group(cube_i_groups_, grank, "cube-i");
+}
+collective::Group& ParallelContext::cube_j_group(int grank) {
+  return require_group(cube_j_groups_, grank, "cube-j");
+}
+collective::Group& ParallelContext::cube_k_group(int grank) {
+  return require_group(cube_k_groups_, grank, "cube-k");
+}
+
+int ParallelContext::row_coord(int grank) const {
+  assert(grid_side_ > 0);
+  const int layer = grid_side_ * grid_side_;
+  return tensor_rank(grank) % layer / grid_side_;
+}
+
+int ParallelContext::col_coord(int grank) const {
+  assert(grid_side_ > 0);
+  return tensor_rank(grank) % grid_side_;
+}
+
+int ParallelContext::depth_coord(int grank) const {
+  assert(config_.tensor_mode == TpMode::k2p5d);
+  return tensor_rank(grank) / (grid_side_ * grid_side_);
+}
+
+int ParallelContext::cube_i(int grank) const {
+  assert(config_.tensor_mode == TpMode::k3d);
+  return tensor_rank(grank) / (grid_side_ * grid_side_);
+}
+
+int ParallelContext::cube_j(int grank) const {
+  assert(config_.tensor_mode == TpMode::k3d);
+  return tensor_rank(grank) / grid_side_ % grid_side_;
+}
+
+int ParallelContext::cube_k(int grank) const {
+  assert(config_.tensor_mode == TpMode::k3d);
+  return tensor_rank(grank) % grid_side_;
+}
+
+}  // namespace ca::core

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <vector>
+
+#include "collective/backend.hpp"
+#include "core/config.hpp"
+
+namespace ca::core {
+
+/// The parallel context manager of Figure 1: given a Config it decomposes
+/// every global rank into (data, pipeline, tensor/sequence) coordinates and
+/// builds all process groups each parallel mode needs, including the 2D
+/// row/column, 2.5D row/column/depth, and 3D axis sub-groups inside each
+/// tensor group.
+///
+/// Rank layout (tensor innermost, matching Megatron-LM so tensor groups map
+/// to the best-connected devices):
+///   grank = (data_rank * pipeline_size + pipe_rank) * tp_size + tp_rank
+/// Sequence parallelism occupies the same innermost slot as tensor
+/// parallelism (the two are mutually exclusive).
+///
+/// Construction happens on the launching thread before the SPMD region; all
+/// query methods are then safe to call concurrently from rank threads.
+class ParallelContext {
+ public:
+  ParallelContext(collective::Backend& backend, Config config);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] collective::Backend& backend() { return backend_; }
+  [[nodiscard]] int world_size() const { return config_.world_size(); }
+
+  // ---- rank decomposition ----------------------------------------------------
+
+  [[nodiscard]] int data_rank(int grank) const;
+  [[nodiscard]] int pipeline_rank(int grank) const;
+  /// Rank inside the tensor (or sequence) group.
+  [[nodiscard]] int tensor_rank(int grank) const;
+
+  /// Global rank of the previous/next pipeline stage, or -1 at the ends.
+  [[nodiscard]] int pipeline_prev(int grank) const;
+  [[nodiscard]] int pipeline_next(int grank) const;
+  [[nodiscard]] bool is_first_stage(int grank) const;
+  [[nodiscard]] bool is_last_stage(int grank) const;
+
+  // ---- groups -------------------------------------------------------------------
+
+  [[nodiscard]] collective::Group& data_group(int grank);
+  [[nodiscard]] collective::Group& tensor_group(int grank);
+  /// Alias of tensor_group when sequence parallelism is configured.
+  [[nodiscard]] collective::Group& sequence_group(int grank);
+
+  // 2D / 2.5D: the SUMMA grid inside one (depth layer of a) tensor group.
+  [[nodiscard]] collective::Group& row_group(int grank);
+  [[nodiscard]] collective::Group& col_group(int grank);
+  /// 2.5D only: the group across depth layers holding the same grid cell.
+  [[nodiscard]] collective::Group& depth_group(int grank);
+
+  // 3D: groups that vary exactly one cube coordinate.
+  [[nodiscard]] collective::Group& cube_i_group(int grank);
+  [[nodiscard]] collective::Group& cube_j_group(int grank);
+  [[nodiscard]] collective::Group& cube_k_group(int grank);
+
+  // ---- grid coordinates -----------------------------------------------------------
+
+  /// 2D / 2.5D grid side (j or k in the paper's notation); 3D cube side l.
+  [[nodiscard]] int grid_side() const { return grid_side_; }
+  [[nodiscard]] int depth() const { return config_.tensor_depth; }
+
+  [[nodiscard]] int row_coord(int grank) const;    // 2D/2.5D
+  [[nodiscard]] int col_coord(int grank) const;    // 2D/2.5D
+  [[nodiscard]] int depth_coord(int grank) const;  // 2.5D
+  [[nodiscard]] int cube_i(int grank) const;       // 3D
+  [[nodiscard]] int cube_j(int grank) const;
+  [[nodiscard]] int cube_k(int grank) const;
+
+ private:
+  [[nodiscard]] int tp_slot() const;  // tensor*sequence size (innermost extent)
+
+  collective::Backend& backend_;
+  Config config_;
+  int grid_side_ = 0;
+
+  // one entry per global rank
+  std::vector<collective::Group*> data_groups_;
+  std::vector<collective::Group*> tensor_groups_;
+  std::vector<collective::Group*> row_groups_;
+  std::vector<collective::Group*> col_groups_;
+  std::vector<collective::Group*> depth_groups_;
+  std::vector<collective::Group*> cube_i_groups_;
+  std::vector<collective::Group*> cube_j_groups_;
+  std::vector<collective::Group*> cube_k_groups_;
+};
+
+}  // namespace ca::core

@@ -1,0 +1,83 @@
+#include "data/synthetic.hpp"
+
+#include <cassert>
+#include <random>
+
+namespace ca::data {
+
+namespace t = ca::tensor;
+
+SyntheticClassification::SyntheticClassification(std::int64_t num_samples,
+                                                 std::int64_t features,
+                                                 std::int64_t classes,
+                                                 std::uint64_t seed,
+                                                 float noise)
+    : num_samples_(num_samples),
+      features_(features),
+      classes_(classes),
+      seed_(seed),
+      noise_(noise),
+      centers_(t::randn(t::Shape{classes, features}, seed, 0.0f, 1.0f)) {}
+
+t::Tensor SyntheticClassification::batch_features(std::int64_t start,
+                                                  std::int64_t count) const {
+  t::Tensor out(t::Shape{count, features_});
+  auto po = out.data();
+  auto pc = centers_.data();
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t idx = (start + i) % num_samples_;
+    const std::int64_t label = idx % classes_;
+    std::mt19937_64 gen(seed_ ^ (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(idx + 1)));
+    std::normal_distribution<float> dist(0.0f, noise_);
+    const float* center = pc.data() + label * features_;
+    float* row = po.data() + i * features_;
+    for (std::int64_t f = 0; f < features_; ++f) row[f] = center[f] + dist(gen);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> SyntheticClassification::batch_labels(
+    std::int64_t start, std::int64_t count) const {
+  std::vector<std::int64_t> out(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i)
+    out[static_cast<std::size_t>(i)] = (start + i) % num_samples_ % classes_;
+  return out;
+}
+
+std::vector<std::int64_t> SyntheticTokens::tokens(std::int64_t start,
+                                                  std::int64_t count) const {
+  std::vector<std::int64_t> out(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    std::mt19937_64 gen(seed_ ^ (0xBF58476D1CE4E5B9ull *
+                                 static_cast<std::uint64_t>(start + i + 1)));
+    // Zipf-ish skew: square a uniform draw so low ids dominate
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    const double z = u(gen);
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::int64_t>(z * z * static_cast<double>(vocab_));
+  }
+  return out;
+}
+
+DataLoader::DataLoader(const SyntheticClassification& dataset,
+                       std::int64_t global_batch, int dp_rank, int dp_size)
+    : dataset_(dataset),
+      global_batch_(global_batch),
+      local_batch_(global_batch / dp_size),
+      dp_rank_(dp_rank),
+      dp_size_(dp_size) {
+  assert(global_batch % dp_size == 0);
+}
+
+std::int64_t DataLoader::batches_per_epoch() const {
+  return dataset_.size() / global_batch_;
+}
+
+DataLoader::Batch DataLoader::next(std::int64_t step) const {
+  const std::int64_t global_start = step * global_batch_;
+  const std::int64_t start = global_start + dp_rank_ * local_batch_;
+  return Batch{dataset_.batch_features(start, local_batch_),
+               dataset_.batch_labels(start, local_batch_)};
+}
+
+}  // namespace ca::data

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/ops.hpp"
+
+namespace ca::data {
+
+/// Synthetic stand-in for ImageNet-1k: Gaussian class clusters in feature
+/// space, fully determined by the seed. Every sample is generated on demand
+/// from (seed, index), so all parallel modes see bit-identical data — the
+/// property the convergence experiment (Figure 7) needs.
+class SyntheticClassification {
+ public:
+  SyntheticClassification(std::int64_t num_samples, std::int64_t features,
+                          std::int64_t classes, std::uint64_t seed,
+                          float noise = 0.5f);
+
+  [[nodiscard]] std::int64_t size() const { return num_samples_; }
+  [[nodiscard]] std::int64_t features() const { return features_; }
+  [[nodiscard]] std::int64_t classes() const { return classes_; }
+
+  /// Features of samples [start, start+count) as (count, features).
+  [[nodiscard]] tensor::Tensor batch_features(std::int64_t start,
+                                              std::int64_t count) const;
+  /// Labels of samples [start, start+count).
+  [[nodiscard]] std::vector<std::int64_t> batch_labels(std::int64_t start,
+                                                       std::int64_t count) const;
+
+ private:
+  std::int64_t num_samples_, features_, classes_;
+  std::uint64_t seed_;
+  float noise_;
+  tensor::Tensor centers_;  // (classes, features)
+};
+
+/// Synthetic stand-in for the Wikipedia token stream: deterministic pseudo-
+/// random token ids with a skewed (Zipf-ish) distribution.
+class SyntheticTokens {
+ public:
+  SyntheticTokens(std::int64_t vocab, std::uint64_t seed)
+      : vocab_(vocab), seed_(seed) {}
+
+  /// Token ids for sequence positions [start, start+count).
+  [[nodiscard]] std::vector<std::int64_t> tokens(std::int64_t start,
+                                                 std::int64_t count) const;
+  [[nodiscard]] std::int64_t vocab() const { return vocab_; }
+
+ private:
+  std::int64_t vocab_;
+  std::uint64_t seed_;
+};
+
+/// Shards a SyntheticClassification dataset over data-parallel ranks: each
+/// rank iterates its 1/n slice of every global batch.
+class DataLoader {
+ public:
+  DataLoader(const SyntheticClassification& dataset, std::int64_t global_batch,
+             int dp_rank, int dp_size);
+
+  struct Batch {
+    tensor::Tensor x;
+    std::vector<std::int64_t> labels;
+  };
+
+  [[nodiscard]] std::int64_t batches_per_epoch() const;
+  /// The local share of global batch `step` (wraps around the dataset).
+  [[nodiscard]] Batch next(std::int64_t step) const;
+  [[nodiscard]] std::int64_t local_batch() const { return local_batch_; }
+
+ private:
+  const SyntheticClassification& dataset_;
+  std::int64_t global_batch_, local_batch_;
+  int dp_rank_, dp_size_;
+};
+
+}  // namespace ca::data

@@ -1,0 +1,47 @@
+#include "engine/engine.hpp"
+
+#include <cassert>
+
+namespace ca::engine {
+
+namespace t = ca::tensor;
+
+Engine::Engine(const tp::Env& env, nn::Module& model,
+               std::unique_ptr<optim::Optimizer> optimizer)
+    : env_(env), model_(model), optimizer_(std::move(optimizer)) {}
+
+void Engine::zero_grad() {
+  optimizer_->zero_grad();
+  has_dlogits_ = false;
+}
+
+t::Tensor Engine::forward(const t::Tensor& x) { return model_.forward(x); }
+
+float Engine::criterion(const t::Tensor& logits,
+                        std::span<const std::int64_t> labels) {
+  const float loss = t::cross_entropy(logits, labels, dlogits_);
+  has_dlogits_ = true;
+  return loss;
+}
+
+void Engine::backward() {
+  assert(has_dlogits_ && "criterion() must run before backward()");
+  model_.backward(dlogits_);
+  has_dlogits_ = false;
+}
+
+void Engine::backward_from(const t::Tensor& dy) { model_.backward(dy); }
+
+void Engine::step() {
+  auto& dp = env_.ctx->data_group(env_.grank);
+  if (dp.size() > 1) {
+    const float inv = 1.0f / static_cast<float>(dp.size());
+    for (nn::Parameter* p : optimizer_->params()) {
+      dp.all_reduce(env_.grank, p->grad.data());
+      t::scale_(p->grad, inv);
+    }
+  }
+  optimizer_->step();
+}
+
+}  // namespace ca::engine

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "nn/module.hpp"
+#include "optim/optimizer.hpp"
+#include "tp/env.hpp"
+
+namespace ca::engine {
+
+/// The execution engine behind `colossalai.initialize` (Listing 1): wraps a
+/// model, an optimizer and a criterion behind the five-call training loop
+///
+///   engine.zero_grad();
+///   auto out  = engine.forward(x);
+///   auto loss = engine.criterion(out, labels);
+///   engine.backward();
+///   engine.step();
+///
+/// step() synchronizes gradients over the data-parallel group (averaged)
+/// before the optimizer update, so plain data parallelism works out of the
+/// box and composes with the tensor-parallel layers inside the model.
+class Engine {
+ public:
+  Engine(const tp::Env& env, nn::Module& model,
+         std::unique_ptr<optim::Optimizer> optimizer);
+
+  void zero_grad();
+
+  tensor::Tensor forward(const tensor::Tensor& x);
+
+  /// Mean cross-entropy against integer labels; stores dL/dlogits for
+  /// backward(). `logits` must be the tensor returned by forward().
+  float criterion(const tensor::Tensor& logits,
+                  std::span<const std::int64_t> labels);
+
+  /// Backpropagate from the stored criterion gradient.
+  void backward();
+  /// Backpropagate an explicit output gradient instead.
+  void backward_from(const tensor::Tensor& dy);
+
+  /// Data-parallel gradient sync + optimizer step.
+  void step();
+
+  [[nodiscard]] nn::Module& model() { return model_; }
+  [[nodiscard]] optim::Optimizer& optimizer() { return *optimizer_; }
+
+ private:
+  tp::Env env_;
+  nn::Module& model_;
+  std::unique_ptr<optim::Optimizer> optimizer_;
+  tensor::Tensor dlogits_;
+  bool has_dlogits_ = false;
+};
+
+/// The C++ analogue of `colossalai.initialize`: bundle a model + optimizer
+/// into an Engine for this rank.
+inline std::unique_ptr<Engine> initialize(
+    const tp::Env& env, nn::Module& model,
+    std::unique_ptr<optim::Optimizer> optimizer) {
+  return std::make_unique<Engine>(env, model, std::move(optimizer));
+}
+
+}  // namespace ca::engine

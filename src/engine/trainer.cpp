@@ -1,0 +1,31 @@
+#include "engine/trainer.hpp"
+
+namespace ca::engine {
+
+float Trainer::fit(const data::DataLoader& loader, int epochs,
+                   int steps_per_epoch) {
+  float last_epoch_mean = 0.0f;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (auto& h : hooks_) h->before_epoch(epoch);
+    float sum = 0.0f;
+    for (int s = 0; s < steps_per_epoch; ++s) {
+      const int global_step = epoch * steps_per_epoch + s;
+      for (auto& h : hooks_) h->before_step(global_step);
+
+      auto batch = loader.next(global_step);
+      engine_.zero_grad();
+      auto out = engine_.forward(batch.x);
+      const float loss = engine_.criterion(out, batch.labels);
+      engine_.backward();
+      engine_.step();
+
+      sum += loss;
+      for (auto& h : hooks_) h->after_step(global_step, loss);
+    }
+    last_epoch_mean = sum / static_cast<float>(steps_per_epoch);
+    for (auto& h : hooks_) h->after_epoch(epoch, last_epoch_mean);
+  }
+  return last_epoch_mean;
+}
+
+}  // namespace ca::engine

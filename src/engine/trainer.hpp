@@ -1,0 +1,65 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "engine/engine.hpp"
+
+namespace ca::engine {
+
+/// User-extensible callbacks around the training loop — the "hooks at the
+/// operator or trainer level" extensibility the paper's implementation
+/// section describes.
+class TrainerHook {
+ public:
+  virtual ~TrainerHook() = default;
+  virtual void before_epoch(int epoch) { (void)epoch; }
+  virtual void after_epoch(int epoch, float mean_loss) {
+    (void)epoch;
+    (void)mean_loss;
+  }
+  virtual void before_step(int step) { (void)step; }
+  virtual void after_step(int step, float loss) {
+    (void)step;
+    (void)loss;
+  }
+};
+
+/// Collects every step loss (the default metric hook).
+class LossHistoryHook : public TrainerHook {
+ public:
+  void after_step(int step, float loss) override {
+    (void)step;
+    losses_.push_back(loss);
+  }
+  [[nodiscard]] const std::vector<float>& losses() const { return losses_; }
+
+ private:
+  std::vector<float> losses_;
+};
+
+/// Drives Engine over a DataLoader with the standard schedule; custom
+/// schedules are just alternative fit() call sequences.
+class Trainer {
+ public:
+  explicit Trainer(Engine& engine) : engine_(engine) {}
+
+  /// Returns a reference to the registered hook.
+  template <class H>
+  H& register_hook(std::unique_ptr<H> hook) {
+    H& ref = *hook;
+    hooks_.push_back(std::move(hook));
+    return ref;
+  }
+
+  /// Train for `epochs` x `steps_per_epoch` global batches; returns the mean
+  /// loss of the final epoch.
+  float fit(const data::DataLoader& loader, int epochs, int steps_per_epoch);
+
+ private:
+  Engine& engine_;
+  std::vector<std::unique_ptr<TrainerHook>> hooks_;
+};
+
+}  // namespace ca::engine

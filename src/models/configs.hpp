@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ca::models {
+
+/// Transformer model description covering every model in the paper's
+/// evaluation (Section 5).
+struct ModelConfig {
+  std::string name;
+  std::int64_t layers = 0;
+  std::int64_t hidden = 0;
+  std::int64_t heads = 0;
+  std::int64_t ffn = 0;  ///< usually 4*hidden
+  std::int64_t seq = 0;  ///< default training sequence length
+
+  /// 12 h^2 per layer (qkv + proj + 2 MLP matmuls), ignoring embeddings —
+  /// the convention the paper's "10 billion parameters" sizes follow.
+  [[nodiscard]] std::int64_t params() const {
+    return 12 * layers * hidden * hidden;
+  }
+};
+
+/// ViT for the Figure 7 convergence run: 12 layers, hidden 384, 6 heads,
+/// patch 16 on 224x224 (196 patches + cls token).
+inline ModelConfig vit_convergence() {
+  return {"ViT-conv", 12, 384, 6, 4 * 384, 197};
+}
+
+/// Table 3 / Figure 11 ViT shapes.
+inline ModelConfig vit_24l_2048h() { return {"ViT-24L-2048h", 24, 2048, 32, 8192, 197}; }
+inline ModelConfig vit_32l_4096h() { return {"ViT-32L-4096h", 32, 4096, 64, 16384, 197}; }
+inline ModelConfig vit_64l_3072h() { return {"ViT-64L-3072h", 64, 3072, 48, 12288, 197}; }
+
+/// BERT-Base for the sequence-parallel experiments (Section 5.3).
+inline ModelConfig bert_base() { return {"BERT-Base", 12, 768, 12, 3072, 512}; }
+
+/// GPT-2 scaled to ~10B parameters (Figure 14).
+inline ModelConfig gpt2_10b() { return {"GPT2-10B", 50, 4096, 32, 16384, 1024}; }
+
+/// OPT-13B (Figure 14's second workload): h=5120, 40 layers.
+inline ModelConfig opt_13b() { return {"OPT-13B", 40, 5120, 40, 20480, 2048}; }
+
+}  // namespace ca::models

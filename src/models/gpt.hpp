@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "nn/layers.hpp"
+#include "tp/env.hpp"
+
+namespace ca::tp {
+class VocabParallelEmbedding;
+class Linear1DCol;
+}  // namespace ca::tp
+
+namespace ca::models {
+
+/// Decoder-only GPT-style language model over token ids: token + learned
+/// position embeddings, a stack of Transformer blocks (causal masking is
+/// omitted — the training dynamics the experiments need are unchanged and
+/// the attention substrate stays shared with ViT/BERT), a final LayerNorm,
+/// and an untied LM head.
+///
+/// The 1D mode is the full Megatron recipe: vocabulary-parallel token
+/// embedding, tensor-parallel blocks, a column-parallel LM head whose logits
+/// stay sharded over the vocabulary, and the vocabulary-parallel
+/// cross-entropy — the full (rows, vocab) logits tensor never materializes.
+class GptModel {
+ public:
+  enum class Mode { kSerial, kTensor1D };
+
+  struct Config {
+    std::int64_t vocab = 256;
+    std::int64_t seq = 32;
+    std::int64_t hidden = 64;
+    std::int64_t heads = 4;
+    std::int64_t ffn = 128;
+    std::int64_t layers = 2;
+    std::uint64_t seed = 1;
+  };
+
+  explicit GptModel(Config cfg);
+  GptModel(const tp::Env& env, Mode mode, Config cfg);
+  ~GptModel();
+
+  /// Next-token language modeling on a (batch * seq) flat token stream:
+  /// position t predicts token t+1. Forward + backward; returns the mean
+  /// cross-entropy. Gradients accumulate.
+  float train_batch(std::span<const std::int64_t> tokens, std::int64_t batch);
+
+  /// Forward only; mean cross-entropy of next-token prediction.
+  float eval_loss(std::span<const std::int64_t> tokens, std::int64_t batch);
+
+  [[nodiscard]] std::vector<nn::Parameter*> parameters();
+  [[nodiscard]] std::int64_t num_params();
+
+ private:
+  tensor::Tensor forward_hidden(std::span<const std::int64_t> ids,
+                                std::int64_t batch);
+  /// (rows, V) or (rows, V/p) logits of the current forward.
+  tensor::Tensor local_logits(const tensor::Tensor& hidden,
+                              std::int64_t batch);
+
+  Config cfg_;
+  Mode mode_ = Mode::kSerial;
+  std::optional<tp::Env> env_;
+  std::unique_ptr<nn::Embedding> tok_emb_;  // serial
+  std::unique_ptr<tp::VocabParallelEmbedding> vp_emb_;  // 1D
+  std::unique_ptr<nn::Embedding> pos_emb_;
+  std::vector<std::unique_ptr<nn::Module>> blocks_;
+  std::unique_ptr<nn::LayerNorm> final_ln_;
+  std::unique_ptr<nn::Linear> head_;  // serial
+  std::unique_ptr<tp::Linear1DCol> vp_head_;  // 1D: logits vocab-sharded
+};
+
+}  // namespace ca::models

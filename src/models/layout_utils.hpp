@@ -1,0 +1,35 @@
+#pragma once
+
+#include <functional>
+
+#include "tensor/ops.hpp"
+
+namespace ca::models::detail {
+
+/// Reassemble equally-shaped rank blocks (given flattened, rank-major) into
+/// a full matrix, with `place(rank) -> (row chunk, col chunk)`.
+inline tensor::Tensor reassemble_blocks(
+    const tensor::Tensor& flat_blocks, std::int64_t block_rows,
+    std::int64_t block_cols, int n_row_chunks, int n_col_chunks,
+    const std::function<std::pair<int, int>(int)>& place) {
+  namespace t = ca::tensor;
+  const int n = n_row_chunks * n_col_chunks;
+  t::Tensor full(
+      t::Shape{block_rows * n_row_chunks, block_cols * n_col_chunks});
+  auto pf = full.data();
+  auto pb = flat_blocks.data();
+  const std::int64_t block = block_rows * block_cols;
+  const std::int64_t full_cols = block_cols * n_col_chunks;
+  for (int m = 0; m < n; ++m) {
+    const auto [rc, cc] = place(m);
+    const float* src = pb.data() + m * block;
+    for (std::int64_t r = 0; r < block_rows; ++r) {
+      float* dst =
+          pf.data() + (rc * block_rows + r) * full_cols + cc * block_cols;
+      std::copy(src + r * block_cols, src + (r + 1) * block_cols, dst);
+    }
+  }
+  return full;
+}
+
+}  // namespace ca::models::detail

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "nn/layers.hpp"
+#include "tp/env.hpp"
+
+namespace ca::models {
+
+/// ViT-style classifier with REAL Transformer blocks under every tensor-
+/// parallel mode (serial / 1D / 2D / 2.5D / 3D): patch embedding, a block
+/// stack, mean pooling over the sequence, and a classification head. The
+/// strongest form of the Figure 7 experiment: identical seeds + identical
+/// data => every mode reproduces the serial training trajectory.
+///
+/// The per-rank API takes the FULL batch; each mode shards it into its
+/// layout internally and the logits are gathered back, so the loss is
+/// computed identically everywhere.
+class TransformerClassifier {
+ public:
+  struct Config {
+    std::int64_t patches = 4;    ///< sequence length
+    std::int64_t patch_dim = 8;  ///< features per patch
+    std::int64_t hidden = 16;
+    std::int64_t heads = 2;
+    std::int64_t ffn = 32;
+    std::int64_t blocks = 1;
+    std::int64_t classes = 8;
+    std::uint64_t seed = 1;
+  };
+
+  explicit TransformerClassifier(Config cfg);                 // serial
+  TransformerClassifier(const tp::Env& env, Config cfg);      // mode from ctx
+  ~TransformerClassifier();
+
+  /// Full-batch logits, replicated on every rank.
+  tensor::Tensor logits(const tensor::Tensor& x_full);
+  /// Forward + backward; returns mean cross-entropy. Gradients accumulate.
+  float train_batch(const tensor::Tensor& x_full,
+                    std::span<const std::int64_t> labels);
+  float eval_accuracy(const tensor::Tensor& x_full,
+                      std::span<const std::int64_t> labels);
+
+  [[nodiscard]] std::vector<nn::Parameter*> parameters();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ca::models

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <memory>
+
+#include "nn/module.hpp"
+
+namespace ca::nn {
+
+/// Activation checkpointing (Chen et al., "Training Deep Nets with Sublinear
+/// Memory Cost") — one of the acceleration tools in Figure 1's toolbox.
+/// Wraps any module: forward stores only the INPUT; backward re-runs forward
+/// to rebuild the inner module's activations, then backpropagates. Trades
+/// one extra forward pass for not holding intermediate activations.
+///
+/// The optional MemoryTracker accounting makes the trade visible to the
+/// range tests: `held_bytes()` reports what a checkpointed segment retains
+/// between forward and backward (its input only).
+class Checkpoint : public Module {
+ public:
+  explicit Checkpoint(std::unique_ptr<Module> inner)
+      : inner_(std::move(inner)) {}
+
+  tensor::Tensor forward(const tensor::Tensor& x) override {
+    saved_input_ = x.clone();
+    // run forward once for the output; the inner module's saved activations
+    // are considered dropped (they will be rebuilt in backward)
+    auto y = inner_->forward(x);
+    ++forward_runs_;
+    return y;
+  }
+
+  tensor::Tensor backward(const tensor::Tensor& dy) override {
+    // recompute: rebuild the inner activations from the stored input
+    inner_->forward(saved_input_);
+    ++forward_runs_;
+    auto dx = inner_->backward(dy);
+    saved_input_ = tensor::Tensor();
+    return dx;
+  }
+
+  void collect_parameters(std::vector<Parameter*>& out) override {
+    inner_->collect_parameters(out);
+  }
+
+  [[nodiscard]] Module& inner() { return *inner_; }
+  /// Total inner forward executions (2 per step when checkpointed).
+  [[nodiscard]] int forward_runs() const { return forward_runs_; }
+  /// Bytes retained between forward and backward (the input only).
+  [[nodiscard]] std::int64_t held_bytes() const {
+    return saved_input_.numel() * 4;
+  }
+
+ private:
+  std::unique_ptr<Module> inner_;
+  tensor::Tensor saved_input_;
+  int forward_runs_ = 0;
+};
+
+}  // namespace ca::nn

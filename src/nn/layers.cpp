@@ -1,0 +1,272 @@
+#include "nn/layers.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ca::nn {
+
+namespace t = ca::tensor;
+
+// ---- Linear -----------------------------------------------------------------
+
+Linear::Linear(std::string name, std::int64_t in, std::int64_t out,
+               std::uint64_t seed, bool with_bias)
+    : in_(in),
+      out_(out),
+      with_bias_(with_bias),
+      weight_(name + ".weight",
+              t::randn(t::Shape{in, out}, seed, 0.0f,
+                       1.0f / std::sqrt(static_cast<float>(in)))),
+      bias_(name + ".bias", t::zeros(t::Shape{out})) {}
+
+t::Tensor Linear::forward(const t::Tensor& x) {
+  assert(x.dim(-1) == in_);
+  saved_x_ = x;
+  auto y = t::matmul(x, weight_.value);
+  if (with_bias_) t::add_bias_(y, bias_.value);
+  return y;
+}
+
+t::Tensor Linear::backward(const t::Tensor& dy) {
+  assert(dy.dim(-1) == out_);
+  // dW += x^T dy with leading dims of x collapsed into rows
+  auto dw = t::matmul_tn(saved_x_, dy);
+  t::add_(weight_.grad, dw);
+  if (with_bias_) t::add_(bias_.grad, t::sum_to_lastdim(dy));
+  // dx = dy W^T
+  return t::matmul_nt(dy, weight_.value);
+}
+
+void Linear::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  if (with_bias_) out.push_back(&bias_);
+}
+
+// ---- activations --------------------------------------------------------------
+
+t::Tensor Gelu::forward(const t::Tensor& x) {
+  saved_x_ = x;
+  return t::gelu(x);
+}
+t::Tensor Gelu::backward(const t::Tensor& dy) {
+  return t::gelu_backward(saved_x_, dy);
+}
+
+t::Tensor Relu::forward(const t::Tensor& x) {
+  saved_x_ = x;
+  return t::relu(x);
+}
+t::Tensor Relu::backward(const t::Tensor& dy) {
+  return t::relu_backward(saved_x_, dy);
+}
+
+// ---- LayerNorm -----------------------------------------------------------------
+
+LayerNorm::LayerNorm(std::string name, std::int64_t hidden, float eps)
+    : hidden_(hidden),
+      eps_(eps),
+      gamma_(name + ".gamma", t::ones(t::Shape{hidden})),
+      beta_(name + ".beta", t::zeros(t::Shape{hidden})) {}
+
+t::Tensor LayerNorm::forward(const t::Tensor& x) {
+  assert(x.dim(-1) == hidden_);
+  saved_x_ = x;
+  return t::layernorm_forward(x, gamma_.value, beta_.value, eps_, saved_mean_,
+                              saved_rstd_);
+}
+
+t::Tensor LayerNorm::backward(const t::Tensor& dy) {
+  return t::layernorm_backward(saved_x_, dy, gamma_.value, saved_mean_,
+                               saved_rstd_, gamma_.grad, beta_.grad);
+}
+
+void LayerNorm::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+// ---- Embedding -----------------------------------------------------------------
+
+Embedding::Embedding(std::string name, std::int64_t vocab, std::int64_t hidden,
+                     std::uint64_t seed)
+    : vocab_(vocab),
+      hidden_(hidden),
+      table_(name + ".table", t::randn(t::Shape{vocab, hidden}, seed, 0.0f, 0.02f)) {}
+
+t::Tensor Embedding::forward(std::span<const std::int64_t> ids) {
+  saved_ids_.assign(ids.begin(), ids.end());
+  t::Tensor out(t::Shape{static_cast<std::int64_t>(ids.size()), hidden_});
+  auto po = out.data();
+  auto pt = table_.value.data();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::int64_t id = ids[i];
+    assert(id >= 0 && id < vocab_);
+    std::copy(pt.data() + id * hidden_, pt.data() + (id + 1) * hidden_,
+              po.data() + static_cast<std::int64_t>(i) * hidden_);
+  }
+  return out;
+}
+
+void Embedding::backward(const t::Tensor& dy) {
+  assert(dy.numel() ==
+         static_cast<std::int64_t>(saved_ids_.size()) * hidden_);
+  auto pg = table_.grad.data();
+  auto pd = dy.data();
+  for (std::size_t i = 0; i < saved_ids_.size(); ++i) {
+    const std::int64_t id = saved_ids_[i];
+    float* grow = pg.data() + id * hidden_;
+    const float* drow = pd.data() + static_cast<std::int64_t>(i) * hidden_;
+    for (std::int64_t c = 0; c < hidden_; ++c) grow[c] += drow[c];
+  }
+}
+
+// ---- head reshaping helpers ----------------------------------------------------
+
+t::Tensor split_heads(const t::Tensor& x, std::int64_t heads) {
+  assert(x.ndim() == 3);
+  const std::int64_t b = x.dim(0), s = x.dim(1), h = x.dim(2);
+  assert(h % heads == 0);
+  const std::int64_t d = h / heads;
+  t::Tensor out(t::Shape{b * heads, s, d});
+  auto px = x.data();
+  auto po = out.data();
+  for (std::int64_t bi = 0; bi < b; ++bi)
+    for (std::int64_t si = 0; si < s; ++si)
+      for (std::int64_t hd = 0; hd < heads; ++hd) {
+        const float* src = px.data() + (bi * s + si) * h + hd * d;
+        float* dst = po.data() + ((bi * heads + hd) * s + si) * d;
+        std::copy(src, src + d, dst);
+      }
+  return out;
+}
+
+t::Tensor merge_heads(const t::Tensor& x, std::int64_t heads) {
+  assert(x.ndim() == 3);
+  const std::int64_t bh = x.dim(0), s = x.dim(1), d = x.dim(2);
+  assert(bh % heads == 0);
+  const std::int64_t b = bh / heads;
+  t::Tensor out(t::Shape{b, s, heads * d});
+  auto px = x.data();
+  auto po = out.data();
+  for (std::int64_t bi = 0; bi < b; ++bi)
+    for (std::int64_t si = 0; si < s; ++si)
+      for (std::int64_t hd = 0; hd < heads; ++hd) {
+        const float* src = px.data() + ((bi * heads + hd) * s + si) * d;
+        float* dst = po.data() + (bi * s + si) * heads * d + hd * d;
+        std::copy(src, src + d, dst);
+      }
+  return out;
+}
+
+// ---- MultiHeadAttention ---------------------------------------------------------
+
+MultiHeadAttention::MultiHeadAttention(std::string name, std::int64_t hidden,
+                                       std::int64_t heads, std::uint64_t seed)
+    : hidden_(hidden),
+      heads_(heads),
+      head_dim_(hidden / heads),
+      qkv_(name + ".qkv", hidden, 3 * hidden, seed),
+      proj_(name + ".proj", hidden, hidden, seed + 1) {
+  assert(hidden % heads == 0);
+}
+
+t::Tensor MultiHeadAttention::forward(const t::Tensor& x) {
+  assert(x.ndim() == 3 && x.dim(2) == hidden_);
+  const std::int64_t b = x.dim(0), s = x.dim(1);
+  saved_batch_ = b;
+  saved_seq_ = s;
+
+  auto qkv = qkv_.forward(x);  // (b, s, 3h)
+  auto q = t::chunk(qkv, -1, 3, 0);
+  auto k = t::chunk(qkv, -1, 3, 1);
+  auto v = t::chunk(qkv, -1, 3, 2);
+  saved_q_ = split_heads(q, heads_);  // (b*heads, s, d)
+  saved_k_ = split_heads(k, heads_);
+  saved_v_ = split_heads(v, heads_);
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  auto scores = t::bmm_nt(saved_q_, saved_k_);  // (b*heads, s, s)
+  t::scale_(scores, scale);
+  saved_attn_ = t::softmax_lastdim(scores);
+  auto ctx = t::bmm(saved_attn_, saved_v_);  // (b*heads, s, d)
+  auto merged = merge_heads(ctx, heads_);    // (b, s, h)
+  return proj_.forward(merged);
+}
+
+t::Tensor MultiHeadAttention::backward(const t::Tensor& dy) {
+  auto dmerged = proj_.backward(dy);             // (b, s, h)
+  auto dctx = split_heads(dmerged, heads_);      // (b*heads, s, d)
+
+  // ctx = attn @ v
+  auto dattn = t::bmm_nt(dctx, saved_v_);        // (b*heads, s, s)
+  auto dv = t::bmm_tn(saved_attn_, dctx);        // (b*heads, s, d)
+  auto dscores = t::softmax_backward(saved_attn_, dattn);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  t::scale_(dscores, scale);
+
+  // scores = q @ k^T
+  auto dq = t::bmm(dscores, saved_k_);           // (b*heads, s, d)
+  auto dk = t::bmm_tn(dscores, saved_q_);        // (b*heads, s, d)
+
+  auto dq_m = merge_heads(dq, heads_);
+  auto dk_m = merge_heads(dk, heads_);
+  auto dv_m = merge_heads(dv, heads_);
+  auto dqkv = t::cat(std::vector<t::Tensor>{dq_m, dk_m, dv_m}, -1);  // (b, s, 3h)
+  assert(dqkv.dim(0) == saved_batch_ && dqkv.dim(1) == saved_seq_);
+  return qkv_.backward(dqkv);
+}
+
+void MultiHeadAttention::collect_parameters(std::vector<Parameter*>& out) {
+  qkv_.collect_parameters(out);
+  proj_.collect_parameters(out);
+}
+
+// ---- Mlp -----------------------------------------------------------------------
+
+Mlp::Mlp(std::string name, std::int64_t hidden, std::int64_t ffn_hidden,
+         std::uint64_t seed)
+    : fc1_(name + ".fc1", hidden, ffn_hidden, seed),
+      fc2_(name + ".fc2", ffn_hidden, hidden, seed + 1) {}
+
+t::Tensor Mlp::forward(const t::Tensor& x) {
+  return fc2_.forward(act_.forward(fc1_.forward(x)));
+}
+
+t::Tensor Mlp::backward(const t::Tensor& dy) {
+  return fc1_.backward(act_.backward(fc2_.backward(dy)));
+}
+
+void Mlp::collect_parameters(std::vector<Parameter*>& out) {
+  fc1_.collect_parameters(out);
+  fc2_.collect_parameters(out);
+}
+
+// ---- TransformerBlock ------------------------------------------------------------
+
+TransformerBlock::TransformerBlock(std::string name, std::int64_t hidden,
+                                   std::int64_t heads, std::int64_t ffn_hidden,
+                                   std::uint64_t seed)
+    : ln1_(name + ".ln1", hidden),
+      attn_(name + ".attn", hidden, heads, seed),
+      ln2_(name + ".ln2", hidden),
+      mlp_(name + ".mlp", hidden, ffn_hidden, seed + 100) {}
+
+t::Tensor TransformerBlock::forward(const t::Tensor& x) {
+  auto h = t::add(x, attn_.forward(ln1_.forward(x)));
+  return t::add(h, mlp_.forward(ln2_.forward(h)));
+}
+
+t::Tensor TransformerBlock::backward(const t::Tensor& dy) {
+  // y = h + mlp(ln2(h)); dy flows both through the residual and the branch
+  auto dh = t::add(dy, ln2_.backward(mlp_.backward(dy)));
+  return t::add(dh, ln1_.backward(attn_.backward(dh)));
+}
+
+void TransformerBlock::collect_parameters(std::vector<Parameter*>& out) {
+  ln1_.collect_parameters(out);
+  attn_.collect_parameters(out);
+  ln2_.collect_parameters(out);
+  mlp_.collect_parameters(out);
+}
+
+}  // namespace ca::nn

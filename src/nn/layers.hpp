@@ -1,0 +1,155 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace ca::nn {
+
+/// y = x W + b with W: (in, out). Initialization follows the paper's ViT
+/// setup ("Jax initialization" = Lecun-normal fan-in scaling) and is fully
+/// determined by `seed`, so parallel shards can be carved out of a
+/// bit-identical full weight on every device.
+class Linear : public Module {
+ public:
+  Linear(std::string name, std::int64_t in, std::int64_t out, std::uint64_t seed,
+         bool with_bias = true);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& dy) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+
+  [[nodiscard]] Parameter& weight() { return weight_; }
+  [[nodiscard]] Parameter* bias() { return with_bias_ ? &bias_ : nullptr; }
+  [[nodiscard]] std::int64_t in_features() const { return in_; }
+  [[nodiscard]] std::int64_t out_features() const { return out_; }
+
+ private:
+  std::int64_t in_, out_;
+  bool with_bias_;
+  Parameter weight_;
+  Parameter bias_;
+  tensor::Tensor saved_x_;
+};
+
+/// Tanh-approximation GELU.
+class Gelu : public Module {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& dy) override;
+
+ private:
+  tensor::Tensor saved_x_;
+};
+
+class Relu : public Module {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& dy) override;
+
+ private:
+  tensor::Tensor saved_x_;
+};
+
+/// LayerNorm over the last dimension with learnable gamma/beta.
+class LayerNorm : public Module {
+ public:
+  LayerNorm(std::string name, std::int64_t hidden, float eps = 1e-5f);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& dy) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+
+ private:
+  std::int64_t hidden_;
+  float eps_;
+  Parameter gamma_;
+  Parameter beta_;
+  tensor::Tensor saved_x_, saved_mean_, saved_rstd_;
+};
+
+/// Token embedding lookup. Not a Module (its input is integer ids); the
+/// model classes call it directly. Gradients accumulate into the table rows.
+class Embedding {
+ public:
+  Embedding(std::string name, std::int64_t vocab, std::int64_t hidden,
+            std::uint64_t seed);
+
+  /// ids: flattened (batch * seq); returns (ids.size(), hidden).
+  tensor::Tensor forward(std::span<const std::int64_t> ids);
+  /// dy: (ids.size(), hidden) from the last forward.
+  void backward(const tensor::Tensor& dy);
+
+  [[nodiscard]] Parameter& table() { return table_; }
+
+ private:
+  std::int64_t vocab_, hidden_;
+  Parameter table_;
+  std::vector<std::int64_t> saved_ids_;
+};
+
+/// Multi-head self-attention for input (batch, seq, hidden). Fused QKV
+/// projection followed by per-head scaled dot-product attention and an
+/// output projection — one Transformer sublayer of Figure 2.
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(std::string name, std::int64_t hidden, std::int64_t heads,
+                     std::uint64_t seed);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& dy) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+
+ private:
+  std::int64_t hidden_, heads_, head_dim_;
+  Linear qkv_;
+  Linear proj_;
+  // saved activations (shapes noted for the backward pass)
+  tensor::Tensor saved_q_, saved_k_, saved_v_;  // (b*heads, s, d)
+  tensor::Tensor saved_attn_;                   // (b*heads, s, s) post-softmax
+  std::int64_t saved_batch_ = 0, saved_seq_ = 0;
+};
+
+/// Feed-forward block: Linear(h -> ratio*h) -> GELU -> Linear(ratio*h -> h).
+class Mlp : public Module {
+ public:
+  Mlp(std::string name, std::int64_t hidden, std::int64_t ffn_hidden,
+      std::uint64_t seed);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& dy) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+
+ private:
+  Linear fc1_;
+  Gelu act_;
+  Linear fc2_;
+};
+
+/// Pre-LN Transformer block: x + Attn(LN(x)), then x + Mlp(LN(x)).
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(std::string name, std::int64_t hidden, std::int64_t heads,
+                   std::int64_t ffn_hidden, std::uint64_t seed);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& dy) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+
+ private:
+  LayerNorm ln1_;
+  MultiHeadAttention attn_;
+  LayerNorm ln2_;
+  Mlp mlp_;
+};
+
+// ---- helpers shared with the parallel attention implementations ----------
+
+/// (b, s, h) -> (b*heads, s, h/heads): split the hidden dim into heads and
+/// move the head axis next to batch.
+tensor::Tensor split_heads(const tensor::Tensor& x, std::int64_t heads);
+/// Inverse of split_heads.
+tensor::Tensor merge_heads(const tensor::Tensor& x, std::int64_t heads);
+
+}  // namespace ca::nn

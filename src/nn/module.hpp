@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ca::nn {
+
+/// A learnable tensor with its gradient accumulator and a hierarchical name
+/// (e.g. "block0.attn.qkv.weight") used by the optimizer and the ZeRO
+/// sharding module.
+struct Parameter {
+  std::string name;
+  tensor::Tensor value;
+  tensor::Tensor grad;
+
+  Parameter(std::string n, tensor::Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape(), 0.0f) {}
+
+  [[nodiscard]] std::int64_t numel() const { return value.numel(); }
+};
+
+/// Base class for layers with manual forward/backward, the way Megatron-LM
+/// implements its parallel layers. A module caches whatever it needs from
+/// forward; backward must be called exactly once per forward, with the
+/// upstream gradient, and returns the input gradient while accumulating into
+/// its parameters' .grad.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  virtual tensor::Tensor forward(const tensor::Tensor& x) = 0;
+  virtual tensor::Tensor backward(const tensor::Tensor& dy) = 0;
+
+  /// Append pointers to all owned parameters (recursively) to `out`.
+  virtual void collect_parameters(std::vector<Parameter*>& out) { (void)out; }
+
+  /// All parameters of this module tree.
+  [[nodiscard]] std::vector<Parameter*> parameters() {
+    std::vector<Parameter*> out;
+    collect_parameters(out);
+    return out;
+  }
+
+  /// Zero every parameter gradient.
+  void zero_grad() {
+    for (Parameter* p : parameters()) p->grad.fill(0.0f);
+  }
+
+  /// Total learnable element count.
+  [[nodiscard]] std::int64_t num_params() {
+    std::int64_t n = 0;
+    for (Parameter* p : parameters()) n += p->numel();
+    return n;
+  }
+};
+
+/// Ordered container running members front-to-back in forward and
+/// back-to-front in backward.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Append a module; returns a reference to the added module.
+  template <class M>
+  M& add(std::unique_ptr<M> m) {
+    M& ref = *m;
+    members_.push_back(std::move(m));
+    return ref;
+  }
+
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] Module& at(std::size_t i) { return *members_.at(i); }
+
+  tensor::Tensor forward(const tensor::Tensor& x) override {
+    tensor::Tensor h = x;
+    for (auto& m : members_) h = m->forward(h);
+    return h;
+  }
+
+  tensor::Tensor backward(const tensor::Tensor& dy) override {
+    tensor::Tensor g = dy;
+    for (auto it = members_.rbegin(); it != members_.rend(); ++it)
+      g = (*it)->backward(g);
+    return g;
+  }
+
+  void collect_parameters(std::vector<Parameter*>& out) override {
+    for (auto& m : members_) m->collect_parameters(out);
+  }
+
+ private:
+  std::vector<std::unique_ptr<Module>> members_;
+};
+
+}  // namespace ca::nn

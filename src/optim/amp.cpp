@@ -1,0 +1,45 @@
+#include "optim/amp.hpp"
+
+#include <cmath>
+
+#include "tensor/half.hpp"
+
+namespace ca::optim {
+
+namespace t = ca::tensor;
+
+bool LossScaler::has_overflow(const std::vector<nn::Parameter*>& params) {
+  for (const nn::Parameter* p : params) {
+    for (float g : p->grad.data()) {
+      if (!std::isfinite(g)) return true;
+    }
+  }
+  return false;
+}
+
+void MixedPrecision::round_live_to_fp16() {
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    auto src = masters_[i]->value.data();
+    auto dst = live_[i]->value.data();
+    for (std::size_t e = 0; e < src.size(); ++e) dst[e] = t::fp16_round_trip(src[e]);
+  }
+}
+
+bool MixedPrecision::step() {
+  const bool overflow = LossScaler::has_overflow(live_);
+  const float inv = 1.0f / scaler_.scale();
+  if (scaler_.update(overflow)) {
+    // unscale into the master grads and step
+    for (std::size_t i = 0; i < live_.size(); ++i) {
+      auto src = live_[i]->grad.data();
+      auto dst = masters_[i]->grad.data();
+      for (std::size_t e = 0; e < src.size(); ++e) dst[e] = src[e] * inv;
+    }
+    inner_->step();
+    round_live_to_fp16();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ca::optim

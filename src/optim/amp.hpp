@@ -1,0 +1,98 @@
+#pragma once
+
+#include <memory>
+
+#include "optim/optimizer.hpp"
+
+namespace ca::optim {
+
+/// Dynamic loss scaling for fp16 training (the standard mixed-precision
+/// recipe): grow the scale every `growth_interval` clean steps, halve it on
+/// overflow and skip that step.
+class LossScaler {
+ public:
+  explicit LossScaler(float initial = 65536.0f, float growth = 2.0f,
+                      float backoff = 0.5f, int growth_interval = 2000)
+      : scale_(initial),
+        growth_(growth),
+        backoff_(backoff),
+        growth_interval_(growth_interval) {}
+
+  [[nodiscard]] float scale() const { return scale_; }
+
+  /// Inspect gradients for inf/nan (as unscaled fp32 values).
+  [[nodiscard]] static bool has_overflow(
+      const std::vector<nn::Parameter*>& params);
+
+  /// Advance the scaling state; returns true if the step should be applied.
+  bool update(bool overflow) {
+    if (overflow) {
+      scale_ *= backoff_;
+      good_steps_ = 0;
+      return false;
+    }
+    if (++good_steps_ >= growth_interval_) {
+      scale_ *= growth_;
+      good_steps_ = 0;
+    }
+    return true;
+  }
+
+ private:
+  float scale_, growth_, backoff_;
+  int growth_interval_;
+  int good_steps_ = 0;
+};
+
+/// fp16 mixed-precision wrapper around any optimizer: the live module
+/// parameters behave as fp16 storage (values are rounded through binary16
+/// after every update) while fp32 master weights accumulate the updates —
+/// the exact master-weight scheme whose storage the ZeRO module later shards
+/// and whose fp16 buffers the Figure 6 memory-reuse trick recycles.
+class MixedPrecision {
+ public:
+  /// `make_opt` builds the inner optimizer over the fp32 master parameters.
+  template <class F>
+  MixedPrecision(std::vector<nn::Parameter*> live, F make_opt,
+                 LossScaler scaler = LossScaler())
+      : live_(std::move(live)), scaler_(scaler) {
+    masters_.reserve(live_.size());
+    for (nn::Parameter* p : live_) {
+      masters_.push_back(
+          std::make_unique<nn::Parameter>(p->name + ".master", p->value.clone()));
+    }
+    std::vector<nn::Parameter*> raw;
+    raw.reserve(masters_.size());
+    for (auto& m : masters_) raw.push_back(m.get());
+    inner_ = make_opt(std::move(raw));
+    round_live_to_fp16();
+  }
+
+  /// Multiply a loss by the current scale before backward.
+  [[nodiscard]] float scale_loss(float loss) const {
+    return loss * scaler_.scale();
+  }
+  [[nodiscard]] float scale() const { return scaler_.scale(); }
+
+  /// Unscale grads, skip on overflow, Adam-step the masters, round the
+  /// results back into the live fp16 parameters. Returns false if the step
+  /// was skipped due to overflow.
+  bool step();
+
+  void zero_grad() {
+    for (nn::Parameter* p : live_) p->grad.fill(0.0f);
+  }
+
+  [[nodiscard]] LossScaler& scaler() { return scaler_; }
+  [[nodiscard]] Optimizer& inner() { return *inner_; }
+
+ private:
+  void round_live_to_fp16();
+
+  std::vector<nn::Parameter*> live_;
+  std::vector<std::unique_ptr<nn::Parameter>> masters_;
+  std::unique_ptr<Optimizer> inner_;
+  LossScaler scaler_;
+};
+
+}  // namespace ca::optim

@@ -1,0 +1,19 @@
+#include "optim/lr_scheduler.hpp"
+
+namespace ca::optim {
+
+float clip_grad_norm(const std::vector<nn::Parameter*>& params,
+                     float max_norm) {
+  double sq = 0.0;
+  for (const nn::Parameter* p : params) {
+    for (float g : p->grad.data()) sq += static_cast<double>(g) * g;
+  }
+  const auto norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (nn::Parameter* p : params) tensor::scale_(p->grad, scale);
+  }
+  return norm;
+}
+
+}  // namespace ca::optim

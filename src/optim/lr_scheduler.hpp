@@ -1,0 +1,68 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "optim/optimizer.hpp"
+
+namespace ca::optim {
+
+/// Learning-rate schedules for the training recipes in the paper's
+/// evaluation (the ViT runs use AdamW with warmup + cosine decay).
+class LrScheduler {
+ public:
+  LrScheduler(float base_lr, int warmup_steps, int total_steps)
+      : base_(base_lr), warmup_(warmup_steps), total_(total_steps) {}
+  virtual ~LrScheduler() = default;
+
+  /// Learning rate for 0-indexed step `t`.
+  [[nodiscard]] float lr(int t) const {
+    if (warmup_ > 0 && t < warmup_) {
+      return base_ * static_cast<float>(t + 1) / static_cast<float>(warmup_);
+    }
+    return decayed(t);
+  }
+
+ protected:
+  [[nodiscard]] virtual float decayed(int t) const = 0;
+
+  float base_;
+  int warmup_, total_;
+};
+
+/// Linear warmup then cosine decay to `min_lr`.
+class CosineLr : public LrScheduler {
+ public:
+  CosineLr(float base_lr, int warmup_steps, int total_steps, float min_lr = 0.0f)
+      : LrScheduler(base_lr, warmup_steps, total_steps), min_(min_lr) {}
+
+ protected:
+  [[nodiscard]] float decayed(int t) const override {
+    const float progress =
+        std::clamp(static_cast<float>(t - warmup_) /
+                       static_cast<float>(std::max(1, total_ - warmup_)),
+                   0.0f, 1.0f);
+    return min_ + 0.5f * (base_ - min_) *
+                      (1.0f + std::cos(std::numbers::pi_v<float> * progress));
+  }
+
+ private:
+  float min_;
+};
+
+/// Linear warmup then constant.
+class ConstantLr : public LrScheduler {
+ public:
+  ConstantLr(float base_lr, int warmup_steps = 0)
+      : LrScheduler(base_lr, warmup_steps, warmup_steps) {}
+
+ protected:
+  [[nodiscard]] float decayed(int) const override { return base_; }
+};
+
+/// Clip the global L2 norm of the gradients to `max_norm`; returns the norm
+/// before clipping (the standard stabilizer for large-model training).
+float clip_grad_norm(const std::vector<nn::Parameter*>& params, float max_norm);
+
+}  // namespace ca::optim

@@ -1,0 +1,85 @@
+#include "optim/optimizer.hpp"
+
+#include <cmath>
+
+namespace ca::optim {
+
+namespace t = ca::tensor;
+
+// ---- Sgd -----------------------------------------------------------------------
+
+Sgd::Sgd(std::vector<nn::Parameter*> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (nn::Parameter* p : params_) velocity_.emplace_back(p->value.shape(), 0.0f);
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    nn::Parameter& p = *params_[i];
+    if (momentum_ == 0.0f) {
+      t::axpy_(p.value, -lr_, p.grad);
+    } else {
+      auto& vel = velocity_[i];
+      t::scale_(vel, momentum_);
+      t::add_(vel, p.grad);
+      t::axpy_(p.value, -lr_, vel);
+    }
+  }
+}
+
+// ---- Adam ----------------------------------------------------------------------
+
+Adam::Adam(std::vector<nn::Parameter*> params, Hyper hyper)
+    : Optimizer(std::move(params)), hyper_(hyper) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (nn::Parameter* p : params_) {
+    m_.emplace_back(p->value.shape(), 0.0f);
+    v_.emplace_back(p->value.shape(), 0.0f);
+  }
+}
+
+void Adam::update_range(std::size_t idx, std::int64_t begin, std::int64_t end) {
+  nn::Parameter& p = *params_[idx];
+  auto pv = p.value.data();
+  auto pg = p.grad.data();
+  auto pm = m_[idx].data();
+  auto pvv = v_[idx].data();
+  const float b1 = hyper_.beta1, b2 = hyper_.beta2;
+  const float bc1 = 1.0f - std::pow(b1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+  for (std::int64_t i = begin; i < end; ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    float g = pg[ii];
+    if (hyper_.weight_decay != 0.0f && !hyper_.decoupled) {
+      g += hyper_.weight_decay * pv[ii];
+    }
+    pm[ii] = b1 * pm[ii] + (1.0f - b1) * g;
+    pvv[ii] = b2 * pvv[ii] + (1.0f - b2) * g * g;
+    const float mhat = pm[ii] / bc1;
+    const float vhat = pvv[ii] / bc2;
+    float update = mhat / (std::sqrt(vhat) + hyper_.eps);
+    if (hyper_.weight_decay != 0.0f && hyper_.decoupled) {
+      update += hyper_.weight_decay * pv[ii];
+    }
+    pv[ii] -= hyper_.lr * update;
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    update_range(i, 0, params_[i]->numel());
+  }
+}
+
+std::int64_t Adam::state_bytes() const {
+  std::int64_t n = 0;
+  for (const nn::Parameter* p : params_) n += p->numel();
+  return 2 * n * 4;
+}
+
+}  // namespace ca::optim

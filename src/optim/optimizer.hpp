@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace ca::optim {
+
+/// Optimizer over a fixed parameter set. Parameters are registered once (the
+/// pointers must outlive the optimizer); step() consumes .grad.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<nn::Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+
+  void zero_grad() {
+    for (nn::Parameter* p : params_) p->grad.fill(0.0f);
+  }
+
+  [[nodiscard]] const std::vector<nn::Parameter*>& params() const {
+    return params_;
+  }
+
+ protected:
+  std::vector<nn::Parameter*> params_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<nn::Parameter*> params, float lr, float momentum = 0.0f);
+  void step() override;
+
+ private:
+  float lr_, momentum_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction; `weight_decay` applies the
+/// decoupled AdamW rule when `decoupled` is true.
+class Adam : public Optimizer {
+ public:
+  struct Hyper {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;
+    bool decoupled = false;  ///< true => AdamW
+  };
+
+  Adam(std::vector<nn::Parameter*> params, Hyper hyper);
+  void step() override;
+
+  /// Bytes of optimizer state (two fp32 moments per element) — the "three
+  /// times larger than parameters" model-data pressure the paper attributes
+  /// to stateful optimizers.
+  [[nodiscard]] std::int64_t state_bytes() const;
+
+  [[nodiscard]] std::int64_t steps_taken() const { return t_; }
+
+ protected:
+  /// Update elements [begin, end) of parameter `idx` (used by HybridAdam to
+  /// split one parameter's update between host and device).
+  void update_range(std::size_t idx, std::int64_t begin, std::int64_t end);
+
+  Hyper hyper_;
+  std::int64_t t_ = 0;
+  std::vector<tensor::Tensor> m_, v_;
+};
+
+/// AdamW convenience wrapper (the paper's ViT convergence runs use AdamW
+/// with lr 0.003 / weight decay 0.3).
+class AdamW : public Adam {
+ public:
+  AdamW(std::vector<nn::Parameter*> params, float lr, float weight_decay)
+      : Adam(std::move(params),
+             Hyper{lr, 0.9f, 0.999f, 1e-8f, weight_decay, true}) {}
+};
+
+}  // namespace ca::optim

@@ -1,0 +1,202 @@
+#include "pp/pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ca::pp {
+
+namespace t = ca::tensor;
+
+double bubble_fraction(int stages, int micro_batches) {
+  return static_cast<double>(stages - 1) /
+         static_cast<double>(micro_batches + stages - 1);
+}
+
+double bubble_fraction_interleaved(int stages, int micro_batches, int chunks) {
+  const double fill = static_cast<double>(stages - 1) / chunks;
+  return fill / (micro_batches + fill);
+}
+
+Pipeline::Pipeline(const tp::Env& env, nn::Module& stage,
+                   tensor::Shape input_shape, Schedule schedule)
+    : env_(env),
+      stage_(stage),
+      input_shape_(std::move(input_shape)),
+      schedule_(schedule) {}
+
+t::Tensor Pipeline::forward_micro(int m,
+                                  std::span<const t::Tensor> inputs) {
+  auto& ctx = env_.context();
+  t::Tensor x;
+  if (ctx.is_first_stage(env_.grank)) {
+    x = inputs[static_cast<std::size_t>(m)].clone();
+  } else {
+    x = t::Tensor(input_shape_);
+    ctx.backend().channel(ctx.pipeline_prev(env_.grank), env_.grank)
+        .recv(x.data());
+  }
+  held_inputs_[static_cast<std::size_t>(m)] = x;
+  env_.mem().alloc(x.numel() * 4);
+  held_bytes_ += x.numel() * 4;
+  ++in_flight_;
+  peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
+
+  auto y = stage_.forward(x);
+  if (!ctx.is_last_stage(env_.grank)) {
+    ctx.backend().channel(env_.grank, ctx.pipeline_next(env_.grank))
+        .send_async(y.data());
+  }
+  return y;
+}
+
+void Pipeline::backward_micro(int m, const t::Tensor& dy) {
+  auto& ctx = env_.context();
+  auto dx = stage_.backward(dy);
+  if (!ctx.is_first_stage(env_.grank)) {
+    ctx.backend().channel(env_.grank, ctx.pipeline_prev(env_.grank))
+        .send_async(dx.data());
+  }
+  auto& held = held_inputs_[static_cast<std::size_t>(m)];
+  env_.mem().free(held.numel() * 4);
+  held_bytes_ -= held.numel() * 4;
+  held = t::Tensor();
+  --in_flight_;
+}
+
+float Pipeline::train_step(int micros, std::span<const t::Tensor> inputs,
+                           const LossFn& loss) {
+  auto& ctx = env_.context();
+  const int stages = ctx.config().pipeline_parallel_size;
+  const int s = ctx.pipeline_rank(env_.grank);
+  const bool last = ctx.is_last_stage(env_.grank);
+  assert(!ctx.is_first_stage(env_.grank) ||
+         static_cast<int>(inputs.size()) == micros);
+
+  held_inputs_.assign(static_cast<std::size_t>(micros), t::Tensor());
+  in_flight_ = 0;
+  peak_in_flight_ = 0;
+  float loss_sum = 0.0f;
+
+  // Backward for micro m: recompute the stage forward from the held input
+  // (activation checkpointing), obtain dL/dy (from the loss on the last
+  // stage, from downstream otherwise), then run backward.
+  auto run_backward = [&](int m) {
+    auto y = stage_.forward(held_inputs_[static_cast<std::size_t>(m)]);
+    t::Tensor dy(y.shape());
+    if (last) {
+      loss_sum += loss(y, dy, m);
+    } else {
+      ctx.backend().channel(ctx.pipeline_next(env_.grank), env_.grank)
+          .recv(dy.data());
+    }
+    backward_micro(m, dy);
+  };
+
+  switch (schedule_) {
+    case Schedule::kFillDrain: {
+      for (int m = 0; m < micros; ++m) forward_micro(m, inputs);
+      for (int m = micros - 1; m >= 0; --m) run_backward(m);
+      break;
+    }
+    case Schedule::kOneFOneB: {
+      const int warmup = std::min(micros, stages - s - 1);
+      for (int m = 0; m < warmup; ++m) forward_micro(m, inputs);
+      const int steady = micros - warmup;
+      for (int i = 0; i < steady; ++i) {
+        forward_micro(warmup + i, inputs);
+        run_backward(i);
+      }
+      for (int m = steady; m < micros; ++m) run_backward(m);
+      break;
+    }
+  }
+  assert(in_flight_ == 0);
+  return last ? loss_sum / static_cast<float>(micros) : 0.0f;
+}
+
+// ---- ChunkedPipeline ---------------------------------------------------------------
+
+ChunkedPipeline::ChunkedPipeline(const tp::Env& env,
+                                 std::vector<nn::Module*> chunks,
+                                 std::vector<tensor::Shape> input_shapes)
+    : env_(env), chunks_(std::move(chunks)), input_shapes_(std::move(input_shapes)) {
+  assert(chunks_.size() == input_shapes_.size() && !chunks_.empty());
+}
+
+float ChunkedPipeline::train_step(int micros,
+                                  std::span<const t::Tensor> inputs,
+                                  const LossFn& loss) {
+  auto& ctx = env_.context();
+  const int stages = ctx.config().pipeline_parallel_size;
+  const int s = ctx.pipeline_rank(env_.grank);
+  const auto chunks = static_cast<int>(chunks_.size());
+  const int tp_stride = ctx.pipeline_next(env_.grank) >= 0
+                            ? ctx.pipeline_next(env_.grank) - env_.grank
+                            : env_.grank - (stages > 1 ? ctx.pipeline_prev(env_.grank) : 0);
+  // global rank of pipeline stage `stage` in this (data, tensor) slice
+  auto rank_of_stage = [&](int stage) {
+    return env_.grank + (stage - s) * (stages > 1 ? tp_stride : 0);
+  };
+  const bool first_vs = (s == 0);                        // chunk 0 entry
+  const bool last_vs = (s == stages - 1);                // chunk V-1 exit
+
+  held_.assign(chunks_.size(), std::vector<t::Tensor>(
+                                   static_cast<std::size_t>(micros)));
+  float loss_sum = 0.0f;
+
+  // virtual-stage neighbours: within a chunk, ranks s-1/s+1; across chunks,
+  // the activation wraps from rank S-1 (chunk v) to rank 0 (chunk v+1)
+  auto recv_input = [&](int v, int m) -> t::Tensor {
+    if (v == 0 && first_vs) {
+      return inputs[static_cast<std::size_t>(m)].clone();
+    }
+    t::Tensor x(input_shapes_[static_cast<std::size_t>(v)]);
+    const int src = first_vs ? rank_of_stage(stages - 1)
+                             : ctx.pipeline_prev(env_.grank);
+    ctx.backend().channel(src, env_.grank).recv(x.data());
+    return x;
+  };
+  auto send_output = [&](int v, const t::Tensor& y) {
+    if (v == chunks - 1 && last_vs) return;  // final output: loss consumes it
+    const int dst =
+        last_vs ? rank_of_stage(0) : ctx.pipeline_next(env_.grank);
+    ctx.backend().channel(env_.grank, dst).send_async(y.data());
+  };
+
+  // ---- forward: chunk-major fill-drain ---------------------------------------
+  for (int v = 0; v < chunks; ++v) {
+    for (int m = 0; m < micros; ++m) {
+      auto x = recv_input(v, m);
+      held_[static_cast<std::size_t>(v)][static_cast<std::size_t>(m)] = x;
+      auto y = chunks_[static_cast<std::size_t>(v)]->forward(x);
+      send_output(v, y);
+    }
+  }
+
+  // ---- backward: reverse order, with recomputation ----------------------------
+  for (int v = chunks - 1; v >= 0; --v) {
+    for (int m = micros - 1; m >= 0; --m) {
+      auto y = chunks_[static_cast<std::size_t>(v)]->forward(
+          held_[static_cast<std::size_t>(v)][static_cast<std::size_t>(m)]);
+      t::Tensor dy(y.shape());
+      if (v == chunks - 1 && last_vs) {
+        loss_sum += loss(y, dy, m);
+      } else {
+        const int src =
+            last_vs ? rank_of_stage(0) : ctx.pipeline_next(env_.grank);
+        ctx.backend().channel(src, env_.grank).recv(dy.data());
+      }
+      auto dx = chunks_[static_cast<std::size_t>(v)]->backward(dy);
+      if (!(v == 0 && first_vs)) {
+        const int dst = first_vs ? rank_of_stage(stages - 1)
+                                 : ctx.pipeline_prev(env_.grank);
+        ctx.backend().channel(env_.grank, dst).send_async(dx.data());
+      }
+      held_[static_cast<std::size_t>(v)][static_cast<std::size_t>(m)] =
+          t::Tensor();
+    }
+  }
+  return (last_vs) ? loss_sum / static_cast<float>(micros) : 0.0f;
+}
+
+}  // namespace ca::pp

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "nn/module.hpp"
+#include "tp/env.hpp"
+
+namespace ca::pp {
+
+/// Micro-batch schedules. Fill-drain is GPipe; 1F1B is the PipeDream-flush
+/// schedule Megatron-LM uses — identical gradients and bubble fraction, but
+/// at most (stages - stage_rank) micro-batches in flight instead of all of
+/// them, which is the memory advantage the ablation bench measures.
+enum class Schedule { kFillDrain, kOneFOneB };
+
+/// Fraction of a pipelined step wasted in the bubble:
+/// (S - 1) / (M + S - 1) for both schedules.
+double bubble_fraction(int stages, int micro_batches);
+
+/// Bubble fraction with `chunks` interleaved virtual stages per rank
+/// (Megatron-LM's interleaved schedule): the per-chunk fill/drain shrinks by
+/// 1/chunks: (S-1)/chunks / (M + (S-1)/chunks).
+double bubble_fraction_interleaved(int stages, int micro_batches, int chunks);
+
+/// Runs one pipeline stage of a model. Construction is per-rank inside the
+/// SPMD region; `stage` owns this stage's consecutive layers. Activations
+/// are recomputed in backward (full activation checkpointing, one of the
+/// paper's acceleration techniques), so only the micro-batch *inputs* are
+/// retained between forward and backward — held counts are tracked so the
+/// fill-drain vs 1F1B memory difference is observable.
+class Pipeline {
+ public:
+  /// `input_shape`: the shape of one incoming micro-batch on this stage.
+  Pipeline(const tp::Env& env, nn::Module& stage, tensor::Shape input_shape,
+           Schedule schedule);
+
+  /// Last stage: compute the loss for micro `m` given output `y`, write
+  /// dL/dy into `dy` (pre-sized to y's shape), return the loss value.
+  using LossFn = std::function<float(const tensor::Tensor& y,
+                                     tensor::Tensor& dy, int micro)>;
+
+  /// Run one training step over `micros` micro-batches. The first stage
+  /// reads inputs from `inputs` (exactly `micros` tensors); later stages
+  /// ignore it. The last stage calls `loss`; earlier stages ignore it.
+  /// Returns the mean micro-batch loss on the last stage, 0.0 elsewhere.
+  /// Gradients accumulate into the stage module's parameters.
+  float train_step(int micros, std::span<const tensor::Tensor> inputs,
+                   const LossFn& loss);
+
+  /// Highest number of micro-batch inputs resident at once in the last step.
+  [[nodiscard]] int peak_in_flight() const { return peak_in_flight_; }
+
+ private:
+  tensor::Tensor forward_micro(int m, std::span<const tensor::Tensor> inputs);
+  /// Recompute forward for micro m, run backward with dy, send dx upstream.
+  void backward_micro(int m, const tensor::Tensor& dy);
+  [[nodiscard]] tensor::Tensor recv_dy(const tensor::Tensor& like);
+
+  tp::Env env_;
+  nn::Module& stage_;
+  tensor::Shape input_shape_;
+  Schedule schedule_;
+  std::vector<tensor::Tensor> held_inputs_;  // per-micro stage inputs
+  int in_flight_ = 0;
+  int peak_in_flight_ = 0;
+  std::int64_t held_bytes_ = 0;
+};
+
+/// Pipeline with `V` model chunks per rank (virtual / interleaved stages, as
+/// in Megatron-LM): virtual stage vs = v*S + s runs on rank s, so
+/// consecutive virtual stages alternate ranks and the activation wraps from
+/// the last rank back to rank 0 between chunks. Runs a chunk-major
+/// fill-drain schedule with activation recomputation; gradients equal the
+/// serial model over all V*S chunks.
+class ChunkedPipeline {
+ public:
+  /// `chunks[v]` is this rank's v-th model chunk; `input_shapes[v]` the
+  /// shape of one incoming micro-batch for that chunk.
+  ChunkedPipeline(const tp::Env& env, std::vector<nn::Module*> chunks,
+                  std::vector<tensor::Shape> input_shapes);
+
+  using LossFn = Pipeline::LossFn;
+
+  /// One training step over `micros` micro-batches; inputs are read on rank
+  /// 0 (the first virtual stage), the loss runs on the last virtual stage
+  /// (rank S-1, chunk V-1). Returns the mean loss there, 0.0 elsewhere.
+  float train_step(int micros, std::span<const tensor::Tensor> inputs,
+                   const LossFn& loss);
+
+ private:
+  tp::Env env_;
+  std::vector<nn::Module*> chunks_;
+  std::vector<tensor::Shape> input_shapes_;
+  // held inputs indexed [chunk][micro]
+  std::vector<std::vector<tensor::Tensor>> held_;
+};
+
+}  // namespace ca::pp

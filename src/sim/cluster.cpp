@@ -1,0 +1,57 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace ca::sim {
+
+Cluster::Cluster(Topology topo)
+    : topo_(std::move(topo)), host_mem_("host", 512 * kGiB) {
+  devices_.reserve(static_cast<std::size_t>(topo_.num_devices()));
+  for (int r = 0; r < topo_.num_devices(); ++r) {
+    devices_.push_back(std::make_unique<Device>(r, topo_.gpu()));
+  }
+}
+
+void Cluster::run(const std::function<void(int)>& fn) {
+  const int n = world_size();
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(r);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+double Cluster::max_clock() const {
+  double m = 0.0;
+  for (const auto& d : devices_) m = std::max(m, d->clock());
+  return m;
+}
+
+std::int64_t Cluster::total_bytes_sent() const {
+  std::int64_t total = 0;
+  for (const auto& d : devices_) total += d->bytes_sent();
+  return total;
+}
+
+void Cluster::reset_stats() {
+  for (auto& d : devices_) {
+    d->reset_clock();
+    d->reset_bytes_sent();
+    d->mem().reset();
+  }
+  host_mem_.reset();
+}
+
+}  // namespace ca::sim

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "sim/topology.hpp"
+
+namespace ca::sim {
+
+/// The simulated multi-GPU machine: one Device per rank plus the host memory
+/// pool, connected by a Topology. `run` executes an SPMD function on one
+/// thread per rank, mirroring the MPI model (all parallelism explicit, ranks
+/// communicate only through collective:: primitives).
+///
+/// Contract: the SPMD function must be communication-symmetric — every rank
+/// reaches the same sequence of collective calls — and memory-symmetric, so
+/// that an OomError unwinds every rank at the same call site instead of
+/// stranding some ranks at a rendezvous.
+class Cluster {
+ public:
+  explicit Cluster(Topology topo);
+
+  [[nodiscard]] int world_size() const { return static_cast<int>(devices_.size()); }
+  [[nodiscard]] Device& device(int rank) { return *devices_.at(static_cast<std::size_t>(rank)); }
+  [[nodiscard]] const Device& device(int rank) const {
+    return *devices_.at(static_cast<std::size_t>(rank));
+  }
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+
+  /// Host (CPU) memory pool for the offloading engine. Defaults to 512 GiB,
+  /// as on the DGX-class machines in Table 2.
+  [[nodiscard]] MemoryTracker& host_mem() { return host_mem_; }
+
+  /// NVMe pool (effectively unbounded) for the deepest offload tier.
+  [[nodiscard]] MemoryTracker& nvme_mem() { return nvme_mem_; }
+
+  /// Run `fn(rank)` on world_size concurrent threads and join. The first
+  /// exception thrown by any rank is rethrown here after all threads finish.
+  void run(const std::function<void(int)>& fn);
+
+  /// Max of all device clocks — wall-clock time of the SPMD program.
+  [[nodiscard]] double max_clock() const;
+  /// Sum of bytes_sent over all ranks — total interconnect traffic.
+  [[nodiscard]] std::int64_t total_bytes_sent() const;
+
+  /// Zero all clocks, peaks, and byte counters (new measurement).
+  void reset_stats();
+
+ private:
+  Topology topo_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  MemoryTracker host_mem_;
+  MemoryTracker nvme_mem_{"nvme", 0};  // capacity 0 => unlimited
+};
+
+}  // namespace ca::sim

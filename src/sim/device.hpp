@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/gpu_model.hpp"
+#include "sim/memory.hpp"
+
+namespace ca::sim {
+
+/// One simulated accelerator: identity, memory pool, logical clock, and
+/// communication counters. A Device is owned by the Cluster and driven by
+/// exactly one SPMD thread; cross-thread reads only happen inside collective
+/// rendezvous (which are barrier-synchronized) or after the SPMD region ends.
+class Device {
+ public:
+  Device(int rank, const GpuModel& gpu)
+      : rank_(rank),
+        gpu_(gpu),
+        mem_("gpu" + std::to_string(rank), gpu.memory_bytes) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] const GpuModel& gpu() const { return gpu_; }
+  [[nodiscard]] MemoryTracker& mem() { return mem_; }
+  [[nodiscard]] const MemoryTracker& mem() const { return mem_; }
+
+  /// Logical time (seconds) this device has spent computing/communicating.
+  [[nodiscard]] double clock() const { return clock_; }
+  void advance_clock(double seconds) { clock_ += seconds; }
+  void set_clock(double seconds) { clock_ = seconds; }
+  void reset_clock() { clock_ = 0.0; }
+
+  /// Advance the clock by the time `flops` of half-precision math takes.
+  void compute_fp16(double flops) { clock_ += flops / gpu_.flops_fp16; }
+  /// Advance the clock by the time `flops` of single-precision math takes.
+  void compute_fp32(double flops) { clock_ += flops / gpu_.flops_fp32; }
+
+  /// Total bytes this rank pushed onto the interconnect (collective +
+  /// point-to-point). Used to validate Table 1's analytic volumes.
+  [[nodiscard]] std::int64_t bytes_sent() const { return bytes_sent_; }
+  void add_bytes_sent(std::int64_t b) { bytes_sent_ += b; }
+  void reset_bytes_sent() { bytes_sent_ = 0; }
+
+ private:
+  int rank_;
+  GpuModel gpu_;
+  MemoryTracker mem_;
+  double clock_ = 0.0;
+  std::int64_t bytes_sent_ = 0;
+};
+
+}  // namespace ca::sim

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ca::sim {
+
+/// Thrown when a tracked allocation exceeds device (or host) capacity. The
+/// paper's range tests (Figs 8 and 12) grow batch size / sequence length
+/// until "the out-of-memory problem occurs" — this exception is that event.
+class OomError : public std::runtime_error {
+ public:
+  OomError(std::string who, std::int64_t requested, std::int64_t in_use,
+           std::int64_t capacity)
+      : std::runtime_error("OOM on " + who + ": requested " +
+                           std::to_string(requested) + " B with " +
+                           std::to_string(in_use) + "/" +
+                           std::to_string(capacity) + " B in use"),
+        requested_(requested),
+        in_use_(in_use),
+        capacity_(capacity) {}
+
+  [[nodiscard]] std::int64_t requested() const { return requested_; }
+  [[nodiscard]] std::int64_t in_use() const { return in_use_; }
+  [[nodiscard]] std::int64_t capacity() const { return capacity_; }
+
+ private:
+  std::int64_t requested_, in_use_, capacity_;
+};
+
+/// Byte-granular allocation accounting for one memory pool (a simulated GPU
+/// or the host). Mirrors `torch.cuda.max_memory_allocated` semantics: the
+/// experiments read `peak()` where the paper reads max allocated CUDA memory.
+class MemoryTracker {
+ public:
+  /// `capacity <= 0` means unlimited (no OOM enforcement).
+  explicit MemoryTracker(std::string name = "mem", std::int64_t capacity = 0)
+      : name_(std::move(name)), capacity_(capacity) {}
+
+  /// Record an allocation; throws OomError if it would exceed capacity.
+  void alloc(std::int64_t bytes) {
+    if (capacity_ > 0 && current_ + bytes > capacity_) {
+      throw OomError(name_, bytes, current_, capacity_);
+    }
+    current_ += bytes;
+    peak_ = std::max(peak_, current_);
+  }
+
+  /// Record a free. Freeing more than is in use clamps at zero (mirrors the
+  /// tolerance of real allocators for double-accounting at shutdown).
+  void free(std::int64_t bytes) { current_ = std::max<std::int64_t>(0, current_ - bytes); }
+
+  [[nodiscard]] std::int64_t current() const { return current_; }
+  [[nodiscard]] std::int64_t peak() const { return peak_; }
+  [[nodiscard]] std::int64_t capacity() const { return capacity_; }
+  [[nodiscard]] std::int64_t available() const {
+    return capacity_ > 0 ? capacity_ - current_ : std::int64_t{1} << 62;
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  void set_capacity(std::int64_t capacity) { capacity_ = capacity; }
+  /// Reset the high-water mark to the current level.
+  void reset_peak() { peak_ = current_; }
+  /// Forget everything (new experiment).
+  void reset() { current_ = 0; peak_ = 0; }
+
+ private:
+  std::string name_;
+  std::int64_t capacity_;
+  std::int64_t current_ = 0;
+  std::int64_t peak_ = 0;
+};
+
+/// RAII allocation: tracks `bytes` for its lifetime.
+class ScopedAlloc {
+ public:
+  ScopedAlloc(MemoryTracker& mem, std::int64_t bytes) : mem_(&mem), bytes_(bytes) {
+    mem_->alloc(bytes_);
+  }
+  ~ScopedAlloc() {
+    if (mem_ != nullptr) mem_->free(bytes_);
+  }
+  ScopedAlloc(ScopedAlloc&& other) noexcept : mem_(other.mem_), bytes_(other.bytes_) {
+    other.mem_ = nullptr;
+  }
+  ScopedAlloc& operator=(ScopedAlloc&&) = delete;
+  ScopedAlloc(const ScopedAlloc&) = delete;
+  ScopedAlloc& operator=(const ScopedAlloc&) = delete;
+
+  [[nodiscard]] std::int64_t bytes() const { return bytes_; }
+
+ private:
+  MemoryTracker* mem_;
+  std::int64_t bytes_;
+};
+
+}  // namespace ca::sim

@@ -1,0 +1,95 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ca::sim {
+
+namespace {
+constexpr double kGBps = 1.0e9;  // vendor-style GB/s (decimal)
+
+/// Build a bandwidth matrix from a pair classifier.
+template <class F>
+std::vector<double> make_matrix(int n, F bw_of_pair) {
+  std::vector<double> m(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (i != j) m[static_cast<std::size_t>(i) * n + j] = bw_of_pair(i, j);
+  return m;
+}
+}  // namespace
+
+Topology::Topology(std::string name, GpuModel gpu, int gpus_per_node,
+                   std::vector<double> bw, double latency_s)
+    : name_(std::move(name)),
+      gpu_(std::move(gpu)),
+      num_devices_(static_cast<int>(std::lround(std::sqrt(static_cast<double>(bw.size()))))),
+      gpus_per_node_(gpus_per_node),
+      bw_(std::move(bw)),
+      latency_s_(latency_s) {
+  assert(static_cast<std::size_t>(num_devices_) * num_devices_ == bw_.size());
+  assert(num_devices_ % gpus_per_node_ == 0);
+}
+
+double Topology::bandwidth(int a, int b) const {
+  assert(a != b && a >= 0 && b >= 0 && a < num_devices_ && b < num_devices_);
+  return bw_[static_cast<std::size_t>(a) * num_devices_ + b];
+}
+
+double Topology::ring_bottleneck(std::span<const int> ranks) const {
+  assert(ranks.size() >= 2);
+  double bottleneck = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const int a = ranks[i];
+    const int b = ranks[(i + 1) % ranks.size()];
+    bottleneck = std::min(bottleneck, bandwidth(a, b));
+  }
+  return bottleneck;
+}
+
+Topology Topology::system_i() {
+  const int n = 8;
+  auto m = make_matrix(n, [](int, int) { return 184.0 * kGBps; });
+  return Topology("System I (8x A100-80G, full NVLink)", a100_80gb(), n,
+                  std::move(m), 5e-6);
+}
+
+Topology Topology::system_ii() {
+  const int n = 8;
+  auto m = make_matrix(n, [](int i, int j) {
+    const bool adjacent_pair = (i / 2 == j / 2);
+    return adjacent_pair ? 184.0 * kGBps : 15.0 * kGBps;
+  });
+  return Topology("System II (8x A100-80G, pairwise NVLink + PCIe)",
+                  a100_80gb(), n, std::move(m), 5e-6);
+}
+
+Topology Topology::system_iii(int num_nodes) {
+  const int per_node = 4;
+  const int n = num_nodes * per_node;
+  auto m = make_matrix(n, [per_node](int i, int j) {
+    const bool same_node = (i / per_node == j / per_node);
+    // NVLink intra-node; InfiniBand HDR 200 Gb/s = 25 GB/s across nodes.
+    return same_node ? 150.0 * kGBps : 25.0 * kGBps;
+  });
+  return Topology("System III (16x4 A100-40G, NVLink + IB HDR)", a100_40gb(),
+                  per_node, std::move(m), 1.5e-5);
+}
+
+Topology Topology::system_iv(int num_nodes) {
+  const int n = num_nodes;
+  // One P100 per node; every hop crosses the Aries dragonfly fabric.
+  auto m = make_matrix(n, [](int, int) { return 10.0 * kGBps; });
+  return Topology("System IV (64x1 P100-16G, Cray Aries)", p100_16gb(), 1,
+                  std::move(m), 2.0e-5);
+}
+
+Topology Topology::uniform(int num_devices, double bw, GpuModel gpu,
+                           double latency_s) {
+  auto m = make_matrix(num_devices, [bw](int, int) { return bw; });
+  return Topology("uniform", std::move(gpu), num_devices, std::move(m),
+                  latency_s);
+}
+
+}  // namespace ca::sim

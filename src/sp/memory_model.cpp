@@ -1,0 +1,69 @@
+#include "sp/memory_model.hpp"
+
+namespace ca::sp {
+
+namespace {
+/// 12 h^2 weights per Transformer layer (qkv + proj + two MLP matmuls).
+std::int64_t param_elems(const BertShape& s) {
+  return 12 * s.hidden * s.hidden * s.layers;
+}
+
+/// fp32 master + two Adam moments = 12 bytes per parameter element.
+std::int64_t optimizer_bytes(const BertShape& s, std::int64_t shard) {
+  return s.with_optimizer ? param_elems(s) / shard * 12 : 0;
+}
+}  // namespace
+
+std::int64_t bert_peak_sp(const BertShape& s, int p) {
+  const std::int64_t bsh = s.batch * s.seq * s.hidden;
+  const std::int64_t scores = s.batch * s.heads * s.seq * s.seq;
+  // params + grads replicated
+  const std::int64_t model = 2 * param_elems(s);
+  // all held activations shard by 1/p (sequence split), incl. scores;
+  // the ring keeps two extra K/V chunks in flight.
+  const std::int64_t acts = s.layers * (12 * bsh / p + scores / p) + 2 * bsh / p;
+  return (model + acts) * s.bytes_per_elem + optimizer_bytes(s, 1);
+}
+
+std::int64_t bert_peak_1d(const BertShape& s, int p) {
+  const std::int64_t bsh = s.batch * s.seq * s.hidden;
+  const std::int64_t scores = s.batch * s.heads * s.seq * s.seq;
+  const std::int64_t model = 2 * param_elems(s) / p;
+  // replicated block activations (input, both LN outputs, attention output,
+  // MLP output, and the backward all-reduce buffer: ~6 bsh) + sharded
+  // qkv/context/ffn intermediates + heads-sharded scores
+  const std::int64_t acts = s.layers * (6 * bsh + 8 * bsh / p + scores / p);
+  return (model + acts) * s.bytes_per_elem + optimizer_bytes(s, p);
+}
+
+std::int64_t max_batch(std::int64_t (*peak)(const BertShape&, int), BertShape s,
+                       int p, std::int64_t capacity) {
+  std::int64_t lo = 0, hi = 1;
+  s.batch = hi;
+  while (peak(s, p) <= capacity) {
+    lo = hi;
+    hi *= 2;
+    s.batch = hi;
+    if (hi > (std::int64_t{1} << 32)) break;
+  }
+  while (lo + 1 < hi) {
+    const std::int64_t mid = (lo + hi) / 2;
+    s.batch = mid;
+    (peak(s, p) <= capacity ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+std::int64_t max_seq(std::int64_t (*peak)(const BertShape&, int), BertShape s,
+                     int p, std::int64_t capacity, std::int64_t step) {
+  std::int64_t best = 0;
+  for (std::int64_t sq = step;; sq += step) {
+    s.seq = sq;
+    if (peak(s, p) > capacity) break;
+    best = sq;
+    if (sq > (std::int64_t{1} << 22)) break;
+  }
+  return best;
+}
+
+}  // namespace ca::sp

@@ -1,0 +1,34 @@
+#include "sp/ring.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ca::sp {
+
+namespace t = ca::tensor;
+
+t::Tensor ring_pass(collective::Backend& backend,
+                    const std::vector<int>& ring_ranks, int grank,
+                    const t::Tensor& buf) {
+  const int p = static_cast<int>(ring_ranks.size());
+  if (p == 1) return buf.clone();
+  const auto it = std::find(ring_ranks.begin(), ring_ranks.end(), grank);
+  assert(it != ring_ranks.end());
+  const int idx = static_cast<int>(it - ring_ranks.begin());
+  const int next = ring_ranks[static_cast<std::size_t>((idx + 1) % p)];
+  const int prev = ring_ranks[static_cast<std::size_t>((idx + p - 1) % p)];
+
+  t::Tensor incoming(buf.shape());
+  auto& send_ch = backend.channel(grank, next);
+  auto& recv_ch = backend.channel(prev, grank);
+  if (idx % 2 == 0) {
+    send_ch.send(buf.data());
+    recv_ch.recv(incoming.data());
+  } else {
+    recv_ch.recv(incoming.data());
+    send_ch.send(buf.data());
+  }
+  return incoming;
+}
+
+}  // namespace ca::sp

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "collective/backend.hpp"
+#include "tensor/ops.hpp"
+
+namespace ca::sp {
+
+/// One rotation step of a ring over `ring_ranks` (in order): send `buf` to
+/// the next rank, receive the neighbour's buffer from the previous rank.
+/// Deadlock-free with synchronous channels: even-indexed ranks send first,
+/// odd-indexed receive first.
+tensor::Tensor ring_pass(collective::Backend& backend,
+                         const std::vector<int>& ring_ranks, int grank,
+                         const tensor::Tensor& buf);
+
+}  // namespace ca::sp

@@ -1,0 +1,62 @@
+#include "sp/sim_bert.hpp"
+
+namespace ca::sp {
+
+SimBertSP::SimBertSP(const tp::Env& env, BertShape shape)
+    : env_(env),
+      shape_(shape),
+      p_(env.ctx->sequence_group(env.grank).size()) {}
+
+std::int64_t SimBertSP::peak_memory() const { return bert_peak_sp(shape_, p_); }
+
+bool SimBertSP::fits() const {
+  return peak_memory() <= env_.dev().gpu().memory_bytes;
+}
+
+void SimBertSP::train_step() {
+  auto& g = env_.ctx->sequence_group(env_.grank);
+  const auto& ring = g.ranks();
+  const int idx = g.index_of(env_.grank);
+  auto& backend = env_.ctx->backend();
+  const int next = ring[static_cast<std::size_t>((idx + 1) % p_)];
+  const int prev = ring[static_cast<std::size_t>((idx + p_ - 1) % p_)];
+
+  const std::int64_t be = shape_.bytes_per_elem;
+  const std::int64_t chunk = shape_.batch * (shape_.seq / p_) * shape_.hidden * be;
+  const std::int64_t layer_params = 12 * shape_.hidden * shape_.hidden * be;
+
+  // every rank runs the full model over 1/p of the tokens
+  const double lin_flops = 2.0 * 12.0 * shape_.hidden * shape_.hidden *
+                           shape_.batch * shape_.seq / p_;
+  const double attn_flops = 4.0 * static_cast<double>(shape_.batch) *
+                            shape_.seq * shape_.seq * shape_.hidden / p_;
+
+  auto ring_hop = [&](std::int64_t bytes) {
+    // the real implementation posts isend/irecv pairs (both directions move
+    // concurrently), so one rotation costs one transfer, not a rendezvous
+    auto& send_ch = backend.channel(env_.grank, next);
+    auto& recv_ch = backend.channel(prev, env_.grank);
+    (void)idx;
+    send_ch.send_async_bytes(bytes);
+    recv_ch.recv_bytes(bytes);
+  };
+
+  for (std::int64_t l = 0; l < shape_.layers; ++l) {
+    // forward: circulate K then V partials around the ring
+    env_.dev().compute_fp16(lin_flops + attn_flops);
+    if (p_ > 1) {
+      for (int hop = 1; hop < p_; ++hop) ring_hop(chunk);  // K
+      for (int hop = 1; hop < p_; ++hop) ring_hop(chunk);  // V
+    }
+    // backward: 2x compute; dK/dV partial sums circulate the reverse ring,
+    // then the replicated weights' gradients all-reduce
+    env_.dev().compute_fp16(2.0 * (lin_flops + attn_flops));
+    if (p_ > 1) {
+      for (int hop = 1; hop < p_; ++hop) ring_hop(chunk);  // dK
+      for (int hop = 1; hop < p_; ++hop) ring_hop(chunk);  // dV
+      g.account_all_reduce(env_.grank, layer_params);
+    }
+  }
+}
+
+}  // namespace ca::sp

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "sp/memory_model.hpp"
+#include "tp/env.hpp"
+
+namespace ca::sp {
+
+/// Cost-model execution of one sequence-parallel BERT training step (the
+/// Figure 13 throughput experiments): per layer, full-model FLOPs over the
+/// local sub-sequence, 2(p-1) ring hops circulating K/V partials, the
+/// reverse-ring gradient routing, and the data-parallel-style gradient
+/// all-reduce of the replicated weights.
+class SimBertSP {
+ public:
+  SimBertSP(const tp::Env& env, BertShape shape);
+
+  /// Account one forward+backward+grad-sync pass.
+  void train_step();
+
+  [[nodiscard]] std::int64_t peak_memory() const;
+  [[nodiscard]] bool fits() const;
+
+ private:
+  tp::Env env_;
+  BertShape shape_;
+  int p_;
+};
+
+}  // namespace ca::sp

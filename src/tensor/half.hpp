@@ -1,0 +1,82 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace ca::tensor {
+
+/// IEEE-754 binary16 ("fp16") stored as uint16. The cluster simulator and the
+/// ZeRO module use fp16 for parameter/gradient storage exactly as the paper's
+/// mixed-precision training does; arithmetic is done in fp32 after widening.
+struct Half {
+  std::uint16_t bits = 0;
+};
+
+/// Round-to-nearest-even fp32 -> fp16 conversion (handles subnormals,
+/// overflow to inf, and NaN payload truncation).
+inline Half float_to_half(float f) {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::int32_t exp = static_cast<std::int32_t>((x >> 23) & 0xFFu) - 127;
+  std::uint32_t mant = x & 0x7FFFFFu;
+
+  if (exp == 128) {  // inf / NaN
+    return Half{static_cast<std::uint16_t>(sign | 0x7C00u | (mant ? 0x200u : 0u))};
+  }
+  if (exp > 15) {  // overflow -> inf
+    return Half{static_cast<std::uint16_t>(sign | 0x7C00u)};
+  }
+  if (exp >= -14) {  // normal
+    std::uint32_t half_mant = mant >> 13;
+    const std::uint32_t rest = mant & 0x1FFFu;
+    // round to nearest even
+    if (rest > 0x1000u || (rest == 0x1000u && (half_mant & 1u))) ++half_mant;
+    // '+' (not '|') so a mantissa rounding overflow carries into the exponent.
+    const std::uint32_t bits =
+        sign + (static_cast<std::uint32_t>(exp + 15) << 10) + half_mant;
+    return Half{static_cast<std::uint16_t>(bits)};
+  }
+  if (exp >= -24) {  // subnormal
+    mant |= 0x800000u;
+    const int shift = -exp - 14 + 13;
+    std::uint32_t half_mant = mant >> shift;
+    const std::uint32_t rest = mant & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rest > halfway || (rest == halfway && (half_mant & 1u))) ++half_mant;
+    return Half{static_cast<std::uint16_t>(sign | half_mant)};
+  }
+  return Half{static_cast<std::uint16_t>(sign)};  // underflow -> signed zero
+}
+
+/// Exact fp16 -> fp32 widening.
+inline float half_to_float(Half h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h.bits & 0x8000u) << 16;
+  const std::uint32_t exp = (h.bits >> 10) & 0x1Fu;
+  std::uint32_t mant = h.bits & 0x3FFu;
+
+  std::uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // zero
+    } else {       // subnormal: normalize
+      int e = -1;
+      do {
+        ++e;
+        mant <<= 1;
+      } while ((mant & 0x400u) == 0);
+      out = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+            ((mant & 0x3FFu) << 13);
+    }
+  } else if (exp == 31) {  // inf / NaN
+    out = sign | 0x7F800000u | (mant << 13);
+  } else {
+    out = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(out);
+}
+
+/// Widen-convert back and forth: the value a tensor materialized in fp16
+/// storage would read back as.
+inline float fp16_round_trip(float f) { return half_to_float(float_to_half(f)); }
+
+}  // namespace ca::tensor

@@ -1,0 +1,613 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <random>
+
+namespace ca::tensor {
+
+namespace {
+
+/// Product of dims [0, dim) — the "outer" loop extent for axis ops.
+std::int64_t outer_size(const Shape& s, std::int64_t dim) {
+  std::int64_t o = 1;
+  for (std::int64_t i = 0; i < dim; ++i) o *= s.dim(i);
+  return o;
+}
+
+/// Product of dims (dim, ndim) — the "inner" contiguous block size.
+std::int64_t inner_size(const Shape& s, std::int64_t dim) {
+  std::int64_t in = 1;
+  for (std::int64_t i = dim + 1; i < static_cast<std::int64_t>(s.ndim()); ++i)
+    in *= s.dim(i);
+  return in;
+}
+
+std::int64_t normalize_dim(const Shape& s, std::int64_t dim) {
+  if (dim < 0) dim += static_cast<std::int64_t>(s.ndim());
+  assert(dim >= 0 && dim < static_cast<std::int64_t>(s.ndim()));
+  return dim;
+}
+
+}  // namespace
+
+// ---- creation ---------------------------------------------------------------
+
+Tensor zeros(Shape shape) { return Tensor(std::move(shape), 0.0f); }
+Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+
+Tensor arange(std::int64_t n) {
+  Tensor t(Shape{n});
+  auto d = t.data();
+  for (std::int64_t i = 0; i < n; ++i) d[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  return t;
+}
+
+Tensor randn(Shape shape, std::uint64_t seed, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  std::mt19937_64 gen(seed);
+  std::normal_distribution<float> dist(mean, stddev);
+  for (auto& v : t.data()) v = dist(gen);
+  return t;
+}
+
+Tensor uniform(Shape shape, std::uint64_t seed, float lo, float hi) {
+  Tensor t(std::move(shape));
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<float> dist(lo, hi);
+  for (auto& v : t.data()) v = dist(gen);
+  return t;
+}
+
+// ---- elementwise --------------------------------------------------------------
+
+namespace {
+template <class F>
+Tensor binary_op(const Tensor& a, const Tensor& b, F f) {
+  assert(a.shape() == b.shape());
+  Tensor out(a.shape());
+  auto pa = a.data(), pb = b.data();
+  auto po = out.data();
+  const std::size_t n = pa.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  return out;
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x + y; });
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x - y; });
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  Tensor out = a.clone();
+  for (auto& v : out.data()) v += s;
+  return out;
+}
+
+Tensor mul_scalar(const Tensor& a, float s) {
+  Tensor out = a.clone();
+  scale_(out, s);
+  return out;
+}
+
+void add_(Tensor& a, const Tensor& b) {
+  assert(a.shape().numel() == b.shape().numel());
+  auto pa = a.data();
+  auto pb = b.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < pa.size(); ++i) pa[i] += pb[i];
+}
+
+void axpy_(Tensor& a, float alpha, const Tensor& x) {
+  assert(a.numel() == x.numel());
+  auto pa = a.data();
+  auto px = x.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < pa.size(); ++i) pa[i] += alpha * px[i];
+}
+
+void scale_(Tensor& a, float s) {
+  for (auto& v : a.data()) v *= s;
+}
+
+Tensor add_bias(const Tensor& a, const Tensor& bias) {
+  Tensor out = a.clone();
+  add_bias_(out, bias);
+  return out;
+}
+
+void add_bias_(Tensor& a, const Tensor& bias) {
+  const std::int64_t n = a.dim(-1);
+  assert(bias.numel() == n);
+  auto pa = a.data();
+  auto pb = bias.data();
+  const std::int64_t rows = a.numel() / n;
+#pragma omp parallel for schedule(static)
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = pa.data() + r * n;
+    for (std::int64_t c = 0; c < n; ++c) row[c] += pb[static_cast<std::size_t>(c)];
+  }
+}
+
+// ---- matmul --------------------------------------------------------------------
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  assert(b.ndim() == 2);
+  const std::int64_t k = a.dim(-1);
+  assert(k == b.dim(0));
+  const std::int64_t n = b.dim(1);
+  const std::int64_t m = a.numel() / k;
+
+  auto out_shape = a.shape().with_dim(-1, n);
+  Tensor out(out_shape, 0.0f);
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* po = out.data().data();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* orow = po + i * n;
+    const float* arow = pa + i * k;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      const float* brow = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  // a: (k, m) possibly with leading dims collapsed into k; b: (k, n)
+  const std::int64_t m = a.dim(-1);
+  const std::int64_t k = a.numel() / m;
+  assert(b.numel() / b.dim(-1) == k);
+  const std::int64_t n = b.dim(-1);
+  Tensor out(Shape{m, n}, 0.0f);
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* po = out.data().data();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* orow = po + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[kk * m + i];
+      const float* brow = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  assert(b.ndim() == 2);
+  const std::int64_t k = a.dim(-1);
+  assert(k == b.dim(1));
+  const std::int64_t n = b.dim(0);
+  const std::int64_t m = a.numel() / k;
+  auto out_shape = a.shape().with_dim(-1, n);
+  Tensor out(out_shape, 0.0f);
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* po = out.data().data();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* orow = po + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      orow[j] = acc;
+    }
+  }
+  return out;
+}
+
+namespace {
+enum class BmmMode { NN, NT, TN };
+
+Tensor bmm_impl(const Tensor& a, const Tensor& b, BmmMode mode) {
+  assert(a.ndim() == 3 && b.ndim() == 3);
+  const std::int64_t batch = a.dim(0);
+  assert(batch == b.dim(0));
+  std::int64_t m = 0, n = 0, k = 0;
+  switch (mode) {
+    case BmmMode::NN:
+      m = a.dim(1), k = a.dim(2), n = b.dim(2);
+      assert(b.dim(1) == k);
+      break;
+    case BmmMode::NT:
+      m = a.dim(1), k = a.dim(2), n = b.dim(1);
+      assert(b.dim(2) == k);
+      break;
+    case BmmMode::TN:
+      m = a.dim(2), k = a.dim(1), n = b.dim(2);
+      assert(b.dim(1) == k);
+      break;
+  }
+  Tensor out(Shape{batch, m, n}, 0.0f);
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* po = out.data().data();
+  const std::int64_t a_sz = a.dim(1) * a.dim(2);
+  const std::int64_t b_sz = b.dim(1) * b.dim(2);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t bt = 0; bt < batch; ++bt) {
+    const float* A = pa + bt * a_sz;
+    const float* B = pb + bt * b_sz;
+    float* O = po + bt * m * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        float av = 0.0f;
+        switch (mode) {
+          case BmmMode::NN:
+          case BmmMode::NT:
+            av = A[i * k + kk];
+            break;
+          case BmmMode::TN:
+            av = A[kk * m + i];
+            break;
+        }
+        float* orow = O + i * n;
+        if (mode == BmmMode::NT) {
+          // B is (n, k): column kk of B^T is strided.
+          for (std::int64_t j = 0; j < n; ++j) orow[j] += av * B[j * k + kk];
+        } else {
+          const float* brow = B + kk * n;
+          for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+Tensor bmm(const Tensor& a, const Tensor& b) { return bmm_impl(a, b, BmmMode::NN); }
+Tensor bmm_nt(const Tensor& a, const Tensor& b) { return bmm_impl(a, b, BmmMode::NT); }
+Tensor bmm_tn(const Tensor& a, const Tensor& b) { return bmm_impl(a, b, BmmMode::TN); }
+
+Tensor transpose2d(const Tensor& a) {
+  assert(a.ndim() == 2);
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out(Shape{n, m});
+  auto pa = a.data();
+  auto po = out.data();
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j)
+      po[static_cast<std::size_t>(j * m + i)] = pa[static_cast<std::size_t>(i * n + j)];
+  return out;
+}
+
+// ---- reductions -----------------------------------------------------------------
+
+float sum(const Tensor& a) {
+  double acc = 0.0;
+  for (float v : a.data()) acc += v;
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float max_abs(const Tensor& a) {
+  float m = 0.0f;
+  for (float v : a.data()) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+Tensor sum_to_lastdim(const Tensor& a) {
+  const std::int64_t n = a.dim(-1);
+  const std::int64_t rows = a.numel() / n;
+  Tensor out(Shape{n}, 0.0f);
+  auto pa = a.data();
+  auto po = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = pa.data() + r * n;
+    for (std::int64_t c = 0; c < n; ++c) po[static_cast<std::size_t>(c)] += row[c];
+  }
+  return out;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& a) {
+  assert(a.ndim() == 2);
+  const std::int64_t rows = a.dim(0), cols = a.dim(1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  auto pa = a.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = pa.data() + r * cols;
+    out[static_cast<std::size_t>(r)] =
+        std::max_element(row, row + cols) - row;
+  }
+  return out;
+}
+
+// ---- nn kernels -------------------------------------------------------------------
+
+Tensor softmax_lastdim(const Tensor& a) {
+  const std::int64_t n = a.dim(-1);
+  const std::int64_t rows = a.numel() / n;
+  Tensor out(a.shape());
+  auto pa = a.data();
+  auto po = out.data();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* x = pa.data() + r * n;
+    float* y = po.data() + r * n;
+    float mx = x[0];
+    for (std::int64_t i = 1; i < n; ++i) mx = std::max(mx, x[i]);
+    float denom = 0.0f;
+    for (std::int64_t i = 0; i < n; ++i) {
+      y[i] = std::exp(x[i] - mx);
+      denom += y[i];
+    }
+    const float inv = 1.0f / denom;
+    for (std::int64_t i = 0; i < n; ++i) y[i] *= inv;
+  }
+  return out;
+}
+
+Tensor softmax_backward(const Tensor& y, const Tensor& dy) {
+  assert(y.shape() == dy.shape());
+  const std::int64_t n = y.dim(-1);
+  const std::int64_t rows = y.numel() / n;
+  Tensor dx(y.shape());
+  auto py = y.data();
+  auto pdy = dy.data();
+  auto pdx = dx.data();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* yr = py.data() + r * n;
+    const float* dyr = pdy.data() + r * n;
+    float* dxr = pdx.data() + r * n;
+    float dot = 0.0f;
+    for (std::int64_t i = 0; i < n; ++i) dot += yr[i] * dyr[i];
+    for (std::int64_t i = 0; i < n; ++i) dxr[i] = yr[i] * (dyr[i] - dot);
+  }
+  return dx;
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+}
+
+Tensor gelu(const Tensor& x) {
+  Tensor out(x.shape());
+  auto px = x.data();
+  auto po = out.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < px.size(); ++i) {
+    const float v = px[i];
+    po[i] = 0.5f * v * (1.0f + std::tanh(kGeluC * (v + 0.044715f * v * v * v)));
+  }
+  return out;
+}
+
+Tensor gelu_backward(const Tensor& x, const Tensor& dy) {
+  assert(x.shape() == dy.shape());
+  Tensor dx(x.shape());
+  auto px = x.data();
+  auto pdy = dy.data();
+  auto pdx = dx.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < px.size(); ++i) {
+    const float v = px[i];
+    const float u = kGeluC * (v + 0.044715f * v * v * v);
+    const float t = std::tanh(u);
+    const float du = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
+    const float grad = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+    pdx[i] = pdy[i] * grad;
+  }
+  return dx;
+}
+
+Tensor relu(const Tensor& x) {
+  Tensor out(x.shape());
+  auto px = x.data();
+  auto po = out.data();
+  for (std::size_t i = 0; i < px.size(); ++i) po[i] = px[i] > 0.0f ? px[i] : 0.0f;
+  return out;
+}
+
+Tensor relu_backward(const Tensor& x, const Tensor& dy) {
+  assert(x.shape() == dy.shape());
+  Tensor dx(x.shape());
+  auto px = x.data();
+  auto pdy = dy.data();
+  auto pdx = dx.data();
+  for (std::size_t i = 0; i < px.size(); ++i) pdx[i] = px[i] > 0.0f ? pdy[i] : 0.0f;
+  return dx;
+}
+
+Tensor layernorm_forward(const Tensor& x, const Tensor& gamma,
+                         const Tensor& beta, float eps, Tensor& mean,
+                         Tensor& rstd) {
+  const std::int64_t h = x.dim(-1);
+  assert(gamma.numel() == h && beta.numel() == h);
+  const std::int64_t rows = x.numel() / h;
+  mean = Tensor(Shape{rows});
+  rstd = Tensor(Shape{rows});
+  Tensor y(x.shape());
+  auto px = x.data();
+  auto pg = gamma.data();
+  auto pb = beta.data();
+  auto pm = mean.data();
+  auto pr = rstd.data();
+  auto py = y.data();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = px.data() + r * h;
+    float* yr = py.data() + r * h;
+    double mu = 0.0;
+    for (std::int64_t i = 0; i < h; ++i) mu += xr[i];
+    mu /= static_cast<double>(h);
+    double var = 0.0;
+    for (std::int64_t i = 0; i < h; ++i) {
+      const double d = xr[i] - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(h);
+    const float rs = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    pm[static_cast<std::size_t>(r)] = static_cast<float>(mu);
+    pr[static_cast<std::size_t>(r)] = rs;
+    for (std::int64_t i = 0; i < h; ++i)
+      yr[i] = (xr[i] - static_cast<float>(mu)) * rs * pg[static_cast<std::size_t>(i)] +
+              pb[static_cast<std::size_t>(i)];
+  }
+  return y;
+}
+
+Tensor layernorm_backward(const Tensor& x, const Tensor& dy,
+                          const Tensor& gamma, const Tensor& mean,
+                          const Tensor& rstd, Tensor& dgamma, Tensor& dbeta) {
+  const std::int64_t h = x.dim(-1);
+  const std::int64_t rows = x.numel() / h;
+  assert(dgamma.numel() == h && dbeta.numel() == h);
+  Tensor dx(x.shape());
+  auto px = x.data();
+  auto pdy = dy.data();
+  auto pg = gamma.data();
+  auto pm = mean.data();
+  auto pr = rstd.data();
+  auto pdx = dx.data();
+  auto pdg = dgamma.data();
+  auto pdb = dbeta.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = px.data() + r * h;
+    const float* dyr = pdy.data() + r * h;
+    float* dxr = pdx.data() + r * h;
+    const float mu = pm[static_cast<std::size_t>(r)];
+    const float rs = pr[static_cast<std::size_t>(r)];
+    // xhat = (x - mu) * rs ; dy_hat = dy * gamma
+    float sum_dyhat = 0.0f, sum_dyhat_xhat = 0.0f;
+    for (std::int64_t i = 0; i < h; ++i) {
+      const float xhat = (xr[i] - mu) * rs;
+      const float dyhat = dyr[i] * pg[static_cast<std::size_t>(i)];
+      sum_dyhat += dyhat;
+      sum_dyhat_xhat += dyhat * xhat;
+      pdg[static_cast<std::size_t>(i)] += dyr[i] * xhat;
+      pdb[static_cast<std::size_t>(i)] += dyr[i];
+    }
+    const float inv_h = 1.0f / static_cast<float>(h);
+    for (std::int64_t i = 0; i < h; ++i) {
+      const float xhat = (xr[i] - mu) * rs;
+      const float dyhat = dyr[i] * pg[static_cast<std::size_t>(i)];
+      dxr[i] = rs * (dyhat - inv_h * sum_dyhat - xhat * inv_h * sum_dyhat_xhat);
+    }
+  }
+  return dx;
+}
+
+float cross_entropy(const Tensor& logits, std::span<const std::int64_t> labels,
+                    Tensor& dlogits) {
+  assert(logits.ndim() == 2);
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  assert(static_cast<std::int64_t>(labels.size()) == n);
+  dlogits = softmax_lastdim(logits);
+  auto pd = dlogits.data();
+  auto pl = logits.data();
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t r = 0; r < n; ++r) {
+    const std::int64_t y = labels[static_cast<std::size_t>(r)];
+    assert(y >= 0 && y < c);
+    // log-softmax of the true class, recomputed stably from logits
+    const float* row = pl.data() + r * c;
+    float mx = row[0];
+    for (std::int64_t i = 1; i < c; ++i) mx = std::max(mx, row[i]);
+    double denom = 0.0;
+    for (std::int64_t i = 0; i < c; ++i) denom += std::exp(static_cast<double>(row[i] - mx));
+    loss -= static_cast<double>(row[y] - mx) - std::log(denom);
+    pd[static_cast<std::size_t>(r * c + y)] -= 1.0f;
+  }
+  scale_(dlogits, inv_n);
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+// ---- shape ops ------------------------------------------------------------------
+
+Tensor narrow(const Tensor& a, std::int64_t dim, std::int64_t start,
+              std::int64_t len) {
+  dim = normalize_dim(a.shape(), dim);
+  const std::int64_t extent = a.dim(dim);
+  assert(start >= 0 && len > 0 && start + len <= extent);
+  const std::int64_t outer = outer_size(a.shape(), dim);
+  const std::int64_t inner = inner_size(a.shape(), dim);
+  Tensor out(a.shape().with_dim(dim, len));
+  auto pa = a.data();
+  auto po = out.data();
+  for (std::int64_t o = 0; o < outer; ++o) {
+    const float* src = pa.data() + (o * extent + start) * inner;
+    float* dst = po.data() + o * len * inner;
+    std::copy(src, src + len * inner, dst);
+  }
+  return out;
+}
+
+Tensor chunk(const Tensor& a, std::int64_t dim, std::int64_t nchunks,
+             std::int64_t idx) {
+  dim = normalize_dim(a.shape(), dim);
+  const std::int64_t extent = a.dim(dim);
+  assert(extent % nchunks == 0);
+  const std::int64_t len = extent / nchunks;
+  return narrow(a, dim, idx * len, len);
+}
+
+Tensor cat(std::span<const Tensor> parts, std::int64_t dim) {
+  assert(!parts.empty());
+  dim = normalize_dim(parts[0].shape(), dim);
+  std::int64_t total = 0;
+  for (const auto& p : parts) total += p.dim(dim);
+  Tensor out(parts[0].shape().with_dim(dim, total));
+  const std::int64_t outer = outer_size(out.shape(), dim);
+  const std::int64_t inner = inner_size(out.shape(), dim);
+  auto po = out.data();
+  std::int64_t offset = 0;
+  for (const auto& p : parts) {
+    assert(p.shape().with_dim(dim, 0) == out.shape().with_dim(dim, 0));
+    const std::int64_t len = p.dim(dim);
+    auto pp = p.data();
+    for (std::int64_t o = 0; o < outer; ++o) {
+      const float* src = pp.data() + o * len * inner;
+      float* dst = po.data() + (o * total + offset) * inner;
+      std::copy(src, src + len * inner, dst);
+    }
+    offset += len;
+  }
+  return out;
+}
+
+// ---- comparison -----------------------------------------------------------------
+
+float max_diff(const Tensor& a, const Tensor& b) {
+  assert(a.numel() == b.numel());
+  auto pa = a.data();
+  auto pb = b.data();
+  float m = 0.0f;
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    m = std::max(m, std::fabs(pa[i] - pb[i]));
+  return m;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  if (a.shape() != b.shape()) return false;
+  auto pa = a.data();
+  auto pb = b.data();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const float tol = atol + rtol * std::fabs(pb[i]);
+    if (std::fabs(pa[i] - pb[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace ca::tensor

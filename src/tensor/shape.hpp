@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ca::tensor {
+
+/// Dense row-major shape. Dimensions are signed 64-bit to make size math
+/// (products, divisions by device-grid sides) overflow-safe for paper-scale
+/// models (10B+ parameters).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {}
+
+  /// Number of dimensions.
+  [[nodiscard]] std::size_t ndim() const { return dims_.size(); }
+
+  /// Extent of dimension `i`; negative `i` counts from the back.
+  [[nodiscard]] std::int64_t dim(std::int64_t i) const {
+    if (i < 0) i += static_cast<std::int64_t>(dims_.size());
+    return dims_.at(static_cast<std::size_t>(i));
+  }
+
+  /// Total number of elements (1 for a scalar shape).
+  [[nodiscard]] std::int64_t numel() const {
+    return std::accumulate(dims_.begin(), dims_.end(), std::int64_t{1},
+                           [](std::int64_t a, std::int64_t b) { return a * b; });
+  }
+
+  [[nodiscard]] const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  /// Row-major strides, in elements.
+  [[nodiscard]] std::vector<std::int64_t> strides() const {
+    std::vector<std::int64_t> s(dims_.size(), 1);
+    for (std::size_t i = dims_.size(); i-- > 1;) s[i - 1] = s[i] * dims_[i];
+    return s;
+  }
+
+  /// Shape with dimension `i` replaced by `extent`.
+  [[nodiscard]] Shape with_dim(std::int64_t i, std::int64_t extent) const {
+    auto d = dims_;
+    if (i < 0) i += static_cast<std::int64_t>(d.size());
+    d.at(static_cast<std::size_t>(i)) = extent;
+    return Shape(std::move(d));
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i) out += ", ";
+      out += std::to_string(dims_[i]);
+    }
+    return out + "]";
+  }
+
+  friend bool operator==(const Shape& a, const Shape& b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const Shape& s) {
+    return os << s.str();
+  }
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace ca::tensor

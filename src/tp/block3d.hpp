@@ -1,0 +1,107 @@
+#pragma once
+
+// Full Transformer block under 3D tensor parallelism. Layout conventions
+// follow Linear3D on the flattened (batch*seq, hidden) activation matrix,
+// with the row dimension chunked along BATCH (so every device sees full
+// sequences):
+//   X layout on (i,j,k): (batch/l, seq, hidden/l^2)     rows chunk i
+//   Y layout on (i,j,k): (batch/l^2, seq, hidden/l)     rows chunk i*l+k
+// The block's external interface is X layout on both sides; internal
+// sublayers alternate X->Y through the 3D linears and redistribute back with
+// convert_3d_y_to_x (exactly the alternation the Colossal-AI 3D layers use).
+// Requires batch % l^2 == 0, heads % l == 0, hidden % l^2 == 0.
+
+#include <cmath>
+
+#include "nn/layers.hpp"
+#include "tp/block_grid.hpp"
+#include "tp/linear3d.hpp"
+
+namespace ca::tp {
+
+/// Slice the X-layout block of a (batch, seq, hidden) activation.
+inline tensor::Tensor shard_tokens_3d(const tensor::Tensor& full, int l, int i,
+                                      int j, int k) {
+  auto batch_block = tensor::chunk(full, 0, l, i);
+  return tensor::chunk(batch_block, 2, l * l, k * l + j);
+}
+
+/// LayerNorm on X-layout blocks: hidden is split l^2 ways over (k, j), so
+/// the per-token statistics reduce over both the j and k cube groups;
+/// gamma/beta hold the local hidden slice and their grads reduce over the
+/// i group (the ranks sharing a hidden slice across row chunks).
+class LayerNorm3D : public nn::Module {
+ public:
+  LayerNorm3D(const Env& env, std::string name, std::int64_t hidden,
+              float eps = 1e-5f)
+      : env_(env),
+        hidden_(hidden),
+        local_h_(hidden / (env.ctx->grid_side() * env.ctx->grid_side())),
+        eps_(eps),
+        gamma_(name + ".gamma", tensor::ones(tensor::Shape{local_h_})),
+        beta_(name + ".beta", tensor::zeros(tensor::Shape{local_h_})) {}
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& dy) override;
+  void collect_parameters(std::vector<nn::Parameter*>& out) override {
+    out.push_back(&gamma_);
+    out.push_back(&beta_);
+  }
+
+ private:
+  Env env_;
+  std::int64_t hidden_, local_h_;
+  float eps_;
+  nn::Parameter gamma_, beta_;
+  tensor::Tensor saved_x_, saved_mean_, saved_rstd_;
+};
+
+/// Multi-head attention on 3D blocks: SUMMA-free 3D QKV projection with
+/// per-chunk-permuted columns, local attention over the Y-layout batch
+/// slice, Y->X redistribution, 3D output projection, and a final Y->X
+/// redistribution so the residual stream stays in X layout.
+class Attention3D : public nn::Module {
+ public:
+  Attention3D(const Env& env, std::string name, std::int64_t hidden,
+              std::int64_t heads, std::uint64_t seed);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& dy) override;
+  void collect_parameters(std::vector<nn::Parameter*>& out) override {
+    qkv_.collect_parameters(out);
+    proj_.collect_parameters(out);
+  }
+
+ private:
+  Env env_;
+  std::int64_t hidden_, heads_;
+  int l_;
+  std::int64_t local_heads_, head_dim_;
+  Linear3D qkv_;
+  Linear3D proj_;
+  tensor::Tensor saved_q_, saved_k_, saved_v_, saved_attn_;
+  std::int64_t saved_batch_ = 0, saved_seq_ = 0;
+};
+
+/// Pre-LN Transformer block with X-layout residual stream.
+class TransformerBlock3D : public nn::Module {
+ public:
+  TransformerBlock3D(const Env& env, std::string name, std::int64_t hidden,
+                     std::int64_t heads, std::int64_t ffn_hidden,
+                     std::uint64_t seed);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& dy) override;
+  void collect_parameters(std::vector<nn::Parameter*>& out) override;
+
+ private:
+  Env env_;
+  LayerNorm3D ln1_;
+  Attention3D attn_;
+  LayerNorm3D ln2_;
+  Linear3D fc1_;
+  nn::Gelu act_;
+  Linear3D fc2_;
+};
+
+}  // namespace ca::tp

@@ -1,0 +1,92 @@
+#include "tp/comm_helpers.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace ca::tp {
+
+namespace t = ca::tensor;
+
+t::Tensor all_gather_lastdim(collective::Group& g, int grank,
+                             const t::Tensor& local) {
+  const int p = g.size();
+  if (p == 1) return local.clone();
+  const std::int64_t w = local.dim(-1);
+  t::Tensor flat(t::Shape{static_cast<std::int64_t>(p) * local.numel()});
+  g.all_gather(grank, local.data(), flat.data());
+  // flat = [rank0 block | rank1 block | ...]; stitch columns per row.
+  const std::int64_t rows = local.numel() / w;
+  t::Tensor out(local.shape().with_dim(-1, w * p));
+  auto pf = flat.data();
+  auto po = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (int m = 0; m < p; ++m) {
+      const float* src = pf.data() + m * rows * w + r * w;
+      float* dst = po.data() + r * w * p + m * w;
+      std::copy(src, src + w, dst);
+    }
+  }
+  return out;
+}
+
+t::Tensor all_gather_dim0(collective::Group& g, int grank,
+                          const t::Tensor& local) {
+  const int p = g.size();
+  if (p == 1) return local.clone();
+  t::Tensor out(local.shape().with_dim(0, local.dim(0) * p));
+  g.all_gather(grank, local.data(), out.data());
+  return out;
+}
+
+t::Tensor my_chunk_lastdim(collective::Group& g, int grank,
+                           const t::Tensor& full) {
+  return t::chunk(full, -1, g.size(), g.index_of(grank));
+}
+
+t::Tensor my_chunk_dim0(collective::Group& g, int grank,
+                        const t::Tensor& full) {
+  return t::chunk(full, 0, g.size(), g.index_of(grank));
+}
+
+t::Tensor reduce_scatter_lastdim(collective::Group& g, int grank,
+                                 const t::Tensor& full) {
+  const int p = g.size();
+  if (p == 1) return full.clone();
+  assert(full.dim(-1) % p == 0);
+  const std::int64_t w = full.dim(-1) / p;
+  const std::int64_t rows = full.numel() / (w * p);
+  // reorder to chunk-major: [chunk m][row r][w]
+  t::Tensor reordered(t::Shape{full.numel()});
+  auto pf = full.data();
+  auto pr = reordered.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (int m = 0; m < p; ++m) {
+      const float* src = pf.data() + r * w * p + m * w;
+      float* dst = pr.data() + m * rows * w + r * w;
+      std::copy(src, src + w, dst);
+    }
+  }
+  t::Tensor out(full.shape().with_dim(-1, w));
+  g.reduce_scatter(grank, reordered.data(), out.data());
+  return out;
+}
+
+t::Tensor reduce_scatter_dim0(collective::Group& g, int grank,
+                              const t::Tensor& full) {
+  const int p = g.size();
+  if (p == 1) return full.clone();
+  assert(full.dim(0) % p == 0);
+  t::Tensor out(full.shape().with_dim(0, full.dim(0) / p));
+  g.reduce_scatter(grank, full.data(), out.data());
+  return out;
+}
+
+void all_reduce(collective::Group& g, int grank, t::Tensor& t) {
+  g.all_reduce(grank, t.data());
+}
+
+void broadcast(collective::Group& g, int grank, t::Tensor& t, int root) {
+  g.broadcast(grank, t.data(), root);
+}
+
+}  // namespace ca::tp

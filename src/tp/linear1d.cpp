@@ -1,0 +1,314 @@
+#include "tp/linear1d.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ca::tp {
+
+namespace t = ca::tensor;
+
+namespace {
+constexpr std::int64_t kF = 4;  // bytes per fp32 element
+
+/// Full-then-slice initialization so shards recompose the serial weight.
+t::Tensor shard_cols(const t::Tensor& full, int p, int idx) {
+  return t::chunk(full, -1, p, idx);
+}
+t::Tensor shard_rows(const t::Tensor& full, int p, int idx) {
+  return t::chunk(full, 0, p, idx);
+}
+}  // namespace
+
+// ---- Linear1DCol ---------------------------------------------------------------
+
+Linear1DCol::Linear1DCol(const Env& env, std::string name, std::int64_t in,
+                         std::int64_t out, std::uint64_t seed,
+                         bool gather_output, bool with_bias)
+    : env_(env),
+      in_(in),
+      out_(out),
+      gather_output_(gather_output),
+      with_bias_(with_bias),
+      weight_(name + ".weight",
+              shard_cols(t::randn(t::Shape{in, out}, seed, 0.0f,
+                                  1.0f / std::sqrt(static_cast<float>(in))),
+                         env.ctx->tensor_group(env.grank).size(),
+                         env.ctx->tensor_group(env.grank).index_of(env.grank))),
+      bias_(name + ".bias",
+            t::zeros(t::Shape{out / env.ctx->tensor_group(env.grank).size()})),
+      acts_(env.mem()) {
+  assert(out % env_.ctx->tensor_group(env_.grank).size() == 0);
+  param_bytes_ = 2 * (weight_.numel() + (with_bias_ ? bias_.numel() : 0)) * kF;
+  env_.mem().alloc(param_bytes_);  // parameters + gradients
+}
+
+Linear1DCol::~Linear1DCol() { env_.mem().free(param_bytes_); }
+
+t::Tensor Linear1DCol::forward(const t::Tensor& x) {
+  auto& g = env_.ctx->tensor_group(env_.grank);
+  saved_x_ = x;
+  acts_.hold(x.numel() * kF);
+  auto y = t::matmul(x, weight_.value);
+  if (with_bias_) t::add_bias_(y, bias_.value);
+  env_.dev().compute_fp32(2.0 * static_cast<double>(x.numel()) *
+                          static_cast<double>(weight_.value.dim(1)));
+  acts_.hold(y.numel() * kF);
+  if (!gather_output_) return y;
+  auto full = all_gather_lastdim(g, env_.grank, y);
+  acts_.hold(full.numel() * kF);
+  return full;
+}
+
+t::Tensor Linear1DCol::backward(const t::Tensor& dy_in) {
+  auto& g = env_.ctx->tensor_group(env_.grank);
+  t::Tensor dy = gather_output_ ? my_chunk_lastdim(g, env_.grank, dy_in) : dy_in;
+  t::add_(weight_.grad, t::matmul_tn(saved_x_, dy));
+  if (with_bias_) t::add_(bias_.grad, t::sum_to_lastdim(dy));
+  auto dx = t::matmul_nt(dy, weight_.value);
+  env_.dev().compute_fp32(4.0 * static_cast<double>(saved_x_.numel()) *
+                          static_cast<double>(weight_.value.dim(1)));
+  // input was replicated and each rank used only its weight columns, so the
+  // input gradient is a partial sum — the 1D backward all-reduce.
+  all_reduce(g, env_.grank, dx);
+  acts_.release_all();
+  return dx;
+}
+
+void Linear1DCol::collect_parameters(std::vector<nn::Parameter*>& out) {
+  out.push_back(&weight_);
+  if (with_bias_) out.push_back(&bias_);
+}
+
+// ---- Linear1DRow ---------------------------------------------------------------
+
+Linear1DRow::Linear1DRow(const Env& env, std::string name, std::int64_t in,
+                         std::int64_t out, std::uint64_t seed, bool with_bias)
+    : env_(env),
+      in_(in),
+      out_(out),
+      with_bias_(with_bias),
+      weight_(name + ".weight",
+              shard_rows(t::randn(t::Shape{in, out}, seed, 0.0f,
+                                  1.0f / std::sqrt(static_cast<float>(in))),
+                         env.ctx->tensor_group(env.grank).size(),
+                         env.ctx->tensor_group(env.grank).index_of(env.grank))),
+      bias_(name + ".bias", t::zeros(t::Shape{out})),
+      acts_(env.mem()) {
+  assert(in % env_.ctx->tensor_group(env_.grank).size() == 0);
+  param_bytes_ = 2 * (weight_.numel() + (with_bias_ ? bias_.numel() : 0)) * kF;
+  env_.mem().alloc(param_bytes_);
+}
+
+Linear1DRow::~Linear1DRow() { env_.mem().free(param_bytes_); }
+
+t::Tensor Linear1DRow::forward(const t::Tensor& x) {
+  auto& g = env_.ctx->tensor_group(env_.grank);
+  assert(x.dim(-1) == weight_.value.dim(0));
+  saved_x_ = x;
+  acts_.hold(x.numel() * kF);
+  auto y = t::matmul(x, weight_.value);
+  env_.dev().compute_fp32(2.0 * static_cast<double>(x.numel()) *
+                          static_cast<double>(out_));
+  all_reduce(g, env_.grank, y);  // the Figure 4 forward all-reduce
+  if (with_bias_) t::add_bias_(y, bias_.value);
+  acts_.hold(y.numel() * kF);
+  return y;
+}
+
+t::Tensor Linear1DRow::backward(const t::Tensor& dy) {
+  t::add_(weight_.grad, t::matmul_tn(saved_x_, dy));
+  // bias is replicated and dy is identical on every rank, so each rank's
+  // local db already equals the full gradient.
+  if (with_bias_) t::add_(bias_.grad, t::sum_to_lastdim(dy));
+  auto dx = t::matmul_nt(dy, weight_.value);  // (…, in/p), no comm needed
+  env_.dev().compute_fp32(4.0 * static_cast<double>(saved_x_.numel()) *
+                          static_cast<double>(out_));
+  acts_.release_all();
+  return dx;
+}
+
+void Linear1DRow::collect_parameters(std::vector<nn::Parameter*>& out) {
+  out.push_back(&weight_);
+  if (with_bias_) out.push_back(&bias_);
+}
+
+// ---- Mlp1D ----------------------------------------------------------------------
+
+Mlp1D::Mlp1D(const Env& env, std::string name, std::int64_t hidden,
+             std::int64_t ffn_hidden, std::uint64_t seed)
+    : fc1_(env, name + ".fc1", hidden, ffn_hidden, seed, /*gather_output=*/false),
+      fc2_(env, name + ".fc2", ffn_hidden, hidden, seed + 1) {}
+
+t::Tensor Mlp1D::forward(const t::Tensor& x) {
+  return fc2_.forward(act_.forward(fc1_.forward(x)));
+}
+
+t::Tensor Mlp1D::backward(const t::Tensor& dy) {
+  return fc1_.backward(act_.backward(fc2_.backward(dy)));
+}
+
+void Mlp1D::collect_parameters(std::vector<nn::Parameter*>& out) {
+  fc1_.collect_parameters(out);
+  fc2_.collect_parameters(out);
+}
+
+// ---- Attention1D -----------------------------------------------------------------
+
+Attention1D::Attention1D(const Env& env, std::string name, std::int64_t hidden,
+                         std::int64_t heads, std::uint64_t seed)
+    : env_(env),
+      hidden_(hidden),
+      heads_(heads),
+      local_heads_(0),
+      head_dim_(hidden / heads),
+      local_hidden_(0),
+      qkv_weight_(name + ".qkv.weight", t::Tensor()),
+      qkv_bias_(name + ".qkv.bias", t::Tensor()),
+      proj_weight_(name + ".proj.weight", t::Tensor()),
+      proj_bias_(name + ".proj.bias", t::Tensor()),
+      acts_(env.mem()) {
+  auto& g = env_.ctx->tensor_group(env_.grank);
+  const int p = g.size();
+  const int idx = g.index_of(env_.grank);
+  assert(hidden % heads == 0);
+  assert(heads % p == 0 &&
+         "1D attention requires #heads divisible by the parallel size");
+  local_heads_ = heads / p;
+  local_hidden_ = hidden / p;
+
+  // Serial-compatible shards: q/k/v column slices idx of the fused weight.
+  auto full = t::randn(t::Shape{hidden, 3 * hidden}, seed, 0.0f,
+                       1.0f / std::sqrt(static_cast<float>(hidden)));
+  auto q = t::chunk(t::narrow(full, -1, 0, hidden), -1, p, idx);
+  auto k = t::chunk(t::narrow(full, -1, hidden, hidden), -1, p, idx);
+  auto v = t::chunk(t::narrow(full, -1, 2 * hidden, hidden), -1, p, idx);
+  qkv_weight_.value = t::cat(std::vector<t::Tensor>{q, k, v}, -1);
+  qkv_weight_.grad = t::zeros(qkv_weight_.value.shape());
+  qkv_bias_.value = t::zeros(t::Shape{3 * local_hidden_});
+  qkv_bias_.grad = t::zeros(t::Shape{3 * local_hidden_});
+
+  auto proj_full = t::randn(t::Shape{hidden, hidden}, seed + 1, 0.0f,
+                            1.0f / std::sqrt(static_cast<float>(hidden)));
+  proj_weight_.value = t::chunk(proj_full, 0, p, idx);  // (h/p, h)
+  proj_weight_.grad = t::zeros(proj_weight_.value.shape());
+  proj_bias_.value = t::zeros(t::Shape{hidden});
+  proj_bias_.grad = t::zeros(t::Shape{hidden});
+
+  param_bytes_ = 2 * (qkv_weight_.numel() + qkv_bias_.numel() +
+                      proj_weight_.numel() + proj_bias_.numel()) * kF;
+  env_.mem().alloc(param_bytes_);
+}
+
+Attention1D::~Attention1D() { env_.mem().free(param_bytes_); }
+
+t::Tensor Attention1D::forward(const t::Tensor& x) {
+  auto& g = env_.ctx->tensor_group(env_.grank);
+  assert(x.ndim() == 3 && x.dim(2) == hidden_);
+  const std::int64_t b = x.dim(0), s = x.dim(1);
+  saved_batch_ = b;
+  saved_seq_ = s;
+  saved_x_ = x;
+  acts_.hold(x.numel() * kF);
+
+  auto qkv = t::matmul(x, qkv_weight_.value);  // (b, s, 3*h/p)
+  t::add_bias_(qkv, qkv_bias_.value);
+  auto q = t::chunk(qkv, -1, 3, 0);
+  auto k = t::chunk(qkv, -1, 3, 1);
+  auto v = t::chunk(qkv, -1, 3, 2);
+  saved_q_ = nn::split_heads(q, local_heads_);  // (b*lh, s, d)
+  saved_k_ = nn::split_heads(k, local_heads_);
+  saved_v_ = nn::split_heads(v, local_heads_);
+  acts_.hold(3 * saved_q_.numel() * kF);
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  auto scores = t::bmm_nt(saved_q_, saved_k_);
+  t::scale_(scores, scale);
+  saved_attn_ = t::softmax_lastdim(scores);
+  acts_.hold(saved_attn_.numel() * kF);
+  saved_ctx_ = t::bmm(saved_attn_, saved_v_);        // (b*lh, s, d)
+  auto merged = nn::merge_heads(saved_ctx_, local_heads_);  // (b, s, h/p)
+
+  const double flops = 2.0 * static_cast<double>(b) * s * hidden_ *
+                           (3.0 * local_hidden_ + local_hidden_) +
+                       4.0 * static_cast<double>(b) * local_heads_ * s * s * head_dim_;
+  env_.dev().compute_fp32(flops);
+
+  auto y = t::matmul(merged, proj_weight_.value);  // (b, s, h) partial
+  all_reduce(g, env_.grank, y);
+  t::add_bias_(y, proj_bias_.value);
+  acts_.hold(y.numel() * kF);
+  return y;
+}
+
+t::Tensor Attention1D::backward(const t::Tensor& dy) {
+  auto& g = env_.ctx->tensor_group(env_.grank);
+  // proj (row-parallel): dmerged = dy proj_w^T ; dproj_w = merged^T dy
+  auto merged = nn::merge_heads(saved_ctx_, local_heads_);
+  t::add_(proj_weight_.grad, t::matmul_tn(merged, dy));
+  t::add_(proj_bias_.grad, t::sum_to_lastdim(dy));
+  auto dmerged = t::matmul_nt(dy, proj_weight_.value);  // (b, s, h/p)
+  auto dctx = nn::split_heads(dmerged, local_heads_);
+
+  auto dattn = t::bmm_nt(dctx, saved_v_);
+  auto dv = t::bmm_tn(saved_attn_, dctx);
+  auto dscores = t::softmax_backward(saved_attn_, dattn);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  t::scale_(dscores, scale);
+  auto dq = t::bmm(dscores, saved_k_);
+  auto dk = t::bmm_tn(dscores, saved_q_);
+
+  auto dqkv = t::cat(
+      std::vector<t::Tensor>{nn::merge_heads(dq, local_heads_),
+                             nn::merge_heads(dk, local_heads_),
+                             nn::merge_heads(dv, local_heads_)},
+      -1);  // (b, s, 3h/p)
+
+  t::add_(qkv_weight_.grad, t::matmul_tn(saved_x_, dqkv));
+  t::add_(qkv_bias_.grad, t::sum_to_lastdim(dqkv));
+  auto dx = t::matmul_nt(dqkv, qkv_weight_.value);  // partial over q/k/v cols
+  const double flops = 4.0 * static_cast<double>(saved_x_.numel()) *
+                           (4.0 * local_hidden_) +
+                       8.0 * static_cast<double>(saved_batch_) * local_heads_ *
+                           saved_seq_ * saved_seq_ * head_dim_;
+  env_.dev().compute_fp32(flops);
+  all_reduce(g, env_.grank, dx);  // the 1D backward all-reduce
+  acts_.release_all();
+  return dx;
+}
+
+void Attention1D::collect_parameters(std::vector<nn::Parameter*>& out) {
+  out.push_back(&qkv_weight_);
+  out.push_back(&qkv_bias_);
+  out.push_back(&proj_weight_);
+  out.push_back(&proj_bias_);
+}
+
+// ---- TransformerBlock1D -----------------------------------------------------------
+
+TransformerBlock1D::TransformerBlock1D(const Env& env, std::string name,
+                                       std::int64_t hidden, std::int64_t heads,
+                                       std::int64_t ffn_hidden,
+                                       std::uint64_t seed)
+    : ln1_(name + ".ln1", hidden),
+      attn_(env, name + ".attn", hidden, heads, seed),
+      ln2_(name + ".ln2", hidden),
+      mlp_(env, name + ".mlp", hidden, ffn_hidden, seed + 100) {}
+
+t::Tensor TransformerBlock1D::forward(const t::Tensor& x) {
+  auto h = t::add(x, attn_.forward(ln1_.forward(x)));
+  return t::add(h, mlp_.forward(ln2_.forward(h)));
+}
+
+t::Tensor TransformerBlock1D::backward(const t::Tensor& dy) {
+  auto dh = t::add(dy, ln2_.backward(mlp_.backward(dy)));
+  return t::add(dh, ln1_.backward(attn_.backward(dh)));
+}
+
+void TransformerBlock1D::collect_parameters(std::vector<nn::Parameter*>& out) {
+  ln1_.collect_parameters(out);
+  attn_.collect_parameters(out);
+  ln2_.collect_parameters(out);
+  mlp_.collect_parameters(out);
+}
+
+}  // namespace ca::tp

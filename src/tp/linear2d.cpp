@@ -1,0 +1,159 @@
+#include "tp/linear2d.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ca::tp {
+
+namespace t = ca::tensor;
+
+namespace {
+constexpr std::int64_t kF = 4;
+}
+
+Linear2D::Linear2D(const Env& env, std::string name, std::int64_t in,
+                   std::int64_t out, std::uint64_t seed, bool with_bias)
+    : Linear2D(env, std::move(name),
+               t::randn(t::Shape{in, out}, seed, 0.0f,
+                        1.0f / std::sqrt(static_cast<float>(in))),
+               with_bias) {}
+
+Linear2D::Linear2D(const Env& env, std::string name,
+                   const t::Tensor& full_weight, bool with_bias)
+    : env_(env),
+      in_(full_weight.dim(0)),
+      out_(full_weight.dim(1)),
+      with_bias_(with_bias),
+      q_(env.ctx->grid_side()),
+      r_(env.ctx->row_coord(env.grank)),
+      c_(env.ctx->col_coord(env.grank)),
+      weight_(name + ".weight", t::Tensor()),
+      bias_(name + ".bias", t::Tensor()),
+      acts_(env.mem()) {
+  assert(in_ % q_ == 0 && out_ % q_ == 0);
+  weight_.value = t::chunk(t::chunk(full_weight, 0, q_, r_), 1, q_, c_);
+  weight_.grad = t::zeros(weight_.value.shape());
+  bias_.value = t::zeros(t::Shape{out_ / q_});
+  bias_.grad = t::zeros(t::Shape{out_ / q_});
+  param_bytes_ = 2 * (weight_.numel() + (with_bias_ ? bias_.numel() : 0)) * kF;
+  env_.mem().alloc(param_bytes_);
+}
+
+Linear2D::~Linear2D() { env_.mem().free(param_bytes_); }
+
+t::Tensor Linear2D::shard_activation(const t::Tensor& full, int q, int r,
+                                     int c) {
+  assert(full.ndim() == 2);
+  return t::chunk(t::chunk(full, 0, q, r), 1, q, c);
+}
+
+t::Tensor Linear2D::unshard_activation(std::span<const t::Tensor> blocks,
+                                       int q) {
+  std::vector<t::Tensor> rows;
+  rows.reserve(static_cast<std::size_t>(q));
+  for (int r = 0; r < q; ++r) {
+    std::vector<t::Tensor> cols(blocks.begin() + r * q,
+                                blocks.begin() + (r + 1) * q);
+    rows.push_back(t::cat(cols, 1));
+  }
+  return t::cat(rows, 0);
+}
+
+t::Tensor Linear2D::forward(const t::Tensor& x) {
+  auto& row = env_.ctx->row_group(env_.grank);
+  auto& col = env_.ctx->col_group(env_.grank);
+  assert(x.dim(-1) == in_ / q_);
+  saved_x_ = x;
+  acts_.hold(x.numel() * kF);
+
+  auto y = t::zeros(x.shape().with_dim(-1, out_ / q_));
+  // SUMMA: Y(r,c) = sum_t X(r,t) W(t,c)
+  for (int step = 0; step < q_; ++step) {
+    sim::ScopedAlloc tmp_a(env_.mem(), x.numel() * kF);
+    sim::ScopedAlloc tmp_b(env_.mem(), weight_.numel() * kF);
+    t::Tensor a = (c_ == step) ? saved_x_.clone() : t::zeros(x.shape());
+    broadcast(row, env_.grank, a, step);
+    t::Tensor b =
+        (r_ == step) ? weight_.value.clone() : t::zeros(weight_.value.shape());
+    broadcast(col, env_.grank, b, step);
+    t::add_(y, t::matmul(a, b));
+    env_.dev().compute_fp32(2.0 * static_cast<double>(a.numel()) *
+                            static_cast<double>(b.dim(1)));
+  }
+  if (with_bias_) t::add_bias_(y, bias_.value);
+  acts_.hold(y.numel() * kF);
+  return y;
+}
+
+t::Tensor Linear2D::backward(const t::Tensor& dy) {
+  auto& row = env_.ctx->row_group(env_.grank);
+  auto& col = env_.ctx->col_group(env_.grank);
+  assert(dy.dim(-1) == out_ / q_);
+
+  if (with_bias_) {
+    // db(c) = sum over all row blocks; local rows first, then column reduce.
+    auto db = t::sum_to_lastdim(dy);
+    all_reduce(col, env_.grank, db);
+    t::add_(bias_.grad, db);
+  }
+
+  // dX(r, t) = sum_c dY(r, c) W(t, c)^T : broadcast W(t, c) down the column,
+  // multiply locally, reduce across the row to the rank in column t.
+  auto dx = t::zeros(saved_x_.shape());
+  for (int step = 0; step < q_; ++step) {
+    sim::ScopedAlloc tmp_b(env_.mem(), weight_.numel() * kF);
+    sim::ScopedAlloc tmp_p(env_.mem(), saved_x_.numel() * kF);
+    t::Tensor w_tc =
+        (r_ == step) ? weight_.value.clone() : t::zeros(weight_.value.shape());
+    broadcast(col, env_.grank, w_tc, step);
+    auto partial = t::matmul_nt(dy, w_tc);  // (rows/q, in/q)
+    env_.dev().compute_fp32(2.0 * static_cast<double>(dy.numel()) *
+                            static_cast<double>(w_tc.dim(0)));
+    row.reduce(env_.grank, partial.data(), step);
+    if (c_ == step) dx = partial;
+  }
+
+  // dW(t, c) = sum_r X(r, t)^T dY(r, c) : broadcast X(r, t) along the row,
+  // multiply locally, reduce down the column to the rank in row t.
+  for (int step = 0; step < q_; ++step) {
+    sim::ScopedAlloc tmp_a(env_.mem(), saved_x_.numel() * kF);
+    sim::ScopedAlloc tmp_p(env_.mem(), weight_.numel() * kF);
+    t::Tensor x_rt = (c_ == step) ? saved_x_.clone() : t::zeros(saved_x_.shape());
+    broadcast(row, env_.grank, x_rt, step);
+    auto partial = t::matmul_tn(x_rt, dy);  // (in/q, out/q)
+    env_.dev().compute_fp32(2.0 * static_cast<double>(x_rt.numel()) *
+                            static_cast<double>(dy.dim(-1)));
+    col.reduce(env_.grank, partial.data(), step);
+    if (r_ == step) t::add_(weight_.grad, partial);
+  }
+
+  acts_.release_all();
+  return dx;
+}
+
+void Linear2D::collect_parameters(std::vector<nn::Parameter*>& out) {
+  out.push_back(&weight_);
+  if (with_bias_) out.push_back(&bias_);
+}
+
+// ---- Mlp2D ----------------------------------------------------------------------
+
+Mlp2D::Mlp2D(const Env& env, std::string name, std::int64_t hidden,
+             std::int64_t ffn_hidden, std::uint64_t seed)
+    : fc1_(env, name + ".fc1", hidden, ffn_hidden, seed),
+      fc2_(env, name + ".fc2", ffn_hidden, hidden, seed + 1) {}
+
+t::Tensor Mlp2D::forward(const t::Tensor& x) {
+  return fc2_.forward(act_.forward(fc1_.forward(x)));
+}
+
+t::Tensor Mlp2D::backward(const t::Tensor& dy) {
+  return fc1_.backward(act_.backward(fc2_.backward(dy)));
+}
+
+void Mlp2D::collect_parameters(std::vector<nn::Parameter*>& out) {
+  fc1_.collect_parameters(out);
+  fc2_.collect_parameters(out);
+}
+
+}  // namespace ca::tp

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <string>
+
+#include "nn/layers.hpp"
+#include "tp/comm_helpers.hpp"
+#include "tp/env.hpp"
+
+namespace ca::tp {
+
+/// 2D tensor-parallel linear layer using the SUMMA algorithm (Xu et al.,
+/// "An Efficient 2D Method for Training Super-Large Deep Learning Models").
+///
+/// The q*q grid (row r, column c) partitions *everything* — input, weight,
+/// and output — which is exactly the memory advantage over 1D the paper's
+/// Figure 8 measures:
+///   X block (r, c): (rows/q, in/q)      [rows = collapsed leading dims]
+///   W block (r, c): (in/q, out/q)
+///   Y block (r, c): (rows/q, out/q)
+/// Forward runs q SUMMA steps, broadcasting X blocks along rows and W blocks
+/// along columns. Backward runs two more SUMMA passes (dX and dW) built from
+/// broadcasts + reductions, giving the 3(j-1)(S_X + S_W) volume of Table 1.
+class Linear2D : public nn::Module {
+ public:
+  Linear2D(const Env& env, std::string name, std::int64_t in, std::int64_t out,
+           std::uint64_t seed, bool with_bias = true);
+  /// Construct from an explicit full weight (every rank passes the same
+  /// tensor and keeps its block) — used by the fused-QKV attention layers
+  /// whose column layout is not a plain chunk of a seeded weight.
+  Linear2D(const Env& env, std::string name, const tensor::Tensor& full_weight,
+           bool with_bias = true);
+  ~Linear2D() override;
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& dy) override;
+  void collect_parameters(std::vector<nn::Parameter*>& out) override;
+
+  [[nodiscard]] nn::Parameter& weight() { return weight_; }
+  [[nodiscard]] nn::Parameter* bias() { return with_bias_ ? &bias_ : nullptr; }
+
+  /// Slice the (r, c) block of a full 2-d activation for this layout.
+  static tensor::Tensor shard_activation(const tensor::Tensor& full, int q,
+                                         int r, int c);
+  /// Inverse: assemble a full matrix from all q*q blocks (test helper);
+  /// blocks are indexed blocks[r * q + c].
+  static tensor::Tensor unshard_activation(std::span<const tensor::Tensor> blocks,
+                                           int q);
+
+ private:
+  Env env_;
+  std::int64_t in_, out_;
+  bool with_bias_;
+  int q_, r_, c_;
+  nn::Parameter weight_;  // (in/q, out/q), block (r, c)
+  nn::Parameter bias_;    // (out/q), block c (replicated along rows)
+  tensor::Tensor saved_x_;
+  ActivationTracker acts_;
+  std::int64_t param_bytes_ = 0;
+};
+
+/// 2D-parallel MLP: Linear2D -> GELU -> Linear2D. GELU is local because
+/// activations are fully partitioned.
+class Mlp2D : public nn::Module {
+ public:
+  Mlp2D(const Env& env, std::string name, std::int64_t hidden,
+        std::int64_t ffn_hidden, std::uint64_t seed);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& dy) override;
+  void collect_parameters(std::vector<nn::Parameter*>& out) override;
+
+ private:
+  Linear2D fc1_;
+  nn::Gelu act_;
+  Linear2D fc2_;
+};
+
+}  // namespace ca::tp

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <string>
+
+#include "nn/layers.hpp"
+#include "tp/comm_helpers.hpp"
+#include "tp/env.hpp"
+
+namespace ca::tp {
+
+/// 2.5D tensor-parallel linear (Wang et al., "2.5-dimensional distributed
+/// model training"): d stacked SUMMA grids of k*k devices. The input batch is
+/// split into d slabs, one per depth layer, and each layer runs SUMMA over
+/// its slab — that divides the activation communication by d (Table 1:
+/// 3(k-1)(S_X/d + S_W)). With depth == 1 this degenerates to plain 2D.
+///
+/// Weight storage is fully partitioned over all p = d*k^2 devices (each
+/// depth layer holds a 1/d row-slab of its grid block) and the block is
+/// all-gathered over the depth group on use, then released — the
+/// gather-use-free pattern that gives 2.5D its memory advantage over 1D in
+/// the paper's Figure 8 while weight *traffic* still counts S_W per SUMMA
+/// pass.
+///
+/// Local layout for device (depth dd, row r, col c):
+///   X slab:  (rows/(d*k), in/k)       — batch slab dd, SUMMA row r, col c
+///   W slab:  (in/(k*d), out/k)        — row-slab dd of grid block (r, c)
+///   Y slab:  (rows/(d*k), out/k)
+class Linear2p5D : public nn::Module {
+ public:
+  Linear2p5D(const Env& env, std::string name, std::int64_t in,
+             std::int64_t out, std::uint64_t seed, bool with_bias = true);
+  /// Construct from an explicit full weight (see Linear2D).
+  Linear2p5D(const Env& env, std::string name,
+             const tensor::Tensor& full_weight, bool with_bias = true);
+  ~Linear2p5D() override;
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& dy) override;
+  void collect_parameters(std::vector<nn::Parameter*>& out) override;
+
+  [[nodiscard]] nn::Parameter& weight() { return weight_; }
+
+  /// Slice the (dd, r, c) activation block out of a full 2-d matrix.
+  static tensor::Tensor shard_activation(const tensor::Tensor& full, int q,
+                                         int depth, int dd, int r, int c);
+
+ private:
+  /// Gather this rank's full (in/k, out/k) grid block over the depth group.
+  tensor::Tensor gather_weight_block();
+
+  Env env_;
+  std::int64_t in_, out_;
+  bool with_bias_;
+  int q_, d_, r_, c_, dd_;
+  nn::Parameter weight_;  // (in/(k*d), out/k): depth slab of block (r, c)
+  nn::Parameter bias_;    // (out/k), block c (replicated along rows and depth)
+  tensor::Tensor saved_x_;
+  ActivationTracker acts_;
+  std::int64_t param_bytes_ = 0;
+};
+
+/// 2.5D-parallel MLP.
+class Mlp2p5D : public nn::Module {
+ public:
+  Mlp2p5D(const Env& env, std::string name, std::int64_t hidden,
+          std::int64_t ffn_hidden, std::uint64_t seed);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+  tensor::Tensor backward(const tensor::Tensor& dy) override;
+  void collect_parameters(std::vector<nn::Parameter*>& out) override;
+
+ private:
+  Linear2p5D fc1_;
+  nn::Gelu act_;
+  Linear2p5D fc2_;
+};
+
+}  // namespace ca::tp

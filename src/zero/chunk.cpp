@@ -1,0 +1,102 @@
+#include "zero/chunk.hpp"
+
+#include <cassert>
+
+namespace ca::zero {
+
+ChunkManager::ChunkManager(const tp::Env& env, std::int64_t chunk_bytes,
+                           Placement initial)
+    : env_(env), chunk_bytes_(chunk_bytes), initial_(initial) {
+  assert(chunk_bytes_ > 0);
+}
+
+ChunkManager::~ChunkManager() {
+  for (const Chunk& c : chunks_) tracker(c.placement).free(c.capacity_bytes);
+}
+
+sim::MemoryTracker& ChunkManager::tracker(Placement p) {
+  switch (p) {
+    case Placement::kDevice: return env_.mem();
+    case Placement::kHost: return env_.ctx->backend().cluster().host_mem();
+    case Placement::kNvme: return env_.ctx->backend().cluster().nvme_mem();
+  }
+  return env_.mem();
+}
+
+int ChunkManager::open_chunk(std::int64_t capacity) {
+  Chunk c;
+  c.capacity_bytes = capacity;
+  c.placement = initial_;
+  tracker(initial_).alloc(capacity);
+  chunks_.push_back(c);
+  return static_cast<int>(chunks_.size()) - 1;
+}
+
+std::size_t ChunkManager::append(std::string name, std::int64_t bytes) {
+  int id;
+  if (bytes > chunk_bytes_) {
+    id = open_chunk(bytes);  // oversized tensor: dedicated chunk
+  } else if (chunks_.empty() || chunks_.back().free_bytes() < bytes ||
+             chunks_.back().capacity_bytes > chunk_bytes_) {
+    id = open_chunk(chunk_bytes_);
+  } else {
+    id = static_cast<int>(chunks_.size()) - 1;
+  }
+  Chunk& c = chunks_[static_cast<std::size_t>(id)];
+  entries_.push_back(ChunkEntry{std::move(name), bytes, id, c.used_bytes});
+  c.used_bytes += bytes;
+  return entries_.size() - 1;
+}
+
+void ChunkManager::move_to(int chunk_id, Placement target) {
+  Chunk& c = chunks_.at(static_cast<std::size_t>(chunk_id));
+  if (c.placement == target) return;
+  const Placement source = c.placement;
+  tracker(target).alloc(c.capacity_bytes);
+  tracker(source).free(c.capacity_bytes);
+  c.placement = target;
+  // per-transfer setup latency (cudaMemcpy launch + pinned staging) plus the
+  // streaming time — the fixed cost is exactly why PatrickStar batches small
+  // tensors into chunks instead of copying them one by one. Moves touching
+  // the NVMe tier stream at the (much lower) NVMe bandwidth.
+  const auto& topo = env_.ctx->backend().cluster().topology();
+  const bool nvme = source == Placement::kNvme || target == Placement::kNvme;
+  const double bw = nvme ? topo.nvme_bandwidth() : topo.host_link_bandwidth();
+  const double t = kMoveLatency + static_cast<double>(c.capacity_bytes) / bw;
+  env_.dev().advance_clock(t);
+  move_seconds_ += t;
+}
+
+void ChunkManager::reuse_as_grads(int chunk_id) {
+  Chunk& c = chunks_.at(static_cast<std::size_t>(chunk_id));
+  assert(!c.holds_grads && "chunk already reused for gradients");
+  c.holds_grads = true;  // same storage, zero new bytes — Figure 6
+}
+
+void ChunkManager::reuse_as_params(int chunk_id) {
+  Chunk& c = chunks_.at(static_cast<std::size_t>(chunk_id));
+  c.holds_grads = false;
+}
+
+std::int64_t ChunkManager::device_bytes() const {
+  std::int64_t total = 0;
+  for (const Chunk& c : chunks_)
+    if (c.placement == Placement::kDevice) total += c.capacity_bytes;
+  return total;
+}
+
+std::int64_t ChunkManager::host_bytes() const {
+  std::int64_t total = 0;
+  for (const Chunk& c : chunks_)
+    if (c.placement == Placement::kHost) total += c.capacity_bytes;
+  return total;
+}
+
+std::int64_t ChunkManager::nvme_bytes() const {
+  std::int64_t total = 0;
+  for (const Chunk& c : chunks_)
+    if (c.placement == Placement::kNvme) total += c.capacity_bytes;
+  return total;
+}
+
+}  // namespace ca::zero

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tp/env.hpp"
+
+namespace ca::zero {
+
+/// Where a chunk's storage currently lives. The paper's heterogeneous
+/// training moves tensors "from GPU to CPU or NVMe disks when not in use";
+/// the NVMe tier is vast but an order of magnitude slower than the
+/// host-staging link.
+enum class Placement { kDevice, kHost, kNvme };
+
+/// One fixed-capacity slab of contiguous tensor storage (PatrickStar's chunk
+/// abstraction, integrated per Section 3.2): parameters are packed into
+/// chunks so host<->device traffic moves large contiguous blocks, improving
+/// bandwidth utilization over per-tensor copies.
+struct Chunk {
+  std::int64_t capacity_bytes = 0;
+  std::int64_t used_bytes = 0;
+  Placement placement = Placement::kHost;
+  /// Figure 6 storage reuse: after backward consumes the fp16 parameters,
+  /// the same storage holds the fp16 gradients.
+  bool holds_grads = false;
+
+  [[nodiscard]] std::int64_t free_bytes() const {
+    return capacity_bytes - used_bytes;
+  }
+};
+
+/// Entry recording where a tensor lives inside the chunk pool.
+struct ChunkEntry {
+  std::string name;
+  std::int64_t bytes = 0;
+  int chunk_id = -1;
+  std::int64_t offset = 0;
+};
+
+/// Packs tensors into chunks append-only (PatrickStar's layout), tracks
+/// placement against the device/host MemoryTrackers, and charges the
+/// simulated clock for every host<->device move at the staging-link
+/// bandwidth. The chunk is the granularity of all offloading decisions.
+class ChunkManager {
+ public:
+  /// Fixed setup cost of one host<->device transfer (seconds).
+  static constexpr double kMoveLatency = 2.0e-5;
+
+  /// `chunk_bytes` is the fixed chunk capacity. Allocation is accounted on
+  /// the environment's device/host trackers immediately.
+  ChunkManager(const tp::Env& env, std::int64_t chunk_bytes,
+               Placement initial = Placement::kDevice);
+  ~ChunkManager();
+
+  ChunkManager(const ChunkManager&) = delete;
+  ChunkManager& operator=(const ChunkManager&) = delete;
+
+  /// Append a tensor; opens a new chunk when the current one is full.
+  /// Tensors larger than the chunk capacity get a dedicated oversized chunk.
+  /// Returns the entry index.
+  std::size_t append(std::string name, std::int64_t bytes);
+
+  [[nodiscard]] std::size_t num_chunks() const { return chunks_.size(); }
+  [[nodiscard]] const Chunk& chunk(int id) const {
+    return chunks_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] const ChunkEntry& entry(std::size_t i) const {
+    return entries_.at(i);
+  }
+
+  /// Move a chunk between pools; frees/allocates on the trackers and
+  /// advances this device's clock by bytes / host-link-bandwidth.
+  void move_to(int chunk_id, Placement target);
+
+  /// Ensure the chunk is device-resident (move if needed).
+  void fetch(int chunk_id) { move_to(chunk_id, Placement::kDevice); }
+
+  /// Figure 6: mark the chunk's fp16 storage as reused for gradients —
+  /// no allocation happens, the flag flips.
+  void reuse_as_grads(int chunk_id);
+  /// Flip back to parameter storage after the optimizer consumed the grads.
+  void reuse_as_params(int chunk_id);
+
+  [[nodiscard]] std::int64_t device_bytes() const;
+  [[nodiscard]] std::int64_t host_bytes() const;
+  [[nodiscard]] std::int64_t nvme_bytes() const;
+  /// Total clock time spent moving chunks (seconds).
+  [[nodiscard]] double move_seconds() const { return move_seconds_; }
+
+ private:
+  tp::Env env_;
+  std::int64_t chunk_bytes_;
+  Placement initial_;
+  std::vector<Chunk> chunks_;
+  std::vector<ChunkEntry> entries_;
+  double move_seconds_ = 0.0;
+
+  sim::MemoryTracker& tracker(Placement p);
+  int open_chunk(std::int64_t capacity);
+};
+
+}  // namespace ca::zero

@@ -1,0 +1,50 @@
+#include "zero/hybrid_adam.hpp"
+
+namespace ca::zero {
+
+HybridAdam::HybridAdam(const tp::Env& env, std::vector<nn::Parameter*> params,
+                       Hyper hyper, std::int64_t reserve_bytes)
+    : Adam(std::move(params), hyper), env_(env) {
+  auto& host = env_.ctx->backend().cluster().host_mem();
+  on_gpu_.reserve(params_.size());
+  for (nn::Parameter* p : params_) {
+    const std::int64_t bytes = p->numel() * kStateBytesPerElem;
+    const bool fits = env_.mem().available() >= bytes + reserve_bytes;
+    if (fits) {
+      env_.mem().alloc(bytes);
+      gpu_bytes_ += bytes;
+      gpu_elems_ += p->numel();
+    } else {
+      host.alloc(bytes);
+      cpu_bytes_ += bytes;
+      cpu_elems_ += p->numel();
+    }
+    on_gpu_.push_back(fits);
+  }
+}
+
+HybridAdam::~HybridAdam() {
+  env_.mem().free(gpu_bytes_);
+  env_.ctx->backend().cluster().host_mem().free(cpu_bytes_);
+}
+
+double HybridAdam::gpu_fraction() const {
+  const std::int64_t total = gpu_elems_ + cpu_elems_;
+  return total == 0 ? 1.0
+                    : static_cast<double>(gpu_elems_) /
+                          static_cast<double>(total);
+}
+
+void HybridAdam::step() {
+  Adam::step();  // the math is placement-independent
+  // time: each side updates its elements at its rate; host-updated
+  // parameters stream their fresh fp32 values back over the staging link.
+  const double gpu_t = static_cast<double>(gpu_elems_) / kGpuElemsPerSec;
+  const double cpu_t = static_cast<double>(cpu_elems_) / kCpuElemsPerSec;
+  const double xfer =
+      static_cast<double>(cpu_elems_ * 4) /
+      env_.ctx->backend().cluster().topology().host_link_bandwidth();
+  env_.dev().advance_clock(gpu_t + cpu_t + xfer);
+}
+
+}  // namespace ca::zero

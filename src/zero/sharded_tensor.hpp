@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "collective/group.hpp"
+#include "tensor/ops.hpp"
+
+namespace ca::zero {
+
+/// Lifecycle state of a sharded tensor (Section 3.2: "customizable sharding
+/// strategies and life-cycle hooks for easy modification of the training
+/// workflow").
+enum class TensorState {
+  kHold,     ///< only the local shard is materialized
+  kCompute,  ///< gathered: the full tensor is materialized on this rank
+};
+
+/// Decides which flat-index range each rank owns. The default partitions
+/// evenly with the remainder spread over the first ranks, but the interface
+/// is open — the paper's extensibility story.
+class ShardingStrategy {
+ public:
+  virtual ~ShardingStrategy() = default;
+
+  struct Range {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    [[nodiscard]] std::int64_t size() const { return end - begin; }
+  };
+
+  [[nodiscard]] virtual Range shard_range(std::int64_t numel, int rank,
+                                          int world) const;
+};
+
+/// Observer hooks fired on every lifecycle transition; users plug these in
+/// to trace, prefetch, or account placement decisions.
+struct LifecycleHooks {
+  std::function<void(const std::string& name, TensorState from,
+                     TensorState to)>
+      on_state_change;
+};
+
+/// The unified sharded-tensor interface: a tensor whose full value is
+/// logically (numel) elements but physically only this rank's shard, unless
+/// gathered into kCompute state. Gather/release drive real all-gather
+/// traffic on the owning process group; ZeRO-3 parameter sharding and the
+/// chunk manager are built on this.
+class ShardedTensor {
+ public:
+  /// Shard `full` over `group`; every member constructs with the same full
+  /// content (e.g. from a shared seed) and keeps only its shard.
+  ShardedTensor(std::string name, const tensor::Tensor& full,
+                collective::Group& group, int grank,
+                const ShardingStrategy& strategy, LifecycleHooks hooks = {});
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] TensorState state() const { return state_; }
+  [[nodiscard]] std::int64_t full_numel() const { return full_numel_; }
+  [[nodiscard]] const tensor::Shape& full_shape() const { return full_shape_; }
+
+  /// This rank's shard (always materialized).
+  [[nodiscard]] tensor::Tensor& shard() { return shard_; }
+  [[nodiscard]] ShardingStrategy::Range range() const { return range_; }
+
+  /// Transition to kCompute: all-gather the shards; returns the full tensor.
+  /// SPMD — every group member must call it together.
+  tensor::Tensor& gather();
+
+  /// Transition back to kHold: write my range of `full` (if given) back into
+  /// the shard and drop the gathered buffer.
+  void release(const tensor::Tensor* updated_full = nullptr);
+
+ private:
+  void fire(TensorState to);
+
+  std::string name_;
+  collective::Group& group_;
+  int grank_;
+  tensor::Shape full_shape_;
+  std::int64_t full_numel_;
+  ShardingStrategy::Range range_;
+  std::int64_t padded_shard_;  // equal shard size used on the wire
+  tensor::Tensor shard_;
+  tensor::Tensor gathered_;
+  TensorState state_ = TensorState::kHold;
+  LifecycleHooks hooks_;
+};
+
+}  // namespace ca::zero

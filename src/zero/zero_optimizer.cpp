@@ -1,0 +1,152 @@
+#include "zero/zero_optimizer.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ca::zero {
+
+namespace t = ca::tensor;
+
+ZeroOptimizer::ZeroOptimizer(const tp::Env& env, collective::Group& group,
+                             std::vector<nn::Parameter*> params,
+                             optim::Adam::Hyper hyper, int stage,
+                             bool average_grads)
+    : env_(env),
+      group_(group),
+      params_(std::move(params)),
+      hyper_(hyper),
+      stage_(stage),
+      average_(average_grads) {
+  assert(stage_ >= 1 && stage_ <= 3);
+  const int world = group_.size();
+  const int idx = group_.index_of(env_.grank);
+  shards_.reserve(params_.size());
+  for (nn::Parameter* p : params_) {
+    ParamShard s;
+    s.padded = (p->numel() + world - 1) / world;
+    // master shard = my slice of the initial full value
+    s.master = t::Tensor(t::Shape{s.padded}, 0.0f);
+    const std::int64_t begin = idx * s.padded;
+    const std::int64_t end = std::min(p->numel(), begin + s.padded);
+    auto src = p->value.data();
+    auto dst = s.master.data();
+    for (std::int64_t i = begin; i < end; ++i)
+      dst[static_cast<std::size_t>(i - begin)] = src[static_cast<std::size_t>(i)];
+    s.m = t::Tensor(t::Shape{s.padded}, 0.0f);
+    s.v = t::Tensor(t::Shape{s.padded}, 0.0f);
+    if (stage_ == 3) {
+      s.sharded = std::make_unique<ShardedTensor>(p->name, p->value, group_,
+                                                  env_.grank, strategy_);
+      // full value lives only in kCompute state; keep a 0-element handle so
+      // accidental use before gather_params() trips an assert.
+      p->value = t::Tensor(t::Shape{0});
+      p->grad = t::Tensor(t::Shape{0});
+    }
+    shards_.push_back(std::move(s));
+  }
+}
+
+void ZeroOptimizer::gather_params() {
+  if (stage_ != 3) return;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    params_[i]->value = shards_[i].sharded->gather().clone();
+    params_[i]->grad = t::Tensor(shards_[i].sharded->full_shape(), 0.0f);
+    shards_[i].sharded->release();  // the wire buffer itself is not kept
+  }
+}
+
+void ZeroOptimizer::release_params() {
+  if (stage_ != 3) return;
+  for (nn::Parameter* p : params_) {
+    p->value = t::Tensor(t::Shape{0});
+    p->grad = t::Tensor(t::Shape{0});
+  }
+}
+
+void ZeroOptimizer::adam_update(ParamShard& s, const t::Tensor& grad_shard) {
+  auto pm = s.m.data();
+  auto pv = s.v.data();
+  auto pw = s.master.data();
+  auto pg = grad_shard.data();
+  const float b1 = hyper_.beta1, b2 = hyper_.beta2;
+  const float bc1 = 1.0f - std::pow(b1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+  const float avg = average_ ? 1.0f / static_cast<float>(group_.size()) : 1.0f;
+  for (std::size_t i = 0; i < pw.size(); ++i) {
+    float g = pg[i] * avg;
+    if (hyper_.weight_decay != 0.0f && !hyper_.decoupled) g += hyper_.weight_decay * pw[i];
+    pm[i] = b1 * pm[i] + (1.0f - b1) * g;
+    pv[i] = b2 * pv[i] + (1.0f - b2) * g * g;
+    float update = (pm[i] / bc1) / (std::sqrt(pv[i] / bc2) + hyper_.eps);
+    if (hyper_.weight_decay != 0.0f && hyper_.decoupled) update += hyper_.weight_decay * pw[i];
+    pw[i] -= hyper_.lr * update;
+  }
+}
+
+void ZeroOptimizer::step() {
+  ++t_;
+  const int world = group_.size();
+  const int idx = group_.index_of(env_.grank);
+
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    nn::Parameter& p = *params_[i];
+    ParamShard& s = shards_[i];
+    assert(p.grad.numel() == (stage_ == 3 ? s.sharded->full_numel() : p.numel()));
+
+    // 1. gradient synchronization
+    t::Tensor grad_shard(t::Shape{s.padded}, 0.0f);
+    if (stage_ == 1) {
+      group_.all_reduce(env_.grank, p.grad.data());
+      const std::int64_t begin = idx * s.padded;
+      const std::int64_t end = std::min(p.grad.numel(), begin + s.padded);
+      auto src = p.grad.data();
+      auto dst = grad_shard.data();
+      for (std::int64_t e = begin; e < end; ++e)
+        dst[static_cast<std::size_t>(e - begin)] = src[static_cast<std::size_t>(e)];
+    } else {
+      // pad the full gradient onto the wire and reduce-scatter
+      t::Tensor wire(t::Shape{s.padded * world}, 0.0f);
+      auto src = p.grad.data();
+      auto dst = wire.data();
+      std::copy(src.begin(), src.end(), dst.begin());
+      group_.reduce_scatter(env_.grank, wire.data(), grad_shard.data());
+    }
+
+    // 2. local shard update
+    adam_update(s, grad_shard);
+
+    // 3. parameter reconstruction
+    if (stage_ != 3) {
+      t::Tensor wire(t::Shape{s.padded * world});
+      group_.all_gather(env_.grank, s.master.data(), wire.data());
+      auto src = wire.data();
+      auto dst = p.value.data();
+      std::copy(src.begin(), src.begin() + p.numel(), dst.begin());
+    } else {
+      // write back into the shard; the next gather_params() serves fresh values
+      auto dst = s.sharded->shard().data();
+      auto src = s.master.data();
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+}
+
+std::int64_t ZeroOptimizer::model_state_bytes() const {
+  std::int64_t full = 0, shard = 0;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    full += stage_ == 3 ? shards_[i].sharded->full_numel()
+                        : params_[i]->numel();
+    shard += shards_[i].padded;
+  }
+  const std::int64_t kF = 4;
+  switch (stage_) {
+    case 1:  // full params + full grads + sharded master/moments
+      return (2 * full + 3 * shard) * kF;
+    case 2:  // full params + sharded grads + sharded master/moments
+      return (full + 4 * shard) * kF;
+    default:  // everything sharded
+      return 5 * shard * kF;
+  }
+}
+
+}  // namespace ca::zero

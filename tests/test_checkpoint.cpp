@@ -1,0 +1,73 @@
+// Activation checkpointing: gradient equivalence with the plain module, the
+// recompute count, and the memory trade.
+
+#include <gtest/gtest.h>
+
+#include "nn/checkpoint.hpp"
+#include "nn/layers.hpp"
+
+namespace t = ca::tensor;
+namespace nn = ca::nn;
+
+TEST(Checkpoint, GradientsMatchPlainModule) {
+  auto x = t::randn(t::Shape{4, 8}, 1);
+  auto dy = t::randn(t::Shape{4, 8}, 2);
+
+  nn::Mlp plain("m", 8, 16, 3);
+  auto y_ref = plain.forward(x);
+  auto dx_ref = plain.backward(dy);
+
+  nn::Checkpoint ckpt(std::make_unique<nn::Mlp>("m", 8, 16, 3));
+  auto y = ckpt.forward(x);
+  auto dx = ckpt.backward(dy);
+
+  EXPECT_EQ(t::max_diff(y, y_ref), 0.0f);
+  EXPECT_EQ(t::max_diff(dx, dx_ref), 0.0f);
+  // parameter grads identical too
+  auto pr = plain.parameters();
+  auto pc = ckpt.parameters();
+  ASSERT_EQ(pr.size(), pc.size());
+  for (std::size_t i = 0; i < pr.size(); ++i)
+    EXPECT_EQ(t::max_diff(pr[i]->grad, pc[i]->grad), 0.0f);
+}
+
+TEST(Checkpoint, RunsForwardTwicePerStep) {
+  nn::Checkpoint ckpt(std::make_unique<nn::Linear>("l", 4, 4, 5));
+  auto x = t::randn(t::Shape{2, 4}, 6);
+  ckpt.forward(x);
+  EXPECT_EQ(ckpt.forward_runs(), 1);
+  ckpt.backward(t::ones(t::Shape{2, 4}));
+  EXPECT_EQ(ckpt.forward_runs(), 2);
+}
+
+TEST(Checkpoint, HoldsOnlyInputBetweenPhases) {
+  nn::Checkpoint ckpt(std::make_unique<nn::Mlp>("m", 8, 64, 7));
+  auto x = t::randn(t::Shape{2, 8}, 8);
+  EXPECT_EQ(ckpt.held_bytes(), 0);
+  ckpt.forward(x);
+  EXPECT_EQ(ckpt.held_bytes(), x.numel() * 4);  // not the 64-wide hidden
+  ckpt.backward(t::ones(t::Shape{2, 8}));
+  EXPECT_EQ(ckpt.held_bytes(), 0);
+}
+
+TEST(Checkpoint, ComposableInSequential) {
+  auto x = t::randn(t::Shape{3, 8}, 9);
+  auto dy = t::randn(t::Shape{3, 8}, 10);
+
+  nn::Sequential plain;
+  plain.add(std::make_unique<nn::Mlp>("a", 8, 16, 11));
+  plain.add(std::make_unique<nn::Mlp>("b", 8, 16, 12));
+  auto dx_ref = [&] {
+    plain.forward(x);
+    return plain.backward(dy);
+  }();
+
+  nn::Sequential ck;
+  ck.add(std::make_unique<nn::Checkpoint>(std::make_unique<nn::Mlp>("a", 8, 16, 11)));
+  ck.add(std::make_unique<nn::Checkpoint>(std::make_unique<nn::Mlp>("b", 8, 16, 12)));
+  ck.forward(x);
+  auto dx = ck.backward(dy);
+
+  EXPECT_EQ(t::max_diff(dx, dx_ref), 0.0f);
+  EXPECT_EQ(ck.num_params(), plain.num_params());
+}

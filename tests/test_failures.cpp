@@ -1,0 +1,153 @@
+// Failure injection: out-of-memory behaviour (the mechanism behind every
+// "increase until OOM" range test in the paper), error propagation out of the
+// SPMD region, and edge-case schedules.
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.hpp"
+#include "pp/pipeline.hpp"
+#include "tp/linear1d.hpp"
+#include "zero/chunk.hpp"
+
+namespace t = ca::tensor;
+namespace nn = ca::nn;
+namespace core = ca::core;
+namespace sim = ca::sim;
+namespace col = ca::collective;
+namespace tp = ca::tp;
+namespace pp = ca::pp;
+
+namespace {
+
+/// A cluster of tiny-memory devices for functional OOM tests.
+sim::Topology tiny_gpus(int n, std::int64_t capacity_bytes) {
+  sim::GpuModel gpu{"tiny", capacity_bytes, 1e12, 1e12};
+  return sim::Topology::uniform(n, 100e9, gpu);
+}
+
+}  // namespace
+
+TEST(FailureInjection, FunctionalRangeTestHitsOom) {
+  // the paper's protocol: grow the batch until out-of-memory; the simulated
+  // devices enforce their capacity and the OOM surfaces as sim::OomError.
+  const int p = 2;
+  const std::int64_t h = 32;
+  std::int64_t max_batch = 0;
+  for (std::int64_t b = 8;; b += 8) {
+    sim::Cluster cluster(tiny_gpus(p, 64 << 10));  // 64 KiB devices
+    col::Backend backend(cluster);
+    core::Config cfg;
+    cfg.tensor_parallel_size = p;
+    cfg.tensor_mode = core::TpMode::k1d;
+    core::ParallelContext ctx(backend, cfg);
+    try {
+      auto x = t::randn(t::Shape{b, h}, 1);
+      cluster.run([&](int g) {
+        tp::Env env{&ctx, g};
+        tp::Linear1DCol l1(env, "a", h, h, 2, false);
+        tp::Linear1DRow l2(env, "b", h, h, 3);
+        auto y = l2.forward(l1.forward(x));
+        (void)y;
+        l1.backward(l2.backward(x));
+      });
+      max_batch = b;
+    } catch (const sim::OomError& e) {
+      EXPECT_GT(e.requested(), 0);
+      EXPECT_LE(e.in_use(), e.capacity());
+      break;
+    }
+    ASSERT_LT(b, 10000) << "never hit OOM";
+  }
+  EXPECT_GT(max_batch, 0);  // something fit before the wall
+}
+
+TEST(FailureInjection, OomDoesNotCorruptTracker) {
+  sim::MemoryTracker mem("gpu", 100);
+  mem.alloc(60);
+  EXPECT_THROW(mem.alloc(50), sim::OomError);
+  EXPECT_EQ(mem.current(), 60);  // failed alloc not recorded
+  mem.free(60);
+  EXPECT_EQ(mem.current(), 0);
+  EXPECT_NO_THROW(mem.alloc(100));  // full capacity usable again
+}
+
+TEST(FailureInjection, ChunkMoveToFullDeviceThrows) {
+  sim::Cluster cluster(tiny_gpus(1, 1000));
+  col::Backend backend(cluster);
+  core::Config cfg;
+  core::ParallelContext ctx(backend, cfg);
+  cluster.run([&](int g) {
+    tp::Env env{&ctx, g};
+    ca::zero::ChunkManager cm(env, 800, ca::zero::Placement::kHost);
+    cm.append("a", 800);
+    env.mem().alloc(500);  // pre-existing pressure
+    EXPECT_THROW(cm.fetch(0), sim::OomError);
+    // the chunk stays consistently on the host after the failed move
+    EXPECT_EQ(cm.host_bytes(), 800);
+    EXPECT_EQ(cm.device_bytes(), 0);
+  });
+}
+
+TEST(FailureInjection, WorkerExceptionPropagatesWithMessage) {
+  sim::Cluster cluster(sim::Topology::uniform(4, 1e9));
+  try {
+    cluster.run([](int rank) {
+      if (rank == 2) throw std::runtime_error("injected fault on rank 2");
+    });
+    FAIL() << "expected propagation";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "injected fault on rank 2");
+  }
+}
+
+TEST(FailureInjection, PipelineWithFewerMicrosThanStages) {
+  // M=1 on a 2-stage pipeline: pure fill/drain, still correct gradients.
+  sim::Cluster cluster(sim::Topology::uniform(2, 100e9));
+  col::Backend backend(cluster);
+  core::Config cfg;
+  cfg.pipeline_parallel_size = 2;
+  core::ParallelContext ctx(backend, cfg);
+
+  auto x = t::randn(t::Shape{2, 4}, 5);
+  const std::vector<std::int64_t> labels{0, 1};
+  nn::Linear r0("s0", 4, 6, 6), r1("s1", 6, 2, 7);
+  auto y = r1.forward(r0.forward(x));
+  t::Tensor dl;
+  const float ref_loss = t::cross_entropy(y, labels, dl);
+  r0.backward(r1.backward(dl));
+
+  std::vector<t::Tensor> grads(2);
+  float loss = 0.0f;
+  cluster.run([&](int g) {
+    tp::Env env{&ctx, g};
+    nn::Linear stage(g == 0 ? "s0" : "s1", g == 0 ? 4 : 6, g == 0 ? 6 : 2,
+                     g == 0 ? 6 : 7);
+    pp::Pipeline pipe(env, stage, t::Shape{2, g == 0 ? 4 : 6},
+                      pp::Schedule::kOneFOneB);
+    std::vector<t::Tensor> inputs{x};
+    const float l =
+        pipe.train_step(1, g == 0 ? std::span<const t::Tensor>(inputs)
+                                  : std::span<const t::Tensor>{},
+                        [&](const t::Tensor& yy, t::Tensor& dy, int) {
+                          t::Tensor d2;
+                          const float lv = t::cross_entropy(yy, labels, d2);
+                          dy = d2;
+                          return lv;
+                        });
+    grads[static_cast<std::size_t>(g)] = stage.weight().grad.clone();
+    if (g == 1) loss = l;
+  });
+  EXPECT_NEAR(loss, ref_loss, 1e-6f);
+  EXPECT_TRUE(t::allclose(grads[0], r0.weight().grad, 1e-5f));
+  EXPECT_TRUE(t::allclose(grads[1], r1.weight().grad, 1e-5f));
+}
+
+TEST(FailureInjection, ScopedAllocReleasesOnException) {
+  sim::MemoryTracker mem("gpu", 1000);
+  try {
+    sim::ScopedAlloc a(mem, 400);
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(mem.current(), 0);  // RAII released despite the unwind
+}

@@ -1,0 +1,316 @@
+// The "unified system" claim: free combination of parallelism methods.
+// Flagship integration tests running data + tensor + pipeline parallelism
+// together in one SPMD program, verified against serial references, plus the
+// functional hybrid CPU/GPU Adam.
+
+#include <gtest/gtest.h>
+
+#include "models/classifier.hpp"
+#include "nn/layers.hpp"
+#include "pp/pipeline.hpp"
+#include "sp/ring_attention.hpp"
+#include "tp/linear1d.hpp"
+#include "zero/hybrid_adam.hpp"
+
+namespace t = ca::tensor;
+namespace nn = ca::nn;
+namespace core = ca::core;
+namespace sim = ca::sim;
+namespace col = ca::collective;
+namespace tp = ca::tp;
+namespace pp = ca::pp;
+namespace models = ca::models;
+
+namespace {
+
+struct World {
+  explicit World(core::Config cfg)
+      : cluster(sim::Topology::uniform(cfg.world_size(), 100e9)),
+        backend(cluster),
+        ctx(backend, cfg) {}
+  tp::Env env(int g) { return tp::Env{&ctx, g}; }
+
+  sim::Cluster cluster;
+  col::Backend backend;
+  core::ParallelContext ctx;
+};
+
+}  // namespace
+
+TEST(Hybrid, DataTensorPipelineCombined) {
+  // world 8 = data(2) x pipeline(2) x tensor(2): each pipeline stage is a
+  // 1D-tensor-parallel MLP, each data replica sees half the global batch as
+  // 2 micro-batches, gradients all-reduce over the data group at the end.
+  core::Config cfg;
+  cfg.data_parallel_size = 2;
+  cfg.pipeline_parallel_size = 2;
+  cfg.tensor_parallel_size = 2;
+  cfg.tensor_mode = core::TpMode::k1d;
+  World w(cfg);
+
+  const std::int64_t h = 8, f = 16;
+  const std::int64_t micro_rows = 2, micros = 2;
+  const std::int64_t global_rows = micro_rows * micros * 2;  // 2 dp replicas
+
+  auto x_global = t::randn(t::Shape{global_rows, h}, 31);
+  auto target = t::randn(t::Shape{global_rows, h}, 32);
+
+  // MSE normalized by the GLOBAL row count so gradient contributions of all
+  // replicas/micros sum to the serial gradient.
+  auto mse = [&](const t::Tensor& y, const t::Tensor& tt, t::Tensor& dy) {
+    dy = t::sub(y, tt);
+    const float loss =
+        0.5f * t::sum(t::mul(dy, dy)) / static_cast<float>(global_rows);
+    t::scale_(dy, 1.0f / static_cast<float>(global_rows));
+    return loss;
+  };
+
+  // ---- serial reference: both stages, all rows, grads accumulated --------------
+  nn::Mlp s_stage0("stage0", h, f, 41);
+  nn::Mlp s_stage1("stage1", h, f, 42);
+  float serial_loss = 0.0f;
+  for (std::int64_t m = 0; m < global_rows / micro_rows; ++m) {
+    auto xm = t::narrow(x_global, 0, m * micro_rows, micro_rows);
+    auto tm = t::narrow(target, 0, m * micro_rows, micro_rows);
+    auto y = s_stage1.forward(s_stage0.forward(xm));
+    t::Tensor dy;
+    serial_loss += mse(y, tm, dy);
+    s_stage0.backward(s_stage1.backward(dy));
+  }
+
+  // ---- parallel run -------------------------------------------------------------
+  std::vector<float> losses(8, -1.0f);
+  std::vector<t::Tensor> fc1_grad(8);
+  w.cluster.run([&](int g) {
+    auto env = w.env(g);
+    const int dp_rank = w.ctx.data_rank(g);
+    const int stage = w.ctx.pipeline_rank(g);
+
+    // this stage's tensor-parallel module (seeds match the serial stages)
+    tp::Mlp1D module(env, stage == 0 ? "stage0" : "stage1", h, f,
+                     stage == 0 ? 41 : 42);
+
+    // this replica's half of the batch, as micro-batches
+    std::vector<t::Tensor> inputs;
+    const std::int64_t base = dp_rank * micro_rows * micros;
+    for (std::int64_t m = 0; m < micros; ++m)
+      inputs.push_back(t::narrow(x_global, 0, base + m * micro_rows, micro_rows));
+
+    pp::Pipeline pipe(env, module, t::Shape{micro_rows, h},
+                      pp::Schedule::kOneFOneB);
+    const float loss = pipe.train_step(
+        static_cast<int>(micros), inputs,
+        [&](const t::Tensor& y, t::Tensor& dy, int m) {
+          auto tm = t::narrow(target, 0, base + m * micro_rows, micro_rows);
+          return mse(y, tm, dy);
+        });
+
+    // data-parallel gradient synchronization (sum; loss already normalized
+    // by the global row count)
+    auto& dp = w.ctx.data_group(g);
+    for (nn::Parameter* p : module.parameters())
+      dp.all_reduce(g, p->grad.data());
+
+    losses[static_cast<std::size_t>(g)] = loss * static_cast<float>(micros);
+    fc1_grad[static_cast<std::size_t>(g)] =
+        module.parameters()[0]->grad.clone();
+  });
+
+  // losses: each last-stage rank saw its replica's half; the two halves sum
+  // to the serial total
+  float total_loss = 0.0f;
+  for (int g = 0; g < 8; ++g) {
+    if (w.ctx.is_last_stage(g) && w.ctx.tensor_rank(g) == 0)
+      total_loss += losses[static_cast<std::size_t>(g)];
+  }
+  EXPECT_NEAR(total_loss, serial_loss, 1e-5f);
+
+  // stage-0, tensor-rank-0 ranks hold the first column shard of stage0.fc1;
+  // after dp sync it must equal the serial gradient's first column chunk
+  std::vector<nn::Parameter*> serial_params;
+  s_stage0.collect_parameters(serial_params);
+  auto expected_fc1 = t::chunk(serial_params[0]->grad, 1, 2, 0);
+  for (int g : {0, 4}) {  // (dp=0, stage=0, t=0) and (dp=1, stage=0, t=0)
+    EXPECT_TRUE(t::allclose(fc1_grad[static_cast<std::size_t>(g)], expected_fc1,
+                            1e-4f))
+        << "grank " << g;
+  }
+  // and stage-1 ranks hold stage1 shards
+  std::vector<nn::Parameter*> serial_params1;
+  s_stage1.collect_parameters(serial_params1);
+  auto expected_stage1 = t::chunk(serial_params1[0]->grad, 1, 2, 1);
+  EXPECT_TRUE(t::allclose(fc1_grad[3], expected_stage1, 1e-4f));  // (0,1,1)
+}
+
+TEST(Hybrid, DataParallelOver2dTensorParallel) {
+  // world 8 = data(2) x 2D-tensor(4): each replica trains its half batch
+  // through a 2D-parallel classifier; after dp grad averaging the update
+  // equals serial training on the full batch.
+  core::Config cfg;
+  cfg.data_parallel_size = 2;
+  cfg.tensor_parallel_size = 4;
+  cfg.tensor_mode = core::TpMode::k2d;
+  World w(cfg);
+
+  const models::Classifier::Config mc{8, 16, 8, 1, 7};
+  ca::data::SyntheticClassification ds(1024, 8, 8, 71);
+  const std::int64_t half = 8;
+
+  // serial on the full batch of 16
+  models::Classifier serial(mc);
+  auto x_full = ds.batch_features(0, 2 * half);
+  auto y_full = ds.batch_labels(0, 2 * half);
+  serial.train_batch(x_full, y_full);
+
+  std::vector<t::Tensor> grads(8);
+  w.cluster.run([&](int g) {
+    models::Classifier model(w.env(g), mc);
+    const int dp_rank = w.ctx.data_rank(g);
+    auto x = ds.batch_features(dp_rank * half, half);
+    auto y = ds.batch_labels(dp_rank * half, half);
+    model.train_batch(x, y);
+    // dp sync with averaging (each replica used mean-CE over its half)
+    auto& dp = w.ctx.data_group(g);
+    for (nn::Parameter* p : model.parameters()) {
+      dp.all_reduce(g, p->grad.data());
+      t::scale_(p->grad, 0.5f);
+    }
+    grads[static_cast<std::size_t>(g)] = model.parameters()[0]->grad.clone();
+  });
+
+  // embed weight block (r, c) of grank 0 (= row 0, col 0)
+  auto expected = t::chunk(t::chunk(serial.parameters()[0]->grad, 0, 2, 0), 1,
+                           2, 0);
+  EXPECT_TRUE(t::allclose(grads[0], expected, 1e-4f));
+  EXPECT_TRUE(t::allclose(grads[4], expected, 1e-4f));  // other replica agrees
+}
+
+// ---- hybrid Adam ------------------------------------------------------------------
+
+TEST(HybridAdam, NumericallyIdenticalToAdam) {
+  core::Config cfg;
+  World w(cfg);
+  w.cluster.run([&](int g) {
+    nn::Linear a("a", 8, 8, 5);
+    nn::Linear b("b", 8, 8, 5);
+    auto x = t::randn(t::Shape{4, 8}, 6);
+    auto dy = t::randn(t::Shape{4, 8}, 7);
+    a.forward(x);
+    a.backward(dy);
+    b.forward(x);
+    b.backward(dy);
+
+    ca::optim::Adam plain(a.parameters(), {});
+    ca::zero::HybridAdam hybrid(w.env(g), b.parameters(), {});
+    plain.step();
+    hybrid.step();
+    EXPECT_EQ(t::max_diff(a.weight().value, b.weight().value), 0.0f);
+  });
+}
+
+TEST(HybridAdam, SplitsStateByAvailableMemory) {
+  core::Config cfg;
+  World w(cfg);
+  w.cluster.run([&](int g) {
+    auto env = w.env(g);
+    // consume most of the device so only part of the state fits
+    nn::Linear m("m", 512, 512, 9);  // 262k params -> ~3 MB of state
+    const std::int64_t state = m.weight().numel() * 12;
+    env.mem().alloc(env.mem().available() - state / 2);
+
+    ca::zero::HybridAdam hybrid(env, m.parameters(), {});
+    EXPECT_GT(hybrid.cpu_elems(), 0);
+    EXPECT_LT(hybrid.gpu_fraction(), 1.0);
+    // the bias (small) should still have landed on the GPU
+    EXPECT_GT(hybrid.gpu_elems(), 0);
+
+    // step still works and charges time for the CPU part + transfer back
+    const double before = env.dev().clock();
+    m.parameters()[0]->grad.fill(0.1f);
+    hybrid.step();
+    EXPECT_GT(env.dev().clock(), before);
+  });
+}
+
+TEST(HybridAdam, AllOnGpuWhenItFits) {
+  core::Config cfg;
+  World w(cfg);
+  w.cluster.run([&](int g) {
+    nn::Linear m("m", 32, 32, 9);
+    ca::zero::HybridAdam hybrid(w.env(g), m.parameters(), {});
+    EXPECT_DOUBLE_EQ(hybrid.gpu_fraction(), 1.0);
+    EXPECT_EQ(hybrid.cpu_elems(), 0);
+  });
+}
+
+TEST(Hybrid, SequenceParallelPlusPipeline) {
+  // world 8 = sequence(4) x pipeline(2): each stage is a Ring-Self-Attention
+  // transformer block over sub-sequences; activations cross pipeline stages
+  // WITHOUT any gather — the property behind Figure 13b.
+  core::Config cfg;
+  cfg.sequence_parallel_size = 4;
+  cfg.pipeline_parallel_size = 2;
+  World w(cfg);
+
+  const std::int64_t b = 2, s = 8, h = 8, heads = 2, f = 16;
+  const int micros = 2;
+  auto x = t::randn(t::Shape{micros * b, s, h}, 81);
+  auto target = t::randn(t::Shape{micros * b, s, h}, 82);
+  const float norm = static_cast<float>(micros * b * s * h);
+
+  // serial: two chained transformer blocks, MSE over all micro-batches
+  nn::TransformerBlock s0("stage0", h, heads, f, 83);
+  nn::TransformerBlock s1("stage1", h, heads, f, 84);
+  float serial_loss = 0.0f;
+  for (int m = 0; m < micros; ++m) {
+    auto xm = t::narrow(x, 0, m * b, b);
+    auto tm = t::narrow(target, 0, m * b, b);
+    auto y = s1.forward(s0.forward(xm));
+    auto dy = t::sub(y, tm);
+    serial_loss += 0.5f * t::sum(t::mul(dy, dy)) / norm;
+    t::scale_(dy, 1.0f / norm);
+    s0.backward(s1.backward(dy));
+  }
+
+  std::vector<float> losses(8, 0.0f);
+  std::vector<t::Tensor> ln_grad(8);
+  w.cluster.run([&](int g) {
+    auto env = w.env(g);
+    const int stage = w.ctx.pipeline_rank(g);
+    const int sp_idx = w.ctx.tensor_rank(g);  // sequence slot
+
+    ca::sp::TransformerBlockSP blk(env, stage == 0 ? "stage0" : "stage1", h,
+                                   heads, f, stage == 0 ? 83 : 84);
+
+    // first-stage inputs: this rank's sub-sequence of each micro-batch
+    std::vector<t::Tensor> inputs;
+    for (int m = 0; m < micros; ++m)
+      inputs.push_back(t::chunk(t::narrow(x, 0, m * b, b), 1, 4, sp_idx));
+
+    pp::Pipeline pipe(env, blk, t::Shape{b, s / 4, h},
+                      pp::Schedule::kOneFOneB);
+    const float loss = pipe.train_step(
+        micros, inputs, [&](const t::Tensor& y, t::Tensor& dy, int m) {
+          auto tm = t::chunk(t::narrow(target, 0, m * b, b), 1, 4, sp_idx);
+          dy = t::sub(y, tm);
+          const float l = 0.5f * t::sum(t::mul(dy, dy)) / norm;
+          t::scale_(dy, 1.0f / norm);
+          return l;
+        });
+    losses[static_cast<std::size_t>(g)] = loss * micros;  // undo the mean
+    ln_grad[static_cast<std::size_t>(g)] = blk.parameters()[0]->grad.clone();
+  });
+
+  // last-stage losses are per-sub-sequence partials; they sum to serial
+  float total = 0.0f;
+  for (int g = 0; g < 8; ++g)
+    if (w.ctx.is_last_stage(g)) total += losses[static_cast<std::size_t>(g)];
+  EXPECT_NEAR(total, serial_loss, 1e-5f);
+
+  // stage modules' (replicated, SP-synced) LayerNorm grads match serial
+  std::vector<nn::Parameter*> ref0, ref1;
+  s0.collect_parameters(ref0);
+  s1.collect_parameters(ref1);
+  EXPECT_TRUE(t::allclose(ln_grad[0], ref0[0]->grad, 1e-3f));  // stage 0
+  EXPECT_TRUE(t::allclose(ln_grad[4], ref1[0]->grad, 1e-3f));  // stage 1
+}

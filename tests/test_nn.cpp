@@ -1,0 +1,224 @@
+// Tests for the serial NN substrate: module contracts, parameter registry,
+// and gradient correctness of every layer (the parallel layers are later
+// verified against these, so these must be right).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+
+namespace t = ca::tensor;
+namespace nn = ca::nn;
+
+TEST(Parameter, GradMatchesShape) {
+  nn::Parameter p("w", t::randn(t::Shape{3, 4}, 1));
+  EXPECT_EQ(p.grad.shape(), (t::Shape{3, 4}));
+  EXPECT_EQ(t::max_abs(p.grad), 0.0f);
+  EXPECT_EQ(p.numel(), 12);
+}
+
+TEST(Linear, ForwardMatchesManualMatmul) {
+  nn::Linear lin("l", 4, 3, 42);
+  auto x = t::randn(t::Shape{5, 4}, 7);
+  auto y = lin.forward(x);
+  auto expect = t::add_bias(t::matmul(x, lin.weight().value), lin.bias()->value);
+  EXPECT_EQ(t::max_diff(y, expect), 0.0f);
+}
+
+TEST(Linear, NoBiasVariant) {
+  nn::Linear lin("l", 4, 3, 42, /*with_bias=*/false);
+  EXPECT_EQ(lin.parameters().size(), 1u);
+  auto x = t::randn(t::Shape{2, 4}, 7);
+  auto y = lin.forward(x);
+  EXPECT_EQ(t::max_diff(y, t::matmul(x, lin.weight().value)), 0.0f);
+}
+
+TEST(Linear, BackwardMatchesFiniteDifference) {
+  nn::Linear lin("l", 6, 5, 3);
+  auto x = t::randn(t::Shape{4, 6}, 8);
+  auto w = t::randn(t::Shape{4, 5}, 9);  // dL/dy for L = sum(y*w)
+  lin.forward(x);
+  auto dx = lin.backward(w);
+
+  const float eps = 1e-3f;
+  auto loss_at = [&](const t::Tensor& xx) {
+    nn::Linear l2("l", 6, 5, 3);
+    return t::sum(t::mul(l2.forward(xx), w));
+  };
+  for (int i = 0; i < 24; i += 5) {
+    auto xp = x.clone();
+    auto xm = x.clone();
+    xp[i] += eps;
+    xm[i] -= eps;
+    EXPECT_NEAR(dx[i], (loss_at(xp) - loss_at(xm)) / (2 * eps), 2e-2f);
+  }
+  // weight grad: dW = x^T w
+  auto expect_dw = t::matmul_tn(x, w);
+  EXPECT_LT(t::max_diff(lin.weight().grad, expect_dw), 1e-5f);
+  // bias grad: column sums of w
+  EXPECT_LT(t::max_diff(lin.bias()->grad, t::sum_to_lastdim(w)), 1e-5f);
+}
+
+TEST(Linear, GradAccumulatesAcrossBackwardCalls) {
+  nn::Linear lin("l", 3, 2, 5);
+  auto x = t::randn(t::Shape{2, 3}, 6);
+  auto dy = t::ones(t::Shape{2, 2});
+  lin.forward(x);
+  lin.backward(dy);
+  auto g1 = lin.weight().grad.clone();
+  lin.forward(x);
+  lin.backward(dy);
+  EXPECT_LT(t::max_diff(lin.weight().grad, t::mul_scalar(g1, 2.0f)), 1e-6f);
+  lin.zero_grad();
+  EXPECT_EQ(t::max_abs(lin.weight().grad), 0.0f);
+}
+
+TEST(Module, SequentialChainsAndCollectsParams) {
+  nn::Sequential seq;
+  seq.add(std::make_unique<nn::Linear>("a", 4, 8, 1));
+  seq.add(std::make_unique<nn::Gelu>());
+  seq.add(std::make_unique<nn::Linear>("b", 8, 2, 2));
+  EXPECT_EQ(seq.parameters().size(), 4u);
+  EXPECT_EQ(seq.num_params(), 4 * 8 + 8 + 8 * 2 + 2);
+
+  auto x = t::randn(t::Shape{3, 4}, 11);
+  auto y = seq.forward(x);
+  EXPECT_EQ(y.shape(), (t::Shape{3, 2}));
+  auto dx = seq.backward(t::ones(t::Shape{3, 2}));
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(Embedding, LookupAndScatterGrad) {
+  nn::Embedding emb("e", 10, 4, 3);
+  std::vector<std::int64_t> ids{2, 7, 2};
+  auto out = emb.forward(ids);
+  EXPECT_EQ(out.shape(), (t::Shape{3, 4}));
+  // rows 0 and 2 equal (same id)
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(out[c], out[2 * 4 + c]);
+
+  auto dy = t::ones(t::Shape{3, 4});
+  emb.backward(dy);
+  // id 2 hit twice, id 7 once, id 0 never
+  EXPECT_EQ(emb.table().grad[2 * 4], 2.0f);
+  EXPECT_EQ(emb.table().grad[7 * 4], 1.0f);
+  EXPECT_EQ(emb.table().grad[0], 0.0f);
+}
+
+TEST(Heads, SplitMergeRoundTrip) {
+  auto x = t::randn(t::Shape{2, 3, 8}, 21);
+  auto split = nn::split_heads(x, 4);
+  EXPECT_EQ(split.shape(), (t::Shape{8, 3, 2}));
+  auto merged = nn::merge_heads(split, 4);
+  EXPECT_EQ(t::max_diff(x, merged), 0.0f);
+}
+
+TEST(Heads, SplitPlacesHeadsContiguously) {
+  // hidden layout per token: [head0 dims | head1 dims]
+  t::Tensor x(t::Shape{1, 1, 4}, {10, 11, 20, 21});
+  auto split = nn::split_heads(x, 2);
+  EXPECT_EQ(split[0], 10.0f);
+  EXPECT_EQ(split[1], 11.0f);
+  EXPECT_EQ(split[2], 20.0f);
+  EXPECT_EQ(split[3], 21.0f);
+}
+
+TEST(Attention, OutputShapeAndDeterminism) {
+  nn::MultiHeadAttention attn("a", 8, 2, 77);
+  auto x = t::randn(t::Shape{2, 5, 8}, 13);
+  auto y1 = attn.forward(x);
+  nn::MultiHeadAttention attn2("a", 8, 2, 77);
+  auto y2 = attn2.forward(x);
+  EXPECT_EQ(y1.shape(), x.shape());
+  EXPECT_EQ(t::max_diff(y1, y2), 0.0f);
+}
+
+TEST(Attention, UniformValuesAttendToAverage) {
+  // if V rows are identical across the sequence, attention output is
+  // insensitive to the attention pattern; sanity-check via two different
+  // inputs with identical token embeddings.
+  nn::MultiHeadAttention attn("a", 4, 1, 5);
+  t::Tensor x(t::Shape{1, 3, 4}, 1.0f);  // all tokens identical
+  auto y = attn.forward(x);
+  for (int s = 1; s < 3; ++s)
+    for (int c = 0; c < 4; ++c)
+      EXPECT_NEAR(y[s * 4 + c], y[c], 1e-6f);
+}
+
+TEST(Attention, BackwardMatchesFiniteDifference) {
+  const std::int64_t b = 1, s = 3, h = 8, heads = 2;
+  nn::MultiHeadAttention attn("a", h, heads, 17);
+  auto x = t::randn(t::Shape{b, s, h}, 18);
+  auto w = t::randn(t::Shape{b, s, h}, 19);
+  attn.forward(x);
+  auto dx = attn.backward(w);
+
+  const float eps = 1e-3f;
+  auto loss_at = [&](const t::Tensor& xx) {
+    nn::MultiHeadAttention a2("a", h, heads, 17);
+    return t::sum(t::mul(a2.forward(xx), w));
+  };
+  for (int i = 0; i < b * s * h; i += 3) {
+    auto xp = x.clone();
+    auto xm = x.clone();
+    xp[i] += eps;
+    xm[i] -= eps;
+    EXPECT_NEAR(dx[i], (loss_at(xp) - loss_at(xm)) / (2 * eps), 3e-2f)
+        << "at " << i;
+  }
+}
+
+TEST(Mlp, BackwardMatchesFiniteDifference) {
+  nn::Mlp mlp("m", 6, 12, 23);
+  auto x = t::randn(t::Shape{4, 6}, 24);
+  auto w = t::randn(t::Shape{4, 12}, 25);
+  // careful: mlp output dim == hidden (6); rebuild w accordingly
+  w = t::randn(t::Shape{4, 6}, 25);
+  mlp.forward(x);
+  auto dx = mlp.backward(w);
+  const float eps = 1e-3f;
+  auto loss_at = [&](const t::Tensor& xx) {
+    nn::Mlp m2("m", 6, 12, 23);
+    return t::sum(t::mul(m2.forward(xx), w));
+  };
+  for (int i = 0; i < 24; i += 5) {
+    auto xp = x.clone();
+    auto xm = x.clone();
+    xp[i] += eps;
+    xm[i] -= eps;
+    EXPECT_NEAR(dx[i], (loss_at(xp) - loss_at(xm)) / (2 * eps), 2e-2f);
+  }
+}
+
+TEST(TransformerBlock, BackwardMatchesFiniteDifference) {
+  const std::int64_t b = 1, s = 2, h = 8, heads = 2, ffn = 16;
+  nn::TransformerBlock blk("t", h, heads, ffn, 31);
+  auto x = t::randn(t::Shape{b, s, h}, 32);
+  auto w = t::randn(t::Shape{b, s, h}, 33);
+  blk.forward(x);
+  auto dx = blk.backward(w);
+  const float eps = 2e-3f;
+  auto loss_at = [&](const t::Tensor& xx) {
+    nn::TransformerBlock b2("t", h, heads, ffn, 31);
+    return t::sum(t::mul(b2.forward(xx), w));
+  };
+  for (int i = 0; i < b * s * h; i += 3) {
+    auto xp = x.clone();
+    auto xm = x.clone();
+    xp[i] += eps;
+    xm[i] -= eps;
+    EXPECT_NEAR(dx[i], (loss_at(xp) - loss_at(xm)) / (2 * eps), 5e-2f)
+        << "at " << i;
+  }
+}
+
+TEST(TransformerBlock, ParamCount) {
+  // per block: qkv (h*3h + 3h) + proj (h^2 + h) + mlp (h*f + f + f*h + h)
+  // + 2 layernorms (2h each)
+  const std::int64_t h = 8, f = 32;
+  nn::TransformerBlock blk("t", h, 2, f, 1);
+  const std::int64_t expect =
+      (h * 3 * h + 3 * h) + (h * h + h) + (h * f + f + f * h + h) + 4 * h;
+  EXPECT_EQ(blk.num_params(), expect);
+}

@@ -1,0 +1,381 @@
+// Pipeline parallelism tests: schedule correctness (both fill-drain and
+// 1F1B reproduce serial gradients exactly), bubble model, memory behaviour,
+// and deep pipelines.
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.hpp"
+#include "pp/pipeline.hpp"
+
+namespace t = ca::tensor;
+namespace nn = ca::nn;
+namespace pp = ca::pp;
+namespace core = ca::core;
+namespace sim = ca::sim;
+namespace col = ca::collective;
+namespace tp = ca::tp;
+
+namespace {
+
+struct PpWorld {
+  explicit PpWorld(int stages)
+      : cluster(sim::Topology::uniform(stages, 100e9)),
+        backend(cluster),
+        ctx(backend, config(stages)) {}
+
+  static core::Config config(int stages) {
+    core::Config cfg;
+    cfg.pipeline_parallel_size = stages;
+    return cfg;
+  }
+  tp::Env env(int g) { return tp::Env{&ctx, g}; }
+
+  sim::Cluster cluster;
+  col::Backend backend;
+  core::ParallelContext ctx;
+};
+
+/// Serial reference: the same two linear layers trained on the same
+/// micro-batches with gradient accumulation and the same loss scaling.
+struct SerialRef {
+  nn::Linear l1{"s1", 4, 6, 11};
+  nn::Linear l2{"s2", 6, 2, 12};
+  std::vector<std::int64_t> labels{0, 1};
+
+  float run(const std::vector<t::Tensor>& micros) {
+    float loss_sum = 0.0f;
+    for (const auto& x : micros) {
+      auto y = l2.forward(l1.forward(x));
+      t::Tensor dl;
+      loss_sum += t::cross_entropy(y, labels, dl);
+      t::scale_(dl, 1.0f / static_cast<float>(micros.size()));
+      l1.backward(l2.backward(dl));
+    }
+    return loss_sum / static_cast<float>(micros.size());
+  }
+};
+
+std::vector<t::Tensor> make_micros(int count) {
+  std::vector<t::Tensor> micros;
+  for (int m = 0; m < count; ++m)
+    micros.push_back(t::randn(t::Shape{2, 4}, 100 + static_cast<std::uint64_t>(m)));
+  return micros;
+}
+
+struct PipeResult {
+  float loss = 0.0f;
+  t::Tensor g1, g2;  // weight grads of the two stages
+  int peak0 = 0, peak1 = 0;
+};
+
+PipeResult run_two_stage(pp::Schedule sched, int micros) {
+  PpWorld w(2);
+  auto inputs = make_micros(micros);
+  PipeResult res;
+  const std::vector<std::int64_t> labels{0, 1};
+  w.cluster.run([&](int g) {
+    if (g == 0) {
+      nn::Linear stage("s1", 4, 6, 11);
+      pp::Pipeline pipe(w.env(0), stage, t::Shape{2, 4}, sched);
+      pipe.train_step(micros, inputs, {});
+      res.g1 = stage.weight().grad.clone();
+      res.peak0 = pipe.peak_in_flight();
+    } else {
+      nn::Linear stage("s2", 6, 2, 12);
+      pp::Pipeline pipe(w.env(1), stage, t::Shape{2, 6}, sched);
+      res.loss = pipe.train_step(
+          micros, {},
+          [&](const t::Tensor& y, t::Tensor& dy, int) {
+            t::Tensor dl;
+            const float loss = t::cross_entropy(y, labels, dl);
+            t::scale_(dl, 1.0f / static_cast<float>(micros));
+            dy = dl;
+            return loss;
+          });
+      res.g2 = stage.weight().grad.clone();
+      res.peak1 = pipe.peak_in_flight();
+    }
+  });
+  return res;
+}
+
+}  // namespace
+
+TEST(Bubble, MatchesClosedForm) {
+  EXPECT_DOUBLE_EQ(pp::bubble_fraction(4, 4), 3.0 / 7.0);
+  EXPECT_DOUBLE_EQ(pp::bubble_fraction(1, 8), 0.0);
+  EXPECT_LT(pp::bubble_fraction(4, 64), pp::bubble_fraction(4, 8));
+}
+
+TEST(Pipeline, FillDrainMatchesSerial) {
+  const int micros = 4;
+  auto inputs = make_micros(micros);
+  SerialRef ref;
+  const float ref_loss = ref.run(inputs);
+
+  auto res = run_two_stage(pp::Schedule::kFillDrain, micros);
+  EXPECT_NEAR(res.loss, ref_loss, 1e-5f);
+  EXPECT_TRUE(t::allclose(res.g1, ref.l1.weight().grad, 1e-4f));
+  EXPECT_TRUE(t::allclose(res.g2, ref.l2.weight().grad, 1e-4f));
+}
+
+TEST(Pipeline, OneFOneBMatchesSerial) {
+  const int micros = 4;
+  auto inputs = make_micros(micros);
+  SerialRef ref;
+  const float ref_loss = ref.run(inputs);
+
+  auto res = run_two_stage(pp::Schedule::kOneFOneB, micros);
+  EXPECT_NEAR(res.loss, ref_loss, 1e-5f);
+  EXPECT_TRUE(t::allclose(res.g1, ref.l1.weight().grad, 1e-4f));
+  EXPECT_TRUE(t::allclose(res.g2, ref.l2.weight().grad, 1e-4f));
+}
+
+TEST(Pipeline, SchedulesProduceIdenticalGradients) {
+  // accumulation order differs between schedules (fill-drain runs backward
+  // in reverse), so equality holds up to float reassociation
+  auto a = run_two_stage(pp::Schedule::kFillDrain, 6);
+  auto b = run_two_stage(pp::Schedule::kOneFOneB, 6);
+  EXPECT_TRUE(t::allclose(a.g1, b.g1, 1e-5f, 1e-7f));
+  EXPECT_TRUE(t::allclose(a.g2, b.g2, 1e-5f, 1e-7f));
+  EXPECT_NEAR(a.loss, b.loss, 1e-6f);
+}
+
+TEST(Pipeline, OneFOneBHoldsFewerMicrobatches) {
+  const int micros = 6;
+  auto gpipe = run_two_stage(pp::Schedule::kFillDrain, micros);
+  auto f1b1 = run_two_stage(pp::Schedule::kOneFOneB, micros);
+  // fill-drain parks every micro-batch on every stage
+  EXPECT_EQ(gpipe.peak0, micros);
+  EXPECT_EQ(gpipe.peak1, micros);
+  // 1F1B keeps at most (stages - rank) in flight
+  EXPECT_EQ(f1b1.peak0, 2);
+  EXPECT_EQ(f1b1.peak1, 1);
+}
+
+TEST(Pipeline, FourStagesRunGreen) {
+  const int stages = 4, micros = 8;
+  PpWorld w(stages);
+  auto inputs = make_micros(micros);
+  const std::vector<std::int64_t> labels{0, 1};
+
+  // serial reference: 4 chained linears 4->6->6->6->2
+  nn::Linear r0("p0", 4, 6, 50), r1("p1", 6, 6, 51), r2("p2", 6, 6, 52),
+      r3("p3", 6, 2, 53);
+  float ref_loss = 0.0f;
+  for (const auto& x : inputs) {
+    auto y = r3.forward(r2.forward(r1.forward(r0.forward(x))));
+    t::Tensor dl;
+    ref_loss += t::cross_entropy(y, labels, dl);
+    t::scale_(dl, 1.0f / micros);
+    r0.backward(r1.backward(r2.backward(r3.backward(dl))));
+  }
+  ref_loss /= micros;
+
+  std::vector<t::Tensor> grads(stages);
+  float loss = 0.0f;
+  w.cluster.run([&](int g) {
+    const std::int64_t in = g == 0 ? 4 : 6;
+    const std::int64_t out = g == stages - 1 ? 2 : 6;
+    nn::Linear stage("p" + std::to_string(g), in, out,
+                     50 + static_cast<std::uint64_t>(g));
+    pp::Pipeline pipe(w.env(g), stage, t::Shape{2, in}, pp::Schedule::kOneFOneB);
+    const float l = pipe.train_step(
+        micros, g == 0 ? std::span<const t::Tensor>(inputs) : std::span<const t::Tensor>{},
+        [&](const t::Tensor& y, t::Tensor& dy, int) {
+          t::Tensor dl;
+          const float lv = t::cross_entropy(y, labels, dl);
+          t::scale_(dl, 1.0f / micros);
+          dy = dl;
+          return lv;
+        });
+    grads[g] = stage.weight().grad.clone();
+    if (g == stages - 1) loss = l;
+  });
+
+  EXPECT_NEAR(loss, ref_loss, 1e-5f);
+  EXPECT_TRUE(t::allclose(grads[0], r0.weight().grad, 1e-4f));
+  EXPECT_TRUE(t::allclose(grads[3], r3.weight().grad, 1e-4f));
+}
+
+namespace {
+
+/// A stage whose forward/backward charge fixed compute time on the device —
+/// makes the pipeline bubble visible on the logical clocks.
+class TimedStage : public nn::Module {
+ public:
+  TimedStage(const tp::Env& env, std::int64_t in, std::int64_t out,
+             std::uint64_t seed, double seconds)
+      : env_(env), lin_("stage", in, out, seed), seconds_(seconds) {}
+
+  t::Tensor forward(const t::Tensor& x) override {
+    env_.dev().advance_clock(seconds_);
+    return lin_.forward(x);
+  }
+  t::Tensor backward(const t::Tensor& dy) override {
+    env_.dev().advance_clock(2.0 * seconds_);
+    return lin_.backward(dy);
+  }
+  void collect_parameters(std::vector<nn::Parameter*>& out) override {
+    lin_.collect_parameters(out);
+  }
+
+ private:
+  tp::Env env_;
+  nn::Linear lin_;
+  double seconds_;
+};
+
+}  // namespace
+
+TEST(Pipeline, ClockShowsBubble) {
+  // with one micro-batch, total time ~ sum of stage times; with many, the
+  // steady state amortizes the fill/drain bubble.
+  auto run_with = [&](int micros) {
+    PpWorld w(2);
+    auto inputs = make_micros(micros);
+    const std::vector<std::int64_t> labels{0, 1};
+    const double sec = 1.0;
+    w.cluster.run([&](int g) {
+      if (g == 0) {
+        TimedStage stage(w.env(0), 4, 6, 11, sec);
+        pp::Pipeline pipe(w.env(0), stage, t::Shape{2, 4},
+                          pp::Schedule::kOneFOneB);
+        pipe.train_step(micros, inputs, {});
+      } else {
+        TimedStage stage(w.env(1), 6, 2, 12, sec);
+        pp::Pipeline pipe(w.env(1), stage, t::Shape{2, 6},
+                          pp::Schedule::kOneFOneB);
+        pipe.train_step(micros, {}, [&](const t::Tensor& y, t::Tensor& dy, int) {
+          t::Tensor dl;
+          const float lv = t::cross_entropy(y, labels, dl);
+          dy = dl;
+          return lv;
+        });
+      }
+    });
+    return w.cluster.max_clock() / micros;  // time per micro-batch
+  };
+  // more micro-batches => lower amortized time per micro-batch
+  const double per_micro_8 = run_with(8);
+  const double per_micro_1 = run_with(1);
+  EXPECT_LT(per_micro_8, 0.8 * per_micro_1);
+}
+
+// ---- interleaved (chunked / virtual-stage) pipeline ----------------------------------
+
+TEST(InterleavedBubble, ShrinksWithChunks) {
+  EXPECT_DOUBLE_EQ(pp::bubble_fraction_interleaved(4, 8, 1),
+                   pp::bubble_fraction(4, 8));
+  EXPECT_LT(pp::bubble_fraction_interleaved(4, 8, 2),
+            pp::bubble_fraction(4, 8));
+  EXPECT_NEAR(pp::bubble_fraction_interleaved(8, 8, 7), 1.0 / 9.0, 1e-9);
+}
+
+TEST(ChunkedPipeline, VirtualStagesMatchSerialChain) {
+  // 2 ranks x 2 chunks = 4 virtual stages: rank0 holds L0,L2; rank1 L1,L3.
+  const int stages = 2, chunks = 2, micros = 3;
+  PpWorld w(stages);
+  const std::vector<std::int64_t> labels{0, 1};
+
+  auto inputs = make_micros(micros);
+
+  // serial: L0 -> L1 -> L2 -> L3
+  nn::Linear r0("c0", 4, 6, 90), r1("c1", 6, 6, 91), r2("c2", 6, 6, 92),
+      r3("c3", 6, 2, 93);
+  float ref_loss = 0.0f;
+  for (const auto& x : inputs) {
+    auto y = r3.forward(r2.forward(r1.forward(r0.forward(x))));
+    t::Tensor dl;
+    ref_loss += t::cross_entropy(y, labels, dl);
+    t::scale_(dl, 1.0f / micros);
+    r0.backward(r1.backward(r2.backward(r3.backward(dl))));
+  }
+  ref_loss /= micros;
+
+  std::vector<t::Tensor> g0(2), g1(2);  // per-rank chunk grads
+  float loss = 0.0f;
+  w.cluster.run([&](int g) {
+    // rank 0: virtual stages 0 and 2 (L0, L2); rank 1: 1 and 3 (L1, L3)
+    nn::Linear a(g == 0 ? "c0" : "c1", g == 0 ? 4 : 6, 6,
+                 90 + static_cast<std::uint64_t>(g));
+    nn::Linear b(g == 0 ? "c2" : "c3", 6, g == 0 ? 6 : 2,
+                 92 + static_cast<std::uint64_t>(g));
+    pp::ChunkedPipeline pipe(w.env(g), {&a, &b},
+                             {t::Shape{2, g == 0 ? 4 : 6}, t::Shape{2, 6}});
+    const float l = pipe.train_step(
+        micros, g == 0 ? std::span<const t::Tensor>(inputs)
+                       : std::span<const t::Tensor>{},
+        [&](const t::Tensor& y, t::Tensor& dy, int) {
+          t::Tensor dl;
+          const float lv = t::cross_entropy(y, labels, dl);
+          t::scale_(dl, 1.0f / micros);
+          dy = dl;
+          return lv;
+        });
+    g0[static_cast<std::size_t>(g)] = a.weight().grad.clone();
+    g1[static_cast<std::size_t>(g)] = b.weight().grad.clone();
+    if (g == 1) loss = l;
+  });
+
+  EXPECT_NEAR(loss, ref_loss, 1e-5f);
+  EXPECT_TRUE(t::allclose(g0[0], r0.weight().grad, 1e-5f));  // L0 on rank 0
+  EXPECT_TRUE(t::allclose(g0[1], r1.weight().grad, 1e-5f));  // L1 on rank 1
+  EXPECT_TRUE(t::allclose(g1[0], r2.weight().grad, 1e-5f));  // L2 on rank 0
+  EXPECT_TRUE(t::allclose(g1[1], r3.weight().grad, 1e-5f));  // L3 on rank 1
+}
+
+TEST(ChunkedPipeline, ThreeStagesTwoChunks) {
+  const int stages = 3, micros = 4;
+  PpWorld w(stages);
+  auto inputs = make_micros(micros);
+  const std::vector<std::int64_t> labels{0, 1};
+
+  // 6 virtual stages, all 4->4 except the last 4->2
+  std::vector<std::unique_ptr<nn::Linear>> serial;
+  for (int v = 0; v < 6; ++v)
+    serial.push_back(std::make_unique<nn::Linear>(
+        "v" + std::to_string(v), v == 0 ? 4 : 4, v == 5 ? 2 : 4,
+        200 + static_cast<std::uint64_t>(v)));
+  float ref_loss = 0.0f;
+  for (const auto& x : inputs) {
+    t::Tensor h = x;
+    for (auto& l : serial) h = l->forward(h);
+    t::Tensor dl;
+    ref_loss += t::cross_entropy(h, labels, dl);
+    t::scale_(dl, 1.0f / micros);
+    t::Tensor gg = dl;
+    for (auto it = serial.rbegin(); it != serial.rend(); ++it)
+      gg = (*it)->backward(gg);
+  }
+  ref_loss /= micros;
+
+  float loss = 0.0f;
+  std::vector<t::Tensor> grads(6);
+  w.cluster.run([&](int g) {
+    // rank s holds virtual stages s and 3+s
+    nn::Linear a("va", 4, 4, 200 + static_cast<std::uint64_t>(g));
+    nn::Linear b("vb", 4, g == 2 ? 2 : 4, 203 + static_cast<std::uint64_t>(g));
+    pp::ChunkedPipeline pipe(w.env(g), {&a, &b},
+                             {t::Shape{2, 4}, t::Shape{2, 4}});
+    const float l = pipe.train_step(
+        micros, g == 0 ? std::span<const t::Tensor>(inputs)
+                       : std::span<const t::Tensor>{},
+        [&](const t::Tensor& y, t::Tensor& dy, int) {
+          t::Tensor dl;
+          const float lv = t::cross_entropy(y, labels, dl);
+          t::scale_(dl, 1.0f / micros);
+          dy = dl;
+          return lv;
+        });
+    grads[static_cast<std::size_t>(g)] = a.weight().grad.clone();
+    grads[static_cast<std::size_t>(3 + g)] = b.weight().grad.clone();
+    if (g == 2) loss = l;
+  });
+  EXPECT_NEAR(loss, ref_loss, 1e-5f);
+  for (int v = 0; v < 6; ++v)
+    EXPECT_TRUE(t::allclose(grads[static_cast<std::size_t>(v)],
+                            serial[static_cast<std::size_t>(v)]->weight().grad,
+                            1e-5f))
+        << "virtual stage " << v;
+}

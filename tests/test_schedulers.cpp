@@ -1,0 +1,123 @@
+// LR schedules, gradient clipping, and the NVMe offload tier.
+
+#include <gtest/gtest.h>
+
+#include "collective/backend.hpp"
+#include "nn/layers.hpp"
+#include "optim/lr_scheduler.hpp"
+#include "zero/chunk.hpp"
+
+namespace t = ca::tensor;
+namespace nn = ca::nn;
+namespace optim = ca::optim;
+namespace zero = ca::zero;
+
+TEST(CosineLr, WarmupRampsLinearly) {
+  optim::CosineLr sched(1.0f, /*warmup=*/10, /*total=*/110);
+  EXPECT_FLOAT_EQ(sched.lr(0), 0.1f);
+  EXPECT_FLOAT_EQ(sched.lr(4), 0.5f);
+  EXPECT_FLOAT_EQ(sched.lr(9), 1.0f);
+}
+
+TEST(CosineLr, DecaysToMinAtEnd) {
+  optim::CosineLr sched(1.0f, 0, 100, /*min_lr=*/0.1f);
+  EXPECT_FLOAT_EQ(sched.lr(0), 1.0f);
+  EXPECT_NEAR(sched.lr(50), 0.55f, 1e-4f);  // halfway: (1 + cos(pi/2))/2 mix
+  EXPECT_NEAR(sched.lr(100), 0.1f, 1e-5f);
+  EXPECT_NEAR(sched.lr(500), 0.1f, 1e-5f);  // clamps past the end
+}
+
+TEST(CosineLr, MonotoneDecreasingAfterWarmup) {
+  optim::CosineLr sched(0.003f, 20, 200);  // the paper's ViT base lr
+  float prev = sched.lr(20);
+  for (int s = 21; s < 200; s += 7) {
+    const float cur = sched.lr(s);
+    EXPECT_LE(cur, prev + 1e-9f);
+    prev = cur;
+  }
+}
+
+TEST(ConstantLr, HoldsAfterWarmup) {
+  optim::ConstantLr sched(0.5f, 4);
+  EXPECT_FLOAT_EQ(sched.lr(1), 0.25f);
+  EXPECT_FLOAT_EQ(sched.lr(4), 0.5f);
+  EXPECT_FLOAT_EQ(sched.lr(4000), 0.5f);
+}
+
+TEST(GradClip, RescalesOnlyWhenAboveThreshold) {
+  nn::Parameter p("p", t::zeros(t::Shape{4}));
+  p.grad = t::Tensor(t::Shape{4}, {3.0f, 0.0f, 4.0f, 0.0f});  // norm 5
+  const float norm = optim::clip_grad_norm({&p}, 10.0f);
+  EXPECT_FLOAT_EQ(norm, 5.0f);
+  EXPECT_FLOAT_EQ(p.grad[0], 3.0f);  // untouched
+
+  const float norm2 = optim::clip_grad_norm({&p}, 1.0f);
+  EXPECT_FLOAT_EQ(norm2, 5.0f);
+  EXPECT_NEAR(p.grad[0], 0.6f, 1e-6f);  // 3/5
+  EXPECT_NEAR(p.grad[2], 0.8f, 1e-6f);
+}
+
+TEST(GradClip, SpansMultipleParams) {
+  nn::Parameter a("a", t::zeros(t::Shape{2}));
+  nn::Parameter b("b", t::zeros(t::Shape{2}));
+  a.grad.fill(3.0f);
+  b.grad.fill(4.0f);  // global norm = sqrt(2*9 + 2*16) = sqrt(50)
+  const float norm = optim::clip_grad_norm({&a, &b}, 1.0f);
+  EXPECT_NEAR(norm, std::sqrt(50.0f), 1e-5f);
+  double sq = 0.0;
+  for (float g : a.grad.data()) sq += g * g;
+  for (float g : b.grad.data()) sq += g * g;
+  EXPECT_NEAR(std::sqrt(sq), 1.0f, 1e-5f);
+}
+
+// ---- NVMe tier -------------------------------------------------------------------
+
+namespace {
+struct W1 {
+  W1() : cluster(ca::sim::Topology::uniform(1, 1e9)), backend(cluster) {
+    ca::core::Config cfg;
+    ctx = std::make_unique<ca::core::ParallelContext>(backend, cfg);
+  }
+  ca::tp::Env env() { return ca::tp::Env{ctx.get(), 0}; }
+  ca::sim::Cluster cluster;
+  ca::collective::Backend backend;
+  std::unique_ptr<ca::core::ParallelContext> ctx;
+};
+}  // namespace
+
+TEST(NvmeTier, ChunksDescendAndReturnThroughTiers) {
+  W1 w;
+  w.cluster.run([&](int) {
+    zero::ChunkManager cm(w.env(), 1000, zero::Placement::kDevice);
+    cm.append("p", 1000);
+    EXPECT_EQ(cm.device_bytes(), 1000);
+    cm.move_to(0, zero::Placement::kHost);
+    cm.move_to(0, zero::Placement::kNvme);
+    EXPECT_EQ(cm.nvme_bytes(), 1000);
+    EXPECT_EQ(cm.host_bytes(), 0);
+    EXPECT_EQ(w.cluster.nvme_mem().current(), 1000);
+    cm.move_to(0, zero::Placement::kDevice);
+    EXPECT_EQ(cm.device_bytes(), 1000);
+    EXPECT_EQ(w.cluster.nvme_mem().current(), 0);
+  });
+}
+
+TEST(NvmeTier, MovesAreSlowerThanHostMoves) {
+  W1 w;
+  w.cluster.run([&](int) {
+    auto env = w.env();
+    zero::ChunkManager cm(env, 64 << 20, zero::Placement::kDevice);
+    cm.append("p", 64 << 20);
+
+    const double t0 = env.dev().clock();
+    cm.move_to(0, zero::Placement::kHost);
+    const double host_move = env.dev().clock() - t0;
+
+    const double t1 = env.dev().clock();
+    cm.move_to(0, zero::Placement::kNvme);
+    const double nvme_move = env.dev().clock() - t1;
+
+    // PCIe 16 GB/s vs NVMe 3 GB/s
+    EXPECT_GT(nvme_move, 4.0 * host_move);
+  });
+}

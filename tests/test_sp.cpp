@@ -1,0 +1,234 @@
+// Sequence parallelism tests: ring exchange, Ring Self-Attention exactness
+// against serial attention, the SP transformer block, the Figure 12 memory
+// model, and the throughput simulation.
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.hpp"
+#include "sp/memory_model.hpp"
+#include "sp/ring.hpp"
+#include "sp/ring_attention.hpp"
+#include "sp/sim_bert.hpp"
+#include "tp/sim_transformer.hpp"
+
+namespace t = ca::tensor;
+namespace nn = ca::nn;
+namespace sp = ca::sp;
+namespace tp = ca::tp;
+namespace core = ca::core;
+namespace sim = ca::sim;
+namespace col = ca::collective;
+
+namespace {
+
+struct SpWorld {
+  explicit SpWorld(int n, sim::Topology topo)
+      : cluster(std::move(topo)), backend(cluster), ctx(backend, config(n)) {}
+  explicit SpWorld(int n) : SpWorld(n, sim::Topology::uniform(n, 100e9)) {}
+
+  static core::Config config(int n) {
+    core::Config cfg;
+    cfg.sequence_parallel_size = n;
+    return cfg;
+  }
+  tp::Env env(int g) { return tp::Env{&ctx, g}; }
+
+  sim::Cluster cluster;
+  col::Backend backend;
+  core::ParallelContext ctx;
+};
+
+}  // namespace
+
+class RingPassP : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingPassP, RotatesBuffersOneStep) {
+  const int p = GetParam();
+  SpWorld w(p);
+  std::vector<t::Tensor> got(static_cast<std::size_t>(p));
+  w.cluster.run([&](int g) {
+    t::Tensor mine(t::Shape{2}, static_cast<float>(g));
+    auto ring = w.ctx.sequence_group(g).ranks();
+    got[static_cast<std::size_t>(g)] =
+        sp::ring_pass(w.backend, ring, g, mine);
+  });
+  for (int g = 0; g < p; ++g) {
+    const float expect = static_cast<float>((g + p - 1) % p);
+    EXPECT_EQ(got[static_cast<std::size_t>(g)][0], expect) << "rank " << g;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EvenAndOdd, RingPassP, ::testing::Values(2, 3, 4, 5));
+
+TEST(RingAttention, MatchesSerialAttention) {
+  const int p = 4;
+  const std::int64_t b = 2, s = 8, h = 8, heads = 2;
+  SpWorld w(p);
+
+  nn::MultiHeadAttention serial("a", h, heads, 7);
+  auto x = t::randn(t::Shape{b, s, h}, 8);
+  auto y_ref = serial.forward(x);
+  auto dy = t::randn(t::Shape{b, s, h}, 9);
+  auto dx_ref = serial.backward(dy);
+
+  std::vector<t::Tensor> y(p), dx(p), dqkv_w(p);
+  w.cluster.run([&](int g) {
+    sp::RingAttention attn(w.env(g), "a", h, heads, 7);
+    auto x_local = t::chunk(x, 1, p, g);
+    auto dy_local = t::chunk(dy, 1, p, g);
+    y[g] = attn.forward(x_local);
+    dx[g] = attn.backward(dy_local);
+    dqkv_w[g] = attn.parameters()[0]->grad.clone();
+  });
+  for (int g = 0; g < p; ++g) {
+    EXPECT_TRUE(t::allclose(y[g], t::chunk(y_ref, 1, p, g), 1e-4f)) << g;
+    EXPECT_TRUE(t::allclose(dx[g], t::chunk(dx_ref, 1, p, g), 1e-4f)) << g;
+    // replicated weights: synced grads equal the serial full gradient
+    EXPECT_TRUE(t::allclose(dqkv_w[g], serial.parameters()[0]->grad, 1e-3f)) << g;
+  }
+}
+
+TEST(RingAttention, SingleRankDegeneratesToSerial) {
+  SpWorld w(1);
+  nn::MultiHeadAttention serial("a", 8, 2, 17);
+  auto x = t::randn(t::Shape{1, 4, 8}, 18);
+  auto y_ref = serial.forward(x);
+  t::Tensor y;
+  w.cluster.run([&](int g) {
+    sp::RingAttention attn(w.env(g), "a", 8, 2, 17);
+    y = attn.forward(x);
+  });
+  EXPECT_TRUE(t::allclose(y, y_ref, 1e-5f));
+}
+
+TEST(TransformerBlockSP, MatchesSerialBlock) {
+  const int p = 2;
+  const std::int64_t b = 1, s = 6, h = 8, heads = 2, f = 16;
+  SpWorld w(p);
+
+  nn::TransformerBlock serial("t", h, heads, f, 21);
+  auto x = t::randn(t::Shape{b, s, h}, 22);
+  auto y_ref = serial.forward(x);
+  auto dy = t::randn(t::Shape{b, s, h}, 23);
+  auto dx_ref = serial.backward(dy);
+
+  std::vector<t::Tensor> y(p), dx(p), mlp_w(p);
+  w.cluster.run([&](int g) {
+    sp::TransformerBlockSP blk(w.env(g), "t", h, heads, f, 21);
+    y[g] = blk.forward(t::chunk(x, 1, p, g));
+    dx[g] = blk.backward(t::chunk(dy, 1, p, g));
+    // pick out the mlp fc1 weight grad (params: ln1(2), attn(4), ln2(2), mlp)
+    mlp_w[g] = blk.parameters()[8]->grad.clone();
+  });
+  auto serial_mlp_w = serial.parameters()[8];
+  for (int g = 0; g < p; ++g) {
+    EXPECT_TRUE(t::allclose(y[g], t::chunk(y_ref, 1, p, g), 1e-3f)) << g;
+    EXPECT_TRUE(t::allclose(dx[g], t::chunk(dx_ref, 1, p, g), 1e-3f)) << g;
+    EXPECT_TRUE(t::allclose(mlp_w[g], serial_mlp_w->grad, 1e-3f)) << g;
+  }
+}
+
+// ---- Figure 12: memory ------------------------------------------------------------
+
+TEST(SpMemory, SequenceShardingBeats1dOnMaxBatch) {
+  // BERT-Base, seq 512, A100-40GB (System III)
+  sp::BertShape s;
+  s.seq = 512;
+  const std::int64_t cap = 40LL << 30;
+  const auto b_sp4 = sp::max_batch(sp::bert_peak_sp, s, 4, cap);
+  const auto b_1d4 = sp::max_batch(sp::bert_peak_1d, s, 4, cap);
+  EXPECT_GT(static_cast<double>(b_sp4) / static_cast<double>(b_1d4), 1.8);
+  // the paper's headline: 4.44x larger max batch at 12 GPUs
+  const auto b_sp12 = sp::max_batch(sp::bert_peak_sp, s, 12, cap);
+  const auto b_1d12 = sp::max_batch(sp::bert_peak_1d, s, 12, cap);
+  EXPECT_GT(static_cast<double>(b_sp12) / static_cast<double>(b_1d12), 3.5);
+}
+
+TEST(SpMemory, SequenceShardingExtendsMaxSeq) {
+  sp::BertShape s;
+  s.batch = 64;
+  const std::int64_t cap = 40LL << 30;
+  const auto s_sp = sp::max_seq(sp::bert_peak_sp, s, 4, cap);
+  const auto s_1d = sp::max_seq(sp::bert_peak_1d, s, 4, cap);
+  EXPECT_GT(s_sp, s_1d);
+}
+
+TEST(SpMemory, MoreRanksMoreBatch) {
+  sp::BertShape s;
+  s.seq = 512;
+  const std::int64_t cap = 40LL << 30;
+  std::int64_t prev = 0;
+  for (int p : {4, 8, 12}) {
+    const auto b = sp::max_batch(sp::bert_peak_sp, s, p, cap);
+    EXPECT_GT(b, prev) << p;
+    prev = b;
+  }
+}
+
+TEST(SpMemory, PeakGrowsLinearlyInBatch) {
+  sp::BertShape s;
+  s.seq = 512;
+  s.batch = 32;
+  const auto p32 = sp::bert_peak_sp(s, 4);
+  s.batch = 64;
+  const auto p64 = sp::bert_peak_sp(s, 4);
+  s.batch = 128;
+  const auto p128 = sp::bert_peak_sp(s, 4);
+  EXPECT_EQ(p128 - p64, 2 * (p64 - p32));
+}
+
+// ---- Figure 13: throughput ---------------------------------------------------------
+
+TEST(SimBertSP, StepAdvancesClockAndScalesWithLayers) {
+  SpWorld w(4, sim::Topology::system_iii(1));
+  sp::BertShape s;
+  s.batch = 16;
+  s.seq = 512;
+  w.cluster.run([&](int g) {
+    sp::SimBertSP model(w.env(g), s);
+    model.train_step();
+  });
+  const double t12 = w.cluster.max_clock();
+  EXPECT_GT(t12, 0.0);
+
+  SpWorld w2(4, sim::Topology::system_iii(1));
+  s.layers = 24;
+  w2.cluster.run([&](int g) {
+    sp::SimBertSP model(w2.env(g), s);
+    model.train_step();
+  });
+  EXPECT_NEAR(w2.cluster.max_clock() / t12, 2.0, 0.2);
+}
+
+TEST(SimBertSP, FasterThan1dTensorParallelOnSystemIII) {
+  // the headline Figure 13a effect at equal batch
+  sp::BertShape s;
+  s.batch = 32;
+  s.seq = 512;
+
+  SpWorld wsp(4, sim::Topology::system_iii(1));
+  wsp.cluster.run([&](int g) {
+    sp::SimBertSP model(wsp.env(g), s);
+    model.train_step();
+  });
+
+  // 1D TP on the same 4 devices
+  sim::Cluster c1d(sim::Topology::system_iii(1));
+  col::Backend b1d(c1d);
+  core::Config cfg;
+  cfg.tensor_parallel_size = 4;
+  cfg.tensor_mode = core::TpMode::k1d;
+  core::ParallelContext ctx1d(b1d, cfg);
+  tp::TransformerShape ts;
+  ts.layers = s.layers;
+  ts.hidden = s.hidden;
+  ts.heads = s.heads;
+  ts.batch = s.batch;
+  ts.seq = s.seq;
+  c1d.run([&](int g) {
+    tp::SimTransformer model(tp::Env{&ctx1d, g}, core::TpMode::k1d, ts);
+    model.train_step();
+  });
+
+  EXPECT_LT(wsp.cluster.max_clock(), c1d.max_clock());
+}

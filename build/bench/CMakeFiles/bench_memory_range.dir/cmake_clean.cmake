@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_range.dir/bench_memory_range.cpp.o"
+  "CMakeFiles/bench_memory_range.dir/bench_memory_range.cpp.o.d"
+  "bench_memory_range"
+  "bench_memory_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sp_memory.dir/bench_sp_memory.cpp.o"
+  "CMakeFiles/bench_sp_memory.dir/bench_sp_memory.cpp.o.d"
+  "bench_sp_memory"
+  "bench_sp_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sp_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sp_throughput.dir/bench_sp_throughput.cpp.o"
+  "CMakeFiles/bench_sp_throughput.dir/bench_sp_throughput.cpp.o.d"
+  "bench_sp_throughput"
+  "bench_sp_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sp_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

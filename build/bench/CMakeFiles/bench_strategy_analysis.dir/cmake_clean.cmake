@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_strategy_analysis.dir/bench_strategy_analysis.cpp.o"
+  "CMakeFiles/bench_strategy_analysis.dir/bench_strategy_analysis.cpp.o.d"
+  "bench_strategy_analysis"
+  "bench_strategy_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_strategy_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_topology_throughput.dir/bench_topology_throughput.cpp.o"
+  "CMakeFiles/bench_topology_throughput.dir/bench_topology_throughput.cpp.o.d"
+  "bench_topology_throughput"
+  "bench_topology_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_topology_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tp_scaling.dir/bench_tp_scaling.cpp.o"
+  "CMakeFiles/bench_tp_scaling.dir/bench_tp_scaling.cpp.o.d"
+  "bench_tp_scaling"
+  "bench_tp_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tp_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

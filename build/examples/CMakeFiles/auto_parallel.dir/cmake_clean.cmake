@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_parallel.dir/auto_parallel.cpp.o"
+  "CMakeFiles/auto_parallel.dir/auto_parallel.cpp.o.d"
+  "auto_parallel"
+  "auto_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

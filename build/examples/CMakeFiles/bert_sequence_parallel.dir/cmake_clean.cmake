@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bert_sequence_parallel.dir/bert_sequence_parallel.cpp.o"
+  "CMakeFiles/bert_sequence_parallel.dir/bert_sequence_parallel.cpp.o.d"
+  "bert_sequence_parallel"
+  "bert_sequence_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bert_sequence_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpt_offload.dir/gpt_offload.cpp.o"
+  "CMakeFiles/gpt_offload.dir/gpt_offload.cpp.o.d"
+  "gpt_offload"
+  "gpt_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpt_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

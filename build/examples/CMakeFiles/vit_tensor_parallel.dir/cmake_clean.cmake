@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vit_tensor_parallel.dir/vit_tensor_parallel.cpp.o"
+  "CMakeFiles/vit_tensor_parallel.dir/vit_tensor_parallel.cpp.o.d"
+  "vit_tensor_parallel"
+  "vit_tensor_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vit_tensor_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

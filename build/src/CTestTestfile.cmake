@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("tensor")
+subdirs("sim")
+subdirs("collective")
+subdirs("nn")
+subdirs("core")
+subdirs("tp")
+subdirs("sp")
+subdirs("pp")
+subdirs("zero")
+subdirs("optim")
+subdirs("data")
+subdirs("models")
+subdirs("engine")
+subdirs("autop")

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autop/conversion.cpp" "src/autop/CMakeFiles/ca_autop.dir/conversion.cpp.o" "gcc" "src/autop/CMakeFiles/ca_autop.dir/conversion.cpp.o.d"
+  "/root/repo/src/autop/planner.cpp" "src/autop/CMakeFiles/ca_autop.dir/planner.cpp.o" "gcc" "src/autop/CMakeFiles/ca_autop.dir/planner.cpp.o.d"
+  "/root/repo/src/autop/sharding_spec.cpp" "src/autop/CMakeFiles/ca_autop.dir/sharding_spec.cpp.o" "gcc" "src/autop/CMakeFiles/ca_autop.dir/sharding_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

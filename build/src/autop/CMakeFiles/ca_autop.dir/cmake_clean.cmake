@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_autop.dir/conversion.cpp.o"
+  "CMakeFiles/ca_autop.dir/conversion.cpp.o.d"
+  "CMakeFiles/ca_autop.dir/planner.cpp.o"
+  "CMakeFiles/ca_autop.dir/planner.cpp.o.d"
+  "CMakeFiles/ca_autop.dir/sharding_spec.cpp.o"
+  "CMakeFiles/ca_autop.dir/sharding_spec.cpp.o.d"
+  "libca_autop.a"
+  "libca_autop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_autop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

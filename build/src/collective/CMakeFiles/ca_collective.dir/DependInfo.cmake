@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collective/cost.cpp" "src/collective/CMakeFiles/ca_collective.dir/cost.cpp.o" "gcc" "src/collective/CMakeFiles/ca_collective.dir/cost.cpp.o.d"
+  "/root/repo/src/collective/group.cpp" "src/collective/CMakeFiles/ca_collective.dir/group.cpp.o" "gcc" "src/collective/CMakeFiles/ca_collective.dir/group.cpp.o.d"
+  "/root/repo/src/collective/p2p.cpp" "src/collective/CMakeFiles/ca_collective.dir/p2p.cpp.o" "gcc" "src/collective/CMakeFiles/ca_collective.dir/p2p.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ca_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_collective.dir/cost.cpp.o"
+  "CMakeFiles/ca_collective.dir/cost.cpp.o.d"
+  "CMakeFiles/ca_collective.dir/group.cpp.o"
+  "CMakeFiles/ca_collective.dir/group.cpp.o.d"
+  "CMakeFiles/ca_collective.dir/p2p.cpp.o"
+  "CMakeFiles/ca_collective.dir/p2p.cpp.o.d"
+  "libca_collective.a"
+  "libca_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

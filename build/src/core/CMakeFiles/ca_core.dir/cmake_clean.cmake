@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_core.dir/config_parser.cpp.o"
+  "CMakeFiles/ca_core.dir/config_parser.cpp.o.d"
+  "CMakeFiles/ca_core.dir/context.cpp.o"
+  "CMakeFiles/ca_core.dir/context.cpp.o.d"
+  "libca_core.a"
+  "libca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

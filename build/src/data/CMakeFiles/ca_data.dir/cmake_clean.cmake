@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_data.dir/synthetic.cpp.o"
+  "CMakeFiles/ca_data.dir/synthetic.cpp.o.d"
+  "libca_data.a"
+  "libca_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_engine.dir/engine.cpp.o"
+  "CMakeFiles/ca_engine.dir/engine.cpp.o.d"
+  "CMakeFiles/ca_engine.dir/trainer.cpp.o"
+  "CMakeFiles/ca_engine.dir/trainer.cpp.o.d"
+  "libca_engine.a"
+  "libca_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

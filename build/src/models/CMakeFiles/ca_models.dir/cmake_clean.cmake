@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_models.dir/classifier.cpp.o"
+  "CMakeFiles/ca_models.dir/classifier.cpp.o.d"
+  "CMakeFiles/ca_models.dir/gpt.cpp.o"
+  "CMakeFiles/ca_models.dir/gpt.cpp.o.d"
+  "CMakeFiles/ca_models.dir/transformer_classifier.cpp.o"
+  "CMakeFiles/ca_models.dir/transformer_classifier.cpp.o.d"
+  "CMakeFiles/ca_models.dir/vit.cpp.o"
+  "CMakeFiles/ca_models.dir/vit.cpp.o.d"
+  "libca_models.a"
+  "libca_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_nn.dir/layers.cpp.o"
+  "CMakeFiles/ca_nn.dir/layers.cpp.o.d"
+  "libca_nn.a"
+  "libca_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_optim.dir/amp.cpp.o"
+  "CMakeFiles/ca_optim.dir/amp.cpp.o.d"
+  "CMakeFiles/ca_optim.dir/lr_scheduler.cpp.o"
+  "CMakeFiles/ca_optim.dir/lr_scheduler.cpp.o.d"
+  "CMakeFiles/ca_optim.dir/optimizer.cpp.o"
+  "CMakeFiles/ca_optim.dir/optimizer.cpp.o.d"
+  "libca_optim.a"
+  "libca_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pp/pipeline.cpp" "src/pp/CMakeFiles/ca_pp.dir/pipeline.cpp.o" "gcc" "src/pp/CMakeFiles/ca_pp.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tp/CMakeFiles/ca_tp.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ca_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/ca_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ca_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

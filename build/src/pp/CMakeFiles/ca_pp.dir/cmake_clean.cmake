@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_pp.dir/pipeline.cpp.o"
+  "CMakeFiles/ca_pp.dir/pipeline.cpp.o.d"
+  "libca_pp.a"
+  "libca_pp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_pp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

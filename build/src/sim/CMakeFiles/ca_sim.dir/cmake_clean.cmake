@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_sim.dir/cluster.cpp.o"
+  "CMakeFiles/ca_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/ca_sim.dir/topology.cpp.o"
+  "CMakeFiles/ca_sim.dir/topology.cpp.o.d"
+  "libca_sim.a"
+  "libca_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

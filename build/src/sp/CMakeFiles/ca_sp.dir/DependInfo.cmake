@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sp/memory_model.cpp" "src/sp/CMakeFiles/ca_sp.dir/memory_model.cpp.o" "gcc" "src/sp/CMakeFiles/ca_sp.dir/memory_model.cpp.o.d"
+  "/root/repo/src/sp/ring.cpp" "src/sp/CMakeFiles/ca_sp.dir/ring.cpp.o" "gcc" "src/sp/CMakeFiles/ca_sp.dir/ring.cpp.o.d"
+  "/root/repo/src/sp/ring_attention.cpp" "src/sp/CMakeFiles/ca_sp.dir/ring_attention.cpp.o" "gcc" "src/sp/CMakeFiles/ca_sp.dir/ring_attention.cpp.o.d"
+  "/root/repo/src/sp/sim_bert.cpp" "src/sp/CMakeFiles/ca_sp.dir/sim_bert.cpp.o" "gcc" "src/sp/CMakeFiles/ca_sp.dir/sim_bert.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tp/CMakeFiles/ca_tp.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ca_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/ca_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ca_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

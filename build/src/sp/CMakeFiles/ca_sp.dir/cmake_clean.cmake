@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_sp.dir/memory_model.cpp.o"
+  "CMakeFiles/ca_sp.dir/memory_model.cpp.o.d"
+  "CMakeFiles/ca_sp.dir/ring.cpp.o"
+  "CMakeFiles/ca_sp.dir/ring.cpp.o.d"
+  "CMakeFiles/ca_sp.dir/ring_attention.cpp.o"
+  "CMakeFiles/ca_sp.dir/ring_attention.cpp.o.d"
+  "CMakeFiles/ca_sp.dir/sim_bert.cpp.o"
+  "CMakeFiles/ca_sp.dir/sim_bert.cpp.o.d"
+  "libca_sp.a"
+  "libca_sp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

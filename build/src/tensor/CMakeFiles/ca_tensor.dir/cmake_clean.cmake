@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_tensor.dir/ops.cpp.o"
+  "CMakeFiles/ca_tensor.dir/ops.cpp.o.d"
+  "libca_tensor.a"
+  "libca_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

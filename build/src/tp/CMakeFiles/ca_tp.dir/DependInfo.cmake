@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tp/block3d.cpp" "src/tp/CMakeFiles/ca_tp.dir/block3d.cpp.o" "gcc" "src/tp/CMakeFiles/ca_tp.dir/block3d.cpp.o.d"
+  "/root/repo/src/tp/comm_helpers.cpp" "src/tp/CMakeFiles/ca_tp.dir/comm_helpers.cpp.o" "gcc" "src/tp/CMakeFiles/ca_tp.dir/comm_helpers.cpp.o.d"
+  "/root/repo/src/tp/comm_volume.cpp" "src/tp/CMakeFiles/ca_tp.dir/comm_volume.cpp.o" "gcc" "src/tp/CMakeFiles/ca_tp.dir/comm_volume.cpp.o.d"
+  "/root/repo/src/tp/linear1d.cpp" "src/tp/CMakeFiles/ca_tp.dir/linear1d.cpp.o" "gcc" "src/tp/CMakeFiles/ca_tp.dir/linear1d.cpp.o.d"
+  "/root/repo/src/tp/linear2d.cpp" "src/tp/CMakeFiles/ca_tp.dir/linear2d.cpp.o" "gcc" "src/tp/CMakeFiles/ca_tp.dir/linear2d.cpp.o.d"
+  "/root/repo/src/tp/linear2p5d.cpp" "src/tp/CMakeFiles/ca_tp.dir/linear2p5d.cpp.o" "gcc" "src/tp/CMakeFiles/ca_tp.dir/linear2p5d.cpp.o.d"
+  "/root/repo/src/tp/linear3d.cpp" "src/tp/CMakeFiles/ca_tp.dir/linear3d.cpp.o" "gcc" "src/tp/CMakeFiles/ca_tp.dir/linear3d.cpp.o.d"
+  "/root/repo/src/tp/memory_model.cpp" "src/tp/CMakeFiles/ca_tp.dir/memory_model.cpp.o" "gcc" "src/tp/CMakeFiles/ca_tp.dir/memory_model.cpp.o.d"
+  "/root/repo/src/tp/sim_transformer.cpp" "src/tp/CMakeFiles/ca_tp.dir/sim_transformer.cpp.o" "gcc" "src/tp/CMakeFiles/ca_tp.dir/sim_transformer.cpp.o.d"
+  "/root/repo/src/tp/vocab_parallel.cpp" "src/tp/CMakeFiles/ca_tp.dir/vocab_parallel.cpp.o" "gcc" "src/tp/CMakeFiles/ca_tp.dir/vocab_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ca_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/ca_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ca_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_tp.dir/block3d.cpp.o"
+  "CMakeFiles/ca_tp.dir/block3d.cpp.o.d"
+  "CMakeFiles/ca_tp.dir/comm_helpers.cpp.o"
+  "CMakeFiles/ca_tp.dir/comm_helpers.cpp.o.d"
+  "CMakeFiles/ca_tp.dir/comm_volume.cpp.o"
+  "CMakeFiles/ca_tp.dir/comm_volume.cpp.o.d"
+  "CMakeFiles/ca_tp.dir/linear1d.cpp.o"
+  "CMakeFiles/ca_tp.dir/linear1d.cpp.o.d"
+  "CMakeFiles/ca_tp.dir/linear2d.cpp.o"
+  "CMakeFiles/ca_tp.dir/linear2d.cpp.o.d"
+  "CMakeFiles/ca_tp.dir/linear2p5d.cpp.o"
+  "CMakeFiles/ca_tp.dir/linear2p5d.cpp.o.d"
+  "CMakeFiles/ca_tp.dir/linear3d.cpp.o"
+  "CMakeFiles/ca_tp.dir/linear3d.cpp.o.d"
+  "CMakeFiles/ca_tp.dir/memory_model.cpp.o"
+  "CMakeFiles/ca_tp.dir/memory_model.cpp.o.d"
+  "CMakeFiles/ca_tp.dir/sim_transformer.cpp.o"
+  "CMakeFiles/ca_tp.dir/sim_transformer.cpp.o.d"
+  "CMakeFiles/ca_tp.dir/vocab_parallel.cpp.o"
+  "CMakeFiles/ca_tp.dir/vocab_parallel.cpp.o.d"
+  "libca_tp.a"
+  "libca_tp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zero/chunk.cpp" "src/zero/CMakeFiles/ca_zero.dir/chunk.cpp.o" "gcc" "src/zero/CMakeFiles/ca_zero.dir/chunk.cpp.o.d"
+  "/root/repo/src/zero/hybrid_adam.cpp" "src/zero/CMakeFiles/ca_zero.dir/hybrid_adam.cpp.o" "gcc" "src/zero/CMakeFiles/ca_zero.dir/hybrid_adam.cpp.o.d"
+  "/root/repo/src/zero/offload.cpp" "src/zero/CMakeFiles/ca_zero.dir/offload.cpp.o" "gcc" "src/zero/CMakeFiles/ca_zero.dir/offload.cpp.o.d"
+  "/root/repo/src/zero/sharded_tensor.cpp" "src/zero/CMakeFiles/ca_zero.dir/sharded_tensor.cpp.o" "gcc" "src/zero/CMakeFiles/ca_zero.dir/sharded_tensor.cpp.o.d"
+  "/root/repo/src/zero/zero_optimizer.cpp" "src/zero/CMakeFiles/ca_zero.dir/zero_optimizer.cpp.o" "gcc" "src/zero/CMakeFiles/ca_zero.dir/zero_optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tp/CMakeFiles/ca_tp.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/ca_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ca_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/ca_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ca_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

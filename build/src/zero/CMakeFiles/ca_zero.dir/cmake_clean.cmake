@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_zero.dir/chunk.cpp.o"
+  "CMakeFiles/ca_zero.dir/chunk.cpp.o.d"
+  "CMakeFiles/ca_zero.dir/hybrid_adam.cpp.o"
+  "CMakeFiles/ca_zero.dir/hybrid_adam.cpp.o.d"
+  "CMakeFiles/ca_zero.dir/offload.cpp.o"
+  "CMakeFiles/ca_zero.dir/offload.cpp.o.d"
+  "CMakeFiles/ca_zero.dir/sharded_tensor.cpp.o"
+  "CMakeFiles/ca_zero.dir/sharded_tensor.cpp.o.d"
+  "CMakeFiles/ca_zero.dir/zero_optimizer.cpp.o"
+  "CMakeFiles/ca_zero.dir/zero_optimizer.cpp.o.d"
+  "libca_zero.a"
+  "libca_zero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_zero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autop.dir/test_autop.cpp.o"
+  "CMakeFiles/test_autop.dir/test_autop.cpp.o.d"
+  "test_autop"
+  "test_autop.pdb"
+  "test_autop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

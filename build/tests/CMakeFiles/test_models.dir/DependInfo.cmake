@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/test_models.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/test_models.dir/test_models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pp/CMakeFiles/ca_pp.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/ca_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sp/CMakeFiles/ca_sp.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ca_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/zero/CMakeFiles/ca_zero.dir/DependInfo.cmake"
+  "/root/repo/build/src/tp/CMakeFiles/ca_tp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/ca_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/ca_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ca_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ca_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ca_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/autop/CMakeFiles/ca_autop.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

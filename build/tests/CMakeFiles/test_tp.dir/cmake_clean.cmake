@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tp.dir/test_tp.cpp.o"
+  "CMakeFiles/test_tp.dir/test_tp.cpp.o.d"
+  "test_tp"
+  "test_tp.pdb"
+  "test_tp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

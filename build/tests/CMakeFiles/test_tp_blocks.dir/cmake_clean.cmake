@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tp_blocks.dir/test_tp_blocks.cpp.o"
+  "CMakeFiles/test_tp_blocks.dir/test_tp_blocks.cpp.o.d"
+  "test_tp_blocks"
+  "test_tp_blocks.pdb"
+  "test_tp_blocks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tp_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -4,8 +4,12 @@
 // regenerates one table or figure from the paper (see EXPERIMENTS.md for the
 // index), printing the same rows/series the paper reports.
 
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "collective/backend.hpp"
 #include "core/context.hpp"
@@ -37,6 +41,75 @@ inline ca::core::Config tp_config(ca::core::TpMode mode, int size,
 
 inline void header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// ---- machine-readable results ---------------------------------------------
+//
+// Each harness can write a BENCH_<name>.json next to where it runs, one
+// record per measured configuration, so the perf trajectory is tracked
+// across PRs: [{"op": ..., "shape": ..., "ns_per_iter": ..., "gflops": ...}].
+
+/// Collects (op, shape, ns/iter, GFLOP/s) rows and writes them as a JSON
+/// array. `gflops` may be 0 for rows where a FLOP count is not meaningful
+/// (e.g. pure communication or whole-step timings).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string path) : path_(std::move(path)) {}
+
+  void add(const std::string& op, const std::string& shape,
+           double ns_per_iter, double gflops) {
+    rows_.push_back({op, shape, ns_per_iter, gflops});
+  }
+
+  /// Write all collected rows; returns false (and prints a warning) on I/O
+  /// failure so a read-only working directory never fails a benchmark.
+  bool write() const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f,
+                   "  {\"op\": \"%s\", \"shape\": \"%s\", "
+                   "\"ns_per_iter\": %.1f, \"gflops\": %.3f}%s\n",
+                   r.op.c_str(), r.shape.c_str(), r.ns_per_iter, r.gflops,
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %zu records to %s\n", rows_.size(), path_.c_str());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string op;
+    std::string shape;
+    double ns_per_iter;
+    double gflops;
+  };
+  std::string path_;
+  std::vector<Row> rows_;
+};
+
+/// Wall-clock ns per call of `fn`, with one warmup call and enough iterations
+/// to pass `min_total` seconds of measurement (at least `min_iters`).
+inline double time_ns(const std::function<void()>& fn, int min_iters = 3,
+                      double min_total = 0.2) {
+  fn();  // warmup
+  int iters = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::chrono::steady_clock::time_point t1;
+  do {
+    fn();
+    ++iters;
+    t1 = std::chrono::steady_clock::now();
+  } while (iters < min_iters ||
+           std::chrono::duration<double>(t1 - t0).count() < min_total);
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / iters;
 }
 
 }  // namespace bench

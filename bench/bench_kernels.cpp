@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "collective/backend.hpp"
 #include "nn/layers.hpp"
 #include "sim/cluster.hpp"
@@ -23,7 +24,7 @@ void BM_Matmul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
 void BM_MatmulTransposed(benchmark::State& state) {
   const std::int64_t n = state.range(0);
@@ -35,7 +36,19 @@ void BM_MatmulTransposed(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_MatmulTransposed)->Arg(128);
+BENCHMARK(BM_MatmulTransposed)->Arg(128)->Arg(512);
+
+void BM_NaiveMatmul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  auto a = t::randn(t::Shape{n, n}, 1);
+  auto b = t::randn(t::Shape{n, n}, 2);
+  for (auto _ : state) {
+    auto c = t::naive_matmul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_NaiveMatmul)->Arg(512);
 
 void BM_Softmax(benchmark::State& state) {
   auto x = t::randn(t::Shape{256, state.range(0)}, 3);
@@ -95,6 +108,70 @@ void BM_AllReduce(benchmark::State& state) {
 }
 BENCHMARK(BM_AllReduce)->Arg(2)->Arg(4)->Arg(8);
 
+// Machine-readable snapshot of the kernels that gate functional-mode
+// throughput, written as BENCH_kernels.json (tracked across PRs).
+void write_json_report() {
+  bench::JsonReport report("BENCH_kernels.json");
+
+  const auto gemm_row = [&](const char* op, std::int64_t n, auto&& fn) {
+    auto a = t::randn(t::Shape{n, n}, 1);
+    auto b = t::randn(t::Shape{n, n}, 2);
+    const double ns = bench::time_ns([&] {
+      auto c = fn(a, b);
+      benchmark::DoNotOptimize(c.data().data());
+    });
+    const double flops = 2.0 * static_cast<double>(n) * n * n;
+    report.add(op, std::to_string(n) + "x" + std::to_string(n) + "x" +
+                       std::to_string(n),
+               ns, flops / ns);
+  };
+  for (std::int64_t n : {256, 512}) {
+    gemm_row("matmul", n, [](auto& a, auto& b) { return t::matmul(a, b); });
+    gemm_row("matmul_nt", n,
+             [](auto& a, auto& b) { return t::matmul_nt(a, b); });
+    gemm_row("matmul_tn", n,
+             [](auto& a, auto& b) { return t::matmul_tn(a, b); });
+  }
+  gemm_row("naive_matmul", 512,
+           [](auto& a, auto& b) { return t::naive_matmul(a, b); });
+
+  {
+    const std::int64_t batch = 8, n = 256;
+    auto a = t::randn(t::Shape{batch, n, n}, 3);
+    auto b = t::randn(t::Shape{batch, n, n}, 4);
+    const double ns = bench::time_ns([&] {
+      auto c = t::bmm(a, b);
+      benchmark::DoNotOptimize(c.data().data());
+    });
+    const double flops = 2.0 * static_cast<double>(batch) * n * n * n;
+    report.add("bmm", "8x256x256x256", ns, flops / ns);
+  }
+
+  for (int p : {4, 8}) {
+    const std::int64_t elems = 1 << 20;
+    ca::sim::Cluster cluster(ca::sim::Topology::uniform(p, 100e9));
+    ca::collective::Backend backend(cluster);
+    std::vector<std::vector<float>> bufs(
+        static_cast<std::size_t>(p),
+        std::vector<float>(static_cast<std::size_t>(elems), 1.0f));
+    const double ns = bench::time_ns([&] {
+      cluster.run([&](int r) {
+        backend.world().all_reduce(r, bufs[static_cast<std::size_t>(r)]);
+      });
+    });
+    report.add("all_reduce", "p=" + std::to_string(p) + " n=1048576", ns, 0.0);
+  }
+
+  report.write();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_json_report();
+  return 0;
+}

@@ -19,7 +19,12 @@ struct Row {
   std::int64_t batch;
 };
 
-double run_row(const Row& r) {
+struct RowResult {
+  double imgs_per_sec;   // simulated throughput (the paper's Table 3 number)
+  double wall_step_ns;   // harness wall-clock per step — the hot path we tune
+};
+
+RowResult run_row(const Row& r) {
   tp::TransformerShape shape;
   const bool small = r.gpus <= 8;
   shape.layers = small ? 24 : 32;
@@ -31,11 +36,14 @@ double run_row(const Row& r) {
 
   bench::World w(sim::Topology::system_iv(r.gpus),
                  bench::tp_config(r.mode, r.gpus, r.depth));
+  const auto t0 = std::chrono::steady_clock::now();
   w.cluster.run([&](int g) {
     tp::SimTransformer model(w.env(g), r.mode, shape);
     model.train_step();
   });
-  return static_cast<double>(r.batch) / w.cluster.max_clock();
+  const auto t1 = std::chrono::steady_clock::now();
+  return {static_cast<double>(r.batch) / w.cluster.max_clock(),
+          std::chrono::duration<double, std::nano>(t1 - t0).count()};
 }
 
 }  // namespace
@@ -64,11 +72,13 @@ int main() {
       {64, "3D", core::TpMode::k3d, 1, 512},
   };
 
+  bench::JsonReport report("BENCH_tp_scaling.json");
   double base = 0.0;
   int base_gpus = 0;
   double best_speedup = 0.0;
   for (const Row& r : rows) {
-    const double imgs = run_row(r);
+    const RowResult res = run_row(r);
+    const double imgs = res.imgs_per_sec;
     if (r.gpus != base_gpus) {
       base = imgs;  // first row of each block is 1D
       base_gpus = r.gpus;
@@ -80,8 +90,16 @@ int main() {
                 r.mode_label, small ? 24 : 32, small ? 2048 : 4096,
                 small ? 32 : 64, static_cast<long long>(r.batch), imgs,
                 speedup);
+    // ns_per_iter is the harness wall-clock per simulated train step — the
+    // collective hot path this PR tunes; a FLOP rate is not meaningful for a
+    // whole accounting-mode step.
+    report.add(std::string("tp_step_") + r.mode_label,
+               "gpus=" + std::to_string(r.gpus) +
+                   " batch=" + std::to_string(r.batch),
+               res.wall_step_ns, 0.0);
   }
   std::printf("\nbest speedup of advanced tensor parallelism over 1D: %.2fx "
               "(paper: up to 2.76x)\n", best_speedup);
+  report.write();
   return 0;
 }

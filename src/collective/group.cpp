@@ -1,103 +1,146 @@
 #include "collective/group.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace ca::collective {
 
 namespace {
+
 constexpr std::int64_t kFloatBytes = 4;
+/// Below this many elements a rank-local loop is not worth an OpenMP team.
+constexpr std::int64_t kOmpMinElems = 1 << 16;
+/// Cache-friendly block for the phase-1 reduce: the block stays L1-resident
+/// while every member's contribution is added to it.
+constexpr std::int64_t kReduceBlock = 2048;
+
+/// dst[0, n) = src[0, n), OpenMP-parallel for large n.
+void copy_elems(const float* src, float* dst, std::int64_t n) {
+#pragma omp parallel for schedule(static) if (n >= kOmpMinElems)
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = src[i];
 }
+
+}  // namespace
 
 Group::Group(sim::Cluster& cluster, std::vector<int> ranks)
     : cluster_(cluster),
       ranks_(std::move(ranks)),
       barrier_(static_cast<std::ptrdiff_t>(ranks_.size())),
-      ptrs_(ranks_.size(), nullptr),
-      counts_(ranks_.size(), 0),
-      clocks_(ranks_.size(), 0.0) {
+      members_(ranks_.size()) {
   assert(!ranks_.empty());
+  for (auto& slot : ptrs_) slot.assign(ranks_.size(), nullptr);
+  for (auto& slot : counts_) slot.assign(ranks_.size(), 0);
+  for (auto& slot : clocks_) slot.assign(ranks_.size(), 0.0);
   for (std::size_t i = 0; i < ranks_.size(); ++i) {
     index_.emplace(ranks_[i], static_cast<int>(i));
   }
 }
 
-void Group::publish(int idx, const float* ptr, std::int64_t count) {
-  ptrs_[static_cast<std::size_t>(idx)] = ptr;
-  counts_[static_cast<std::size_t>(idx)] = count;
-  clocks_[static_cast<std::size_t>(idx)] = cluster_.device(ranks_[static_cast<std::size_t>(idx)]).clock();
+Group::PubToken Group::publish(int idx, const float* ptr, std::int64_t count) {
+  const auto i = static_cast<std::size_t>(idx);
+  const int slot = static_cast<int>(members_[i].seq++ & 1);
+  ptrs_[slot][i] = ptr;
+  counts_[slot][i] = count;
+  clocks_[slot][i] = cluster_.device(ranks_[i]).clock();
   barrier_.arrive_and_wait();
-  // Safe to read the slots from here until the *next* barrier: nobody can
-  // republish before every rank has passed the current op's final barrier.
+  // This op's slot entries are stable from here to the end of the op: a rank
+  // can only overwrite them two publishes later, and it reaches that publish
+  // only after every rank has finished this op and published the next one.
+  return {slot, *std::max_element(clocks_[slot].begin(), clocks_[slot].end())};
 }
 
-void Group::settle(int idx, Op op, std::int64_t bytes) {
-  const double t_start = *std::max_element(clocks_.begin(), clocks_.end());
+void Group::ensure_arena(int idx, std::int64_t elems) {
+  auto& me = members_[static_cast<std::size_t>(idx)];
+  if (me.arena_seen >= elems) return;
+  // Every member keeps the same arena-size history, so all take this branch
+  // (and its barrier) together; only member 0 touches the vector itself.
+  const auto cap = static_cast<std::int64_t>(
+      std::bit_ceil(static_cast<std::uint64_t>(std::max<std::int64_t>(elems, 1024))));
+  if (idx == 0) arena_.resize(static_cast<std::size_t>(cap));
+  me.arena_seen = cap;
+  barrier_.arrive_and_wait();
+}
+
+std::pair<std::int64_t, std::int64_t> Group::chunk_range(std::int64_t n,
+                                                         int idx) const {
+  const auto p = static_cast<std::int64_t>(ranks_.size());
+  const std::int64_t base = n / p, rem = n % p;
+  const std::int64_t lo = idx * base + std::min<std::int64_t>(idx, rem);
+  return {lo, lo + base + (idx < rem ? 1 : 0)};
+}
+
+void Group::reduce_chunk(int slot, std::int64_t lo, std::int64_t hi) {
+  const int p = size();
+  float* dst = arena_.data();
+  const auto& ptrs = ptrs_[slot];
+  const std::int64_t len = hi - lo;
+#pragma omp parallel for schedule(static) if (len >= kOmpMinElems)
+  for (std::int64_t b = lo; b < hi; b += kReduceBlock) {
+    const std::int64_t e = std::min(hi, b + kReduceBlock);
+    // Member order 0,1,...,p-1 keeps the sum bit-identical to the serial
+    // reference regardless of which rank owns the chunk.
+    std::copy(ptrs[0] + b, ptrs[0] + e, dst + b);
+    for (int m = 1; m < p; ++m) {
+      const float* src = ptrs[static_cast<std::size_t>(m)];
+#pragma omp simd
+      for (std::int64_t i = b; i < e; ++i) dst[i] += src[i];
+    }
+  }
+}
+
+void Group::settle(int grank, double t_start, Op op, std::int64_t bytes) {
   const double t = collective_time(op, cluster_.topology(), ranks_, bytes);
-  auto& dev = cluster_.device(ranks_[static_cast<std::size_t>(idx)]);
+  auto& dev = cluster_.device(grank);
   dev.set_clock(t_start + t);
   dev.add_bytes_sent(bytes_sent_per_rank(op, size(), bytes));
 }
 
 void Group::barrier(int grank) {
-  const int idx = index_of(grank);
   if (size() == 1) return;
-  publish(idx, nullptr, 0);
-  const double t_start = *std::max_element(clocks_.begin(), clocks_.end());
-  barrier_.arrive_and_wait();
-  cluster_.device(grank).set_clock(t_start);
+  const auto tok = publish(index_of(grank), nullptr, 0);
+  cluster_.device(grank).set_clock(tok.t_start);
 }
 
 void Group::all_reduce(int grank, std::span<float> data) {
   if (size() == 1) return;
   const int idx = index_of(grank);
-  publish(idx, data.data(), static_cast<std::int64_t>(data.size()));
-  const double t_start = *std::max_element(clocks_.begin(), clocks_.end());
-
-  std::vector<float> temp(data.size(), 0.0f);
+  const auto n = static_cast<std::int64_t>(data.size());
+  const auto tok = publish(idx, data.data(), n);
   for (int m = 0; m < size(); ++m) {
-    assert(counts_[static_cast<std::size_t>(m)] ==
-           static_cast<std::int64_t>(data.size()));
-    const float* src = ptrs_[static_cast<std::size_t>(m)];
-    for (std::size_t i = 0; i < data.size(); ++i) temp[i] += src[i];
+    assert(counts_[tok.slot][static_cast<std::size_t>(m)] == n);
   }
-  barrier_.arrive_and_wait();
-  std::copy(temp.begin(), temp.end(), data.begin());
+  ensure_arena(idx, n);
 
-  const std::int64_t bytes = static_cast<std::int64_t>(data.size()) * kFloatBytes;
-  const double t = collective_time(Op::kAllReduce, cluster_.topology(), ranks_, bytes);
-  auto& dev = cluster_.device(grank);
-  dev.set_clock(t_start + t);
-  dev.add_bytes_sent(bytes_sent_per_rank(Op::kAllReduce, size(), bytes));
+  // Phase 1 (reduce-scatter): I reduce only my ownership chunk into the
+  // arena; together the members cover [0, n) with O(n) work each.
+  const auto [lo, hi] = chunk_range(n, idx);
+  reduce_chunk(tok.slot, lo, hi);
+  barrier_.arrive_and_wait();
+
+  // Phase 2 (all-gather): one contiguous copy of the finished result. Only
+  // the arena is read, so no trailing barrier is needed — the next op's
+  // arena writes are gated behind its own publish rendezvous.
+  copy_elems(arena_.data(), data.data(), n);
+
+  settle(grank, tok.t_start, Op::kAllReduce, n * kFloatBytes);
 }
 
-void Group::reduce_scatter(int grank, std::span<const float> in,
-                           std::span<float> out) {
-  if (size() == 1) {
-    assert(in.size() == out.size());
-    std::copy(in.begin(), in.end(), out.begin());
-    return;
-  }
+void Group::reduce(int grank, std::span<float> data, int root) {
+  if (size() == 1) return;
   const int idx = index_of(grank);
-  assert(in.size() == out.size() * static_cast<std::size_t>(size()));
-  publish(idx, in.data(), static_cast<std::int64_t>(in.size()));
-  const double t_start = *std::max_element(clocks_.begin(), clocks_.end());
+  const auto n = static_cast<std::int64_t>(data.size());
+  const auto tok = publish(idx, data.data(), n);
+  ensure_arena(idx, n);
 
-  const std::size_t chunk = out.size();
-  std::fill(out.begin(), out.end(), 0.0f);
-  for (int m = 0; m < size(); ++m) {
-    const float* src = ptrs_[static_cast<std::size_t>(m)] +
-                       static_cast<std::size_t>(idx) * chunk;
-    for (std::size_t i = 0; i < chunk; ++i) out[i] += src[i];
-  }
+  // Same two-phase protocol as all_reduce, but only root copies out.
+  const auto [lo, hi] = chunk_range(n, idx);
+  reduce_chunk(tok.slot, lo, hi);
   barrier_.arrive_and_wait();
 
-  const std::int64_t bytes = static_cast<std::int64_t>(in.size()) * kFloatBytes;
-  const double t =
-      collective_time(Op::kReduceScatter, cluster_.topology(), ranks_, bytes);
-  auto& dev = cluster_.device(grank);
-  dev.set_clock(t_start + t);
-  dev.add_bytes_sent(bytes_sent_per_rank(Op::kReduceScatter, size(), bytes));
+  if (idx == root) copy_elems(arena_.data(), data.data(), n);
+
+  settle(grank, tok.t_start, Op::kReduce, n * kFloatBytes);
 }
 
 void Group::all_gather(int grank, std::span<const float> in,
@@ -109,70 +152,69 @@ void Group::all_gather(int grank, std::span<const float> in,
   }
   const int idx = index_of(grank);
   assert(out.size() == in.size() * static_cast<std::size_t>(size()));
-  publish(idx, in.data(), static_cast<std::int64_t>(in.size()));
-  const double t_start = *std::max_element(clocks_.begin(), clocks_.end());
+  const auto n_in = static_cast<std::int64_t>(in.size());
+  const auto n_out = static_cast<std::int64_t>(out.size());
+  const auto tok = publish(idx, in.data(), n_in);
+  ensure_arena(idx, n_out);
 
-  const std::size_t chunk = in.size();
-  for (int m = 0; m < size(); ++m) {
-    const float* src = ptrs_[static_cast<std::size_t>(m)];
-    std::copy(src, src + chunk, out.data() + static_cast<std::size_t>(m) * chunk);
-  }
+  // Phase 1: deposit my chunk at its group-index offset in the arena.
+  copy_elems(in.data(), arena_.data() + idx * n_in, n_in);
   barrier_.arrive_and_wait();
 
+  // Phase 2: a single contiguous read of the assembled buffer (instead of P
+  // strided reads of peer buffers); peers' own buffers are no longer touched,
+  // so ranks may return without a trailing barrier.
+  copy_elems(arena_.data(), out.data(), n_out);
+
   // Payload convention: bytes = the full gathered size (matches NCCL docs).
-  const std::int64_t bytes = static_cast<std::int64_t>(out.size()) * kFloatBytes;
-  const double t =
-      collective_time(Op::kAllGather, cluster_.topology(), ranks_, bytes);
-  auto& dev = cluster_.device(grank);
-  dev.set_clock(t_start + t);
-  dev.add_bytes_sent(bytes_sent_per_rank(Op::kAllGather, size(), bytes));
+  settle(grank, tok.t_start, Op::kAllGather, n_out * kFloatBytes);
+}
+
+void Group::reduce_scatter(int grank, std::span<const float> in,
+                           std::span<float> out) {
+  if (size() == 1) {
+    assert(in.size() == out.size());
+    std::copy(in.begin(), in.end(), out.begin());
+    return;
+  }
+  const int idx = index_of(grank);
+  assert(in.size() == out.size() * static_cast<std::size_t>(size()));
+  const auto tok = publish(idx, in.data(), static_cast<std::int64_t>(in.size()));
+
+  // Already ownership-chunked by definition: I only produce my out chunk.
+  const auto chunk = static_cast<std::int64_t>(out.size());
+  const std::int64_t off = idx * chunk;
+  const auto& ptrs = ptrs_[tok.slot];
+  const int p = size();
+#pragma omp parallel for schedule(static) if (chunk >= kOmpMinElems)
+  for (std::int64_t b = 0; b < chunk; b += kReduceBlock) {
+    const std::int64_t e = std::min(chunk, b + kReduceBlock);
+    std::copy(ptrs[0] + off + b, ptrs[0] + off + e, out.data() + b);
+    for (int m = 1; m < p; ++m) {
+      const float* src = ptrs[static_cast<std::size_t>(m)] + off;
+#pragma omp simd
+      for (std::int64_t i = b; i < e; ++i) out[static_cast<std::size_t>(i)] += src[i];
+    }
+  }
+  barrier_.arrive_and_wait();  // peers' in buffers were read until here
+
+  settle(grank, tok.t_start, Op::kReduceScatter,
+         static_cast<std::int64_t>(in.size()) * kFloatBytes);
 }
 
 void Group::broadcast(int grank, std::span<float> data, int root) {
   if (size() == 1) return;
   const int idx = index_of(grank);
-  publish(idx, data.data(), static_cast<std::int64_t>(data.size()));
-  const double t_start = *std::max_element(clocks_.begin(), clocks_.end());
+  const auto n = static_cast<std::int64_t>(data.size());
+  const auto tok = publish(idx, data.data(), n);
 
   if (idx != root) {
-    const float* src = ptrs_[static_cast<std::size_t>(root)];
-    assert(counts_[static_cast<std::size_t>(root)] ==
-           static_cast<std::int64_t>(data.size()));
-    std::copy(src, src + data.size(), data.begin());
+    assert(counts_[tok.slot][static_cast<std::size_t>(root)] == n);
+    copy_elems(ptrs_[tok.slot][static_cast<std::size_t>(root)], data.data(), n);
   }
-  barrier_.arrive_and_wait();
+  barrier_.arrive_and_wait();  // root's buffer was read until here
 
-  const std::int64_t bytes = static_cast<std::int64_t>(data.size()) * kFloatBytes;
-  const double t =
-      collective_time(Op::kBroadcast, cluster_.topology(), ranks_, bytes);
-  auto& dev = cluster_.device(grank);
-  dev.set_clock(t_start + t);
-  dev.add_bytes_sent(bytes_sent_per_rank(Op::kBroadcast, size(), bytes));
-}
-
-void Group::reduce(int grank, std::span<float> data, int root) {
-  if (size() == 1) return;
-  const int idx = index_of(grank);
-  publish(idx, data.data(), static_cast<std::int64_t>(data.size()));
-  const double t_start = *std::max_element(clocks_.begin(), clocks_.end());
-
-  if (idx == root) {
-    std::vector<float> temp(data.size(), 0.0f);
-    for (int m = 0; m < size(); ++m) {
-      const float* src = ptrs_[static_cast<std::size_t>(m)];
-      for (std::size_t i = 0; i < data.size(); ++i) temp[i] += src[i];
-    }
-    barrier_.arrive_and_wait();
-    std::copy(temp.begin(), temp.end(), data.begin());
-  } else {
-    barrier_.arrive_and_wait();
-  }
-
-  const std::int64_t bytes = static_cast<std::int64_t>(data.size()) * kFloatBytes;
-  const double t = collective_time(Op::kReduce, cluster_.topology(), ranks_, bytes);
-  auto& dev = cluster_.device(grank);
-  dev.set_clock(t_start + t);
-  dev.add_bytes_sent(bytes_sent_per_rank(Op::kReduce, size(), bytes));
+  settle(grank, tok.t_start, Op::kBroadcast, n * kFloatBytes);
 }
 
 void Group::all_to_all(int grank, std::span<const float> in,
@@ -185,90 +227,69 @@ void Group::all_to_all(int grank, std::span<const float> in,
   const int idx = index_of(grank);
   assert(in.size() == out.size());
   assert(in.size() % static_cast<std::size_t>(size()) == 0);
-  publish(idx, in.data(), static_cast<std::int64_t>(in.size()));
-  const double t_start = *std::max_element(clocks_.begin(), clocks_.end());
+  const auto tok = publish(idx, in.data(), static_cast<std::int64_t>(in.size()));
 
   const std::size_t chunk = in.size() / static_cast<std::size_t>(size());
   for (int m = 0; m < size(); ++m) {
-    const float* src = ptrs_[static_cast<std::size_t>(m)] +
+    const float* src = ptrs_[tok.slot][static_cast<std::size_t>(m)] +
                        static_cast<std::size_t>(idx) * chunk;
     std::copy(src, src + chunk, out.data() + static_cast<std::size_t>(m) * chunk);
   }
-  barrier_.arrive_and_wait();
+  barrier_.arrive_and_wait();  // peers' in buffers were read until here
 
-  const std::int64_t bytes = static_cast<std::int64_t>(in.size()) * kFloatBytes;
-  const double t =
-      collective_time(Op::kAllToAll, cluster_.topology(), ranks_, bytes);
-  auto& dev = cluster_.device(grank);
-  dev.set_clock(t_start + t);
-  dev.add_bytes_sent(bytes_sent_per_rank(Op::kAllToAll, size(), bytes));
+  settle(grank, tok.t_start, Op::kAllToAll,
+         static_cast<std::int64_t>(in.size()) * kFloatBytes);
 }
 
 void Group::gather(int grank, std::span<const float> in, std::span<float> out,
                    int root) {
-  const int idx = index_of(grank);
   if (size() == 1) {
     std::copy(in.begin(), in.end(), out.begin());
     return;
   }
-  publish(idx, in.data(), static_cast<std::int64_t>(in.size()));
-  const double t_start = *std::max_element(clocks_.begin(), clocks_.end());
+  const int idx = index_of(grank);
+  const auto tok = publish(idx, in.data(), static_cast<std::int64_t>(in.size()));
 
   if (idx == root) {
     assert(out.size() == in.size() * static_cast<std::size_t>(size()));
     const std::size_t chunk = in.size();
     for (int m = 0; m < size(); ++m) {
-      const float* src = ptrs_[static_cast<std::size_t>(m)];
+      const float* src = ptrs_[tok.slot][static_cast<std::size_t>(m)];
       std::copy(src, src + chunk, out.data() + static_cast<std::size_t>(m) * chunk);
     }
   }
-  barrier_.arrive_and_wait();
+  barrier_.arrive_and_wait();  // members' in buffers were read until here
 
-  const std::int64_t bytes =
-      static_cast<std::int64_t>(in.size()) * size() * kFloatBytes;
-  const double t = collective_time(Op::kGather, cluster_.topology(), ranks_, bytes);
-  auto& dev = cluster_.device(grank);
-  dev.set_clock(t_start + t);
-  dev.add_bytes_sent(bytes_sent_per_rank(Op::kGather, size(), bytes));
+  settle(grank, tok.t_start, Op::kGather,
+         static_cast<std::int64_t>(in.size()) * size() * kFloatBytes);
 }
 
 void Group::scatter(int grank, std::span<const float> in, std::span<float> out,
                     int root) {
-  const int idx = index_of(grank);
   if (size() == 1) {
     std::copy(in.begin(), in.end(), out.begin());
     return;
   }
+  const int idx = index_of(grank);
   // only root's input matters; everyone publishes so sizes are visible
-  publish(idx, in.data(), static_cast<std::int64_t>(in.size()));
-  const double t_start = *std::max_element(clocks_.begin(), clocks_.end());
+  const auto tok = publish(idx, in.data(), static_cast<std::int64_t>(in.size()));
 
-  const float* src_root = ptrs_[static_cast<std::size_t>(root)];
-  assert(counts_[static_cast<std::size_t>(root)] ==
+  const float* src_root = ptrs_[tok.slot][static_cast<std::size_t>(root)];
+  assert(counts_[tok.slot][static_cast<std::size_t>(root)] ==
          static_cast<std::int64_t>(out.size()) * size());
   std::copy(src_root + static_cast<std::size_t>(idx) * out.size(),
             src_root + (static_cast<std::size_t>(idx) + 1) * out.size(),
             out.begin());
-  barrier_.arrive_and_wait();
+  barrier_.arrive_and_wait();  // root's in buffer was read until here
 
-  const std::int64_t bytes =
-      static_cast<std::int64_t>(out.size()) * size() * kFloatBytes;
-  const double t = collective_time(Op::kScatter, cluster_.topology(), ranks_, bytes);
-  auto& dev = cluster_.device(grank);
-  dev.set_clock(t_start + t);
-  dev.add_bytes_sent(bytes_sent_per_rank(Op::kScatter, size(), bytes));
+  settle(grank, tok.t_start, Op::kScatter,
+         static_cast<std::int64_t>(out.size()) * size() * kFloatBytes);
 }
 
 void Group::account(int grank, Op op, std::int64_t bytes) {
-  const int idx = index_of(grank);
   if (size() == 1) return;
-  publish(idx, nullptr, bytes);
-  const double t_start = *std::max_element(clocks_.begin(), clocks_.end());
-  barrier_.arrive_and_wait();
-  const double t = collective_time(op, cluster_.topology(), ranks_, bytes);
-  auto& dev = cluster_.device(grank);
-  dev.set_clock(t_start + t);
-  dev.add_bytes_sent(bytes_sent_per_rank(op, size(), bytes));
+  const auto tok = publish(index_of(grank), nullptr, bytes);
+  settle(grank, tok.t_start, op, bytes);
 }
 
 void Group::account_all_reduce(int grank, std::int64_t bytes) {

@@ -22,9 +22,22 @@ namespace ca::collective {
 /// the topology-model time and charges per-rank interconnect bytes, so
 /// functional runs produce simulated timings for free.
 ///
+/// Rendezvous protocol (see DESIGN.md, "Kernel & collective design"):
+/// pointer/count/clock slots are double-buffered by op parity, so a publish
+/// needs a single barrier — op k's slot writes cannot race op k-2's reads
+/// because reaching publish k requires passing publish k-1, which every rank
+/// reaches only after finishing op k-2. The reducing collectives
+/// (all_reduce, reduce) and all_gather run in two ownership-chunked phases
+/// over a grow-only scratch arena: rank i produces only its ~1/P chunk of
+/// the result (phase 1), a barrier, then ranks copy the finished chunks out
+/// (phase 2). Total data-movement work is O(N·P) instead of the naive
+/// every-rank-sums-everything O(N·P²), every rank observes bit-identical
+/// results, and the steady-state step path performs no allocation.
+///
 /// Each method also has an `account_*` twin that performs only the
 /// clock/byte accounting — the cost-model execution mode for paper-scale
-/// models that would not fit in host memory.
+/// models that would not fit in host memory. Accounting twins and barrier()
+/// cost exactly one barrier crossing.
 class Group {
  public:
   Group(sim::Cluster& cluster, std::vector<int> ranks);
@@ -73,10 +86,37 @@ class Group {
   void account_all_to_all(int grank, std::int64_t bytes);
 
  private:
-  /// Publish my pointer + clock, rendezvous; returns after all published.
-  void publish(int idx, const float* ptr, std::int64_t count);
-  /// Clock/byte accounting once per call; uses the clocks published earlier.
-  void settle(int idx, Op op, std::int64_t bytes);
+  /// Result of a publish rendezvous: which parity slot this op's pointers
+  /// landed in, and the max of the members' clocks at entry (the collective's
+  /// logical start time, captured before any rank can republish).
+  struct PubToken {
+    int slot;
+    double t_start;
+  };
+
+  /// Publish my pointer + count + clock into this op's parity slot and
+  /// rendezvous (one barrier). After it returns, every member's slot entries
+  /// for this op are readable until the end of the op.
+  PubToken publish(int idx, const float* ptr, std::int64_t count);
+
+  /// Ensure the scratch arena holds at least `elems` floats. Deterministic
+  /// across members (each keeps a private mirror of the arena size, so all
+  /// branch identically); group-index 0 performs the actual grow between two
+  /// barriers. No-op (and no barrier) once the arena is big enough.
+  void ensure_arena(int idx, std::int64_t elems);
+
+  /// [begin, end) of the ownership chunk of member `idx` for an N-element
+  /// buffer: near-equal contiguous split, remainder spread over low indices.
+  [[nodiscard]] std::pair<std::int64_t, std::int64_t> chunk_range(
+      std::int64_t n, int idx) const;
+
+  /// Phase 1 of the reducing collectives: arena[lo, hi) = sum over members
+  /// of their published buffer's [lo, hi) range, in ascending member order
+  /// (bit-identical to the serial reference sum).
+  void reduce_chunk(int slot, std::int64_t lo, std::int64_t hi);
+
+  /// Clock/byte accounting once per call.
+  void settle(int grank, double t_start, Op op, std::int64_t bytes);
   void account(int grank, Op op, std::int64_t bytes);
 
   sim::Cluster& cluster_;
@@ -84,10 +124,23 @@ class Group {
   std::unordered_map<int, int> index_;
   std::barrier<> barrier_;
 
-  // rendezvous slots (indexed by group index; raced only between barriers)
-  std::vector<const float*> ptrs_;
-  std::vector<std::int64_t> counts_;
-  std::vector<double> clocks_;
+  // Rendezvous slots, double-buffered by op parity (index [seq & 1][member]).
+  std::vector<const float*> ptrs_[2];
+  std::vector<std::int64_t> counts_[2];
+  std::vector<double> clocks_[2];
+
+  // Per-member private state (each member thread touches only its own entry);
+  // padded to a cache line to keep the counters from false-sharing.
+  struct alignas(64) MemberState {
+    std::int64_t seq = 0;         // ops issued; low bit picks the parity slot
+    std::int64_t arena_seen = 0;  // this member's mirror of arena_.size()
+  };
+  std::vector<MemberState> members_;
+
+  // Grow-only scratch arena for the two-phase collectives. Written in
+  // disjoint ownership chunks during phase 1, read-only during phase 2,
+  // resized only inside ensure_arena's barrier pair.
+  std::vector<float> arena_;
 };
 
 }  // namespace ca::collective

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <random>
 
+#include "tensor/gemm.hpp"
+
 namespace ca::tensor {
 
 namespace {
@@ -89,7 +91,9 @@ Tensor mul(const Tensor& a, const Tensor& b) {
 
 Tensor add_scalar(const Tensor& a, float s) {
   Tensor out = a.clone();
-  for (auto& v : out.data()) v += s;
+  auto po = out.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < po.size(); ++i) po[i] += s;
   return out;
 }
 
@@ -116,7 +120,9 @@ void axpy_(Tensor& a, float alpha, const Tensor& x) {
 }
 
 void scale_(Tensor& a, float s) {
-  for (auto& v : a.data()) v *= s;
+  auto pa = a.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < pa.size(); ++i) pa[i] *= s;
 }
 
 Tensor add_bias(const Tensor& a, const Tensor& bias) {
@@ -140,7 +146,13 @@ void add_bias_(Tensor& a, const Tensor& bias) {
 
 // ---- matmul --------------------------------------------------------------------
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+// The three layout variants all funnel into detail::gemm_blocked; a transposed
+// operand is expressed as a (row, col) stride swap and handled by the packing
+// step. The naive_* triple loops below are kept as the bit-for-bit reference
+// the blocked kernel is tested against, and still serve problems too small to
+// amortize packing.
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
   assert(b.ndim() == 2);
   const std::int64_t k = a.dim(-1);
   assert(k == b.dim(0));
@@ -165,7 +177,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   return out;
 }
 
-Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+Tensor naive_matmul_tn(const Tensor& a, const Tensor& b) {
   // a: (k, m) possibly with leading dims collapsed into k; b: (k, n)
   const std::int64_t m = a.dim(-1);
   const std::int64_t k = a.numel() / m;
@@ -187,7 +199,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   return out;
 }
 
-Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+Tensor naive_matmul_nt(const Tensor& a, const Tensor& b) {
   assert(b.ndim() == 2);
   const std::int64_t k = a.dim(-1);
   assert(k == b.dim(1));
@@ -209,6 +221,47 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
       orow[j] = acc;
     }
   }
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  assert(b.ndim() == 2);
+  const std::int64_t k = a.dim(-1);
+  assert(k == b.dim(0));
+  const std::int64_t n = b.dim(1);
+  const std::int64_t m = a.numel() / k;
+  if (m * n * k < detail::kBlockedGemmCutoff) return naive_matmul(a, b);
+
+  Tensor out(a.shape().with_dim(-1, n), 0.0f);
+  detail::gemm_blocked(m, n, k, a.data().data(), k, 1, b.data().data(), n, 1,
+                       out.data().data(), /*threaded=*/true);
+  return out;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.dim(-1);
+  const std::int64_t k = a.numel() / m;
+  assert(b.numel() / b.dim(-1) == k);
+  const std::int64_t n = b.dim(-1);
+  if (m * n * k < detail::kBlockedGemmCutoff) return naive_matmul_tn(a, b);
+
+  Tensor out(Shape{m, n}, 0.0f);
+  detail::gemm_blocked(m, n, k, a.data().data(), 1, m, b.data().data(), n, 1,
+                       out.data().data(), /*threaded=*/true);
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  assert(b.ndim() == 2);
+  const std::int64_t k = a.dim(-1);
+  assert(k == b.dim(1));
+  const std::int64_t n = b.dim(0);
+  const std::int64_t m = a.numel() / k;
+  if (m * n * k < detail::kBlockedGemmCutoff) return naive_matmul_nt(a, b);
+
+  Tensor out(a.shape().with_dim(-1, n), 0.0f);
+  detail::gemm_blocked(m, n, k, a.data().data(), k, 1, b.data().data(), 1, k,
+                       out.data().data(), /*threaded=*/true);
   return out;
 }
 
@@ -240,6 +293,21 @@ Tensor bmm_impl(const Tensor& a, const Tensor& b, BmmMode mode) {
   float* po = out.data().data();
   const std::int64_t a_sz = a.dim(1) * a.dim(2);
   const std::int64_t b_sz = b.dim(1) * b.dim(2);
+
+  if (m * n * k >= detail::kBlockedGemmCutoff) {
+    // Per-batch strides for the blocked kernel: a transposed operand is a
+    // stride swap, exactly as in the 2-d matmul variants.
+    std::int64_t a_rs = k, a_cs = 1, b_rs = n, b_cs = 1;
+    if (mode == BmmMode::TN) a_rs = 1, a_cs = m;
+    if (mode == BmmMode::NT) b_rs = 1, b_cs = k;
+#pragma omp parallel for schedule(static)
+    for (std::int64_t bt = 0; bt < batch; ++bt) {
+      detail::gemm_blocked(m, n, k, pa + bt * a_sz, a_rs, a_cs, pb + bt * b_sz,
+                           b_rs, b_cs, po + bt * m * n, /*threaded=*/false);
+    }
+    return out;
+  }
+
 #pragma omp parallel for schedule(static)
   for (std::int64_t bt = 0; bt < batch; ++bt) {
     const float* A = pa + bt * a_sz;

@@ -47,12 +47,21 @@ void add_bias_(Tensor& a, const Tensor& bias);
 // ---- matmul ---------------------------------------------------------------
 
 /// (..., m, k) x (k, n) -> (..., m, n). Leading dims of `a` are collapsed.
+/// Large problems run through the cache-blocked SIMD kernel in gemm.hpp.
 Tensor matmul(const Tensor& a, const Tensor& b);
 /// a^T b for 2-d a:(k,m), b:(k,n) -> (m,n). For weight gradients `a` may have
 /// leading dims collapsed into its rows.
 Tensor matmul_tn(const Tensor& a, const Tensor& b);
 /// a b^T : (..., m, k) x (n, k) -> (..., m, n).
 Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// Unblocked triple-loop references for the three variants above. These are
+/// the oracle the blocked kernel is validated against (tests/test_gemm.cpp)
+/// and the fast path for small shapes; results may differ from the blocked
+/// kernel by float-rounding only.
+Tensor naive_matmul(const Tensor& a, const Tensor& b);
+Tensor naive_matmul_tn(const Tensor& a, const Tensor& b);
+Tensor naive_matmul_nt(const Tensor& a, const Tensor& b);
 
 /// Batched: (B, m, k) x (B, k, n) -> (B, m, n).
 Tensor bmm(const Tensor& a, const Tensor& b);

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <numeric>
+#include <random>
 #include <vector>
 
 #include "collective/backend.hpp"
@@ -343,6 +345,92 @@ TEST(Group, NonContiguousRanksWork) {
   // every link of the {1,4,6} ring crosses PCIe on System II
   const std::vector<int> ranks{1, 4, 6};
   EXPECT_DOUBLE_EQ(cluster.topology().ring_bottleneck(ranks), 15.0e9);
+}
+
+TEST(Group, ChunkedAllReduceMatchesSerialReference) {
+  // The chunked two-phase all-reduce partitions the buffer into ownership
+  // chunks, so float summation is reassociated relative to a serial
+  // accumulation; results must still match a single-threaded reference within
+  // tolerance, for every world size and for payloads that are smaller than,
+  // equal to, and much larger than the world size (1 leaves P-1 ranks with
+  // empty chunks; 17 is prime so chunks are uneven; 1<<20 exercises the
+  // OpenMP-parallel intra-chunk path).
+  for (int n : {2, 4, 8}) {
+    for (std::int64_t payload : {std::int64_t{1}, std::int64_t{17},
+                                 std::int64_t{4096}, std::int64_t{1} << 20}) {
+      Fixture f(n);
+      std::mt19937 gen(static_cast<unsigned>(1234 + n + payload));
+      std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+      std::vector<std::vector<float>> bufs(
+          static_cast<std::size_t>(n),
+          std::vector<float>(static_cast<std::size_t>(payload)));
+      std::vector<double> ref(static_cast<std::size_t>(payload), 0.0);
+      for (auto& buf : bufs)
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+          buf[i] = dist(gen);
+          ref[i] += static_cast<double>(buf[i]);
+        }
+      f.cluster.run([&](int rank) {
+        f.backend.world().all_reduce(rank, bufs[static_cast<std::size_t>(rank)]);
+      });
+      for (int r = 0; r < n; ++r) {
+        const auto& got = bufs[static_cast<std::size_t>(r)];
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          const auto want = static_cast<float>(ref[i]);
+          const float tol = 1e-4f * std::max(1.0f, std::fabs(want));
+          ASSERT_NEAR(got[i], want, tol)
+              << "world=" << n << " payload=" << payload << " rank=" << r
+              << " elem=" << i;
+        }
+        // every rank must observe the bit-identical reduced buffer (each
+        // chunk is computed once, by its owner, and copied everywhere)
+        ASSERT_EQ(got, bufs[0]) << "world=" << n << " payload=" << payload;
+      }
+    }
+  }
+}
+
+TEST(Group, ChunkedReduceAndAllGatherMatchReference) {
+  // Same order-independence guarantee for the other two reworked primitives,
+  // on an uneven payload so ownership chunks differ in size.
+  const int n = 4;
+  const std::int64_t payload = 1031;
+  Fixture f(n);
+  std::mt19937 gen(99);
+  std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+  std::vector<std::vector<float>> bufs(
+      static_cast<std::size_t>(n),
+      std::vector<float>(static_cast<std::size_t>(payload)));
+  std::vector<double> ref(static_cast<std::size_t>(payload), 0.0);
+  for (auto& buf : bufs)
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      buf[i] = dist(gen);
+      ref[i] += static_cast<double>(buf[i]);
+    }
+  auto inputs = bufs;  // keep originals for the gather check
+
+  std::vector<std::vector<float>> gathered(
+      static_cast<std::size_t>(n),
+      std::vector<float>(static_cast<std::size_t>(n * payload)));
+  f.cluster.run([&](int rank) {
+    f.backend.world().reduce(rank, bufs[static_cast<std::size_t>(rank)],
+                             /*root=*/2);
+    f.backend.world().all_gather(rank, inputs[static_cast<std::size_t>(rank)],
+                                 gathered[static_cast<std::size_t>(rank)]);
+  });
+  for (std::size_t i = 0; i < static_cast<std::size_t>(payload); ++i) {
+    const auto want = static_cast<float>(ref[i]);
+    const float tol = 1e-4f * std::max(1.0f, std::fabs(want));
+    ASSERT_NEAR(bufs[2][i], want, tol) << "reduce elem " << i;
+  }
+  EXPECT_EQ(bufs[1], inputs[1]);  // non-root buffers untouched
+  for (int r = 0; r < n; ++r)
+    for (int m = 0; m < n; ++m)
+      for (std::size_t i = 0; i < static_cast<std::size_t>(payload); ++i)
+        ASSERT_EQ(gathered[static_cast<std::size_t>(r)]
+                          [static_cast<std::size_t>(m) * payload + i],
+                  inputs[static_cast<std::size_t>(m)][i])
+            << "all_gather rank=" << r << " chunk=" << m << " elem=" << i;
 }
 
 TEST(Group, IndexOfMapsGlobalToGroupRank) {

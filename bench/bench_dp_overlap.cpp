@@ -1,0 +1,150 @@
+// Serial per-parameter all-reduce vs bucketed-overlap gradient sync in the
+// data-parallel engine: wall-clock per training step (the sync + update
+// phase), simulated step time, and the loss trajectory (which must be
+// identical between the two modes). Writes BENCH_dp_overlap.json.
+
+#include <barrier>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "engine/engine.hpp"
+#include "nn/layers.hpp"
+#include "optim/optimizer.hpp"
+#include "tensor/ops.hpp"
+
+namespace t = ca::tensor;
+namespace nn = ca::nn;
+namespace core = ca::core;
+namespace sim = ca::sim;
+namespace engine = ca::engine;
+
+namespace {
+
+// Many small parameters (~200 collectives in serial mode) over a tiny batch:
+// the step is gradient-sync-bound, the regime the bucketing exists for.
+constexpr int kBlocks = 48;
+constexpr std::int64_t kHidden = 16;
+constexpr std::int64_t kHeads = 2;
+constexpr std::int64_t kFfn = 64;
+constexpr std::int64_t kBatch = 1, kSeq = 2;
+constexpr int kWarmup = 2, kSteps = 10;
+
+nn::Sequential build_model() {
+  nn::Sequential net;
+  for (int b = 0; b < kBlocks; ++b) {
+    net.add(std::make_unique<nn::TransformerBlock>(
+        "blk" + std::to_string(b), kHidden, kHeads, kFfn,
+        1000u + static_cast<unsigned>(b)));
+  }
+  return net;
+}
+
+struct ModeResult {
+  double step_ns = 0.0;     // wall ns per step() call (sync + update)
+  double sim_ms = 0.0;      // simulated ms per full training step
+  std::vector<float> losses;
+};
+
+/// One DP training run: every rank sees the full batch (average=1/P of P
+/// identical gradients is exact), so both modes and all ranks must produce
+/// the same loss trajectory bit-for-bit.
+ModeResult run_mode(int world, engine::Engine::Options::GradSync mode) {
+  core::Config cfg;
+  cfg.data_parallel_size = world;
+  bench::World w(sim::Topology::uniform(world, 100e9), cfg);
+
+  ModeResult res;
+  std::vector<double> step_ns(static_cast<std::size_t>(world), 0.0);
+  // Align ranks right before each timed step() so the timer measures the
+  // gradient-sync + update phase, not rank-arrival skew from timesharing.
+  // A plain barrier (not Group::barrier) so no pending async op is flushed
+  // outside the timed window.
+  std::barrier align(world);
+  const auto x = t::randn(t::Shape{kBatch, kSeq, kHidden}, 7);
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(kBatch * kSeq));
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    labels[i] = static_cast<std::int64_t>((i * 37) % kHidden);
+
+  w.cluster.run([&](int g) {
+    auto net = build_model();
+    engine::Engine::Options opts;
+    opts.grad_sync = mode;
+    auto eng = engine::initialize(
+        w.env(g), net,
+        std::make_unique<ca::optim::Sgd>(net.parameters(), 1e-3f), opts);
+    std::vector<float> losses;
+    double ns = 0.0;
+    for (int s = 0; s < kWarmup + kSteps; ++s) {
+      eng->zero_grad();
+      auto out = eng->forward(x);
+      auto logits = out.reshape(t::Shape{kBatch * kSeq, kHidden});
+      t::Tensor dl;
+      const float loss = t::cross_entropy(logits, labels, dl);
+      eng->backward_from(dl.reshape(t::Shape{kBatch, kSeq, kHidden}));
+      align.arrive_and_wait();
+      const auto t0 = std::chrono::steady_clock::now();
+      eng->step();
+      const auto t1 = std::chrono::steady_clock::now();
+      if (s >= kWarmup) {
+        ns += std::chrono::duration<double, std::nano>(t1 - t0).count();
+        losses.push_back(loss);
+      }
+    }
+    step_ns[static_cast<std::size_t>(g)] = ns / kSteps;
+    if (g == 0) res.losses = losses;
+  });
+
+  for (double v : step_ns) res.step_ns = std::max(res.step_ns, v);
+  res.sim_ms =
+      w.cluster.max_clock() * 1e3 / static_cast<double>(kWarmup + kSteps);
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("DP gradient sync: serial per-param vs bucketed overlap");
+  std::printf("model: %d transformer blocks, hidden %lld (%.1f MB grads)\n",
+              kBlocks, static_cast<long long>(kHidden),
+              static_cast<double>(build_model().num_params()) * 4.0 / 1e6);
+
+  bench::JsonReport report("BENCH_dp_overlap.json");
+  const std::string shape = "blocks" + std::to_string(kBlocks) + "_hidden" +
+                            std::to_string(kHidden) + "_batch" +
+                            std::to_string(kBatch * kSeq);
+  bool losses_ok = true;
+
+  for (int world : {4, 8}) {
+    const auto serial =
+        run_mode(world, engine::Engine::Options::GradSync::kSerial);
+    const auto bucketed =
+        run_mode(world, engine::Engine::Options::GradSync::kBucketed);
+
+    const double speedup_pct =
+        (serial.step_ns - bucketed.step_ns) / serial.step_ns * 100.0;
+    const bool identical = serial.losses == bucketed.losses;
+    losses_ok = losses_ok && identical;
+
+    std::printf(
+        "world %d: step serial %8.0f us | bucketed %8.0f us | %+5.1f%% "
+        "wall | sim %.3f -> %.3f ms | losses %s\n",
+        world, serial.step_ns / 1e3, bucketed.step_ns / 1e3, speedup_pct,
+        serial.sim_ms, bucketed.sim_ms, identical ? "identical" : "DIVERGED");
+
+    const std::string tag = "_world" + std::to_string(world);
+    report.add("dp_step_serial" + tag, shape, serial.step_ns, 0.0);
+    report.add("dp_step_bucketed" + tag, shape, bucketed.step_ns, 0.0);
+    // ns_per_iter carries the speedup percentage for this synthetic row
+    report.add("dp_step_speedup_pct" + tag, shape, speedup_pct, 0.0);
+  }
+  report.write();
+
+  if (!losses_ok) {
+    std::fprintf(stderr, "FAIL: loss trajectories diverged between modes\n");
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

@@ -21,7 +21,33 @@ void copy_elems(const float* src, float* dst, std::int64_t n) {
   for (std::int64_t i = 0; i < n; ++i) dst[i] = src[i];
 }
 
+/// dst[0, n) = scale * src[0, n) — the fused copy-out of the reducing
+/// collectives (gradient averaging costs no extra sweep).
+void copy_elems_scaled(const float* src, float* dst, std::int64_t n,
+                       float scale) {
+  if (scale == 1.0f) {
+    copy_elems(src, dst, n);
+    return;
+  }
+#pragma omp parallel for simd schedule(static) if (n >= kOmpMinElems)
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = src[i] * scale;
+}
+
+void scale_inplace(std::span<float> data, float scale) {
+  if (scale == 1.0f) return;
+  for (auto& v : data) v *= scale;
+}
+
 }  // namespace
+
+void CollectiveHandle::wait() {
+  if (!state_) return;
+  if (!state_->done) group_->drain_until(grank_, state_.get());
+  // Overlap accounting: the waiter pays only the part of the comm time that
+  // compute did not hide.
+  auto& dev = group_->cluster_.device(grank_);
+  dev.set_clock(std::max(dev.clock(), state_->t_end));
+}
 
 Group::Group(sim::Cluster& cluster, std::vector<int> ranks)
     : cluster_(cluster),
@@ -37,12 +63,13 @@ Group::Group(sim::Cluster& cluster, std::vector<int> ranks)
   }
 }
 
-Group::PubToken Group::publish(int idx, const float* ptr, std::int64_t count) {
+Group::PubToken Group::publish(int idx, const float* ptr, std::int64_t count,
+                               double clock) {
   const auto i = static_cast<std::size_t>(idx);
   const int slot = static_cast<int>(members_[i].seq++ & 1);
   ptrs_[slot][i] = ptr;
   counts_[slot][i] = count;
-  clocks_[slot][i] = cluster_.device(ranks_[i]).clock();
+  clocks_[slot][i] = clock;
   barrier_.arrive_and_wait();
   // This op's slot entries are stable from here to the end of the op: a rank
   // can only overwrite them two publishes later, and it reaches that publish
@@ -89,24 +116,33 @@ void Group::reduce_chunk(int slot, std::int64_t lo, std::int64_t hi) {
   }
 }
 
-void Group::settle(int grank, double t_start, Op op, std::int64_t bytes) {
-  const double t = collective_time(op, cluster_.topology(), ranks_, bytes);
-  auto& dev = cluster_.device(grank);
-  dev.set_clock(t_start + t);
-  dev.add_bytes_sent(bytes_sent_per_rank(op, size(), bytes));
+double Group::settle(int grank, double t_start, Op op, std::int64_t bytes) {
+  auto& me = members_[static_cast<std::size_t>(index_of(grank))];
+  // Collectives on one group serialize on its comm lane: an op starts no
+  // earlier than the previous one finished, even when both were issued
+  // asynchronously (every member mirrors the same lane history).
+  const double begin = std::max(t_start, me.lane_busy);
+  const double t_end =
+      begin + collective_time(op, cluster_.topology(), ranks_, bytes);
+  me.lane_busy = t_end;
+  cluster_.device(grank).add_bytes_sent(bytes_sent_per_rank(op, size(), bytes));
+  return t_end;
 }
 
 void Group::barrier(int grank) {
   if (size() == 1) return;
-  const auto tok = publish(index_of(grank), nullptr, 0);
+  const int idx = index_of(grank);
+  flush(grank);
+  const auto tok = publish(idx, nullptr, 0, cluster_.device(grank).clock());
   cluster_.device(grank).set_clock(tok.t_start);
 }
 
-void Group::all_reduce(int grank, std::span<float> data) {
-  if (size() == 1) return;
+// ---- shared op bodies -------------------------------------------------------
+
+double Group::exec_all_reduce(int grank, float* data, std::int64_t n,
+                              float scale, double pub_clock) {
   const int idx = index_of(grank);
-  const auto n = static_cast<std::int64_t>(data.size());
-  const auto tok = publish(idx, data.data(), n);
+  const auto tok = publish(idx, data, n, pub_clock);
   for (int m = 0; m < size(); ++m) {
     assert(counts_[tok.slot][static_cast<std::size_t>(m)] == n);
   }
@@ -118,19 +154,87 @@ void Group::all_reduce(int grank, std::span<float> data) {
   reduce_chunk(tok.slot, lo, hi);
   barrier_.arrive_and_wait();
 
-  // Phase 2 (all-gather): one contiguous copy of the finished result. Only
-  // the arena is read, so no trailing barrier is needed — the next op's
-  // arena writes are gated behind its own publish rendezvous.
-  copy_elems(arena_.data(), data.data(), n);
+  // Phase 2 (all-gather): one contiguous copy of the finished result, with
+  // the gradient-averaging scale fused in. Only the arena is read, so no
+  // trailing barrier is needed — the next op's arena writes are gated behind
+  // its own publish rendezvous.
+  copy_elems_scaled(arena_.data(), data, n, scale);
 
-  settle(grank, tok.t_start, Op::kAllReduce, n * kFloatBytes);
+  return settle(grank, tok.t_start, Op::kAllReduce, n * kFloatBytes);
+}
+
+double Group::exec_reduce_scatter(int grank, const float* in,
+                                  std::int64_t n_in, float* out,
+                                  std::int64_t n_out, float scale,
+                                  double pub_clock) {
+  const int idx = index_of(grank);
+  assert(n_in == n_out * size());
+  const auto tok = publish(idx, in, n_in, pub_clock);
+
+  // Already ownership-chunked by definition: I only produce my out chunk.
+  const std::int64_t off = idx * n_out;
+  const auto& ptrs = ptrs_[tok.slot];
+  const int p = size();
+#pragma omp parallel for schedule(static) if (n_out >= kOmpMinElems)
+  for (std::int64_t b = 0; b < n_out; b += kReduceBlock) {
+    const std::int64_t e = std::min(n_out, b + kReduceBlock);
+    std::copy(ptrs[0] + off + b, ptrs[0] + off + e, out + b);
+    for (int m = 1; m < p; ++m) {
+      const float* src = ptrs[static_cast<std::size_t>(m)] + off;
+#pragma omp simd
+      for (std::int64_t i = b; i < e; ++i) out[i] += src[i];
+    }
+    if (scale != 1.0f) {
+#pragma omp simd
+      for (std::int64_t i = b; i < e; ++i) out[i] *= scale;
+    }
+  }
+  barrier_.arrive_and_wait();  // peers' in buffers were read until here
+
+  return settle(grank, tok.t_start, Op::kReduceScatter, n_in * kFloatBytes);
+}
+
+double Group::exec_all_gather(int grank, const float* in, std::int64_t n_in,
+                              float* out, std::int64_t n_out,
+                              double pub_clock) {
+  const int idx = index_of(grank);
+  assert(n_out == n_in * size());
+  const auto tok = publish(idx, in, n_in, pub_clock);
+  ensure_arena(idx, n_out);
+
+  // Phase 1: deposit my chunk at its group-index offset in the arena.
+  copy_elems(in, arena_.data() + idx * n_in, n_in);
+  barrier_.arrive_and_wait();
+
+  // Phase 2: a single contiguous read of the assembled buffer (instead of P
+  // strided reads of peer buffers); peers' own buffers are no longer touched,
+  // so ranks may return without a trailing barrier.
+  copy_elems(arena_.data(), out, n_out);
+
+  // Payload convention: bytes = the full gathered size (matches NCCL docs).
+  return settle(grank, tok.t_start, Op::kAllGather, n_out * kFloatBytes);
+}
+
+// ---- blocking collectives ---------------------------------------------------
+
+void Group::all_reduce(int grank, std::span<float> data, float scale) {
+  if (size() == 1) {
+    scale_inplace(data, scale);
+    return;
+  }
+  flush(grank);
+  const double t_end =
+      exec_all_reduce(grank, data.data(), static_cast<std::int64_t>(data.size()),
+                      scale, cluster_.device(grank).clock());
+  cluster_.device(grank).set_clock(t_end);
 }
 
 void Group::reduce(int grank, std::span<float> data, int root) {
   if (size() == 1) return;
+  flush(grank);
   const int idx = index_of(grank);
   const auto n = static_cast<std::int64_t>(data.size());
-  const auto tok = publish(idx, data.data(), n);
+  const auto tok = publish(idx, data.data(), n, cluster_.device(grank).clock());
   ensure_arena(idx, n);
 
   // Same two-phase protocol as all_reduce, but only root copies out.
@@ -140,7 +244,8 @@ void Group::reduce(int grank, std::span<float> data, int root) {
 
   if (idx == root) copy_elems(arena_.data(), data.data(), n);
 
-  settle(grank, tok.t_start, Op::kReduce, n * kFloatBytes);
+  cluster_.device(grank).set_clock(
+      settle(grank, tok.t_start, Op::kReduce, n * kFloatBytes));
 }
 
 void Group::all_gather(int grank, std::span<const float> in,
@@ -150,63 +255,35 @@ void Group::all_gather(int grank, std::span<const float> in,
     std::copy(in.begin(), in.end(), out.begin());
     return;
   }
-  const int idx = index_of(grank);
-  assert(out.size() == in.size() * static_cast<std::size_t>(size()));
-  const auto n_in = static_cast<std::int64_t>(in.size());
-  const auto n_out = static_cast<std::int64_t>(out.size());
-  const auto tok = publish(idx, in.data(), n_in);
-  ensure_arena(idx, n_out);
-
-  // Phase 1: deposit my chunk at its group-index offset in the arena.
-  copy_elems(in.data(), arena_.data() + idx * n_in, n_in);
-  barrier_.arrive_and_wait();
-
-  // Phase 2: a single contiguous read of the assembled buffer (instead of P
-  // strided reads of peer buffers); peers' own buffers are no longer touched,
-  // so ranks may return without a trailing barrier.
-  copy_elems(arena_.data(), out.data(), n_out);
-
-  // Payload convention: bytes = the full gathered size (matches NCCL docs).
-  settle(grank, tok.t_start, Op::kAllGather, n_out * kFloatBytes);
+  flush(grank);
+  const double t_end = exec_all_gather(
+      grank, in.data(), static_cast<std::int64_t>(in.size()), out.data(),
+      static_cast<std::int64_t>(out.size()), cluster_.device(grank).clock());
+  cluster_.device(grank).set_clock(t_end);
 }
 
 void Group::reduce_scatter(int grank, std::span<const float> in,
-                           std::span<float> out) {
+                           std::span<float> out, float scale) {
   if (size() == 1) {
     assert(in.size() == out.size());
     std::copy(in.begin(), in.end(), out.begin());
+    scale_inplace(out, scale);
     return;
   }
-  const int idx = index_of(grank);
-  assert(in.size() == out.size() * static_cast<std::size_t>(size()));
-  const auto tok = publish(idx, in.data(), static_cast<std::int64_t>(in.size()));
-
-  // Already ownership-chunked by definition: I only produce my out chunk.
-  const auto chunk = static_cast<std::int64_t>(out.size());
-  const std::int64_t off = idx * chunk;
-  const auto& ptrs = ptrs_[tok.slot];
-  const int p = size();
-#pragma omp parallel for schedule(static) if (chunk >= kOmpMinElems)
-  for (std::int64_t b = 0; b < chunk; b += kReduceBlock) {
-    const std::int64_t e = std::min(chunk, b + kReduceBlock);
-    std::copy(ptrs[0] + off + b, ptrs[0] + off + e, out.data() + b);
-    for (int m = 1; m < p; ++m) {
-      const float* src = ptrs[static_cast<std::size_t>(m)] + off;
-#pragma omp simd
-      for (std::int64_t i = b; i < e; ++i) out[static_cast<std::size_t>(i)] += src[i];
-    }
-  }
-  barrier_.arrive_and_wait();  // peers' in buffers were read until here
-
-  settle(grank, tok.t_start, Op::kReduceScatter,
-         static_cast<std::int64_t>(in.size()) * kFloatBytes);
+  flush(grank);
+  const double t_end = exec_reduce_scatter(
+      grank, in.data(), static_cast<std::int64_t>(in.size()), out.data(),
+      static_cast<std::int64_t>(out.size()), scale,
+      cluster_.device(grank).clock());
+  cluster_.device(grank).set_clock(t_end);
 }
 
 void Group::broadcast(int grank, std::span<float> data, int root) {
   if (size() == 1) return;
+  flush(grank);
   const int idx = index_of(grank);
   const auto n = static_cast<std::int64_t>(data.size());
-  const auto tok = publish(idx, data.data(), n);
+  const auto tok = publish(idx, data.data(), n, cluster_.device(grank).clock());
 
   if (idx != root) {
     assert(counts_[tok.slot][static_cast<std::size_t>(root)] == n);
@@ -214,7 +291,8 @@ void Group::broadcast(int grank, std::span<float> data, int root) {
   }
   barrier_.arrive_and_wait();  // root's buffer was read until here
 
-  settle(grank, tok.t_start, Op::kBroadcast, n * kFloatBytes);
+  cluster_.device(grank).set_clock(
+      settle(grank, tok.t_start, Op::kBroadcast, n * kFloatBytes));
 }
 
 void Group::all_to_all(int grank, std::span<const float> in,
@@ -224,10 +302,12 @@ void Group::all_to_all(int grank, std::span<const float> in,
     std::copy(in.begin(), in.end(), out.begin());
     return;
   }
+  flush(grank);
   const int idx = index_of(grank);
   assert(in.size() == out.size());
   assert(in.size() % static_cast<std::size_t>(size()) == 0);
-  const auto tok = publish(idx, in.data(), static_cast<std::int64_t>(in.size()));
+  const auto tok = publish(idx, in.data(), static_cast<std::int64_t>(in.size()),
+                           cluster_.device(grank).clock());
 
   const std::size_t chunk = in.size() / static_cast<std::size_t>(size());
   for (int m = 0; m < size(); ++m) {
@@ -237,8 +317,9 @@ void Group::all_to_all(int grank, std::span<const float> in,
   }
   barrier_.arrive_and_wait();  // peers' in buffers were read until here
 
-  settle(grank, tok.t_start, Op::kAllToAll,
-         static_cast<std::int64_t>(in.size()) * kFloatBytes);
+  cluster_.device(grank).set_clock(
+      settle(grank, tok.t_start, Op::kAllToAll,
+             static_cast<std::int64_t>(in.size()) * kFloatBytes));
 }
 
 void Group::gather(int grank, std::span<const float> in, std::span<float> out,
@@ -247,8 +328,10 @@ void Group::gather(int grank, std::span<const float> in, std::span<float> out,
     std::copy(in.begin(), in.end(), out.begin());
     return;
   }
+  flush(grank);
   const int idx = index_of(grank);
-  const auto tok = publish(idx, in.data(), static_cast<std::int64_t>(in.size()));
+  const auto tok = publish(idx, in.data(), static_cast<std::int64_t>(in.size()),
+                           cluster_.device(grank).clock());
 
   if (idx == root) {
     assert(out.size() == in.size() * static_cast<std::size_t>(size()));
@@ -260,8 +343,9 @@ void Group::gather(int grank, std::span<const float> in, std::span<float> out,
   }
   barrier_.arrive_and_wait();  // members' in buffers were read until here
 
-  settle(grank, tok.t_start, Op::kGather,
-         static_cast<std::int64_t>(in.size()) * size() * kFloatBytes);
+  cluster_.device(grank).set_clock(
+      settle(grank, tok.t_start, Op::kGather,
+             static_cast<std::int64_t>(in.size()) * size() * kFloatBytes));
 }
 
 void Group::scatter(int grank, std::span<const float> in, std::span<float> out,
@@ -270,9 +354,11 @@ void Group::scatter(int grank, std::span<const float> in, std::span<float> out,
     std::copy(in.begin(), in.end(), out.begin());
     return;
   }
+  flush(grank);
   const int idx = index_of(grank);
   // only root's input matters; everyone publishes so sizes are visible
-  const auto tok = publish(idx, in.data(), static_cast<std::int64_t>(in.size()));
+  const auto tok = publish(idx, in.data(), static_cast<std::int64_t>(in.size()),
+                           cluster_.device(grank).clock());
 
   const float* src_root = ptrs_[tok.slot][static_cast<std::size_t>(root)];
   assert(counts_[tok.slot][static_cast<std::size_t>(root)] ==
@@ -282,14 +368,119 @@ void Group::scatter(int grank, std::span<const float> in, std::span<float> out,
             out.begin());
   barrier_.arrive_and_wait();  // root's in buffer was read until here
 
-  settle(grank, tok.t_start, Op::kScatter,
-         static_cast<std::int64_t>(out.size()) * size() * kFloatBytes);
+  cluster_.device(grank).set_clock(
+      settle(grank, tok.t_start, Op::kScatter,
+             static_cast<std::int64_t>(out.size()) * size() * kFloatBytes));
 }
+
+// ---- non-blocking collectives -----------------------------------------------
+
+CollectiveHandle Group::all_reduce_async(int grank, std::span<float> data,
+                                         float scale) {
+  auto st = std::make_shared<detail::AsyncOpState>();
+  if (size() == 1) {
+    scale_inplace(data, scale);
+    st->done = true;
+    st->t_end = cluster_.device(grank).clock();
+    return {this, grank, std::move(st)};
+  }
+  auto& me = members_[static_cast<std::size_t>(index_of(grank))];
+  me.pending.push_back(PendingOp{
+      Op::kAllReduce, data.data(), nullptr, nullptr,
+      static_cast<std::int64_t>(data.size()), 0, scale,
+      cluster_.device(grank).clock(), st});
+  return {this, grank, std::move(st)};
+}
+
+CollectiveHandle Group::reduce_scatter_async(int grank,
+                                             std::span<const float> in,
+                                             std::span<float> out,
+                                             float scale) {
+  auto st = std::make_shared<detail::AsyncOpState>();
+  if (size() == 1) {
+    assert(in.size() == out.size());
+    std::copy(in.begin(), in.end(), out.begin());
+    scale_inplace(out, scale);
+    st->done = true;
+    st->t_end = cluster_.device(grank).clock();
+    return {this, grank, std::move(st)};
+  }
+  auto& me = members_[static_cast<std::size_t>(index_of(grank))];
+  me.pending.push_back(PendingOp{
+      Op::kReduceScatter, nullptr, in.data(), out.data(),
+      static_cast<std::int64_t>(in.size()),
+      static_cast<std::int64_t>(out.size()), scale,
+      cluster_.device(grank).clock(), st});
+  return {this, grank, std::move(st)};
+}
+
+CollectiveHandle Group::all_gather_async(int grank, std::span<const float> in,
+                                         std::span<float> out) {
+  auto st = std::make_shared<detail::AsyncOpState>();
+  if (size() == 1) {
+    assert(in.size() == out.size());
+    std::copy(in.begin(), in.end(), out.begin());
+    st->done = true;
+    st->t_end = cluster_.device(grank).clock();
+    return {this, grank, std::move(st)};
+  }
+  auto& me = members_[static_cast<std::size_t>(index_of(grank))];
+  me.pending.push_back(PendingOp{
+      Op::kAllGather, nullptr, in.data(), out.data(),
+      static_cast<std::int64_t>(in.size()),
+      static_cast<std::int64_t>(out.size()), 1.0f,
+      cluster_.device(grank).clock(), st});
+  return {this, grank, std::move(st)};
+}
+
+void Group::run_pending(int grank, PendingOp& op) {
+  double t_end = 0.0;
+  switch (op.kind) {
+    case Op::kAllReduce:
+      t_end = exec_all_reduce(grank, op.data, op.n, op.scale, op.issue_clock);
+      break;
+    case Op::kReduceScatter:
+      t_end = exec_reduce_scatter(grank, op.in, op.n, op.out, op.n_out,
+                                  op.scale, op.issue_clock);
+      break;
+    case Op::kAllGather:
+      t_end = exec_all_gather(grank, op.in, op.n, op.out, op.n_out,
+                              op.issue_clock);
+      break;
+    default:
+      assert(false && "unsupported deferred op");
+  }
+  op.st->t_end = t_end;
+  op.st->done = true;
+}
+
+void Group::drain_until(int grank, const detail::AsyncOpState* target) {
+  auto& me = members_[static_cast<std::size_t>(index_of(grank))];
+  while (!target->done) {
+    assert(!me.pending.empty() &&
+           "waiting on an async collective this member never issued");
+    run_pending(grank, me.pending.front());
+    me.pending.pop_front();
+  }
+}
+
+void Group::flush(int grank) {
+  if (size() == 1) return;
+  auto& me = members_[static_cast<std::size_t>(index_of(grank))];
+  while (!me.pending.empty()) {
+    run_pending(grank, me.pending.front());
+    me.pending.pop_front();
+  }
+}
+
+// ---- accounting twins -------------------------------------------------------
 
 void Group::account(int grank, Op op, std::int64_t bytes) {
   if (size() == 1) return;
-  const auto tok = publish(index_of(grank), nullptr, bytes);
-  settle(grank, tok.t_start, op, bytes);
+  flush(grank);
+  const auto tok = publish(index_of(grank), nullptr, bytes,
+                           cluster_.device(grank).clock());
+  cluster_.device(grank).set_clock(settle(grank, tok.t_start, op, bytes));
 }
 
 void Group::account_all_reduce(int grank, std::int64_t bytes) {

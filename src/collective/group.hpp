@@ -2,6 +2,7 @@
 
 #include <barrier>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -11,6 +12,54 @@
 #include "sim/cluster.hpp"
 
 namespace ca::collective {
+
+class Group;
+
+namespace detail {
+/// Completion record shared between a CollectiveHandle and the issuing
+/// group's deferred-op queue. Touched only by the owning member's thread
+/// (issue, execution inside a drain, and wait/test all happen there).
+struct AsyncOpState {
+  bool done = false;
+  double t_end = 0.0;  ///< simulated completion time of the collective
+};
+}  // namespace detail
+
+/// Handle to a non-blocking collective (all_reduce_async & friends), the
+/// moral equivalent of an MPI_Request / NCCL stream event.
+///
+/// * `wait()` guarantees the operation has executed and charges the caller's
+///   logical clock with `max(clock, t_end)` — communication that finished
+///   under compute costs nothing, the canonical overlap accounting.
+/// * `test()` reports whether the operation has already been executed by an
+///   earlier wait()/flush on this member; it never executes work itself
+///   (execution requires a group rendezvous, which cannot be entered
+///   non-blockingly).
+///
+/// Handles are waited on the thread that issued them. Waiting out of issue
+/// order is allowed: wait() first drains every earlier pending op of this
+/// member, preserving the group-wide issue order.
+class CollectiveHandle {
+ public:
+  CollectiveHandle() = default;
+
+  /// Ensure the op (and every op issued before it) has executed, then align
+  /// the device clock to the op's completion time. Idempotent.
+  void wait();
+  /// True once the op has executed (after some wait()/flush reached it).
+  [[nodiscard]] bool test() const { return !state_ || state_->done; }
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class Group;
+  CollectiveHandle(Group* group, int grank,
+                   std::shared_ptr<detail::AsyncOpState> state)
+      : group_(group), grank_(grank), state_(std::move(state)) {}
+
+  Group* group_ = nullptr;
+  int grank_ = 0;
+  std::shared_ptr<detail::AsyncOpState> state_;
+};
 
 /// A process group: the subset of ranks a collective runs over, with its own
 /// rendezvous barrier. Mirrors an MPI communicator / NCCL communicator.
@@ -34,6 +83,15 @@ namespace ca::collective {
 /// every-rank-sums-everything O(N·P²), every rank observes bit-identical
 /// results, and the steady-state step path performs no allocation.
 ///
+/// Non-blocking variants (`*_async`) use a deferred-issue queue: issuing
+/// records the op and the member's clock and returns immediately, so the
+/// device thread keeps computing; the op executes (through the same
+/// rendezvous protocol, hence bit-identically) when a handle is waited or
+/// when the member's next blocking collective flushes the queue. Simulated
+/// comm time is charged against the issue-time clocks and serialized on a
+/// per-group communication lane, so overlapped collectives cost only what
+/// compute fails to hide (see DESIGN.md, "Async collectives").
+///
 /// Each method also has an `account_*` twin that performs only the
 /// clock/byte accounting — the cost-model execution mode for paper-scale
 /// models that would not fit in host memory. Accounting twins and barrier()
@@ -54,11 +112,13 @@ class Group {
   /// Pure synchronization (also aligns logical clocks to the max).
   void barrier(int grank);
 
-  /// In-place sum over all members.
-  void all_reduce(int grank, std::span<float> data);
-  /// out[i-th chunk] = sum over members of their in[i-th chunk];
+  /// In-place sum over all members, multiplied by `scale` during the
+  /// phase-2 copy-out (fused gradient averaging: no second full sweep).
+  void all_reduce(int grank, std::span<float> data, float scale = 1.0f);
+  /// out[i-th chunk] = scale * sum over members of their in[i-th chunk];
   /// in.size() must be size() * out.size(); in and out must not alias.
-  void reduce_scatter(int grank, std::span<const float> in, std::span<float> out);
+  void reduce_scatter(int grank, std::span<const float> in,
+                      std::span<float> out, float scale = 1.0f);
   /// out = concatenation of every member's in, in group-index order.
   void all_gather(int grank, std::span<const float> in, std::span<float> out);
   /// Copy root's buffer to every member. `root` is a group index.
@@ -76,6 +136,28 @@ class Group {
   void scatter(int grank, std::span<const float> in, std::span<float> out,
                int root);
 
+  // ---- non-blocking variants ----------------------------------------------
+  //
+  // Every member must issue the same async-op sequence (SPMD, like the
+  // blocking calls), but may interleave arbitrary compute between issue and
+  // wait. The referenced buffers must stay alive and untouched until the
+  // handle is waited. Results are bit-identical to the blocking variants.
+
+  [[nodiscard]] CollectiveHandle all_reduce_async(int grank,
+                                                  std::span<float> data,
+                                                  float scale = 1.0f);
+  [[nodiscard]] CollectiveHandle reduce_scatter_async(
+      int grank, std::span<const float> in, std::span<float> out,
+      float scale = 1.0f);
+  [[nodiscard]] CollectiveHandle all_gather_async(int grank,
+                                                  std::span<const float> in,
+                                                  std::span<float> out);
+
+  /// Execute every pending async op of this member (without charging the
+  /// device clock — only wait() does that). Implicit before any blocking
+  /// collective, so async and blocking ops stay globally ordered.
+  void flush(int grank);
+
   // ---- cost-model-only twins (no data movement) ---------------------------
 
   void account_all_reduce(int grank, std::int64_t bytes);
@@ -86,6 +168,8 @@ class Group {
   void account_all_to_all(int grank, std::int64_t bytes);
 
  private:
+  friend class CollectiveHandle;
+
   /// Result of a publish rendezvous: which parity slot this op's pointers
   /// landed in, and the max of the members' clocks at entry (the collective's
   /// logical start time, captured before any rank can republish).
@@ -94,10 +178,23 @@ class Group {
     double t_start;
   };
 
-  /// Publish my pointer + count + clock into this op's parity slot and
+  /// A deferred async op, executed in issue order by drains/flushes.
+  struct PendingOp {
+    Op kind;
+    float* data = nullptr;      // all_reduce: in-place buffer
+    const float* in = nullptr;  // reduce_scatter / all_gather: input
+    float* out = nullptr;       //                              output
+    std::int64_t n = 0;         // all_reduce: elems; others: in-elems
+    std::int64_t n_out = 0;     // reduce_scatter / all_gather: out-elems
+    float scale = 1.0f;
+    double issue_clock = 0.0;  // member's clock when the op was issued
+    std::shared_ptr<detail::AsyncOpState> st;
+  };
+
+  /// Publish my pointer + count + `clock` into this op's parity slot and
   /// rendezvous (one barrier). After it returns, every member's slot entries
   /// for this op are readable until the end of the op.
-  PubToken publish(int idx, const float* ptr, std::int64_t count);
+  PubToken publish(int idx, const float* ptr, std::int64_t count, double clock);
 
   /// Ensure the scratch arena holds at least `elems` floats. Deterministic
   /// across members (each keeps a private mirror of the arena size, so all
@@ -115,8 +212,27 @@ class Group {
   /// (bit-identical to the serial reference sum).
   void reduce_chunk(int slot, std::int64_t lo, std::int64_t hi);
 
-  /// Clock/byte accounting once per call.
-  void settle(int grank, double t_start, Op op, std::int64_t bytes);
+  // Shared bodies of the blocking and async reducing/gathering collectives;
+  // `pub_clock` is the clock value to publish (current for blocking calls,
+  // the recorded issue clock for deferred ones). Return the op's simulated
+  // completion time; the caller decides how to charge it.
+  double exec_all_reduce(int grank, float* data, std::int64_t n, float scale,
+                         double pub_clock);
+  double exec_reduce_scatter(int grank, const float* in, std::int64_t n_in,
+                             float* out, std::int64_t n_out, float scale,
+                             double pub_clock);
+  double exec_all_gather(int grank, const float* in, std::int64_t n_in,
+                         float* out, std::int64_t n_out, double pub_clock);
+
+  /// Execute one deferred op (on the issuing member's thread).
+  void run_pending(int grank, PendingOp& op);
+  /// Execute this member's pending ops until `target` is done.
+  void drain_until(int grank, const detail::AsyncOpState* target);
+
+  /// Clock/byte accounting once per call: start no earlier than the group's
+  /// comm-lane availability, advance the lane, charge bytes, and return the
+  /// op's completion time.
+  double settle(int grank, double t_start, Op op, std::int64_t bytes);
   void account(int grank, Op op, std::int64_t bytes);
 
   sim::Cluster& cluster_;
@@ -134,6 +250,14 @@ class Group {
   struct alignas(64) MemberState {
     std::int64_t seq = 0;         // ops issued; low bit picks the parity slot
     std::int64_t arena_seen = 0;  // this member's mirror of arena_.size()
+    // Mirror of the group's communication-lane availability: collectives on
+    // one group serialize on its (virtual NCCL stream) lane, so overlapped
+    // async ops queue behind each other rather than sharing bandwidth. All
+    // members observe the same op sequence with the same published start
+    // times, so every mirror holds the same value — no sharing needed.
+    double lane_busy = 0.0;
+    // Deferred async ops, executed in issue order by wait()/flush().
+    std::deque<PendingOp> pending;
   };
   std::vector<MemberState> members_;
 

@@ -34,7 +34,8 @@ void P2pChannel::do_send(const float* ptr, std::int64_t count,
   cluster_.device(src_).add_bytes_sent(bytes);
 }
 
-void P2pChannel::do_recv(float* ptr, std::int64_t count, std::int64_t bytes) {
+void P2pChannel::do_recv(float* ptr, std::int64_t count, std::int64_t bytes,
+                         double ready_clock) {
   std::shared_ptr<Message> msg;
   {
     std::unique_lock lock(m_);
@@ -49,10 +50,13 @@ void P2pChannel::do_recv(float* ptr, std::int64_t count, std::int64_t bytes) {
     std::copy(src, src + count, ptr);
   }
   auto& dst_dev = cluster_.device(dst_);
-  const double t_start = std::max(msg->send_clock, dst_dev.clock());
+  // The transfer starts once both the payload is in flight and the receiver
+  // was ready for it. For a pre-posted recv ready_clock is the post time, so
+  // transfer time hidden under the receiver's subsequent compute is free.
+  const double t_start = std::max(msg->send_clock, ready_clock);
   const double finish =
       t_start + p2p_time(cluster_.topology(), src_, dst_, bytes);
-  dst_dev.set_clock(finish);
+  dst_dev.set_clock(std::max(dst_dev.clock(), finish));
   if (msg->sync) {
     std::scoped_lock lock(m_);
     msg->finish_clock = finish;
@@ -73,7 +77,24 @@ void P2pChannel::send_async(std::span<const float> data) {
 
 void P2pChannel::recv(std::span<float> data) {
   do_recv(data.data(), static_cast<std::int64_t>(data.size()),
-          static_cast<std::int64_t>(data.size()) * 4);
+          static_cast<std::int64_t>(data.size()) * 4,
+          cluster_.device(dst_).clock());
+}
+
+RecvHandle P2pChannel::irecv(std::span<float> data) {
+  return {this, data.data(), static_cast<std::int64_t>(data.size()),
+          static_cast<std::int64_t>(data.size()) * 4,
+          cluster_.device(dst_).clock()};
+}
+
+RecvHandle P2pChannel::irecv_bytes(std::int64_t bytes) {
+  return {this, nullptr, 0, bytes, cluster_.device(dst_).clock()};
+}
+
+void RecvHandle::wait() {
+  if (chan_ == nullptr || done_) return;
+  chan_->do_recv(ptr_, count_, bytes_, post_clock_);
+  done_ = true;
 }
 
 void P2pChannel::send_bytes(std::int64_t bytes) {
@@ -82,6 +103,8 @@ void P2pChannel::send_bytes(std::int64_t bytes) {
 void P2pChannel::send_async_bytes(std::int64_t bytes) {
   do_send(nullptr, 0, bytes, /*async=*/true);
 }
-void P2pChannel::recv_bytes(std::int64_t bytes) { do_recv(nullptr, 0, bytes); }
+void P2pChannel::recv_bytes(std::int64_t bytes) {
+  do_recv(nullptr, 0, bytes, cluster_.device(dst_).clock());
+}
 
 }  // namespace ca::collective

@@ -12,6 +12,38 @@
 
 namespace ca::collective {
 
+class P2pChannel;
+
+/// Handle to a pre-posted receive (P2pChannel::irecv) — the analogue of an
+/// MPI_Irecv request. Posting records the receiver's clock; `wait()` performs
+/// the actual dequeue/copy and charges the receiver
+/// `max(clock, max(send_clock, post_clock) + transfer_time)`: the NIC makes
+/// progress from the moment the recv was posted, so transfer time that
+/// elapsed under subsequent compute is hidden. Waits on one channel must
+/// happen in post order (the channel is an ordered FIFO).
+class RecvHandle {
+ public:
+  RecvHandle() = default;
+
+  /// Receive the matching message (blocking until one arrives). Idempotent.
+  void wait();
+  [[nodiscard]] bool valid() const { return chan_ != nullptr; }
+
+ private:
+  friend class P2pChannel;
+  RecvHandle(P2pChannel* chan, float* ptr, std::int64_t count,
+             std::int64_t bytes, double post_clock)
+      : chan_(chan), ptr_(ptr), count_(count), bytes_(bytes),
+        post_clock_(post_clock) {}
+
+  P2pChannel* chan_ = nullptr;
+  float* ptr_ = nullptr;
+  std::int64_t count_ = 0;
+  std::int64_t bytes_ = 0;
+  double post_clock_ = 0.0;
+  bool done_ = false;
+};
+
 /// Point-to-point channel for one ordered (src, dst) device pair — the
 /// primitive under pipeline-stage activation transfer and ring
 /// self-attention. Messages form an unbounded FIFO (like NCCL's buffered
@@ -37,6 +69,11 @@ class P2pChannel {
   void send_async(std::span<const float> data);
   /// Blocking receive into `data`; sizes must match the paired send.
   void recv(std::span<float> data);
+  /// Pre-posted receive: records the current clock and returns immediately.
+  /// The payload lands in `data` when the handle is waited; transfer time is
+  /// charged from the post, not the wait (overlap with compute is free).
+  [[nodiscard]] RecvHandle irecv(std::span<float> data);
+  [[nodiscard]] RecvHandle irecv_bytes(std::int64_t bytes);
 
   /// Cost-model-only twins (no payload).
   void send_bytes(std::int64_t bytes);
@@ -55,9 +92,14 @@ class P2pChannel {
     double finish_clock = 0.0;
   };
 
+  friend class RecvHandle;
+
   void do_send(const float* ptr, std::int64_t count, std::int64_t bytes,
                bool async);
-  void do_recv(float* ptr, std::int64_t count, std::int64_t bytes);
+  /// `ready_clock`: the time the receiver became ready for this message
+  /// (current clock for blocking recv, post time for pre-posted irecv).
+  void do_recv(float* ptr, std::int64_t count, std::int64_t bytes,
+               double ready_clock);
 
   sim::Cluster& cluster_;
   int src_, dst_;

@@ -8,10 +8,26 @@ namespace t = ca::tensor;
 
 Engine::Engine(const tp::Env& env, nn::Module& model,
                std::unique_ptr<optim::Optimizer> optimizer)
-    : env_(env), model_(model), optimizer_(std::move(optimizer)) {}
+    : Engine(env, model, std::move(optimizer), Options{}) {}
+
+Engine::Engine(const tp::Env& env, nn::Module& model,
+               std::unique_ptr<optim::Optimizer> optimizer, Options options)
+    : env_(env),
+      model_(model),
+      optimizer_(std::move(optimizer)),
+      options_(options) {
+  auto& dp = env_.ctx->data_group(env_.grank);
+  if (dp.size() > 1 && options_.grad_sync == Options::GradSync::kBucketed) {
+    bucketer_ = std::make_unique<GradBucketer>(
+        dp, env_.grank, optimizer_->params(), options_.bucket_bytes);
+    model_.set_grad_ready_hook(
+        [this](nn::Parameter& p) { bucketer_->on_grad_ready(p); });
+  }
+}
 
 void Engine::zero_grad() {
   optimizer_->zero_grad();
+  if (bucketer_) bucketer_->start_step();
   has_dlogits_ = false;
 }
 
@@ -35,10 +51,15 @@ void Engine::backward_from(const t::Tensor& dy) { model_.backward(dy); }
 void Engine::step() {
   auto& dp = env_.ctx->data_group(env_.grank);
   if (dp.size() > 1) {
-    const float inv = 1.0f / static_cast<float>(dp.size());
-    for (nn::Parameter* p : optimizer_->params()) {
-      dp.all_reduce(env_.grank, p->grad.data());
-      t::scale_(p->grad, inv);
+    if (bucketer_) {
+      bucketer_->finish();
+    } else {
+      // Serial fallback: one blocking all-reduce per parameter, with the
+      // 1/P averaging fused into the reduce's copy-out phase.
+      const float inv = 1.0f / static_cast<float>(dp.size());
+      for (nn::Parameter* p : optimizer_->params()) {
+        dp.all_reduce(env_.grank, p->grad.data(), inv);
+      }
     }
   }
   optimizer_->step();

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 
+#include "engine/grad_bucket.hpp"
 #include "nn/module.hpp"
 #include "optim/optimizer.hpp"
 #include "tp/env.hpp"
@@ -21,10 +23,26 @@ namespace ca::engine {
 /// step() synchronizes gradients over the data-parallel group (averaged)
 /// before the optimizer update, so plain data parallelism works out of the
 /// box and composes with the tensor-parallel layers inside the model.
+///
+/// By default gradients sync through size-capped flat buckets whose async
+/// all-reduces are issued from the model's grad-ready hook during backward —
+/// communication overlaps backward compute (see GradBucketer). The serial
+/// mode keeps one blocking all-reduce per parameter (averaging fused into
+/// the reduce); use it with gradient accumulation (multiple backward calls
+/// per step), which the eager bucketed path does not support.
 class Engine {
  public:
+  struct Options {
+    enum class GradSync { kBucketed, kSerial };
+    GradSync grad_sync = GradSync::kBucketed;
+    /// Bucket payload cap (bytes of float32 gradient per bucket).
+    std::int64_t bucket_bytes = std::int64_t{1} << 20;
+  };
+
   Engine(const tp::Env& env, nn::Module& model,
          std::unique_ptr<optim::Optimizer> optimizer);
+  Engine(const tp::Env& env, nn::Module& model,
+         std::unique_ptr<optim::Optimizer> optimizer, Options options);
 
   void zero_grad();
 
@@ -50,6 +68,8 @@ class Engine {
   tp::Env env_;
   nn::Module& model_;
   std::unique_ptr<optim::Optimizer> optimizer_;
+  Options options_;
+  std::unique_ptr<GradBucketer> bucketer_;  // null when serial or dp == 1
   tensor::Tensor dlogits_;
   bool has_dlogits_ = false;
 };
@@ -58,8 +78,9 @@ class Engine {
 /// into an Engine for this rank.
 inline std::unique_ptr<Engine> initialize(
     const tp::Env& env, nn::Module& model,
-    std::unique_ptr<optim::Optimizer> optimizer) {
-  return std::make_unique<Engine>(env, model, std::move(optimizer));
+    std::unique_ptr<optim::Optimizer> optimizer,
+    Engine::Options options = {}) {
+  return std::make_unique<Engine>(env, model, std::move(optimizer), options);
 }
 
 }  // namespace ca::engine

@@ -1,0 +1,80 @@
+#include "engine/grad_bucket.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ca::engine {
+
+GradBucketer::GradBucketer(collective::Group& dp, int grank,
+                           const std::vector<nn::Parameter*>& params,
+                           std::int64_t bucket_bytes)
+    : dp_(dp),
+      grank_(grank),
+      scale_(1.0f / static_cast<float>(dp.size())) {
+  const std::int64_t cap_elems = std::max<std::int64_t>(bucket_bytes / 4, 1);
+  // Reverse registration order ≈ backward completion order, so buckets fill
+  // (and their reduces launch) while backward is still running earlier layers.
+  for (auto it = params.rbegin(); it != params.rend(); ++it) {
+    nn::Parameter* p = *it;
+    if (buckets_.empty() || buckets_.back().elems + p->numel() > cap_elems) {
+      buckets_.emplace_back();
+    }
+    Bucket& b = buckets_.back();
+    b.params.push_back(p);
+    b.offsets.push_back(b.elems);
+    b.elems += p->numel();
+    bucket_of_.emplace(p->grad.data().data(),
+                       static_cast<int>(buckets_.size()) - 1);
+  }
+  for (Bucket& b : buckets_) b.flat.resize(static_cast<std::size_t>(b.elems));
+}
+
+void GradBucketer::start_step() {
+  for (Bucket& b : buckets_) {
+    b.ready = 0;
+    b.issued = false;
+    b.handle = {};
+  }
+  armed_ = true;
+}
+
+void GradBucketer::issue(Bucket& b) {
+  for (std::size_t i = 0; i < b.params.size(); ++i) {
+    const auto g = b.params[i]->grad.data();
+    std::copy(g.begin(), g.end(), b.flat.begin() + b.offsets[i]);
+  }
+  b.handle = dp_.all_reduce_async(grank_, b.flat, scale_);
+  b.issued = true;
+}
+
+void GradBucketer::on_grad_ready(const nn::Parameter& p) {
+  if (!armed_) return;
+  const auto it = bucket_of_.find(p.grad.data().data());
+  if (it == bucket_of_.end()) return;
+  Bucket& b = buckets_[static_cast<std::size_t>(it->second)];
+  assert(!b.issued && "gradient reported ready twice in one step");
+  if (++b.ready == static_cast<int>(b.params.size())) issue(b);
+}
+
+void GradBucketer::finish() {
+  // Stragglers first (parameters that never got a ready notification, e.g. a
+  // leaf-module model with no hook path), keeping the SPMD issue order
+  // deterministic: bucket build order.
+  for (Bucket& b : buckets_) {
+    if (!b.issued) issue(b);
+  }
+  for (Bucket& b : buckets_) {
+    b.handle.wait();
+    for (std::size_t i = 0; i < b.params.size(); ++i) {
+      auto g = b.params[i]->grad.data();
+      const float* src = b.flat.data() + b.offsets[i];
+      std::copy(src, src + g.size(), g.begin());
+    }
+    b.ready = 0;
+    b.issued = false;
+    b.handle = {};
+  }
+  armed_ = false;
+}
+
+}  // namespace ca::engine

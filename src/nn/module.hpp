@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,10 +32,29 @@ struct Parameter {
 /// its parameters' .grad.
 class Module {
  public:
+  /// Called with each Parameter whose gradient just became final during
+  /// backward (its owning sub-module finished accumulating into .grad).
+  /// Drives gradient-bucket overlap: the DP engine issues a bucket's async
+  /// all-reduce the moment the bucket's last gradient is ready.
+  using GradReadyHook = std::function<void(Parameter&)>;
+
   virtual ~Module() = default;
 
   virtual tensor::Tensor forward(const tensor::Tensor& x) = 0;
   virtual tensor::Tensor backward(const tensor::Tensor& dy) = 0;
+
+  /// Install (or clear, with nullptr) the grad-ready hook. Container modules
+  /// fire it during backward, after each direct member's backward returns,
+  /// for that member's parameters — i.e. in backward completion order. Leaf
+  /// modules ignore it (their caller fires for them); a bare leaf used as the
+  /// whole model simply gets no per-param notifications, and consumers must
+  /// treat never-notified parameters as ready at end of backward.
+  void set_grad_ready_hook(GradReadyHook hook) {
+    grad_ready_hook_ = std::move(hook);
+  }
+  [[nodiscard]] const GradReadyHook& grad_ready_hook() const {
+    return grad_ready_hook_;
+  }
 
   /// Append pointers to all owned parameters (recursively) to `out`.
   virtual void collect_parameters(std::vector<Parameter*>& out) { (void)out; }
@@ -57,6 +77,17 @@ class Module {
     for (Parameter* p : parameters()) n += p->numel();
     return n;
   }
+
+ protected:
+  /// Fire the hook for every parameter of `m` (a direct member whose
+  /// backward just completed).
+  void notify_grads_ready(Module& m) {
+    if (!grad_ready_hook_) return;
+    for (Parameter* p : m.parameters()) grad_ready_hook_(*p);
+  }
+
+ private:
+  GradReadyHook grad_ready_hook_;
 };
 
 /// Ordered container running members front-to-back in forward and
@@ -84,8 +115,10 @@ class Sequential : public Module {
 
   tensor::Tensor backward(const tensor::Tensor& dy) override {
     tensor::Tensor g = dy;
-    for (auto it = members_.rbegin(); it != members_.rend(); ++it)
+    for (auto it = members_.rbegin(); it != members_.rend(); ++it) {
       g = (*it)->backward(g);
+      notify_grads_ready(**it);
+    }
     return g;
   }
 

@@ -22,10 +22,20 @@ void Sgd::step() {
     if (momentum_ == 0.0f) {
       t::axpy_(p.value, -lr_, p.grad);
     } else {
-      auto& vel = velocity_[i];
-      t::scale_(vel, momentum_);
-      t::add_(vel, p.grad);
-      t::axpy_(p.value, -lr_, vel);
+      // One fused sweep instead of three (scale_, add_, axpy_); the
+      // per-element operation order is unchanged, so results are identical.
+      auto pv = p.value.data();
+      auto pg = p.grad.data();
+      auto pvel = velocity_[i].data();
+      const float mom = momentum_, lr = lr_;
+      const auto n = static_cast<std::int64_t>(pv.size());
+#pragma omp parallel for simd schedule(static) if (n >= (1 << 14))
+      for (std::int64_t e = 0; e < n; ++e) {
+        const auto ii = static_cast<std::size_t>(e);
+        const float vel = mom * pvel[ii] + pg[ii];
+        pvel[ii] = vel;
+        pv[ii] -= lr * vel;
+      }
     }
   }
 }
@@ -51,6 +61,9 @@ void Adam::update_range(std::size_t idx, std::int64_t begin, std::int64_t end) {
   const float b1 = hyper_.beta1, b2 = hyper_.beta2;
   const float bc1 = 1.0f - std::pow(b1, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+  // Elementwise-independent, and update_range is only entered from a single
+  // thread (Adam::step / HybridAdam::step), so the team parallelism is safe.
+#pragma omp parallel for simd schedule(static) if (end - begin >= (1 << 14))
   for (std::int64_t i = begin; i < end; ++i) {
     const auto ii = static_cast<std::size_t>(i);
     float g = pg[ii];

@@ -24,6 +24,16 @@ Pipeline::Pipeline(const tp::Env& env, nn::Module& stage,
       input_shape_(std::move(input_shape)),
       schedule_(schedule) {}
 
+void Pipeline::post_fwd_recv() {
+  auto& ctx = env_.context();
+  if (ctx.is_first_stage(env_.grank) || fwd_posted_ >= micros_) return;
+  next_fwd_ = t::Tensor(input_shape_);
+  fwd_h_ = ctx.backend()
+               .channel(ctx.pipeline_prev(env_.grank), env_.grank)
+               .irecv(next_fwd_.data());
+  ++fwd_posted_;
+}
+
 t::Tensor Pipeline::forward_micro(int m,
                                   std::span<const t::Tensor> inputs) {
   auto& ctx = env_.context();
@@ -31,9 +41,11 @@ t::Tensor Pipeline::forward_micro(int m,
   if (ctx.is_first_stage(env_.grank)) {
     x = inputs[static_cast<std::size_t>(m)].clone();
   } else {
-    x = t::Tensor(input_shape_);
-    ctx.backend().channel(ctx.pipeline_prev(env_.grank), env_.grank)
-        .recv(x.data());
+    fwd_h_.wait();
+    x = std::move(next_fwd_);
+    // Re-post immediately: the next micro-batch's activation streams in
+    // while this one is being computed (1F1B overlap).
+    post_fwd_recv();
   }
   held_inputs_[static_cast<std::size_t>(m)] = x;
   env_.mem().alloc(x.numel() * 4);
@@ -42,6 +54,7 @@ t::Tensor Pipeline::forward_micro(int m,
   peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
 
   auto y = stage_.forward(x);
+  out_shape_ = y.shape();
   if (!ctx.is_last_stage(env_.grank)) {
     ctx.backend().channel(env_.grank, ctx.pipeline_next(env_.grank))
         .send_async(y.data());
@@ -75,19 +88,31 @@ float Pipeline::train_step(int micros, std::span<const t::Tensor> inputs,
   held_inputs_.assign(static_cast<std::size_t>(micros), t::Tensor());
   in_flight_ = 0;
   peak_in_flight_ = 0;
+  micros_ = micros;
+  fwd_posted_ = 0;
+  post_fwd_recv();  // pre-post micro 0's input before any compute
   float loss_sum = 0.0f;
 
   // Backward for micro m: recompute the stage forward from the held input
   // (activation checkpointing), obtain dL/dy (from the loss on the last
-  // stage, from downstream otherwise), then run backward.
+  // stage, from downstream otherwise), then run backward. The dy receive is
+  // pre-posted before the recompute so the transfer rides under it; the
+  // stage output shape is known from the original forward pass.
   auto run_backward = [&](int m) {
+    t::Tensor dy;
+    collective::RecvHandle dy_h;
+    if (!last) {
+      dy = t::Tensor(out_shape_);
+      dy_h = ctx.backend()
+                 .channel(ctx.pipeline_next(env_.grank), env_.grank)
+                 .irecv(dy.data());
+    }
     auto y = stage_.forward(held_inputs_[static_cast<std::size_t>(m)]);
-    t::Tensor dy(y.shape());
     if (last) {
+      dy = t::Tensor(y.shape());
       loss_sum += loss(y, dy, m);
     } else {
-      ctx.backend().channel(ctx.pipeline_next(env_.grank), env_.grank)
-          .recv(dy.data());
+      dy_h.wait();
     }
     backward_micro(m, dy);
   };
@@ -164,11 +189,13 @@ float ChunkedPipeline::train_step(int micros,
   };
 
   // ---- forward: chunk-major fill-drain ---------------------------------------
+  std::vector<t::Shape> out_shapes(static_cast<std::size_t>(chunks));
   for (int v = 0; v < chunks; ++v) {
     for (int m = 0; m < micros; ++m) {
       auto x = recv_input(v, m);
       held_[static_cast<std::size_t>(v)][static_cast<std::size_t>(m)] = x;
       auto y = chunks_[static_cast<std::size_t>(v)]->forward(x);
+      out_shapes[static_cast<std::size_t>(v)] = y.shape();
       send_output(v, y);
     }
   }
@@ -176,15 +203,23 @@ float ChunkedPipeline::train_step(int micros,
   // ---- backward: reverse order, with recomputation ----------------------------
   for (int v = chunks - 1; v >= 0; --v) {
     for (int m = micros - 1; m >= 0; --m) {
-      auto y = chunks_[static_cast<std::size_t>(v)]->forward(
-          held_[static_cast<std::size_t>(v)][static_cast<std::size_t>(m)]);
-      t::Tensor dy(y.shape());
-      if (v == chunks - 1 && last_vs) {
-        loss_sum += loss(y, dy, m);
-      } else {
+      // Pre-post the dy receive so the transfer overlaps the recompute.
+      const bool from_loss = (v == chunks - 1 && last_vs);
+      t::Tensor dy;
+      collective::RecvHandle dy_h;
+      if (!from_loss) {
+        dy = t::Tensor(out_shapes[static_cast<std::size_t>(v)]);
         const int src =
             last_vs ? rank_of_stage(0) : ctx.pipeline_next(env_.grank);
-        ctx.backend().channel(src, env_.grank).recv(dy.data());
+        dy_h = ctx.backend().channel(src, env_.grank).irecv(dy.data());
+      }
+      auto y = chunks_[static_cast<std::size_t>(v)]->forward(
+          held_[static_cast<std::size_t>(v)][static_cast<std::size_t>(m)]);
+      if (from_loss) {
+        dy = t::Tensor(y.shape());
+        loss_sum += loss(y, dy, m);
+      } else {
+        dy_h.wait();
       }
       auto dx = chunks_[static_cast<std::size_t>(v)]->backward(dy);
       if (!(v == 0 && first_vs)) {

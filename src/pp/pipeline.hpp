@@ -3,6 +3,7 @@
 #include <functional>
 #include <span>
 
+#include "collective/p2p.hpp"
 #include "nn/module.hpp"
 #include "tp/env.hpp"
 
@@ -55,7 +56,10 @@ class Pipeline {
   tensor::Tensor forward_micro(int m, std::span<const tensor::Tensor> inputs);
   /// Recompute forward for micro m, run backward with dy, send dx upstream.
   void backward_micro(int m, const tensor::Tensor& dy);
-  [[nodiscard]] tensor::Tensor recv_dy(const tensor::Tensor& like);
+  /// Pre-post the receive for the next incoming forward micro-batch (no-op
+  /// on the first stage or once all of them are posted). Posting before the
+  /// current micro's compute lets the activation transfer ride under it.
+  void post_fwd_recv();
 
   tp::Env env_;
   nn::Module& stage_;
@@ -65,6 +69,12 @@ class Pipeline {
   int in_flight_ = 0;
   int peak_in_flight_ = 0;
   std::int64_t held_bytes_ = 0;
+  // pre-posted-recv state for the running step
+  int micros_ = 0;
+  int fwd_posted_ = 0;
+  tensor::Tensor next_fwd_;          // landing buffer of the posted recv
+  collective::RecvHandle fwd_h_;
+  tensor::Shape out_shape_;          // stage output shape (for dy recvs)
 };
 
 /// Pipeline with `V` model chunks per rank (virtual / interleaved stages, as

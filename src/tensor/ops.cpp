@@ -581,24 +581,33 @@ float cross_entropy(const Tensor& logits, std::span<const std::int64_t> labels,
   assert(logits.ndim() == 2);
   const std::int64_t n = logits.dim(0), c = logits.dim(1);
   assert(static_cast<std::int64_t>(labels.size()) == n);
-  dlogits = softmax_lastdim(logits);
+  if (dlogits.shape() != logits.shape()) dlogits = Tensor(logits.shape());
   auto pd = dlogits.data();
   auto pl = logits.data();
   double loss = 0.0;
   const float inv_n = 1.0f / static_cast<float>(n);
+  // Single pass per row: the exponentials written into dlogits and their
+  // max/denominator serve both the loss (log-softmax of the true class) and
+  // the gradient, with the softmax normalization and the 1/n batch scaling
+  // fused into one sweep.
+#pragma omp parallel for schedule(static) reduction(+ : loss)
   for (std::int64_t r = 0; r < n; ++r) {
     const std::int64_t y = labels[static_cast<std::size_t>(r)];
     assert(y >= 0 && y < c);
-    // log-softmax of the true class, recomputed stably from logits
     const float* row = pl.data() + r * c;
+    float* g = pd.data() + r * c;
     float mx = row[0];
     for (std::int64_t i = 1; i < c; ++i) mx = std::max(mx, row[i]);
     double denom = 0.0;
-    for (std::int64_t i = 0; i < c; ++i) denom += std::exp(static_cast<double>(row[i] - mx));
+    for (std::int64_t i = 0; i < c; ++i) {
+      g[i] = std::exp(row[i] - mx);
+      denom += static_cast<double>(g[i]);
+    }
     loss -= static_cast<double>(row[y] - mx) - std::log(denom);
-    pd[static_cast<std::size_t>(r * c + y)] -= 1.0f;
+    const float inv = inv_n / static_cast<float>(denom);
+    for (std::int64_t i = 0; i < c; ++i) g[i] *= inv;
+    g[y] -= inv_n;
   }
-  scale_(dlogits, inv_n);
   return static_cast<float>(loss / static_cast<double>(n));
 }
 

@@ -1,7 +1,9 @@
 #include "zero/zero_optimizer.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <deque>
 
 namespace ca::zero {
 
@@ -71,9 +73,10 @@ void ZeroOptimizer::adam_update(ParamShard& s, const t::Tensor& grad_shard) {
   const float b1 = hyper_.beta1, b2 = hyper_.beta2;
   const float bc1 = 1.0f - std::pow(b1, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(b2, static_cast<float>(t_));
-  const float avg = average_ ? 1.0f / static_cast<float>(group_.size()) : 1.0f;
+  // Gradient averaging is fused into the reduce's copy-out (see step()), so
+  // grad_shard already holds the averaged gradient.
   for (std::size_t i = 0; i < pw.size(); ++i) {
-    float g = pg[i] * avg;
+    float g = pg[i];
     if (hyper_.weight_decay != 0.0f && !hyper_.decoupled) g += hyper_.weight_decay * pw[i];
     pm[i] = b1 * pm[i] + (1.0f - b1) * g;
     pv[i] = b2 * pv[i] + (1.0f - b2) * g * g;
@@ -87,47 +90,102 @@ void ZeroOptimizer::step() {
   ++t_;
   const int world = group_.size();
   const int idx = group_.index_of(env_.grank);
+  const float avg = average_ ? 1.0f / static_cast<float>(world) : 1.0f;
 
-  for (std::size_t i = 0; i < params_.size(); ++i) {
-    nn::Parameter& p = *params_[i];
-    ParamShard& s = shards_[i];
-    assert(p.grad.numel() == (stage_ == 3 ? s.sharded->full_numel() : p.numel()));
+  // The per-parameter pipeline (grad sync -> shard update -> param
+  // reconstruction) runs over a sliding window of in-flight async
+  // collectives: while parameter i's reduce is on the wire, parameters
+  // i-1, i-2, ... are being Adam-updated and re-gathered. The window bounds
+  // the live wire buffers so sharding still saves memory. Gradient averaging
+  // is fused into the reduces' copy-out (adam_update gets averaged grads).
+  constexpr std::size_t kWindow = 4;
 
-    // 1. gradient synchronization
-    t::Tensor grad_shard(t::Shape{s.padded}, 0.0f);
+  struct GradInFlight {
+    std::size_t i = 0;
+    t::Tensor grad_shard;
+    t::Tensor wire;  // stage 2/3 padded input; alive until the wait
+    collective::CollectiveHandle h;
+  };
+  struct GatherInFlight {
+    std::size_t i = 0;
+    t::Tensor wire;
+    collective::CollectiveHandle h;
+  };
+  std::deque<GradInFlight> grads;
+  std::deque<GatherInFlight> gathers;
+
+  auto retire_gather = [&](GatherInFlight& g) {
+    g.h.wait();
+    auto src = g.wire.data();
+    auto dst = params_[g.i]->value.data();
+    std::copy(src.begin(), src.begin() + params_[g.i]->numel(), dst.begin());
+  };
+
+  auto retire_grad = [&](GradInFlight& pg) {
+    pg.h.wait();
+    nn::Parameter& p = *params_[pg.i];
+    ParamShard& s = shards_[pg.i];
     if (stage_ == 1) {
-      group_.all_reduce(env_.grank, p.grad.data());
       const std::int64_t begin = idx * s.padded;
       const std::int64_t end = std::min(p.grad.numel(), begin + s.padded);
       auto src = p.grad.data();
-      auto dst = grad_shard.data();
+      auto dst = pg.grad_shard.data();
       for (std::int64_t e = begin; e < end; ++e)
-        dst[static_cast<std::size_t>(e - begin)] = src[static_cast<std::size_t>(e)];
-    } else {
-      // pad the full gradient onto the wire and reduce-scatter
-      t::Tensor wire(t::Shape{s.padded * world}, 0.0f);
-      auto src = p.grad.data();
-      auto dst = wire.data();
-      std::copy(src.begin(), src.end(), dst.begin());
-      group_.reduce_scatter(env_.grank, wire.data(), grad_shard.data());
+        dst[static_cast<std::size_t>(e - begin)] =
+            src[static_cast<std::size_t>(e)];
     }
-
-    // 2. local shard update
-    adam_update(s, grad_shard);
-
-    // 3. parameter reconstruction
+    adam_update(s, pg.grad_shard);
     if (stage_ != 3) {
-      t::Tensor wire(t::Shape{s.padded * world});
-      group_.all_gather(env_.grank, s.master.data(), wire.data());
-      auto src = wire.data();
-      auto dst = p.value.data();
-      std::copy(src.begin(), src.begin() + p.numel(), dst.begin());
+      GatherInFlight g;
+      g.i = pg.i;
+      g.wire = t::Tensor(t::Shape{s.padded * world});
+      g.h = group_.all_gather_async(env_.grank, s.master.data(), g.wire.data());
+      gathers.push_back(std::move(g));
+      if (gathers.size() > kWindow) {
+        retire_gather(gathers.front());
+        gathers.pop_front();
+      }
     } else {
       // write back into the shard; the next gather_params() serves fresh values
       auto dst = s.sharded->shard().data();
       auto src = s.master.data();
       std::copy(src.begin(), src.end(), dst.begin());
     }
+  };
+
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    nn::Parameter& p = *params_[i];
+    ParamShard& s = shards_[i];
+    assert(p.grad.numel() ==
+           (stage_ == 3 ? s.sharded->full_numel() : p.numel()));
+
+    GradInFlight pg;
+    pg.i = i;
+    pg.grad_shard = t::Tensor(t::Shape{s.padded}, 0.0f);
+    if (stage_ == 1) {
+      pg.h = group_.all_reduce_async(env_.grank, p.grad.data(), avg);
+    } else {
+      // pad the full gradient onto the wire and reduce-scatter
+      pg.wire = t::Tensor(t::Shape{s.padded * world}, 0.0f);
+      auto src = p.grad.data();
+      auto dst = pg.wire.data();
+      std::copy(src.begin(), src.end(), dst.begin());
+      pg.h = group_.reduce_scatter_async(env_.grank, pg.wire.data(),
+                                         pg.grad_shard.data(), avg);
+    }
+    grads.push_back(std::move(pg));
+    if (grads.size() > kWindow) {
+      retire_grad(grads.front());
+      grads.pop_front();
+    }
+  }
+  while (!grads.empty()) {
+    retire_grad(grads.front());
+    grads.pop_front();
+  }
+  while (!gathers.empty()) {
+    retire_gather(gathers.front());
+    gathers.pop_front();
   }
 }
 

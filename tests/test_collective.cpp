@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <numeric>
 #include <random>
@@ -497,4 +498,228 @@ TEST(Group, ScatterThenGatherRoundTrips) {
                              0);
   });
   EXPECT_EQ(back, original);
+}
+
+// ---- non-blocking collectives ---------------------------------------------------
+
+TEST(Async, AllReduceBitIdenticalToBlocking) {
+  for (int n : {2, 4, 8}) {
+    for (std::int64_t len : {std::int64_t{1}, std::int64_t{17},
+                             std::int64_t{4096}}) {
+      Fixture f(n);
+      std::vector<std::vector<float>> blocking(
+          static_cast<std::size_t>(n), std::vector<float>(static_cast<std::size_t>(len)));
+      std::vector<std::vector<float>> deferred = blocking;
+      f.cluster.run([&](int rank) {
+        auto& b = blocking[static_cast<std::size_t>(rank)];
+        auto& d = deferred[static_cast<std::size_t>(rank)];
+        std::mt19937 rng(1234u + static_cast<unsigned>(rank));
+        std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+        for (std::size_t i = 0; i < b.size(); ++i) d[i] = b[i] = dist(rng);
+        f.backend.world().all_reduce(rank, b);
+        auto h = f.backend.world().all_reduce_async(rank, d);
+        h.wait();
+      });
+      for (int r = 0; r < n; ++r) {
+        ASSERT_EQ(deferred[static_cast<std::size_t>(r)],
+                  blocking[static_cast<std::size_t>(r)])
+            << "world " << n << " len " << len << " rank " << r;
+      }
+    }
+  }
+}
+
+TEST(Async, FusedScaleMatchesSumThenMultiply) {
+  const int n = 4;
+  Fixture f(n);
+  const std::size_t len = 1000;
+  std::vector<std::vector<float>> ref(n, std::vector<float>(len));
+  std::vector<std::vector<float>> fused = ref;
+  const float scale = 1.0f / static_cast<float>(n);
+  f.cluster.run([&](int rank) {
+    auto& a = ref[static_cast<std::size_t>(rank)];
+    auto& b = fused[static_cast<std::size_t>(rank)];
+    std::mt19937 rng(99u + static_cast<unsigned>(rank));
+    std::uniform_real_distribution<float> dist(-3.0f, 3.0f);
+    for (std::size_t i = 0; i < len; ++i) b[i] = a[i] = dist(rng);
+    f.backend.world().all_reduce(rank, a);
+    for (auto& v : a) v *= scale;  // reference: sum, then multiply
+    f.backend.world().all_reduce(rank, b, scale);  // fused copy-out
+  });
+  for (int r = 0; r < n; ++r)
+    ASSERT_EQ(fused[static_cast<std::size_t>(r)], ref[static_cast<std::size_t>(r)]);
+}
+
+TEST(Async, OutOfOrderWaitDrainsEarlierOps) {
+  const int n = 4;
+  Fixture f(n);
+  const std::size_t len = 64;
+  std::vector<std::array<std::vector<float>, 3>> bufs(static_cast<std::size_t>(n));
+  f.cluster.run([&](int rank) {
+    auto& mine = bufs[static_cast<std::size_t>(rank)];
+    for (int k = 0; k < 3; ++k) {
+      mine[static_cast<std::size_t>(k)].assign(len, static_cast<float>(rank + k));
+    }
+    auto h0 = f.backend.world().all_reduce_async(rank, mine[0]);
+    auto h1 = f.backend.world().all_reduce_async(rank, mine[1]);
+    auto h2 = f.backend.world().all_reduce_async(rank, mine[2]);
+    EXPECT_FALSE(h0.test());
+    EXPECT_FALSE(h2.test());
+    h2.wait();  // must drain h0 and h1 first to preserve group order
+    EXPECT_TRUE(h0.test());
+    EXPECT_TRUE(h1.test());
+    h0.wait();  // idempotent
+    h1.wait();
+  });
+  // op k: element sum over ranks of (rank + k) = 6 + 4k
+  for (int r = 0; r < n; ++r)
+    for (int k = 0; k < 3; ++k)
+      for (std::size_t i = 0; i < len; ++i)
+        ASSERT_EQ(bufs[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)][i],
+                  6.0f + 4.0f * static_cast<float>(k));
+}
+
+TEST(Async, TestPollsWithoutProgressAndBlockingCollectiveFlushes) {
+  const int n = 2;
+  Fixture f(n);
+  f.cluster.run([&](int rank) {
+    std::vector<float> a(8, static_cast<float>(rank));
+    std::vector<float> b(4, 1.0f);
+    auto h = f.backend.world().all_reduce_async(rank, a);
+    EXPECT_TRUE(h.valid());
+    EXPECT_FALSE(h.test());
+    EXPECT_FALSE(h.test());  // polling never executes the op
+    // a blocking collective implicitly flushes the pending queue first
+    f.backend.world().all_reduce(rank, b);
+    EXPECT_TRUE(h.test());
+    h.wait();
+    for (float v : a) EXPECT_EQ(v, 1.0f);  // 0 + 1
+    for (float v : b) EXPECT_EQ(v, 2.0f);
+  });
+}
+
+TEST(Async, ManyInFlightBucketsCompleteCorrectly) {
+  const int n = 4;
+  const int kOps = 32;
+  Fixture f(n);
+  std::vector<std::vector<std::vector<float>>> bufs(
+      static_cast<std::size_t>(n),
+      std::vector<std::vector<float>>(kOps));
+  f.cluster.run([&](int rank) {
+    auto& mine = bufs[static_cast<std::size_t>(rank)];
+    std::vector<col::CollectiveHandle> handles;
+    handles.reserve(kOps);
+    for (int k = 0; k < kOps; ++k) {
+      mine[static_cast<std::size_t>(k)].assign(
+          static_cast<std::size_t>(16 + k), static_cast<float>(rank * kOps + k));
+      handles.push_back(
+          f.backend.world().all_reduce_async(rank, mine[static_cast<std::size_t>(k)]));
+    }
+    // wait newest-to-oldest: every wait of op k drains all earlier ops
+    for (int k = kOps - 1; k >= 0; --k) handles[static_cast<std::size_t>(k)].wait();
+  });
+  for (int r = 0; r < n; ++r) {
+    for (int k = 0; k < kOps; ++k) {
+      // sum over ranks of (rank*kOps + k) = kOps*(0+1+2+3) + 4k
+      const float want = static_cast<float>(kOps * 6 + 4 * k);
+      for (float v : bufs[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)])
+        ASSERT_EQ(v, want);
+    }
+  }
+}
+
+TEST(Async, ReduceScatterAndAllGatherMatchBlocking) {
+  const int n = 4;
+  Fixture f(n);
+  const std::size_t chunk = 5, full = chunk * n;
+  std::vector<std::vector<float>> rs_ref(n, std::vector<float>(chunk));
+  std::vector<std::vector<float>> rs_async = rs_ref;
+  std::vector<std::vector<float>> ag_ref(n, std::vector<float>(full));
+  std::vector<std::vector<float>> ag_async = ag_ref;
+  f.cluster.run([&](int rank) {
+    std::vector<float> in(full);
+    std::mt19937 rng(7u + static_cast<unsigned>(rank));
+    std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+    for (auto& v : in) v = dist(rng);
+    std::vector<float> small(chunk, static_cast<float>(rank) + 0.25f);
+
+    f.backend.world().reduce_scatter(rank, in, rs_ref[static_cast<std::size_t>(rank)]);
+    f.backend.world().all_gather(rank, small, ag_ref[static_cast<std::size_t>(rank)]);
+
+    auto h1 = f.backend.world().reduce_scatter_async(
+        rank, in, rs_async[static_cast<std::size_t>(rank)]);
+    auto h2 = f.backend.world().all_gather_async(
+        rank, small, ag_async[static_cast<std::size_t>(rank)]);
+    h2.wait();
+    EXPECT_TRUE(h1.test());
+    h1.wait();
+  });
+  for (int r = 0; r < n; ++r) {
+    ASSERT_EQ(rs_async[static_cast<std::size_t>(r)], rs_ref[static_cast<std::size_t>(r)]);
+    ASSERT_EQ(ag_async[static_cast<std::size_t>(r)], ag_ref[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST(Async, OverlappedCommIsChargedOnlyUnhiddenTime) {
+  const int n = 2;
+  Fixture f(n);
+  std::vector<double> clocks(static_cast<std::size_t>(n));
+  f.cluster.run([&](int rank) {
+    std::vector<float> buf(1 << 12, 1.0f);
+    const double t0 = f.cluster.device(rank).clock();
+    auto h = f.backend.world().all_reduce_async(rank, buf);
+    // a long compute window fully hides the transfer
+    f.cluster.device(rank).advance_clock(1.0);
+    h.wait();
+    clocks[static_cast<std::size_t>(rank)] = f.cluster.device(rank).clock() - t0;
+  });
+  for (int r = 0; r < n; ++r) {
+    EXPECT_DOUBLE_EQ(clocks[static_cast<std::size_t>(r)], 1.0)
+        << "hidden communication must not advance the clock";
+  }
+}
+
+TEST(Async, UnhiddenCommChargesCompletionTime) {
+  const int n = 2;
+  Fixture f(n);
+  const std::int64_t len = 1 << 12;
+  std::vector<double> async_cost(static_cast<std::size_t>(n));
+  std::vector<double> blocking_cost(static_cast<std::size_t>(n));
+  f.cluster.run([&](int rank) {
+    std::vector<float> a(static_cast<std::size_t>(len), 1.0f);
+    std::vector<float> b = a;
+    double t0 = f.cluster.device(rank).clock();
+    auto h = f.backend.world().all_reduce_async(rank, a);
+    h.wait();  // no compute in between: full comm time is exposed
+    async_cost[static_cast<std::size_t>(rank)] = f.cluster.device(rank).clock() - t0;
+    t0 = f.cluster.device(rank).clock();
+    f.backend.world().all_reduce(rank, b);
+    blocking_cost[static_cast<std::size_t>(rank)] = f.cluster.device(rank).clock() - t0;
+  });
+  for (int r = 0; r < n; ++r) {
+    EXPECT_GT(async_cost[static_cast<std::size_t>(r)], 0.0);
+    EXPECT_DOUBLE_EQ(async_cost[static_cast<std::size_t>(r)],
+                     blocking_cost[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST(P2p, PrepostedRecvOverlapsTransferWithCompute) {
+  Fixture f(2);
+  std::vector<float> payload{1.0f, 2.0f, 3.0f, 4.0f};
+  std::vector<float> got(4, 0.0f);
+  std::vector<double> recv_cost(1);
+  f.cluster.run([&](int rank) {
+    if (rank == 0) {
+      f.backend.channel(0, 1).send_async(payload);
+    } else {
+      auto h = f.backend.channel(0, 1).irecv(got);
+      // compute long enough to hide the transfer completely
+      f.cluster.device(rank).advance_clock(1.0);
+      const double before = f.cluster.device(rank).clock();
+      h.wait();
+      recv_cost[0] = f.cluster.device(rank).clock() - before;
+    }
+  });
+  EXPECT_EQ(got, payload);
+  EXPECT_DOUBLE_EQ(recv_cost[0], 0.0);
 }

@@ -381,3 +381,115 @@ TEST(ZeroEngineStage, Stage3HidesParamsOutsideWindow) {
     EXPECT_EQ(model.weight().value.numel(), 0);  // released again
   });
 }
+
+TEST(Engine, BucketedDpMatchesSingleRankTrajectoryExactly) {
+  // 4 DP ranks each training on the FULL batch with averaged gradients must
+  // reproduce the single-rank loss trajectory bit-for-bit: the bucketed
+  // async all-reduce averages 4 identical gradients (sum * 1/4 is exact in
+  // binary), so weights never diverge.
+  const int steps = 6;
+  const int world = 4;
+  data::SyntheticClassification ds(512, 8, 4, 71);
+
+  auto run_single = [&]() {
+    std::vector<float> losses;
+    nn::Sequential net;
+    net.add(std::make_unique<nn::Linear>("l1", 8, 16, 72));
+    net.add(std::make_unique<nn::Gelu>());
+    net.add(std::make_unique<nn::Linear>("l2", 16, 4, 73));
+    core::Config cfg;  // single rank
+    World w(cfg);
+    w.cluster.run([&](int g) {
+      (void)g;
+      auto eng = engine::initialize(
+          w.env(0), net,
+          std::make_unique<ca::optim::Adam>(net.parameters(),
+                                            ca::optim::Adam::Hyper{0.01f}));
+      for (int s = 0; s < steps; ++s) {
+        auto x = ds.batch_features(s * 16, 16);
+        auto y = ds.batch_labels(s * 16, 16);
+        eng->zero_grad();
+        auto out = eng->forward(x);
+        losses.push_back(eng->criterion(out, y));
+        eng->backward();
+        eng->step();
+      }
+    });
+    return losses;
+  };
+  const auto ref = run_single();
+
+  core::Config cfg;
+  cfg.data_parallel_size = world;
+  World w(cfg);
+  std::vector<std::vector<float>> losses(static_cast<std::size_t>(world));
+  w.cluster.run([&](int g) {
+    nn::Sequential net;
+    net.add(std::make_unique<nn::Linear>("l1", 8, 16, 72));
+    net.add(std::make_unique<nn::Gelu>());
+    net.add(std::make_unique<nn::Linear>("l2", 16, 4, 73));
+    engine::Engine::Options opts;  // bucketed is the default; force small
+    opts.bucket_bytes = 256;       // buckets so several reduces are in flight
+    auto eng = engine::initialize(
+        w.env(g), net,
+        std::make_unique<ca::optim::Adam>(net.parameters(),
+                                          ca::optim::Adam::Hyper{0.01f}),
+        opts);
+    for (int s = 0; s < steps; ++s) {
+      auto x = ds.batch_features(s * 16, 16);
+      auto y = ds.batch_labels(s * 16, 16);
+      eng->zero_grad();
+      auto out = eng->forward(x);
+      losses[static_cast<std::size_t>(g)].push_back(eng->criterion(out, y));
+      eng->backward();
+      eng->step();
+    }
+  });
+  for (int g = 0; g < world; ++g) {
+    ASSERT_EQ(losses[static_cast<std::size_t>(g)].size(), ref.size());
+    for (int s = 0; s < steps; ++s) {
+      // bit-identical, not just close
+      ASSERT_EQ(losses[static_cast<std::size_t>(g)][static_cast<std::size_t>(s)],
+                ref[static_cast<std::size_t>(s)])
+          << "rank " << g << " step " << s;
+    }
+  }
+}
+
+TEST(Engine, BucketedAndSerialGradSyncProduceIdenticalWeights) {
+  data::SyntheticClassification ds(512, 6, 3, 81);
+  core::Config cfg;
+  cfg.data_parallel_size = 2;
+
+  auto run_mode = [&](engine::Engine::Options::GradSync mode) {
+    World w(cfg);
+    std::vector<t::Tensor> weights(2);
+    w.cluster.run([&](int g) {
+      nn::Sequential net;
+      net.add(std::make_unique<nn::Linear>("m", 6, 3, 82));
+      engine::Engine::Options opts;
+      opts.grad_sync = mode;
+      opts.bucket_bytes = 64;
+      auto eng = engine::initialize(
+          w.env(g), net,
+          std::make_unique<ca::optim::Sgd>(net.parameters(), 0.1f), opts);
+      data::DataLoader loader(ds, 8, g, 2);
+      for (int s = 0; s < 4; ++s) {
+        auto batch = loader.next(s);
+        eng->zero_grad();
+        auto out = eng->forward(batch.x);
+        eng->criterion(out, batch.labels);
+        eng->backward();
+        eng->step();
+      }
+      auto params = net.parameters();
+      weights[static_cast<std::size_t>(g)] = params[0]->value.clone();
+    });
+    EXPECT_EQ(t::max_diff(weights[0], weights[1]), 0.0f);
+    return weights[0];
+  };
+
+  auto bucketed = run_mode(engine::Engine::Options::GradSync::kBucketed);
+  auto serial = run_mode(engine::Engine::Options::GradSync::kSerial);
+  EXPECT_EQ(t::max_diff(bucketed, serial), 0.0f);
+}

@@ -21,7 +21,7 @@ class Backend {
     channels_.resize(static_cast<std::size_t>(n) * n);
     std::vector<int> all(static_cast<std::size_t>(n));
     for (int r = 0; r < n; ++r) all[static_cast<std::size_t>(r)] = r;
-    world_ = &create_group(all);
+    world_ = &create_group(all, "world");
   }
 
   [[nodiscard]] sim::Cluster& cluster() { return cluster_; }
@@ -29,9 +29,11 @@ class Backend {
   /// Group containing every rank.
   [[nodiscard]] Group& world() { return *world_; }
 
-  /// Create a new process group over `ranks`. Main-thread only.
-  Group& create_group(std::vector<int> ranks) {
-    groups_.push_back(std::make_unique<Group>(cluster_, std::move(ranks)));
+  /// Create a new process group over `ranks`. Main-thread only. `name`
+  /// labels the group's comm spans in traces (no '.' allowed).
+  Group& create_group(std::vector<int> ranks, std::string name = "group") {
+    groups_.push_back(
+        std::make_unique<Group>(cluster_, std::move(ranks), std::move(name)));
     return *groups_.back();
   }
 

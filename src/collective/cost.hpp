@@ -19,6 +19,21 @@ enum class Op {
   kScatter,
 };
 
+/// Lower-case wire name of an op ("all_reduce", ...), used for trace spans.
+constexpr const char* op_name(Op op) {
+  switch (op) {
+    case Op::kAllReduce: return "all_reduce";
+    case Op::kReduceScatter: return "reduce_scatter";
+    case Op::kAllGather: return "all_gather";
+    case Op::kBroadcast: return "broadcast";
+    case Op::kReduce: return "reduce";
+    case Op::kAllToAll: return "all_to_all";
+    case Op::kGather: return "gather";
+    case Op::kScatter: return "scatter";
+  }
+  return "unknown";
+}
+
 /// Alpha-beta time for a collective over `ranks` moving `bytes` per rank,
 /// using ring algorithms (the NCCL default at these sizes). The bottleneck
 /// link of the rank ring bounds bandwidth — this is what makes 1D tensor

@@ -49,9 +49,10 @@ void CollectiveHandle::wait() {
   dev.set_clock(std::max(dev.clock(), state_->t_end));
 }
 
-Group::Group(sim::Cluster& cluster, std::vector<int> ranks)
+Group::Group(sim::Cluster& cluster, std::vector<int> ranks, std::string name)
     : cluster_(cluster),
       ranks_(std::move(ranks)),
+      name_(std::move(name)),
       barrier_(static_cast<std::ptrdiff_t>(ranks_.size())),
       members_(ranks_.size()) {
   assert(!ranks_.empty());
@@ -125,7 +126,17 @@ double Group::settle(int grank, double t_start, Op op, std::int64_t bytes) {
   const double t_end =
       begin + collective_time(op, cluster_.topology(), ranks_, bytes);
   me.lane_busy = t_end;
-  cluster_.device(grank).add_bytes_sent(bytes_sent_per_rank(op, size(), bytes));
+  auto& dev = cluster_.device(grank);
+  dev.add_bytes_sent(bytes_sent_per_rank(op, size(), bytes));
+  if (obs::TraceBuffer* tb = dev.trace()) {
+    // Every collective — blocking, deferred-async, or accounting twin — funnels
+    // through here, so this one emit point covers the whole comm plane.
+    // t_issue is the op's logical start (issue-time clock for async ops);
+    // alpha is the zero-byte latency of the same collective.
+    tb->add(obs::TraceEvent{
+        name_ + "." + op_name(op), obs::Category::kComm, begin, t_end, t_start,
+        bytes, 0.0, collective_time(op, cluster_.topology(), ranks_, 0)});
+  }
   return t_end;
 }
 

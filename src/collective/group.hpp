@@ -5,6 +5,7 @@
 #include <deque>
 #include <memory>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -98,11 +99,16 @@ class CollectiveHandle {
 /// cost exactly one barrier crossing.
 class Group {
  public:
-  Group(sim::Cluster& cluster, std::vector<int> ranks);
+  /// `name` labels this group's comm spans in traces and reports ("data",
+  /// "tensor", ...); it must not contain '.' (the report splits span names on
+  /// the last dot to recover the group).
+  Group(sim::Cluster& cluster, std::vector<int> ranks,
+        std::string name = "group");
 
   Group(const Group&) = delete;
   Group& operator=(const Group&) = delete;
 
+  [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] int size() const { return static_cast<int>(ranks_.size()); }
   [[nodiscard]] const std::vector<int>& ranks() const { return ranks_; }
   /// Index of a global rank inside this group.
@@ -237,6 +243,7 @@ class Group {
 
   sim::Cluster& cluster_;
   std::vector<int> ranks_;
+  std::string name_;
   std::unordered_map<int, int> index_;
   std::barrier<> barrier_;
 

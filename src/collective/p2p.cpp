@@ -14,11 +14,17 @@ void P2pChannel::do_send(const float* ptr, std::int64_t count,
   msg->bytes = bytes;
   msg->send_clock = cluster_.device(src_).clock();
   msg->sync = !async;
+  auto& src_dev = cluster_.device(src_);
   if (async) {
     if (ptr != nullptr && count > 0) msg->buffer.assign(ptr, ptr + count);
     // eager injection: the sender only pays the injection latency
-    cluster_.device(src_).advance_clock(cluster_.topology().latency());
-    cluster_.device(src_).add_bytes_sent(bytes);
+    src_dev.advance_clock(cluster_.topology().latency());
+    src_dev.add_bytes_sent(bytes);
+    if (obs::TraceBuffer* tb = src_dev.trace()) {
+      tb->add(obs::TraceEvent{"p2p.send", obs::Category::kComm,
+                              msg->send_clock, src_dev.clock(),
+                              msg->send_clock, bytes, 0.0, 0.0});
+    }
     std::scoped_lock lock(m_);
     queue_.push_back(std::move(msg));
     cv_.notify_all();
@@ -30,8 +36,13 @@ void P2pChannel::do_send(const float* ptr, std::int64_t count,
   cv_.notify_all();
   cv_.wait(lock, [&] { return msg->consumed; });
   // Receiver computed the common finish time; adopt it (synchronous send).
-  cluster_.device(src_).set_clock(msg->finish_clock);
-  cluster_.device(src_).add_bytes_sent(bytes);
+  src_dev.set_clock(msg->finish_clock);
+  src_dev.add_bytes_sent(bytes);
+  if (obs::TraceBuffer* tb = src_dev.trace()) {
+    tb->add(obs::TraceEvent{"p2p.send", obs::Category::kComm, msg->send_clock,
+                            msg->finish_clock, msg->send_clock, bytes, 0.0,
+                            0.0});
+  }
 }
 
 void P2pChannel::do_recv(float* ptr, std::int64_t count, std::int64_t bytes,
@@ -57,6 +68,12 @@ void P2pChannel::do_recv(float* ptr, std::int64_t count, std::int64_t bytes,
   const double finish =
       t_start + p2p_time(cluster_.topology(), src_, dst_, bytes);
   dst_dev.set_clock(std::max(dst_dev.clock(), finish));
+  if (obs::TraceBuffer* tb = dst_dev.trace()) {
+    // t_issue = when the recv was posted; the span itself covers the wire
+    // transfer (which may sit entirely under the receiver's compute).
+    tb->add(obs::TraceEvent{"p2p.recv", obs::Category::kComm, t_start, finish,
+                            ready_clock, bytes, 0.0, 0.0});
+  }
   if (msg->sync) {
     std::scoped_lock lock(m_);
     msg->finish_clock = finish;

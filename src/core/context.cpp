@@ -44,7 +44,7 @@ ParallelContext::ParallelContext(collective::Backend& backend, Config config)
       std::vector<int> ranks;
       ranks.reserve(static_cast<std::size_t>(dp));
       for (int d = 0; d < dp; ++d) ranks.push_back((d * pp + p) * tp + t);
-      assign(data_groups_, backend_.create_group(std::move(ranks)));
+      assign(data_groups_, backend_.create_group(std::move(ranks), "data"));
     }
   }
 
@@ -55,7 +55,7 @@ ParallelContext::ParallelContext(collective::Backend& backend, Config config)
       std::vector<int> ranks;
       ranks.reserve(static_cast<std::size_t>(tp));
       for (int t = 0; t < tp; ++t) ranks.push_back(base + t);
-      auto& g = backend_.create_group(std::move(ranks));
+      auto& g = backend_.create_group(std::move(ranks), "tensor");
       assign(tensor_groups_, g);
 
       // Sub-groups inside this tensor group, by mode.
@@ -69,12 +69,12 @@ ParallelContext::ParallelContext(collective::Backend& backend, Config config)
           for (int r = 0; r < q; ++r) {  // rows
             std::vector<int> row;
             for (int c = 0; c < q; ++c) row.push_back(base + r * q + c);
-            assign(row_groups_, backend_.create_group(std::move(row)));
+            assign(row_groups_, backend_.create_group(std::move(row), "row"));
           }
           for (int c = 0; c < q; ++c) {  // columns
             std::vector<int> col;
             for (int r = 0; r < q; ++r) col.push_back(base + r * q + c);
-            assign(col_groups_, backend_.create_group(std::move(col)));
+            assign(col_groups_, backend_.create_group(std::move(col), "col"));
           }
           break;
         }
@@ -88,18 +88,18 @@ ParallelContext::ParallelContext(collective::Backend& backend, Config config)
             for (int r = 0; r < q; ++r) {
               std::vector<int> row;
               for (int c = 0; c < q; ++c) row.push_back(lbase + r * q + c);
-              assign(row_groups_, backend_.create_group(std::move(row)));
+              assign(row_groups_, backend_.create_group(std::move(row), "row"));
             }
             for (int c = 0; c < q; ++c) {
               std::vector<int> col;
               for (int r = 0; r < q; ++r) col.push_back(lbase + r * q + c);
-              assign(col_groups_, backend_.create_group(std::move(col)));
+              assign(col_groups_, backend_.create_group(std::move(col), "col"));
             }
           }
           for (int cell = 0; cell < layer; ++cell) {
             std::vector<int> dg;
             for (int dd = 0; dd < depth; ++dd) dg.push_back(base + dd * layer + cell);
-            assign(depth_groups_, backend_.create_group(std::move(dg)));
+            assign(depth_groups_, backend_.create_group(std::move(dg), "depth"));
           }
           break;
         }
@@ -111,19 +111,19 @@ ParallelContext::ParallelContext(collective::Backend& backend, Config config)
             for (int k = 0; k < l; ++k) {  // vary i
               std::vector<int> g3;
               for (int i = 0; i < l; ++i) g3.push_back(base + (i * l + j) * l + k);
-              assign(cube_i_groups_, backend_.create_group(std::move(g3)));
+              assign(cube_i_groups_, backend_.create_group(std::move(g3), "cube_i"));
             }
           for (int i = 0; i < l; ++i)
             for (int k = 0; k < l; ++k) {  // vary j
               std::vector<int> g3;
               for (int j = 0; j < l; ++j) g3.push_back(base + (i * l + j) * l + k);
-              assign(cube_j_groups_, backend_.create_group(std::move(g3)));
+              assign(cube_j_groups_, backend_.create_group(std::move(g3), "cube_j"));
             }
           for (int i = 0; i < l; ++i)
             for (int j = 0; j < l; ++j) {  // vary k
               std::vector<int> g3;
               for (int k = 0; k < l; ++k) g3.push_back(base + (i * l + j) * l + k);
-              assign(cube_k_groups_, backend_.create_group(std::move(g3)));
+              assign(cube_k_groups_, backend_.create_group(std::move(g3), "cube_k"));
             }
           break;
         }

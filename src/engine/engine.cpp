@@ -49,8 +49,11 @@ void Engine::backward() {
 void Engine::backward_from(const t::Tensor& dy) { model_.backward(dy); }
 
 void Engine::step() {
+  obs::TraceBuffer* tb = env_.dev().trace();
+  obs::TraceSpan step_span(tb, obs::Category::kMarker, "engine.step");
   auto& dp = env_.ctx->data_group(env_.grank);
   if (dp.size() > 1) {
+    obs::TraceSpan sync_span(tb, obs::Category::kMarker, "engine.grad_sync");
     if (bucketer_) {
       bucketer_->finish();
     } else {
@@ -62,6 +65,7 @@ void Engine::step() {
       }
     }
   }
+  obs::TraceSpan opt_span(tb, obs::Category::kMarker, "engine.optim");
   optimizer_->step();
 }
 

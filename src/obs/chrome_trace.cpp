@@ -1,0 +1,113 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ca::obs {
+
+namespace {
+
+/// Escape the few JSON-hostile characters that can appear in span names.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out += c;
+    }
+  }
+  return out;
+}
+
+constexpr double kUs = 1e6;  // simulated seconds -> trace microseconds
+
+void meta(std::FILE* f, const char* kind, int pid, int tid,
+          const std::string& name, bool with_tid) {
+  if (with_tid) {
+    std::fprintf(f,
+                 "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+                 "\"args\":{\"name\":\"%s\"}},\n",
+                 kind, pid, tid, escape(name).c_str());
+  } else {
+    std::fprintf(f,
+                 "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d,"
+                 "\"args\":{\"name\":\"%s\"}},\n",
+                 kind, pid, escape(name).c_str());
+  }
+}
+
+void counter(std::FILE* f, int pid, const std::string& track, double t,
+             std::int64_t value) {
+  std::fprintf(f,
+               "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":%d,\"ts\":%.3f,"
+               "\"args\":{\"bytes\":%" PRId64 "}},\n",
+               escape(track).c_str(), pid, t * kUs, value);
+}
+
+}  // namespace
+
+bool write_chrome_trace(const Tracer& tracer, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+
+  const int world = tracer.world();
+  for (int r = 0; r < world; ++r) {
+    meta(f, "process_name", r, 0, "rank" + std::to_string(r), false);
+    meta(f, "process_sort_index", r, 0, std::to_string(r), false);
+    for (int c = 0; c < kNumCategories; ++c) {
+      meta(f, "thread_name", r, c, category_name(static_cast<Category>(c)),
+           true);
+      meta(f, "thread_sort_index", r, c, std::to_string(c), true);
+    }
+  }
+  // Shared memory pools render as their own process so host/NVMe pressure
+  // sits next to (not inside) the rank timelines.
+  const int pool_pid = world;
+  if (!tracer.pool_timelines().empty()) {
+    meta(f, "process_name", pool_pid, 0, "pools", false);
+  }
+
+  for (int r = 0; r < world; ++r) {
+    for (const TraceEvent& e : tracer.rank(r).events()) {
+      std::fprintf(
+          f,
+          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":%d,"
+          "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{",
+          escape(e.name).c_str(), category_name(e.cat), r,
+          static_cast<int>(e.cat), e.t0 * kUs, (e.t1 - e.t0) * kUs);
+      std::fprintf(f, "\"issue_ts_us\":%.3f", e.t_issue * kUs);
+      if (e.bytes != 0) std::fprintf(f, ",\"bytes\":%" PRId64, e.bytes);
+      if (e.flops != 0.0) std::fprintf(f, ",\"flops\":%.0f", e.flops);
+      if (e.cat == Category::kComm) {
+        std::fprintf(f, ",\"alpha_us\":%.3f,\"beta_us\":%.3f", e.alpha * kUs,
+                     (e.t1 - e.t0 - e.alpha) * kUs);
+      }
+      std::fprintf(f, "}},\n");
+    }
+    for (const auto& [t, bytes] : tracer.rank(r).mem_timeline()) {
+      counter(f, r, "gpu" + std::to_string(r) + " mem", t, bytes);
+    }
+  }
+  for (const auto& [pool, timeline] : tracer.pool_timelines()) {
+    for (const auto& [t, bytes] : timeline) {
+      counter(f, pool_pid, pool + " mem", t, bytes);
+    }
+  }
+
+  // Trailing-comma-proof terminator (the format ignores M events).
+  std::fprintf(f, "{\"name\":\"eof\",\"ph\":\"M\",\"pid\":0,\"args\":{}}\n");
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace ca::obs

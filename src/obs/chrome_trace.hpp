@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace ca::obs {
+
+/// Write the tracer's contents as a Chrome/Perfetto trace (the
+/// chrome://tracing "trace event" JSON format, loadable at ui.perfetto.dev).
+/// Layout: one *process* per rank (pid = rank), with one named *thread lane
+/// per category* (compute / comm / memcpy / optimizer / phase), so overlapped
+/// communication renders as a comm-lane slice running under the compute
+/// lane. Memory timelines become counter tracks: one per device pool, plus
+/// one per shared pool (host / nvme) under a dedicated "pools" process.
+/// Timestamps are simulated microseconds.
+///
+/// Returns false (after printing a warning) on I/O failure.
+bool write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+}  // namespace ca::obs

@@ -1,0 +1,181 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace ca::obs {
+
+namespace {
+
+using Interval = std::pair<double, double>;
+
+/// Sort + merge into disjoint intervals; returns total covered length.
+double merge_union(std::vector<Interval>& iv) {
+  if (iv.empty()) return 0.0;
+  std::sort(iv.begin(), iv.end());
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < iv.size(); ++i) {
+    if (iv[i].first <= iv[out].second) {
+      iv[out].second = std::max(iv[out].second, iv[i].second);
+    } else {
+      iv[++out] = iv[i];
+    }
+  }
+  iv.resize(out + 1);
+  double total = 0.0;
+  for (const auto& [a, b] : iv) total += b - a;
+  return total;
+}
+
+/// Length of [a, b) covered by the disjoint sorted intervals `iv`.
+double covered(const std::vector<Interval>& iv, double a, double b) {
+  double total = 0.0;
+  // iv is small (merged); linear scan with early exit is fine here.
+  for (const auto& [lo, hi] : iv) {
+    if (hi <= a) continue;
+    if (lo >= b) break;
+    total += std::min(b, hi) - std::max(a, lo);
+  }
+  return total;
+}
+
+/// Group key of a comm event: everything before the final ".op" segment
+/// ("data0.all_reduce" -> "data0", "p2p.recv" -> "p2p").
+std::string group_of(const std::string& name) {
+  const auto dot = name.rfind('.');
+  return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+}  // namespace
+
+TraceReport summarize(const Tracer& tracer) {
+  TraceReport rep;
+  rep.ranks.resize(static_cast<std::size_t>(tracer.world()));
+
+  double comm_total = 0.0, comm_hidden = 0.0;
+  for (int r = 0; r < tracer.world(); ++r) {
+    RankSummary& rs = rep.ranks[static_cast<std::size_t>(r)];
+    std::vector<Interval> busy, compute;
+    for (const TraceEvent& e : tracer.rank(r).events()) {
+      rs.wall = std::max(rs.wall, e.t1);
+      rs.seconds[static_cast<std::size_t>(e.cat)] += e.t1 - e.t0;
+      if (e.cat == Category::kMarker || e.cat == Category::kIdle) continue;
+      busy.emplace_back(e.t0, e.t1);
+      if (e.cat == Category::kCompute) compute.emplace_back(e.t0, e.t1);
+      if (e.cat == Category::kComm) {
+        rep.comm_bytes[group_of(e.name)] += e.bytes;
+      }
+    }
+    rs.busy = merge_union(busy);
+    merge_union(compute);
+    for (const TraceEvent& e : tracer.rank(r).events()) {
+      if (e.cat != Category::kComm) continue;
+      rs.comm_overlap += covered(compute, e.t0, e.t1);
+    }
+    comm_total += rs.seconds[static_cast<std::size_t>(Category::kComm)];
+    comm_hidden += rs.comm_overlap;
+    rep.wall = std::max(rep.wall, rs.wall);
+
+    std::int64_t peak = 0;
+    for (const auto& [t, bytes] : tracer.rank(r).mem_timeline()) {
+      (void)t;
+      peak = std::max(peak, bytes);
+    }
+    if (peak > 0) rep.peak_mem["gpu" + std::to_string(r)] = peak;
+  }
+
+  if (rep.wall > 0.0) {
+    double idle = 0.0;
+    for (const RankSummary& rs : rep.ranks) idle += rep.wall - rs.busy;
+    rep.bubble_fraction =
+        idle / (rep.wall * static_cast<double>(rep.ranks.size()));
+  }
+  if (comm_total > 0.0) rep.comm_overlap_fraction = comm_hidden / comm_total;
+
+  for (const auto& [pool, timeline] : tracer.pool_timelines()) {
+    std::int64_t peak = 0;
+    for (const auto& [t, bytes] : timeline) {
+      (void)t;
+      peak = std::max(peak, bytes);
+    }
+    if (peak > 0) rep.peak_mem[pool] = peak;
+  }
+  return rep;
+}
+
+void print_report(const TraceReport& rep) {
+  std::printf("trace summary: wall %.6f s, %zu ranks\n", rep.wall,
+              rep.ranks.size());
+  std::printf("%-6s", "rank");
+  for (int c = 0; c < kNumCategories; ++c) {
+    std::printf(" %9s", category_name(static_cast<Category>(c)));
+  }
+  std::printf(" %9s %9s\n", "busy", "hidden");
+  for (std::size_t r = 0; r < rep.ranks.size(); ++r) {
+    const RankSummary& rs = rep.ranks[r];
+    std::printf("%-6zu", r);
+    for (int c = 0; c < kNumCategories; ++c) {
+      const double frac =
+          rep.wall > 0.0 ? rs.seconds[static_cast<std::size_t>(c)] / rep.wall
+                         : 0.0;
+      std::printf(" %8.1f%%", frac * 100.0);
+    }
+    const double comm = rs.seconds[static_cast<std::size_t>(Category::kComm)];
+    std::printf(" %8.1f%% %8.1f%%\n",
+                rep.wall > 0.0 ? rs.busy / rep.wall * 100.0 : 0.0,
+                comm > 0.0 ? rs.comm_overlap / comm * 100.0 : 0.0);
+  }
+  std::printf("bubble fraction %.3f | comm overlap %.3f\n",
+              rep.bubble_fraction, rep.comm_overlap_fraction);
+  for (const auto& [group, bytes] : rep.comm_bytes) {
+    std::printf("  comm %-12s %12" PRId64 " B\n", group.c_str(), bytes);
+  }
+  for (const auto& [pool, bytes] : rep.peak_mem) {
+    std::printf("  peak %-12s %12" PRId64 " B\n", pool.c_str(), bytes);
+  }
+}
+
+bool write_report_json(const TraceReport& rep, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"wall_s\": %.9f,\n", rep.wall);
+  std::fprintf(f, "  \"bubble_fraction\": %.6f,\n", rep.bubble_fraction);
+  std::fprintf(f, "  \"comm_overlap_fraction\": %.6f,\n",
+               rep.comm_overlap_fraction);
+  std::fprintf(f, "  \"ranks\": [\n");
+  for (std::size_t r = 0; r < rep.ranks.size(); ++r) {
+    const RankSummary& rs = rep.ranks[r];
+    std::fprintf(f, "    {\"rank\": %zu, \"wall_s\": %.9f, \"busy_s\": %.9f",
+                 r, rs.wall, rs.busy);
+    for (int c = 0; c < kNumCategories; ++c) {
+      std::fprintf(f, ", \"%s_s\": %.9f",
+                   category_name(static_cast<Category>(c)),
+                   rs.seconds[static_cast<std::size_t>(c)]);
+    }
+    std::fprintf(f, ", \"comm_hidden_s\": %.9f}%s\n", rs.comm_overlap,
+                 r + 1 < rep.ranks.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"comm_bytes\": {");
+  bool first = true;
+  for (const auto& [group, bytes] : rep.comm_bytes) {
+    std::fprintf(f, "%s\n    \"%s\": %" PRId64, first ? "" : ",",
+                 group.c_str(), bytes);
+    first = false;
+  }
+  std::fprintf(f, "\n  },\n  \"peak_mem_bytes\": {");
+  first = true;
+  for (const auto& [pool, bytes] : rep.peak_mem) {
+    std::fprintf(f, "%s\n    \"%s\": %" PRId64, first ? "" : ",",
+                 pool.c_str(), bytes);
+    first = false;
+  }
+  std::fprintf(f, "\n  }\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace ca::obs

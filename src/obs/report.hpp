@@ -1,0 +1,57 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace ca::obs {
+
+/// Aggregated view of one rank's timeline.
+struct RankSummary {
+  /// Latest event end on this rank (simulated seconds).
+  double wall = 0.0;
+  /// Summed span time per category (spans may overlap; comm hidden under
+  /// compute counts in both, which is exactly what the overlap metrics
+  /// below disentangle).
+  std::array<double, kNumCategories> seconds{};
+  /// Length of the union of all non-marker spans — time the rank was doing
+  /// *anything*. wall_global - busy is this rank's idle (bubble) time.
+  double busy = 0.0;
+  /// Comm-span time covered by a compute span: communication the rank hid
+  /// under its own compute (PR 2's async-overlap claim, read off the trace).
+  double comm_overlap = 0.0;
+};
+
+/// Whole-run summary derived from a Tracer: the numbers the paper's
+/// breakdown figures report, computed from the recorded spans instead of by
+/// diffing clocks.
+struct TraceReport {
+  double wall = 0.0;                 ///< max rank wall (simulated seconds)
+  std::vector<RankSummary> ranks;
+  /// Interconnect payload per process group (and "p2p"), bytes, summed over
+  /// member calls.
+  std::map<std::string, std::int64_t> comm_bytes;
+  /// Mean over ranks of (wall - busy) / wall: for a pipeline step this is
+  /// the measured bubble fraction.
+  double bubble_fraction = 0.0;
+  /// Sum of hidden comm over sum of comm time (0 = fully exposed, 1 = fully
+  /// overlapped).
+  double comm_overlap_fraction = 0.0;
+  /// Peak of each recorded memory timeline (device pools and shared pools).
+  std::map<std::string, std::int64_t> peak_mem;
+};
+
+/// Aggregate every rank's events into a TraceReport.
+[[nodiscard]] TraceReport summarize(const Tracer& tracer);
+
+/// Human-readable table (per-rank category fractions, comm volumes, bubble).
+void print_report(const TraceReport& report);
+
+/// Machine-readable summary; returns false (with a warning) on I/O failure.
+bool write_report_json(const TraceReport& report, const std::string& path);
+
+}  // namespace ca::obs

@@ -1,0 +1,7 @@
+#include "obs/trace.hpp"
+
+namespace ca::obs {
+
+thread_local const double* ThreadClock::clock_ = nullptr;
+
+}  // namespace ca::obs

@@ -37,6 +37,9 @@ void Pipeline::post_fwd_recv() {
 t::Tensor Pipeline::forward_micro(int m,
                                   std::span<const t::Tensor> inputs) {
   auto& ctx = env_.context();
+  obs::TraceBuffer* tb = env_.dev().trace();
+  obs::TraceSpan span(tb, obs::Category::kMarker,
+                      tb ? "fwd.micro" + std::to_string(m) : std::string());
   t::Tensor x;
   if (ctx.is_first_stage(env_.grank)) {
     x = inputs[static_cast<std::size_t>(m)].clone();
@@ -99,6 +102,9 @@ float Pipeline::train_step(int micros, std::span<const t::Tensor> inputs,
   // pre-posted before the recompute so the transfer rides under it; the
   // stage output shape is known from the original forward pass.
   auto run_backward = [&](int m) {
+    obs::TraceBuffer* tb = env_.dev().trace();
+    obs::TraceSpan span(tb, obs::Category::kMarker,
+                        tb ? "bwd.micro" + std::to_string(m) : std::string());
     t::Tensor dy;
     collective::RecvHandle dy_h;
     if (!last) {
@@ -192,6 +198,11 @@ float ChunkedPipeline::train_step(int micros,
   std::vector<t::Shape> out_shapes(static_cast<std::size_t>(chunks));
   for (int v = 0; v < chunks; ++v) {
     for (int m = 0; m < micros; ++m) {
+      obs::TraceBuffer* tb = env_.dev().trace();
+      obs::TraceSpan span(tb, obs::Category::kMarker,
+                          tb ? "fwd.v" + std::to_string(v) + ".m" +
+                                   std::to_string(m)
+                             : std::string());
       auto x = recv_input(v, m);
       held_[static_cast<std::size_t>(v)][static_cast<std::size_t>(m)] = x;
       auto y = chunks_[static_cast<std::size_t>(v)]->forward(x);
@@ -203,6 +214,11 @@ float ChunkedPipeline::train_step(int micros,
   // ---- backward: reverse order, with recomputation ----------------------------
   for (int v = chunks - 1; v >= 0; --v) {
     for (int m = micros - 1; m >= 0; --m) {
+      obs::TraceBuffer* tb = env_.dev().trace();
+      obs::TraceSpan span(tb, obs::Category::kMarker,
+                          tb ? "bwd.v" + std::to_string(v) + ".m" +
+                                   std::to_string(m)
+                             : std::string());
       // Pre-post the dy receive so the transfer overlaps the recompute.
       const bool from_loss = (v == chunks - 1 && last_vs);
       t::Tensor dy;

@@ -20,11 +20,15 @@ void Cluster::run(const std::function<void(int)>& fn) {
   threads.reserve(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
     threads.emplace_back([&, r] {
+      // Let samplers on shared pools (host/NVMe) stamp allocations from this
+      // thread with this rank's simulated clock.
+      obs::ThreadClock::bind(devices_[static_cast<std::size_t>(r)]->clock_addr());
       try {
         fn(r);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
       }
+      obs::ThreadClock::bind(nullptr);
     });
   }
   for (auto& t : threads) t.join();
@@ -52,6 +56,36 @@ void Cluster::reset_stats() {
     d->mem().reset();
   }
   host_mem_.reset();
+  nvme_mem_.reset();  // offload benches measure NVMe peaks per configuration
+  if (tracer_) tracer_->clear();
+}
+
+obs::Tracer& Cluster::enable_tracing() {
+  if (!tracer_) tracer_ = std::make_unique<obs::Tracer>(world_size());
+  for (int r = 0; r < world_size(); ++r) {
+    Device& d = *devices_[static_cast<std::size_t>(r)];
+    obs::TraceBuffer* buf = &tracer_->rank(r);
+    d.set_trace(buf);
+    d.mem().set_sample_hook(
+        [buf](std::int64_t current) { buf->mem_sample(current); });
+  }
+  obs::Tracer* tr = tracer_.get();
+  host_mem_.set_sample_hook([tr](std::int64_t current) {
+    tr->pool_sample("host", obs::ThreadClock::now(), current);
+  });
+  nvme_mem_.set_sample_hook([tr](std::int64_t current) {
+    tr->pool_sample("nvme", obs::ThreadClock::now(), current);
+  });
+  return *tracer_;
+}
+
+void Cluster::disable_tracing() {
+  for (auto& d : devices_) {
+    d->set_trace(nullptr);
+    d->mem().set_sample_hook(nullptr);
+  }
+  host_mem_.set_sample_hook(nullptr);
+  nvme_mem_.set_sample_hook(nullptr);
 }
 
 }  // namespace ca::sim

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/device.hpp"
 #include "sim/topology.hpp"
 
@@ -46,14 +47,29 @@ class Cluster {
   /// Sum of bytes_sent over all ranks — total interconnect traffic.
   [[nodiscard]] std::int64_t total_bytes_sent() const;
 
-  /// Zero all clocks, peaks, and byte counters (new measurement).
+  /// Zero all clocks, peaks, and byte counters (new measurement). Keeps the
+  /// tracer attached but drops any recorded events.
   void reset_stats();
+
+  // ---- tracing ----------------------------------------------------------------
+
+  /// Turn on per-rank timeline tracing: creates (or reuses) the Tracer,
+  /// hands each Device its rank buffer, and installs memory samplers on the
+  /// device/host/NVMe pools. Call outside the SPMD region. Idempotent.
+  obs::Tracer& enable_tracing();
+  /// Detach all buffers and samplers; events collected so far stay readable
+  /// through tracer(). The emit points revert to their single disabled-path
+  /// branch.
+  void disable_tracing();
+  /// The tracer, or nullptr if enable_tracing was never called.
+  [[nodiscard]] obs::Tracer* tracer() { return tracer_.get(); }
 
  private:
   Topology topo_;
   std::vector<std::unique_ptr<Device>> devices_;
   MemoryTracker host_mem_;
   MemoryTracker nvme_mem_{"nvme", 0};  // capacity 0 => unlimited
+  std::unique_ptr<obs::Tracer> tracer_;
 };
 
 }  // namespace ca::sim

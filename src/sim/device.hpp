@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "obs/trace.hpp"
 #include "sim/gpu_model.hpp"
 #include "sim/memory.hpp"
 
@@ -28,11 +29,20 @@ class Device {
   void advance_clock(double seconds) { clock_ += seconds; }
   void set_clock(double seconds) { clock_ = seconds; }
   void reset_clock() { clock_ = 0.0; }
+  /// Stable address of the clock, for binding trace buffers/samplers.
+  [[nodiscard]] const double* clock_addr() const { return &clock_; }
 
   /// Advance the clock by the time `flops` of half-precision math takes.
-  void compute_fp16(double flops) { clock_ += flops / gpu_.flops_fp16; }
+  void compute_fp16(double flops) { compute(flops, gpu_.flops_fp16, "fp16"); }
   /// Advance the clock by the time `flops` of single-precision math takes.
-  void compute_fp32(double flops) { clock_ += flops / gpu_.flops_fp32; }
+  void compute_fp32(double flops) { compute(flops, gpu_.flops_fp32, "fp32"); }
+  /// Named variants: the label shows up on the trace's compute lane.
+  void compute_fp16(double flops, const char* what) {
+    compute(flops, gpu_.flops_fp16, what);
+  }
+  void compute_fp32(double flops, const char* what) {
+    compute(flops, gpu_.flops_fp32, what);
+  }
 
   /// Total bytes this rank pushed onto the interconnect (collective +
   /// point-to-point). Used to validate Table 1's analytic volumes.
@@ -40,12 +50,36 @@ class Device {
   void add_bytes_sent(std::int64_t b) { bytes_sent_ += b; }
   void reset_bytes_sent() { bytes_sent_ = 0; }
 
+  // ---- tracing ----------------------------------------------------------------
+
+  /// This rank's trace buffer, or nullptr while tracing is off. Emit points
+  /// throughout the stack test this pointer — the entire disabled-path cost
+  /// of the tracer is that one predictable branch.
+  [[nodiscard]] obs::TraceBuffer* trace() const { return trace_; }
+  /// Attach (or detach, with nullptr) a trace buffer; binds it to this
+  /// device's clock. Called by Cluster::enable_tracing outside the SPMD
+  /// region.
+  void set_trace(obs::TraceBuffer* buf) {
+    trace_ = buf;
+    if (buf != nullptr) buf->bind_clock(&clock_);
+  }
+
  private:
+  void compute(double flops, double rate, const char* what) {
+    const double t0 = clock_;
+    clock_ += flops / rate;
+    if (trace_ != nullptr) {
+      trace_->add(obs::TraceEvent{what, obs::Category::kCompute, t0, clock_,
+                                  t0, 0, flops, 0.0});
+    }
+  }
+
   int rank_;
   GpuModel gpu_;
   MemoryTracker mem_;
   double clock_ = 0.0;
   std::int64_t bytes_sent_ = 0;
+  obs::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace ca::sim

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -45,11 +46,15 @@ class MemoryTracker {
     }
     current_ += bytes;
     peak_ = std::max(peak_, current_);
+    if (sample_hook_) sample_hook_(current_);
   }
 
   /// Record a free. Freeing more than is in use clamps at zero (mirrors the
   /// tolerance of real allocators for double-accounting at shutdown).
-  void free(std::int64_t bytes) { current_ = std::max<std::int64_t>(0, current_ - bytes); }
+  void free(std::int64_t bytes) {
+    current_ = std::max<std::int64_t>(0, current_ - bytes);
+    if (sample_hook_) sample_hook_(current_);
+  }
 
   [[nodiscard]] std::int64_t current() const { return current_; }
   [[nodiscard]] std::int64_t peak() const { return peak_; }
@@ -65,11 +70,19 @@ class MemoryTracker {
   /// Forget everything (new experiment).
   void reset() { current_ = 0; peak_ = 0; }
 
+  /// Optional sampler fired with the new `current()` after every alloc/free —
+  /// the tracer uses it to build per-pool memory timelines. Disabled (the
+  /// default) it costs one branch per accounting call; pass nullptr to
+  /// detach. The hook must not call back into this tracker.
+  using SampleHook = std::function<void(std::int64_t current)>;
+  void set_sample_hook(SampleHook hook) { sample_hook_ = std::move(hook); }
+
  private:
   std::string name_;
   std::int64_t capacity_;
   std::int64_t current_ = 0;
   std::int64_t peak_ = 0;
+  SampleHook sample_hook_;
 };
 
 /// RAII allocation: tracks `bytes` for its lifetime.

@@ -63,8 +63,16 @@ void ChunkManager::move_to(int chunk_id, Placement target) {
   const bool nvme = source == Placement::kNvme || target == Placement::kNvme;
   const double bw = nvme ? topo.nvme_bandwidth() : topo.host_link_bandwidth();
   const double t = kMoveLatency + static_cast<double>(c.capacity_bytes) / bw;
+  const double t0 = env_.dev().clock();
   env_.dev().advance_clock(t);
   move_seconds_ += t;
+  if (obs::TraceBuffer* tb = env_.dev().trace()) {
+    const char* what = nvme ? "chunk.nvme"
+                       : target == Placement::kDevice ? "chunk.h2d"
+                                                      : "chunk.d2h";
+    tb->add(obs::TraceEvent{what, obs::Category::kMemcpy, t0, t0 + t, t0,
+                            c.capacity_bytes, 0.0, 0.0});
+  }
 }
 
 void ChunkManager::reuse_as_grads(int chunk_id) {

@@ -44,7 +44,17 @@ void HybridAdam::step() {
   const double xfer =
       static_cast<double>(cpu_elems_ * 4) /
       env_.ctx->backend().cluster().topology().host_link_bandwidth();
+  const double t0 = env_.dev().clock();
   env_.dev().advance_clock(gpu_t + cpu_t + xfer);
+  if (obs::TraceBuffer* tb = env_.dev().trace()) {
+    tb->add(obs::TraceEvent{"adam.update", obs::Category::kOptimizer, t0,
+                            t0 + gpu_t + cpu_t, t0, 0, 0.0, 0.0});
+    if (xfer > 0.0) {
+      tb->add(obs::TraceEvent{"adam.writeback", obs::Category::kMemcpy,
+                              t0 + gpu_t + cpu_t, t0 + gpu_t + cpu_t + xfer,
+                              t0, cpu_elems_ * 4, 0.0, 0.0});
+    }
+  }
 }
 
 }  // namespace ca::zero

@@ -79,9 +79,15 @@ void SimOffloadTrainer::train_step() {
   // full chunk (possibly carrying other layers' tensors — the fragmentation
   // cost the chunk-size ablation sweeps) plus the per-transfer latency.
   auto stream_cost = [&](int cid) {
-    env_.dev().advance_clock(
-        ChunkManager::kMoveLatency +
-        static_cast<double>(chunks_.chunk(cid).capacity_bytes) / host_bw);
+    const std::int64_t bytes = chunks_.chunk(cid).capacity_bytes;
+    const double t0 = env_.dev().clock();
+    const double t =
+        ChunkManager::kMoveLatency + static_cast<double>(bytes) / host_bw;
+    env_.dev().advance_clock(t);
+    if (obs::TraceBuffer* tb = env_.dev().trace()) {
+      tb->add(obs::TraceEvent{"chunk.fetch", obs::Category::kMemcpy, t0,
+                              t0 + t, t0, bytes, 0.0, 0.0});
+    }
   };
 
   // ---- forward ----------------------------------------------------------------
@@ -111,9 +117,14 @@ void SimOffloadTrainer::train_step() {
       }
     } else {
       // static policy: gradient shards always stream down to the host
-      env_.dev().advance_clock(
-          ChunkManager::kMoveLatency +
-          static_cast<double>(layer_full_bytes / p) / host_bw);
+      const double t0 = env_.dev().clock();
+      const double t = ChunkManager::kMoveLatency +
+                       static_cast<double>(layer_full_bytes / p) / host_bw;
+      env_.dev().advance_clock(t);
+      if (obs::TraceBuffer* tb = env_.dev().trace()) {
+        tb->add(obs::TraceEvent{"grad.d2h", obs::Category::kMemcpy, t0, t0 + t,
+                                t0, layer_full_bytes / p, 0.0, 0.0});
+      }
     }
   }
 
@@ -121,11 +132,23 @@ void SimOffloadTrainer::train_step() {
   const double gpu_elems = gpu_frac_ * static_cast<double>(state_elems_shard_) / 3.0;
   const double cpu_elems =
       (1.0 - gpu_frac_) * static_cast<double>(state_elems_shard_) / 3.0;
+  const double t_adam0 = env_.dev().clock();
   env_.dev().advance_clock(gpu_elems / kGpuAdamElemsPerSec +
                            cpu_elems / kCpuAdamElemsPerSec);
+  const double t_adam1 = env_.dev().clock();
   // updated fp16 shards of host-updated params stream back to the device
-  env_.dev().advance_clock((1.0 - gpu_frac_) *
-                           static_cast<double>(w_.params() / p * be) / host_bw);
+  const std::int64_t wb_bytes = static_cast<std::int64_t>(
+      (1.0 - gpu_frac_) * static_cast<double>(w_.params() / p * be));
+  env_.dev().advance_clock(static_cast<double>(wb_bytes) / host_bw);
+  if (obs::TraceBuffer* tb = env_.dev().trace()) {
+    tb->add(obs::TraceEvent{"adam.update", obs::Category::kOptimizer, t_adam0,
+                            t_adam1, t_adam0, 0, 0.0, 0.0});
+    if (wb_bytes > 0) {
+      tb->add(obs::TraceEvent{"adam.writeback", obs::Category::kMemcpy,
+                              t_adam1, env_.dev().clock(), t_adam1, wb_bytes,
+                              0.0, 0.0});
+    }
+  }
 
   for (const auto& cids : layer_chunks_) {
     for (int cid : cids) {

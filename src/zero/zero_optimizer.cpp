@@ -87,6 +87,7 @@ void ZeroOptimizer::adam_update(ParamShard& s, const t::Tensor& grad_shard) {
 }
 
 void ZeroOptimizer::step() {
+  obs::TraceSpan span(env_.dev().trace(), obs::Category::kMarker, "zero.step");
   ++t_;
   const int world = group_.size();
   const int idx = group_.index_of(env_.grank);

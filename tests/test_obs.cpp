@@ -1,0 +1,311 @@
+// Observability subsystem tests: trace spans (RAII, nesting, clock
+// monotonicity, disabled-path inertness), the cluster tracing lifecycle
+// (enable/disable/reset, memory samplers), the exporters (Chrome trace JSON,
+// summary report), and the MemoryTracker edge cases the tracer leans on.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "collective/backend.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "sim/cluster.hpp"
+
+namespace sim = ca::sim;
+namespace obs = ca::obs;
+namespace col = ca::collective;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(std::string p) : path(std::move(p)) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+}  // namespace
+
+// ---- MemoryTracker edge cases -----------------------------------------------
+
+TEST(MemoryTracker, AvailableOnUnlimitedPoolIsHuge) {
+  sim::MemoryTracker mem("pool", 0);  // capacity <= 0 => unlimited
+  EXPECT_EQ(mem.available(), std::int64_t{1} << 62);
+  mem.alloc(std::int64_t{100} << 30);  // no OOM, available unchanged
+  EXPECT_EQ(mem.available(), std::int64_t{1} << 62);
+}
+
+TEST(MemoryTracker, OomErrorCarriesAccountingFields) {
+  sim::MemoryTracker mem("gpu0", 1000);
+  mem.alloc(800);
+  try {
+    mem.alloc(300);
+    FAIL() << "expected OomError";
+  } catch (const sim::OomError& e) {
+    EXPECT_EQ(e.requested(), 300);
+    EXPECT_EQ(e.in_use(), 800);
+    EXPECT_EQ(e.capacity(), 1000);
+    EXPECT_NE(std::string(e.what()).find("gpu0"), std::string::npos);
+  }
+  EXPECT_EQ(mem.current(), 800);  // failed alloc must not be charged
+}
+
+TEST(MemoryTracker, ScopedAllocMoveTransfersOwnership) {
+  sim::MemoryTracker mem("m", 0);
+  {
+    sim::ScopedAlloc a(mem, 64);
+    EXPECT_EQ(mem.current(), 64);
+    sim::ScopedAlloc b(std::move(a));
+    EXPECT_EQ(b.bytes(), 64);
+    EXPECT_EQ(mem.current(), 64);  // moved-from must not double-free...
+  }
+  EXPECT_EQ(mem.current(), 0);  // ...and the new owner frees exactly once
+}
+
+TEST(MemoryTracker, SampleHookFiresOnAllocAndFree) {
+  sim::MemoryTracker mem("m", 0);
+  std::vector<std::int64_t> samples;
+  mem.set_sample_hook([&](std::int64_t cur) { samples.push_back(cur); });
+  mem.alloc(10);
+  mem.alloc(5);
+  mem.free(10);
+  EXPECT_EQ(samples, (std::vector<std::int64_t>{10, 15, 5}));
+  mem.set_sample_hook(nullptr);
+  mem.alloc(1);  // detached: no further samples
+  EXPECT_EQ(samples.size(), 3u);
+}
+
+// ---- spans and buffers ------------------------------------------------------
+
+TEST(TraceSpan, NestingAndClockMonotonicity) {
+  double clock = 1.0;
+  obs::TraceBuffer buf;
+  buf.bind_clock(&clock);
+  {
+    obs::TraceSpan outer(&buf, obs::Category::kMarker, "outer");
+    clock = 2.0;
+    {
+      obs::TraceSpan inner(&buf, obs::Category::kCompute, "inner", 0, 7.0);
+      clock = 3.0;
+    }  // inner closes first (LIFO)
+    clock = 4.0;
+  }
+  ASSERT_EQ(buf.events().size(), 2u);
+  const auto& inner = buf.events()[0];
+  const auto& outer = buf.events()[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.t0, 2.0);
+  EXPECT_EQ(inner.t1, 3.0);
+  EXPECT_EQ(inner.flops, 7.0);
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.t0, 1.0);
+  EXPECT_EQ(outer.t1, 4.0);
+  // nesting: the outer span contains the inner one
+  EXPECT_LE(outer.t0, inner.t0);
+  EXPECT_GE(outer.t1, inner.t1);
+  for (const auto& e : buf.events()) {
+    EXPECT_LE(e.t0, e.t1);
+    EXPECT_LE(e.t_issue, e.t0);
+  }
+}
+
+TEST(TraceSpan, NullBufferIsInertAndFinishIsIdempotent) {
+  obs::TraceSpan inert(nullptr, obs::Category::kCompute, "x");
+  inert.finish();  // no crash
+  double clock = 0.0;
+  obs::TraceBuffer buf;
+  buf.bind_clock(&clock);
+  obs::TraceSpan s(&buf, obs::Category::kCompute, "y");
+  clock = 1.0;
+  s.finish();
+  clock = 2.0;
+  s.finish();  // second finish must not emit again
+  ASSERT_EQ(buf.events().size(), 1u);
+  EXPECT_EQ(buf.events()[0].t1, 1.0);
+}
+
+TEST(TraceSpan, MoveTransfersTheOpenSpan) {
+  double clock = 0.0;
+  obs::TraceBuffer buf;
+  buf.bind_clock(&clock);
+  obs::TraceSpan a(&buf, obs::Category::kCompute, "moved");
+  obs::TraceSpan b(std::move(a));
+  a.finish();  // moved-from: inert
+  EXPECT_TRUE(buf.events().empty());
+  clock = 5.0;
+  b.finish();
+  ASSERT_EQ(buf.events().size(), 1u);
+  EXPECT_EQ(buf.events()[0].t1, 5.0);
+}
+
+// ---- cluster tracing lifecycle ----------------------------------------------
+
+TEST(ClusterTracing, DeviceSpansStampSimulatedClockPerRank) {
+  sim::Cluster cluster(sim::Topology::uniform(2, 100e9));
+  auto& tracer = cluster.enable_tracing();
+  cluster.run([&](int r) {
+    cluster.device(r).compute_fp16(250e12 * 1e-3);  // 1 simulated ms
+    cluster.device(r).compute_fp32(120e12 * 2e-3, "tail");
+  });
+  for (int r = 0; r < 2; ++r) {
+    const auto& ev = tracer.rank(r).events();
+    ASSERT_EQ(ev.size(), 2u);
+    EXPECT_EQ(ev[0].name, "fp16");
+    EXPECT_EQ(ev[1].name, "tail");
+    EXPECT_NEAR(ev[0].t1 - ev[0].t0, 1e-3, 1e-9);
+    // per-rank clock monotonicity: events appear in nondecreasing time order
+    EXPECT_LE(ev[0].t1, ev[1].t0 + 1e-12);
+  }
+}
+
+TEST(ClusterTracing, CommSpansCarryGroupNameBytesAndIssueClock) {
+  sim::Cluster cluster(sim::Topology::uniform(2, 100e9));
+  col::Backend backend(cluster);
+  auto& tracer = cluster.enable_tracing();
+  cluster.run([&](int r) {
+    cluster.device(r).compute_fp16(250e12 * 1e-4);
+    std::vector<float> v(256, 1.0f);
+    backend.world().all_reduce(r, v);
+  });
+  for (int r = 0; r < 2; ++r) {
+    const obs::TraceEvent* comm = nullptr;
+    for (const auto& e : tracer.rank(r).events())
+      if (e.cat == obs::Category::kComm) comm = &e;
+    ASSERT_NE(comm, nullptr);
+    EXPECT_EQ(comm->name, "world.all_reduce");
+    EXPECT_EQ(comm->bytes, 256 * 4);
+    EXPECT_LE(comm->t_issue, comm->t0);
+    EXPECT_GT(comm->t1, comm->t0);
+    EXPECT_GE(comm->alpha, 0.0);
+    EXPECT_LE(comm->alpha, comm->t1 - comm->t0 + 1e-12);
+  }
+}
+
+TEST(ClusterTracing, MemorySamplerRecordsDeviceTimeline) {
+  sim::Cluster cluster(sim::Topology::uniform(1, 100e9));
+  auto& tracer = cluster.enable_tracing();
+  cluster.run([&](int r) {
+    auto& d = cluster.device(r);
+    d.mem().alloc(1024);
+    d.compute_fp16(250e12 * 1e-3);
+    d.mem().alloc(2048);
+    d.mem().free(1024);
+  });
+  const auto& tl = tracer.rank(0).mem_timeline();
+  ASSERT_EQ(tl.size(), 3u);
+  EXPECT_EQ(tl[0].second, 1024);
+  EXPECT_EQ(tl[1].second, 3072);
+  EXPECT_EQ(tl[2].second, 2048);
+  EXPECT_LT(tl[0].first, tl[1].first);  // second alloc after the compute
+}
+
+TEST(ClusterTracing, DisableDetachesAndResetStatsClearsEverything) {
+  sim::Cluster cluster(sim::Topology::uniform(1, 100e9));
+  auto& tracer = cluster.enable_tracing();
+  cluster.run([&](int r) { cluster.device(r).compute_fp16(1e9); });
+  EXPECT_FALSE(tracer.rank(0).events().empty());
+
+  cluster.nvme_mem().alloc(4096);
+  cluster.reset_stats();  // must clear events AND the nvme pool accounting
+  EXPECT_TRUE(tracer.rank(0).events().empty());
+  EXPECT_EQ(cluster.nvme_mem().current(), 0);
+  EXPECT_EQ(cluster.nvme_mem().peak(), 0);
+
+  cluster.disable_tracing();
+  EXPECT_EQ(cluster.device(0).trace(), nullptr);
+  cluster.run([&](int r) {
+    cluster.device(r).compute_fp16(1e9);
+    cluster.device(r).mem().alloc(64);
+  });
+  EXPECT_TRUE(tracer.rank(0).events().empty());
+  EXPECT_TRUE(tracer.rank(0).mem_timeline().empty());
+}
+
+// ---- exporters --------------------------------------------------------------
+
+TEST(Exporters, ChromeTraceIsWellFormedJson) {
+  sim::Cluster cluster(sim::Topology::uniform(2, 100e9));
+  col::Backend backend(cluster);
+  cluster.enable_tracing();
+  cluster.run([&](int r) {
+    cluster.device(r).mem().alloc(512);
+    cluster.device(r).compute_fp16(250e12 * 1e-4, "warm \"up\"\n");
+    std::vector<float> v(64, 1.0f);
+    backend.world().all_reduce(r, v);
+  });
+
+  TempFile f("test_trace_out.json");
+  ASSERT_TRUE(obs::write_chrome_trace(*cluster.tracer(), f.path));
+  const std::string body = slurp(f.path);
+  EXPECT_NE(body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(body.find("\"rank0\""), std::string::npos);
+  EXPECT_NE(body.find("\"rank1\""), std::string::npos);
+  EXPECT_NE(body.find("world.all_reduce"), std::string::npos);
+  // the quote and newline in the span name must be escaped
+  EXPECT_NE(body.find("warm \\\"up\\\"\\n"), std::string::npos);
+  EXPECT_EQ(body.find("warm \"up\"\n"), std::string::npos);
+  // memory counter track for the device pool
+  EXPECT_NE(body.find("gpu0 mem"), std::string::npos);
+  // balanced braces/brackets (cheap well-formedness check, no JSON parser)
+  EXPECT_EQ(std::count(body.begin(), body.end(), '{'),
+            std::count(body.begin(), body.end(), '}'));
+  EXPECT_EQ(std::count(body.begin(), body.end(), '['),
+            std::count(body.begin(), body.end(), ']'));
+}
+
+TEST(Exporters, SummaryComputesFractionsBytesAndOverlap) {
+  obs::Tracer tracer(1);
+  // Hand-built timeline: 10 ms compute, comm [2, 6] ms fully under it, and
+  // comm [12, 14] ms fully exposed. wall = 14 ms, busy = [0,10]+[12,14].
+  tracer.rank(0).add({"gemm", obs::Category::kCompute, 0.0, 0.010, 0.0, 0, 1e9, 0.0});
+  tracer.rank(0).add({"data.all_reduce", obs::Category::kComm, 0.002, 0.006,
+                      0.002, 1000, 0.0, 0.0005});
+  tracer.rank(0).add({"data.all_gather", obs::Category::kComm, 0.012, 0.014,
+                      0.012, 500, 0.0, 0.0});
+  tracer.rank(0).add({"step", obs::Category::kMarker, 0.0, 0.014, 0.0, 0, 0.0, 0.0});
+
+  const auto rep = obs::summarize(tracer);
+  EXPECT_NEAR(rep.wall, 0.014, 1e-12);
+  ASSERT_EQ(rep.ranks.size(), 1u);
+  const auto& r0 = rep.ranks[0];
+  EXPECT_NEAR(r0.seconds[static_cast<int>(obs::Category::kCompute)], 0.010, 1e-12);
+  EXPECT_NEAR(r0.seconds[static_cast<int>(obs::Category::kComm)], 0.006, 1e-12);
+  EXPECT_NEAR(r0.busy, 0.012, 1e-12);          // markers don't count as busy
+  EXPECT_NEAR(r0.comm_overlap, 0.004, 1e-12);  // only the hidden all_reduce
+  EXPECT_NEAR(rep.comm_overlap_fraction, 0.004 / 0.006, 1e-9);
+  EXPECT_NEAR(rep.bubble_fraction, (0.014 - 0.012) / 0.014, 1e-9);
+  ASSERT_EQ(rep.comm_bytes.count("data"), 1u);
+  EXPECT_EQ(rep.comm_bytes.at("data"), 1500);
+
+  TempFile f("test_report_out.json");
+  ASSERT_TRUE(obs::write_report_json(rep, f.path));
+  const std::string body = slurp(f.path);
+  EXPECT_NE(body.find("\"comm_overlap_fraction\""), std::string::npos);
+  EXPECT_NE(body.find("\"bubble_fraction\""), std::string::npos);
+  EXPECT_NE(body.find("\"comm_bytes\""), std::string::npos);
+}
+
+TEST(Exporters, SharedPoolTimelinesSurfaceInPeakMem) {
+  sim::Cluster cluster(sim::Topology::uniform(1, 100e9));
+  auto& tracer = cluster.enable_tracing();
+  cluster.run([&](int) {
+    cluster.host_mem().alloc(1 << 20);
+    cluster.nvme_mem().alloc(1 << 22);
+    cluster.host_mem().free(1 << 20);
+  });
+  ASSERT_EQ(tracer.pool_timelines().count("host"), 1u);
+  ASSERT_EQ(tracer.pool_timelines().count("nvme"), 1u);
+  const auto rep = obs::summarize(tracer);
+  EXPECT_EQ(rep.peak_mem.at("host"), 1 << 20);
+  EXPECT_EQ(rep.peak_mem.at("nvme"), 1 << 22);
+}

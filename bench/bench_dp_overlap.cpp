@@ -51,10 +51,14 @@ struct ModeResult {
 /// One DP training run: every rank sees the full batch (average=1/P of P
 /// identical gradients is exact), so both modes and all ranks must produce
 /// the same loss trajectory bit-for-bit.
-ModeResult run_mode(int world, engine::Engine::Options::GradSync mode) {
+ModeResult run_mode_on(sim::Topology topo,
+                       engine::Engine::Options::GradSync mode,
+                       std::optional<ca::collective::Algo> forced_algo) {
+  const int world = topo.num_devices();
   core::Config cfg;
   cfg.data_parallel_size = world;
-  bench::World w(sim::Topology::uniform(world, 100e9), cfg);
+  bench::World w(std::move(topo), cfg);
+  w.backend.set_forced_algo(forced_algo);
 
   ModeResult res;
   std::vector<double> step_ns(static_cast<std::size_t>(world), 0.0);
@@ -103,6 +107,10 @@ ModeResult run_mode(int world, engine::Engine::Options::GradSync mode) {
   return res;
 }
 
+ModeResult run_mode(int world, engine::Engine::Options::GradSync mode) {
+  return run_mode_on(sim::Topology::uniform(world, 100e9), mode, std::nullopt);
+}
+
 }  // namespace
 
 int main() {
@@ -139,6 +147,29 @@ int main() {
     report.add("dp_step_bucketed" + tag, shape, bucketed.step_ns, 0.0);
     // ns_per_iter carries the speedup percentage for this synthetic row
     report.add("dp_step_speedup_pct" + tag, shape, speedup_pct, 0.0);
+  }
+
+  // Multi-node DP sync: the same bucketed run over a 2-node System III
+  // machine, forced single-level chunked vs the auto selector (which picks
+  // the hierarchical two-level schedule for buckets past 64 KiB).
+  bench::header("multi-node DP sync: forced chunked vs auto on system_iii(2)");
+  {
+    const auto chunked =
+        run_mode_on(sim::Topology::system_iii(2),
+                    engine::Engine::Options::GradSync::kBucketed,
+                    ca::collective::Algo::kChunked);
+    const auto autoa = run_mode_on(sim::Topology::system_iii(2),
+                                   engine::Engine::Options::GradSync::kBucketed,
+                                   std::nullopt);
+    const bool identical = chunked.losses == autoa.losses;
+    losses_ok = losses_ok && identical;
+    std::printf(
+        "world 8 (2x4): sim chunked %.3f ms | auto %.3f ms | losses %s\n",
+        chunked.sim_ms, autoa.sim_ms, identical ? "identical" : "DIVERGED");
+    report.add("dp_step_mn_sim_ms_chunked", shape + "_system_iii2",
+               chunked.sim_ms, 0.0);
+    report.add("dp_step_mn_sim_ms_auto", shape + "_system_iii2", autoa.sim_ms,
+               0.0);
   }
   report.write();
 

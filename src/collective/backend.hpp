@@ -29,11 +29,17 @@ class Backend {
   /// Group containing every rank.
   [[nodiscard]] Group& world() { return *world_; }
 
+  /// Force one collective algorithm for every group of this backend (the
+  /// `collective_algo` config knob; CA_COLLECTIVE_ALGO still wins over it).
+  /// Main-thread only, before the SPMD region. nullopt restores auto-select.
+  void set_forced_algo(std::optional<Algo> algo) { policy_.forced = algo; }
+  [[nodiscard]] const AlgoPolicy& algo_policy() const { return policy_; }
+
   /// Create a new process group over `ranks`. Main-thread only. `name`
   /// labels the group's comm spans in traces (no '.' allowed).
   Group& create_group(std::vector<int> ranks, std::string name = "group") {
-    groups_.push_back(
-        std::make_unique<Group>(cluster_, std::move(ranks), std::move(name)));
+    groups_.push_back(std::make_unique<Group>(cluster_, std::move(ranks),
+                                              std::move(name), &policy_));
     return *groups_.back();
   }
 
@@ -51,6 +57,9 @@ class Backend {
 
  private:
   sim::Cluster& cluster_;
+  // Shared by every group this backend creates (groups hold a pointer), so
+  // it must outlive them — it does, as a member declared before `groups_`.
+  AlgoPolicy policy_;
   std::vector<std::unique_ptr<Group>> groups_;
   std::vector<std::unique_ptr<P2pChannel>> channels_;
   std::mutex channel_mutex_;

@@ -1,8 +1,84 @@
 #include "collective/cost.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace ca::collective {
+
+namespace {
+
+/// Pipeline depth of the kRing schedules: enough chunks to amortize per-hop
+/// latency, capped so tiny sub-chunks don't re-inflate it.
+int ring_pipeline_chunks(std::int64_t bytes) {
+  const auto k = bytes / (256 << 10);
+  return static_cast<int>(std::clamp<std::int64_t>(k, 2, 16));
+}
+
+int ceil_log2(int p) {
+  int bits = 0;
+  for (int v = p - 1; v > 0; v >>= 1) ++bits;
+  return bits;
+}
+
+/// Slowest link on the ring over the global ranks behind the given member
+/// indices of `ranks` (a block or the leader set).
+double member_ring_bottleneck(const sim::Topology& topo,
+                              std::span<const int> ranks,
+                              const std::vector<int>& members) {
+  if (members.size() < 2) return 0.0;
+  std::vector<int> g;
+  g.reserve(members.size());
+  for (int m : members) g.push_back(ranks[static_cast<std::size_t>(m)]);
+  return topo.ring_bottleneck(g);
+}
+
+/// One intra-block pass (the reduce-scatter or all-gather half): every block
+/// runs concurrently, so the phase costs the slowest block.
+double intra_pass_time(const sim::Topology& topo, std::span<const int> ranks,
+                       const TwoLevelPlan& plan, double b, double alpha) {
+  double t = 0.0;
+  for (const auto& block : plan.blocks) {
+    const auto m = static_cast<double>(block.size());
+    if (block.size() < 2) continue;
+    const double bw = member_ring_bottleneck(topo, ranks, block);
+    t = std::max(t, (m - 1.0) * (alpha + b / m / bw));
+  }
+  return t;
+}
+
+/// The inter-block all-reduce: each block's 1/m share is exchanged across
+/// the leader ring (slot j of every block exchanges with slot j of the
+/// others; the leader ring's bottleneck link bounds all slots).
+double inter_pass_time(const sim::Topology& topo, std::span<const int> ranks,
+                       const TwoLevelPlan& plan, double b, double alpha) {
+  const auto l = static_cast<double>(plan.num_blocks());
+  if (plan.num_blocks() < 2) return 0.0;
+  const double bw = member_ring_bottleneck(topo, ranks, plan.leaders);
+  const double share = b / static_cast<double>(std::max(plan.min_block(), 1));
+  return 2.0 * (l - 1.0) * (alpha + share / l / bw);
+}
+
+double hierarchical_time(Op op, const sim::Topology& topo,
+                         std::span<const int> ranks, const TwoLevelPlan& plan,
+                         double b, double alpha) {
+  const double intra = intra_pass_time(topo, ranks, plan, b, alpha);
+  const double inter = inter_pass_time(topo, ranks, plan, b, alpha);
+  switch (op) {
+    case Op::kAllReduce:
+      return intra + inter + intra;  // RS intra, AR inter, AG intra
+    case Op::kReduceScatter:
+    case Op::kReduce:
+      return intra + inter / 2.0;
+    case Op::kAllGather:
+    case Op::kBroadcast:
+      return inter / 2.0 + intra;
+    default:
+      return 0.0;  // not selected for these ops
+  }
+}
+
+}  // namespace
 
 double collective_time(Op op, const sim::Topology& topo,
                        std::span<const int> ranks, std::int64_t bytes) {
@@ -34,6 +110,57 @@ double collective_time(Op op, const sim::Topology& topo,
   return 0.0;
 }
 
+double collective_time(Op op, Algo algo, const sim::Topology& topo,
+                       std::span<const int> ranks, std::int64_t bytes,
+                       const TwoLevelPlan& plan) {
+  const auto p = static_cast<double>(ranks.size());
+  if (ranks.size() < 2 || bytes == 0) return 0.0;
+  const double alpha = topo.latency();
+  const double b = static_cast<double>(bytes);
+
+  switch (algo) {
+    case Algo::kChunked:
+      return collective_time(op, topo, ranks, bytes);
+
+    case Algo::kRing: {
+      const double bw = topo.ring_bottleneck(ranks);
+      const auto k = static_cast<double>(ring_pipeline_chunks(bytes));
+      switch (op) {
+        case Op::kAllReduce:
+          // 2(p-1)+k-1 pipelined sub-steps of b/(p k) each: the hop count of
+          // the ring plus the pipeline fill, each sub-chunk streaming while
+          // the next arrives.
+          return (2.0 * (p - 1.0) + k - 1.0) * (alpha + b / p / k / bw);
+        case Op::kReduceScatter:
+        case Op::kAllGather:
+          return ((p - 1.0) + k - 1.0) * (alpha + b / p / k / bw);
+        default:
+          return collective_time(op, topo, ranks, bytes);
+      }
+    }
+
+    case Algo::kHierarchical:
+      if (!plan.viable()) return collective_time(op, topo, ranks, bytes);
+      return hierarchical_time(op, topo, ranks, plan, b, alpha);
+
+    case Algo::kSingleRoot: {
+      // Latency-optimal binary tree; the slowest group link bounds each hop.
+      const double bw = topo.ring_bottleneck(ranks);
+      const auto hops = static_cast<double>(ceil_log2(static_cast<int>(p)));
+      switch (op) {
+        case Op::kAllReduce:
+          return 2.0 * hops * (alpha + b / bw);  // reduce tree + bcast tree
+        case Op::kBroadcast:
+        case Op::kReduce:
+          return hops * (alpha + b / bw);
+        default:
+          return collective_time(op, topo, ranks, bytes);
+      }
+    }
+  }
+  return 0.0;
+}
+
 double p2p_time(const sim::Topology& topo, int src, int dst, std::int64_t bytes) {
   if (src == dst || bytes == 0) return 0.0;
   return topo.latency() + static_cast<double>(bytes) / topo.bandwidth(src, dst);
@@ -57,6 +184,19 @@ std::int64_t bytes_sent_per_rank(Op op, int group_size, std::int64_t bytes) {
       return (p - 1) * bytes / p;
   }
   return 0;
+}
+
+std::int64_t bytes_sent_per_rank(Op op, Algo algo, int group_size,
+                                 std::int64_t bytes,
+                                 const TwoLevelPlan& plan) {
+  // Per-rank volume is algorithm-invariant. Ring/chunked/single-root move the
+  // classic ring volume outright, and the two-level decomposition satisfies
+  // the identity (m-1)/m + (l-1)/(l*m) = (p-1)/p with p = l*m: hierarchical
+  // re-routes the inter-block share over the leader ring but moves exactly
+  // the same total per rank. Only the *time* model differs by algorithm.
+  (void)algo;
+  (void)plan;
+  return bytes_sent_per_rank(op, group_size, bytes);
 }
 
 }  // namespace ca::collective

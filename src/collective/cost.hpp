@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <span>
 
+#include "collective/algo.hpp"
 #include "sim/topology.hpp"
 
 namespace ca::collective {
@@ -38,8 +39,22 @@ constexpr const char* op_name(Op op) {
 /// using ring algorithms (the NCCL default at these sizes). The bottleneck
 /// link of the rank ring bounds bandwidth — this is what makes 1D tensor
 /// parallelism collapse on partially-connected machines (paper Figs 10-11).
+/// This legacy overload is the kChunked cost; prefer the Algo-aware overload.
 double collective_time(Op op, const sim::Topology& topo,
                        std::span<const int> ranks, std::int64_t bytes);
+
+/// Algorithm-aware alpha-beta time (see DESIGN.md section 6 for the models):
+///   kChunked      — store-and-forward ring (the legacy formulas)
+///   kRing         — pipelined chunks: per-hop latency amortized over k
+///                   sub-chunks streaming through the ring
+///   kHierarchical — intra-block reduce-scatter/all-gather at the block
+///                   bottleneck + inter-block exchange over leaders at the
+///                   leader-ring bottleneck, phases taken from `plan`
+///   kSingleRoot   — latency-optimal binary tree (small messages)
+/// `plan` may be a non-viable plan for non-hierarchical algorithms.
+double collective_time(Op op, Algo algo, const sim::Topology& topo,
+                       std::span<const int> ranks, std::int64_t bytes,
+                       const TwoLevelPlan& plan);
 
 /// Point-to-point transfer time between two devices.
 double p2p_time(const sim::Topology& topo, int src, int dst, std::int64_t bytes);
@@ -47,5 +62,11 @@ double p2p_time(const sim::Topology& topo, int src, int dst, std::int64_t bytes)
 /// Bytes a single rank pushes onto the interconnect during the ring
 /// implementation of `op` with `bytes` of payload per rank.
 std::int64_t bytes_sent_per_rank(Op op, int group_size, std::int64_t bytes);
+
+/// Algorithm-aware per-rank interconnect bytes. Identical to the ring figure
+/// for every algorithm except kHierarchical, where the inter-block round only
+/// moves each block's 1/m share across the slow links.
+std::int64_t bytes_sent_per_rank(Op op, Algo algo, int group_size,
+                                 std::int64_t bytes, const TwoLevelPlan& plan);
 
 }  // namespace ca::collective

@@ -11,7 +11,7 @@ namespace {
 constexpr std::int64_t kFloatBytes = 4;
 /// Below this many elements a rank-local loop is not worth an OpenMP team.
 constexpr std::int64_t kOmpMinElems = 1 << 16;
-/// Cache-friendly block for the phase-1 reduce: the block stays L1-resident
+/// Cache-friendly block for the reducing actions: the block stays L1-resident
 /// while every member's contribution is added to it.
 constexpr std::int64_t kReduceBlock = 2048;
 
@@ -38,6 +38,23 @@ void scale_inplace(std::span<float> data, float scale) {
   for (auto& v : data) v *= scale;
 }
 
+/// The op's modeled payload under its byte convention — what the selector,
+/// the cost model, and the emitted comm span all agree on (and what
+/// build_schedule stores in CommSchedule::bytes).
+std::int64_t modeled_bytes(Op op, std::int64_t n_in, std::int64_t n_out,
+                           int p) {
+  switch (op) {
+    case Op::kAllGather:
+      return n_out * kFloatBytes;  // the full gathered size (NCCL convention)
+    case Op::kGather:
+      return n_in * p * kFloatBytes;
+    case Op::kScatter:
+      return n_out * p * kFloatBytes;
+    default:
+      return n_in * kFloatBytes;
+  }
+}
+
 }  // namespace
 
 void CollectiveHandle::wait() {
@@ -49,13 +66,17 @@ void CollectiveHandle::wait() {
   dev.set_clock(std::max(dev.clock(), state_->t_end));
 }
 
-Group::Group(sim::Cluster& cluster, std::vector<int> ranks, std::string name)
+Group::Group(sim::Cluster& cluster, std::vector<int> ranks, std::string name,
+             const AlgoPolicy* policy)
     : cluster_(cluster),
       ranks_(std::move(ranks)),
       name_(std::move(name)),
       barrier_(static_cast<std::ptrdiff_t>(ranks_.size())),
+      plan_(plan_two_level(cluster.topology(), ranks_)),
+      selector_(policy),
       members_(ranks_.size()) {
   assert(!ranks_.empty());
+  if (plan_.viable()) owner_perm_ = plan_.owner_permutation();
   for (auto& slot : ptrs_) slot.assign(ranks_.size(), nullptr);
   for (auto& slot : counts_) slot.assign(ranks_.size(), 0);
   for (auto& slot : clocks_) slot.assign(ranks_.size(), 0.0);
@@ -90,44 +111,41 @@ void Group::ensure_arena(int idx, std::int64_t elems) {
   barrier_.arrive_and_wait();
 }
 
-std::pair<std::int64_t, std::int64_t> Group::chunk_range(std::int64_t n,
-                                                         int idx) const {
-  const auto p = static_cast<std::int64_t>(ranks_.size());
-  const std::int64_t base = n / p, rem = n % p;
-  const std::int64_t lo = idx * base + std::min<std::int64_t>(idx, rem);
-  return {lo, lo + base + (idx < rem ? 1 : 0)};
-}
-
-void Group::reduce_chunk(int slot, std::int64_t lo, std::int64_t hi) {
+void Group::reduce_members(int slot, std::int64_t src, float* dst,
+                           std::int64_t len, float scale) {
   const int p = size();
-  float* dst = arena_.data();
   const auto& ptrs = ptrs_[slot];
-  const std::int64_t len = hi - lo;
 #pragma omp parallel for schedule(static) if (len >= kOmpMinElems)
-  for (std::int64_t b = lo; b < hi; b += kReduceBlock) {
-    const std::int64_t e = std::min(hi, b + kReduceBlock);
+  for (std::int64_t b = 0; b < len; b += kReduceBlock) {
+    const std::int64_t e = std::min(len, b + kReduceBlock);
     // Member order 0,1,...,p-1 keeps the sum bit-identical to the serial
-    // reference regardless of which rank owns the chunk.
-    std::copy(ptrs[0] + b, ptrs[0] + e, dst + b);
+    // reference regardless of which rank owns the range or which algorithm
+    // scheduled it.
+    std::copy(ptrs[0] + src + b, ptrs[0] + src + e, dst + b);
     for (int m = 1; m < p; ++m) {
-      const float* src = ptrs[static_cast<std::size_t>(m)];
+      const float* s = ptrs[static_cast<std::size_t>(m)] + src;
 #pragma omp simd
-      for (std::int64_t i = b; i < e; ++i) dst[i] += src[i];
+      for (std::int64_t i = b; i < e; ++i) dst[i] += s[i];
+    }
+    if (scale != 1.0f) {
+#pragma omp simd
+      for (std::int64_t i = b; i < e; ++i) dst[i] *= scale;
     }
   }
 }
 
-double Group::settle(int grank, double t_start, Op op, std::int64_t bytes) {
+double Group::settle(int grank, double t_start, Op op, Algo algo,
+                     std::int64_t bytes) {
   auto& me = members_[static_cast<std::size_t>(index_of(grank))];
   // Collectives on one group serialize on its comm lane: an op starts no
   // earlier than the previous one finished, even when both were issued
   // asynchronously (every member mirrors the same lane history).
   const double begin = std::max(t_start, me.lane_busy);
-  const double t_end =
-      begin + collective_time(op, cluster_.topology(), ranks_, bytes);
+  const double t_end = begin + collective_time(op, algo, cluster_.topology(),
+                                               ranks_, bytes, plan_);
   me.lane_busy = t_end;
   auto& dev = cluster_.device(grank);
-  dev.add_bytes_sent(bytes_sent_per_rank(op, size(), bytes));
+  dev.add_bytes_sent(bytes_sent_per_rank(op, algo, size(), bytes, plan_));
   if (obs::TraceBuffer* tb = dev.trace()) {
     // Every collective — blocking, deferred-async, or accounting twin — funnels
     // through here, so this one emit point covers the whole comm plane.
@@ -135,7 +153,9 @@ double Group::settle(int grank, double t_start, Op op, std::int64_t bytes) {
     // alpha is the zero-byte latency of the same collective.
     tb->add(obs::TraceEvent{
         name_ + "." + op_name(op), obs::Category::kComm, begin, t_end, t_start,
-        bytes, 0.0, collective_time(op, cluster_.topology(), ranks_, 0)});
+        bytes, 0.0,
+        collective_time(op, algo, cluster_.topology(), ranks_, 0, plan_),
+        algo_name(algo)});
   }
   return t_end;
 }
@@ -148,82 +168,74 @@ void Group::barrier(int grank) {
   cluster_.device(grank).set_clock(tok.t_start);
 }
 
-// ---- shared op bodies -------------------------------------------------------
+// ---- the schedule engine ----------------------------------------------------
 
-double Group::exec_all_reduce(int grank, float* data, std::int64_t n,
-                              float scale, double pub_clock) {
-  const int idx = index_of(grank);
-  const auto tok = publish(idx, data, n, pub_clock);
-  for (int m = 0; m < size(); ++m) {
-    assert(counts_[tok.slot][static_cast<std::size_t>(m)] == n);
+void Group::run_action(int idx, int slot, const CommAction& a, float* out,
+                       float scale) {
+  const float s = a.scaled ? scale : 1.0f;
+  switch (a.kind) {
+    case CommAction::Kind::kReduceToArena:
+      reduce_members(slot, a.src, arena_.data() + a.dst, a.len, s);
+      break;
+    case CommAction::Kind::kReduceToOut:
+      reduce_members(slot, a.src, out + a.dst, a.len, s);
+      break;
+    case CommAction::Kind::kCopyArenaToOut:
+      copy_elems_scaled(arena_.data() + a.src, out + a.dst, a.len, s);
+      break;
+    case CommAction::Kind::kCopyInToArena:
+      copy_elems(ptrs_[slot][static_cast<std::size_t>(idx)] + a.src,
+                 arena_.data() + a.dst, a.len);
+      break;
+    case CommAction::Kind::kCopyPeerToOut:
+      copy_elems_scaled(ptrs_[slot][static_cast<std::size_t>(a.peer)] + a.src,
+                        out + a.dst, a.len, s);
+      break;
   }
-  ensure_arena(idx, n);
-
-  // Phase 1 (reduce-scatter): I reduce only my ownership chunk into the
-  // arena; together the members cover [0, n) with O(n) work each.
-  const auto [lo, hi] = chunk_range(n, idx);
-  reduce_chunk(tok.slot, lo, hi);
-  barrier_.arrive_and_wait();
-
-  // Phase 2 (all-gather): one contiguous copy of the finished result, with
-  // the gradient-averaging scale fused in. Only the arena is read, so no
-  // trailing barrier is needed — the next op's arena writes are gated behind
-  // its own publish rendezvous.
-  copy_elems_scaled(arena_.data(), data, n, scale);
-
-  return settle(grank, tok.t_start, Op::kAllReduce, n * kFloatBytes);
 }
 
-double Group::exec_reduce_scatter(int grank, const float* in,
-                                  std::int64_t n_in, float* out,
-                                  std::int64_t n_out, float scale,
-                                  double pub_clock) {
+double Group::run_collective(int grank, Op op, const float* in,
+                             std::int64_t n_in, float* out, std::int64_t n_out,
+                             int root, float scale, double pub_clock) {
   const int idx = index_of(grank);
-  assert(n_in == n_out * size());
+  auto& me = members_[static_cast<std::size_t>(idx)];
+  const std::int64_t bytes = modeled_bytes(op, n_in, n_out, size());
+  // Deterministic across members: same op/bytes/plan and a shared policy, so
+  // every member compiles the same schedule with the same barrier count.
+  const Algo algo = selector_.select(op, bytes, size(), plan_);
+
   const auto tok = publish(idx, in, n_in, pub_clock);
 
-  // Already ownership-chunked by definition: I only produce my out chunk.
-  const std::int64_t off = idx * n_out;
-  const auto& ptrs = ptrs_[tok.slot];
-  const int p = size();
-#pragma omp parallel for schedule(static) if (n_out >= kOmpMinElems)
-  for (std::int64_t b = 0; b < n_out; b += kReduceBlock) {
-    const std::int64_t e = std::min(n_out, b + kReduceBlock);
-    std::copy(ptrs[0] + off + b, ptrs[0] + off + e, out + b);
-    for (int m = 1; m < p; ++m) {
-      const float* src = ptrs[static_cast<std::size_t>(m)] + off;
-#pragma omp simd
-      for (std::int64_t i = b; i < e; ++i) out[i] += src[i];
-    }
-    if (scale != 1.0f) {
-#pragma omp simd
-      for (std::int64_t i = b; i < e; ++i) out[i] *= scale;
-    }
+  const SchedKey key{static_cast<int>(op), static_cast<int>(algo), n_in, n_out,
+                     root};
+  auto it = me.schedules.find(key);
+  if (it == me.schedules.end()) {
+    it = me.schedules
+             .emplace(key, build_schedule(op, algo, size(), n_in, n_out, root,
+                                          owner_perm_))
+             .first;
   }
-  barrier_.arrive_and_wait();  // peers' in buffers were read until here
+  const CommSchedule& sched = it->second;
 
-  return settle(grank, tok.t_start, Op::kReduceScatter, n_in * kFloatBytes);
-}
+  if (sched.check_uniform_counts) {
+    for (int m = 0; m < size(); ++m) {
+      assert(counts_[tok.slot][static_cast<std::size_t>(m)] == n_in);
+      (void)m;
+    }
+  } else if (op == Op::kScatter) {
+    assert(counts_[tok.slot][static_cast<std::size_t>(root)] ==
+           n_out * size());
+  }
+  if (sched.arena_elems > 0) ensure_arena(idx, sched.arena_elems);
 
-double Group::exec_all_gather(int grank, const float* in, std::int64_t n_in,
-                              float* out, std::int64_t n_out,
-                              double pub_clock) {
-  const int idx = index_of(grank);
-  assert(n_out == n_in * size());
-  const auto tok = publish(idx, in, n_in, pub_clock);
-  ensure_arena(idx, n_out);
+  for (const auto& ph : sched.phases) {
+    for (const auto& a : ph.actions[static_cast<std::size_t>(idx)]) {
+      run_action(idx, tok.slot, a, out, scale);
+    }
+    if (ph.barrier_after) barrier_.arrive_and_wait();
+  }
 
-  // Phase 1: deposit my chunk at its group-index offset in the arena.
-  copy_elems(in, arena_.data() + idx * n_in, n_in);
-  barrier_.arrive_and_wait();
-
-  // Phase 2: a single contiguous read of the assembled buffer (instead of P
-  // strided reads of peer buffers); peers' own buffers are no longer touched,
-  // so ranks may return without a trailing barrier.
-  copy_elems(arena_.data(), out, n_out);
-
-  // Payload convention: bytes = the full gathered size (matches NCCL docs).
-  return settle(grank, tok.t_start, Op::kAllGather, n_out * kFloatBytes);
+  return settle(grank, tok.t_start, op, algo, sched.bytes);
 }
 
 // ---- blocking collectives ---------------------------------------------------
@@ -234,29 +246,21 @@ void Group::all_reduce(int grank, std::span<float> data, float scale) {
     return;
   }
   flush(grank);
+  const auto n = static_cast<std::int64_t>(data.size());
   const double t_end =
-      exec_all_reduce(grank, data.data(), static_cast<std::int64_t>(data.size()),
-                      scale, cluster_.device(grank).clock());
+      run_collective(grank, Op::kAllReduce, data.data(), n, data.data(), n,
+                     /*root=*/0, scale, cluster_.device(grank).clock());
   cluster_.device(grank).set_clock(t_end);
 }
 
 void Group::reduce(int grank, std::span<float> data, int root) {
   if (size() == 1) return;
   flush(grank);
-  const int idx = index_of(grank);
   const auto n = static_cast<std::int64_t>(data.size());
-  const auto tok = publish(idx, data.data(), n, cluster_.device(grank).clock());
-  ensure_arena(idx, n);
-
-  // Same two-phase protocol as all_reduce, but only root copies out.
-  const auto [lo, hi] = chunk_range(n, idx);
-  reduce_chunk(tok.slot, lo, hi);
-  barrier_.arrive_and_wait();
-
-  if (idx == root) copy_elems(arena_.data(), data.data(), n);
-
-  cluster_.device(grank).set_clock(
-      settle(grank, tok.t_start, Op::kReduce, n * kFloatBytes));
+  const double t_end =
+      run_collective(grank, Op::kReduce, data.data(), n, data.data(), n, root,
+                     1.0f, cluster_.device(grank).clock());
+  cluster_.device(grank).set_clock(t_end);
 }
 
 void Group::all_gather(int grank, std::span<const float> in,
@@ -267,9 +271,10 @@ void Group::all_gather(int grank, std::span<const float> in,
     return;
   }
   flush(grank);
-  const double t_end = exec_all_gather(
-      grank, in.data(), static_cast<std::int64_t>(in.size()), out.data(),
-      static_cast<std::int64_t>(out.size()), cluster_.device(grank).clock());
+  const double t_end = run_collective(
+      grank, Op::kAllGather, in.data(), static_cast<std::int64_t>(in.size()),
+      out.data(), static_cast<std::int64_t>(out.size()), /*root=*/0, 1.0f,
+      cluster_.device(grank).clock());
   cluster_.device(grank).set_clock(t_end);
 }
 
@@ -282,9 +287,10 @@ void Group::reduce_scatter(int grank, std::span<const float> in,
     return;
   }
   flush(grank);
-  const double t_end = exec_reduce_scatter(
-      grank, in.data(), static_cast<std::int64_t>(in.size()), out.data(),
-      static_cast<std::int64_t>(out.size()), scale,
+  const double t_end = run_collective(
+      grank, Op::kReduceScatter, in.data(),
+      static_cast<std::int64_t>(in.size()), out.data(),
+      static_cast<std::int64_t>(out.size()), /*root=*/0, scale,
       cluster_.device(grank).clock());
   cluster_.device(grank).set_clock(t_end);
 }
@@ -292,18 +298,11 @@ void Group::reduce_scatter(int grank, std::span<const float> in,
 void Group::broadcast(int grank, std::span<float> data, int root) {
   if (size() == 1) return;
   flush(grank);
-  const int idx = index_of(grank);
   const auto n = static_cast<std::int64_t>(data.size());
-  const auto tok = publish(idx, data.data(), n, cluster_.device(grank).clock());
-
-  if (idx != root) {
-    assert(counts_[tok.slot][static_cast<std::size_t>(root)] == n);
-    copy_elems(ptrs_[tok.slot][static_cast<std::size_t>(root)], data.data(), n);
-  }
-  barrier_.arrive_and_wait();  // root's buffer was read until here
-
-  cluster_.device(grank).set_clock(
-      settle(grank, tok.t_start, Op::kBroadcast, n * kFloatBytes));
+  const double t_end =
+      run_collective(grank, Op::kBroadcast, data.data(), n, data.data(), n,
+                     root, 1.0f, cluster_.device(grank).clock());
+  cluster_.device(grank).set_clock(t_end);
 }
 
 void Group::all_to_all(int grank, std::span<const float> in,
@@ -314,23 +313,13 @@ void Group::all_to_all(int grank, std::span<const float> in,
     return;
   }
   flush(grank);
-  const int idx = index_of(grank);
   assert(in.size() == out.size());
   assert(in.size() % static_cast<std::size_t>(size()) == 0);
-  const auto tok = publish(idx, in.data(), static_cast<std::int64_t>(in.size()),
-                           cluster_.device(grank).clock());
-
-  const std::size_t chunk = in.size() / static_cast<std::size_t>(size());
-  for (int m = 0; m < size(); ++m) {
-    const float* src = ptrs_[tok.slot][static_cast<std::size_t>(m)] +
-                       static_cast<std::size_t>(idx) * chunk;
-    std::copy(src, src + chunk, out.data() + static_cast<std::size_t>(m) * chunk);
-  }
-  barrier_.arrive_and_wait();  // peers' in buffers were read until here
-
-  cluster_.device(grank).set_clock(
-      settle(grank, tok.t_start, Op::kAllToAll,
-             static_cast<std::int64_t>(in.size()) * kFloatBytes));
+  const double t_end = run_collective(
+      grank, Op::kAllToAll, in.data(), static_cast<std::int64_t>(in.size()),
+      out.data(), static_cast<std::int64_t>(out.size()), /*root=*/0, 1.0f,
+      cluster_.device(grank).clock());
+  cluster_.device(grank).set_clock(t_end);
 }
 
 void Group::gather(int grank, std::span<const float> in, std::span<float> out,
@@ -341,22 +330,14 @@ void Group::gather(int grank, std::span<const float> in, std::span<float> out,
   }
   flush(grank);
   const int idx = index_of(grank);
-  const auto tok = publish(idx, in.data(), static_cast<std::int64_t>(in.size()),
-                           cluster_.device(grank).clock());
-
-  if (idx == root) {
-    assert(out.size() == in.size() * static_cast<std::size_t>(size()));
-    const std::size_t chunk = in.size();
-    for (int m = 0; m < size(); ++m) {
-      const float* src = ptrs_[tok.slot][static_cast<std::size_t>(m)];
-      std::copy(src, src + chunk, out.data() + static_cast<std::size_t>(m) * chunk);
-    }
-  }
-  barrier_.arrive_and_wait();  // members' in buffers were read until here
-
-  cluster_.device(grank).set_clock(
-      settle(grank, tok.t_start, Op::kGather,
-             static_cast<std::int64_t>(in.size()) * size() * kFloatBytes));
+  assert(idx != root ||
+         out.size() == in.size() * static_cast<std::size_t>(size()));
+  (void)idx;
+  const double t_end = run_collective(
+      grank, Op::kGather, in.data(), static_cast<std::int64_t>(in.size()),
+      out.data(), static_cast<std::int64_t>(out.size()), root, 1.0f,
+      cluster_.device(grank).clock());
+  cluster_.device(grank).set_clock(t_end);
 }
 
 void Group::scatter(int grank, std::span<const float> in, std::span<float> out,
@@ -366,22 +347,12 @@ void Group::scatter(int grank, std::span<const float> in, std::span<float> out,
     return;
   }
   flush(grank);
-  const int idx = index_of(grank);
   // only root's input matters; everyone publishes so sizes are visible
-  const auto tok = publish(idx, in.data(), static_cast<std::int64_t>(in.size()),
-                           cluster_.device(grank).clock());
-
-  const float* src_root = ptrs_[tok.slot][static_cast<std::size_t>(root)];
-  assert(counts_[tok.slot][static_cast<std::size_t>(root)] ==
-         static_cast<std::int64_t>(out.size()) * size());
-  std::copy(src_root + static_cast<std::size_t>(idx) * out.size(),
-            src_root + (static_cast<std::size_t>(idx) + 1) * out.size(),
-            out.begin());
-  barrier_.arrive_and_wait();  // root's in buffer was read until here
-
-  cluster_.device(grank).set_clock(
-      settle(grank, tok.t_start, Op::kScatter,
-             static_cast<std::int64_t>(out.size()) * size() * kFloatBytes));
+  const double t_end = run_collective(
+      grank, Op::kScatter, in.data(), static_cast<std::int64_t>(in.size()),
+      out.data(), static_cast<std::int64_t>(out.size()), root, 1.0f,
+      cluster_.device(grank).clock());
+  cluster_.device(grank).set_clock(t_end);
 }
 
 // ---- non-blocking collectives -----------------------------------------------
@@ -446,17 +417,20 @@ CollectiveHandle Group::all_gather_async(int grank, std::span<const float> in,
 
 void Group::run_pending(int grank, PendingOp& op) {
   double t_end = 0.0;
+  // Deferred ops replay through the same schedule engine as blocking calls,
+  // so async results stay bit-identical; only the published clock differs.
   switch (op.kind) {
     case Op::kAllReduce:
-      t_end = exec_all_reduce(grank, op.data, op.n, op.scale, op.issue_clock);
+      t_end = run_collective(grank, Op::kAllReduce, op.data, op.n, op.data,
+                             op.n, /*root=*/0, op.scale, op.issue_clock);
       break;
     case Op::kReduceScatter:
-      t_end = exec_reduce_scatter(grank, op.in, op.n, op.out, op.n_out,
-                                  op.scale, op.issue_clock);
+      t_end = run_collective(grank, Op::kReduceScatter, op.in, op.n, op.out,
+                             op.n_out, /*root=*/0, op.scale, op.issue_clock);
       break;
     case Op::kAllGather:
-      t_end = exec_all_gather(grank, op.in, op.n, op.out, op.n_out,
-                              op.issue_clock);
+      t_end = run_collective(grank, Op::kAllGather, op.in, op.n, op.out,
+                             op.n_out, /*root=*/0, 1.0f, op.issue_clock);
       break;
     default:
       assert(false && "unsupported deferred op");
@@ -491,7 +465,10 @@ void Group::account(int grank, Op op, std::int64_t bytes) {
   flush(grank);
   const auto tok = publish(index_of(grank), nullptr, bytes,
                            cluster_.device(grank).clock());
-  cluster_.device(grank).set_clock(settle(grank, tok.t_start, op, bytes));
+  // Same selector as the functional path, so the accounting twin charges
+  // exactly what the matching data-moving call would.
+  const Algo algo = selector_.select(op, bytes, size(), plan_);
+  cluster_.device(grank).set_clock(settle(grank, tok.t_start, op, algo, bytes));
 }
 
 void Group::account_all_reduce(int grank, std::int64_t bytes) {

@@ -3,13 +3,17 @@
 #include <barrier>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
+#include "collective/algo.hpp"
 #include "collective/cost.hpp"
+#include "collective/schedule.hpp"
 #include "sim/cluster.hpp"
 
 namespace ca::collective {
@@ -72,17 +76,27 @@ class CollectiveHandle {
 /// the topology-model time and charges per-rank interconnect bytes, so
 /// functional runs produce simulated timings for free.
 ///
+/// Every collective is compiled into a CommSchedule — the explicit list of
+/// per-member actions between rendezvous barriers — by build_schedule() and
+/// executed by ONE engine, run_collective(). Blocking calls, deferred async
+/// ops, and all eight op kinds share that engine; an AlgoSelector picks the
+/// algorithm (chunked / ring / hierarchical / single-root) per call from the
+/// topology, the group's two-level plan, and the message size, overridable
+/// via the CA_COLLECTIVE_ALGO env var or the backend's AlgoPolicy. Schedules
+/// are cached per member, so the steady-state step path allocates nothing.
+///
 /// Rendezvous protocol (see DESIGN.md, "Kernel & collective design"):
 /// pointer/count/clock slots are double-buffered by op parity, so a publish
 /// needs a single barrier — op k's slot writes cannot race op k-2's reads
 /// because reaching publish k requires passing publish k-1, which every rank
 /// reaches only after finishing op k-2. The reducing collectives
-/// (all_reduce, reduce) and all_gather run in two ownership-chunked phases
-/// over a grow-only scratch arena: rank i produces only its ~1/P chunk of
-/// the result (phase 1), a barrier, then ranks copy the finished chunks out
-/// (phase 2). Total data-movement work is O(N·P) instead of the naive
-/// every-rank-sums-everything O(N·P²), every rank observes bit-identical
-/// results, and the steady-state step path performs no allocation.
+/// (all_reduce, reduce) and all_gather run in ownership-chunked phases over
+/// a grow-only scratch arena: rank i produces only its ~1/P chunk of the
+/// result, a barrier, then ranks copy the finished chunks out. Total
+/// data-movement work is O(N·P) instead of the naive O(N·P²), and the
+/// reducing actions always fold members in ascending order — the canonical
+/// association — so every rank observes bit-identical results under every
+/// algorithm (see DESIGN.md section 6).
 ///
 /// Non-blocking variants (`*_async`) use a deferred-issue queue: issuing
 /// records the op and the member's clock and returns immediately, so the
@@ -101,9 +115,11 @@ class Group {
  public:
   /// `name` labels this group's comm spans in traces and reports ("data",
   /// "tensor", ...); it must not contain '.' (the report splits span names on
-  /// the last dot to recover the group).
+  /// the last dot to recover the group). `policy` (usually the Backend's) may
+  /// force an algorithm for every collective on this group; it must outlive
+  /// the group. nullptr means auto-select.
   Group(sim::Cluster& cluster, std::vector<int> ranks,
-        std::string name = "group");
+        std::string name = "group", const AlgoPolicy* policy = nullptr);
 
   Group(const Group&) = delete;
   Group& operator=(const Group&) = delete;
@@ -115,11 +131,20 @@ class Group {
   [[nodiscard]] int index_of(int grank) const { return index_.at(grank); }
   [[nodiscard]] bool contains(int grank) const { return index_.contains(grank); }
 
+  /// The two-level (intra-node / inter-node) partition of this group's ranks;
+  /// non-viable when the group cannot benefit from hierarchical collectives.
+  [[nodiscard]] const TwoLevelPlan& plan() const { return plan_; }
+  /// The algorithm the selector would pick for `op` moving `bytes` on this
+  /// group (exactly what a matching collective call will use).
+  [[nodiscard]] Algo algo_for(Op op, std::int64_t bytes) const {
+    return selector_.select(op, bytes, size(), plan_);
+  }
+
   /// Pure synchronization (also aligns logical clocks to the max).
   void barrier(int grank);
 
   /// In-place sum over all members, multiplied by `scale` during the
-  /// phase-2 copy-out (fused gradient averaging: no second full sweep).
+  /// copy-out (fused gradient averaging: no second full sweep).
   void all_reduce(int grank, std::span<float> data, float scale = 1.0f);
   /// out[i-th chunk] = scale * sum over members of their in[i-th chunk];
   /// in.size() must be size() * out.size(); in and out must not alias.
@@ -208,27 +233,29 @@ class Group {
   /// barriers. No-op (and no barrier) once the arena is big enough.
   void ensure_arena(int idx, std::int64_t elems);
 
-  /// [begin, end) of the ownership chunk of member `idx` for an N-element
-  /// buffer: near-equal contiguous split, remainder spread over low indices.
-  [[nodiscard]] std::pair<std::int64_t, std::int64_t> chunk_range(
-      std::int64_t n, int idx) const;
+  /// dst[0, len) = sum over members of their published buf[src, src+len), in
+  /// ascending member order (the canonical association — bit-identical to
+  /// the serial reference regardless of algorithm or executing rank), then
+  /// scaled in the same cache block.
+  void reduce_members(int slot, std::int64_t src, float* dst, std::int64_t len,
+                      float scale);
 
-  /// Phase 1 of the reducing collectives: arena[lo, hi) = sum over members
-  /// of their published buffer's [lo, hi) range, in ascending member order
-  /// (bit-identical to the serial reference sum).
-  void reduce_chunk(int slot, std::int64_t lo, std::int64_t hi);
+  /// The schedule engine: publish, compile-or-fetch the schedule for the
+  /// selected algorithm, execute my per-phase actions between the scheduled
+  /// barriers, and settle cost/bytes/trace. EVERY collective — blocking,
+  /// deferred-async, every op kind — funnels through here. `in` is the
+  /// buffer published to peers, `out` the buffer my actions write (they may
+  /// alias for in-place ops); `pub_clock` is the clock value to publish
+  /// (current for blocking calls, the recorded issue clock for deferred
+  /// ones). Returns the op's simulated completion time; the caller decides
+  /// how to charge it.
+  double run_collective(int grank, Op op, const float* in, std::int64_t n_in,
+                        float* out, std::int64_t n_out, int root, float scale,
+                        double pub_clock);
 
-  // Shared bodies of the blocking and async reducing/gathering collectives;
-  // `pub_clock` is the clock value to publish (current for blocking calls,
-  // the recorded issue clock for deferred ones). Return the op's simulated
-  // completion time; the caller decides how to charge it.
-  double exec_all_reduce(int grank, float* data, std::int64_t n, float scale,
-                         double pub_clock);
-  double exec_reduce_scatter(int grank, const float* in, std::int64_t n_in,
-                             float* out, std::int64_t n_out, float scale,
-                             double pub_clock);
-  double exec_all_gather(int grank, const float* in, std::int64_t n_in,
-                         float* out, std::int64_t n_out, double pub_clock);
+  /// Execute one schedule action on behalf of member `idx`.
+  void run_action(int idx, int slot, const CommAction& a, float* out,
+                  float scale);
 
   /// Execute one deferred op (on the issuing member's thread).
   void run_pending(int grank, PendingOp& op);
@@ -236,9 +263,11 @@ class Group {
   void drain_until(int grank, const detail::AsyncOpState* target);
 
   /// Clock/byte accounting once per call: start no earlier than the group's
-  /// comm-lane availability, advance the lane, charge bytes, and return the
-  /// op's completion time.
-  double settle(int grank, double t_start, Op op, std::int64_t bytes);
+  /// comm-lane availability, advance the lane, charge algorithm-aware bytes,
+  /// emit the algorithm-tagged comm span, and return the op's completion
+  /// time.
+  double settle(int grank, double t_start, Op op, Algo algo,
+                std::int64_t bytes);
   void account(int grank, Op op, std::int64_t bytes);
 
   sim::Cluster& cluster_;
@@ -247,10 +276,20 @@ class Group {
   std::unordered_map<int, int> index_;
   std::barrier<> barrier_;
 
+  // The group's two-level topology partition and hierarchical chunk-owner
+  // permutation (empty when the plan is not viable), both fixed at
+  // construction; the selector consults the backend's policy each call.
+  TwoLevelPlan plan_;
+  std::vector<int> owner_perm_;
+  AlgoSelector selector_;
+
   // Rendezvous slots, double-buffered by op parity (index [seq & 1][member]).
   std::vector<const float*> ptrs_[2];
   std::vector<std::int64_t> counts_[2];
   std::vector<double> clocks_[2];
+
+  /// Cache key of a compiled schedule: (op, algo, n_in, n_out, root).
+  using SchedKey = std::tuple<int, int, std::int64_t, std::int64_t, int>;
 
   // Per-member private state (each member thread touches only its own entry);
   // padded to a cache line to keep the counters from false-sharing.
@@ -265,12 +304,16 @@ class Group {
     double lane_busy = 0.0;
     // Deferred async ops, executed in issue order by wait()/flush().
     std::deque<PendingOp> pending;
+    // Compiled schedules, one per (op, algo, sizes, root) this member has
+    // executed: steady-state steps replay cached schedules and allocate
+    // nothing. Private per member, so no synchronization is needed.
+    std::map<SchedKey, CommSchedule> schedules;
   };
   std::vector<MemberState> members_;
 
-  // Grow-only scratch arena for the two-phase collectives. Written in
-  // disjoint ownership chunks during phase 1, read-only during phase 2,
-  // resized only inside ensure_arena's barrier pair.
+  // Grow-only scratch arena for the multi-phase collectives. Written in
+  // disjoint ownership chunks during reduce/deposit phases, read-only during
+  // copy-out phases, resized only inside ensure_arena's barrier pair.
   std::vector<float> arena_;
 };
 

@@ -32,6 +32,12 @@ struct Config {
   int tensor_depth = 1;  ///< the 'd' of 2.5D parallelism; ignored otherwise
   int sequence_parallel_size = 1;
 
+  /// Collective algorithm override applied to every process group: "auto"
+  /// (selector decides per call), "chunked", "ring", "hierarchical", or
+  /// "single_root". The CA_COLLECTIVE_ALGO environment variable wins over
+  /// this field (see DESIGN.md section 6).
+  std::string collective_algo = "auto";
+
   [[nodiscard]] int world_size() const {
     return data_parallel_size * pipeline_parallel_size * tensor_parallel_size *
            sequence_parallel_size;
@@ -59,6 +65,11 @@ struct Config {
             "parallel sizes must be >= 1");
     require(tensor_parallel_size == 1 || sequence_parallel_size == 1,
             "tensor and sequence parallelism cannot be combined");
+    require(collective_algo == "auto" || collective_algo == "chunked" ||
+                collective_algo == "ring" ||
+                collective_algo == "hierarchical" ||
+                collective_algo == "single_root",
+            "unknown collective_algo '" + collective_algo + "'");
     switch (tensor_mode) {
       case TpMode::kNone:
         require(tensor_parallel_size == 1,

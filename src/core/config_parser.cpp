@@ -62,6 +62,8 @@ Config parse_config(const std::string& text) {
       cfg.tensor_depth = parse_int(key, value);
     } else if (key == "sequence" || key == "sequence.size") {
       cfg.sequence_parallel_size = parse_int(key, value);
+    } else if (key == "collective_algo" || key == "collective.algo") {
+      cfg.collective_algo = value;
     } else {
       throw std::invalid_argument("unknown configuration key '" + key + "'");
     }

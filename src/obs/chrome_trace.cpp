@@ -90,6 +90,9 @@ bool write_chrome_trace(const Tracer& tracer, const std::string& path) {
       if (e.cat == Category::kComm) {
         std::fprintf(f, ",\"alpha_us\":%.3f,\"beta_us\":%.3f", e.alpha * kUs,
                      (e.t1 - e.t0 - e.alpha) * kUs);
+        if (!e.algo.empty()) {
+          std::fprintf(f, ",\"algo\":\"%s\"", escape(e.algo).c_str());
+        }
       }
       std::fprintf(f, "}},\n");
     }

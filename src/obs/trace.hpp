@@ -55,6 +55,10 @@ struct TraceEvent {
   /// Comm only: the latency (alpha) share of t1 - t0; the rest is the
   /// bandwidth (beta) term of the alpha-beta cost model.
   double alpha = 0.0;
+  /// Comm only: the collective algorithm behind this span ("chunked",
+  /// "ring", "hierarchical", "single_root"); empty for non-collective spans.
+  /// Kept out of the span name so report grouping ("group.op") is unchanged.
+  std::string algo;
 };
 
 /// Append-only per-rank event sink. Owned by the Tracer; exactly one SPMD

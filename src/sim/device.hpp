@@ -70,7 +70,7 @@ class Device {
     clock_ += flops / rate;
     if (trace_ != nullptr) {
       trace_->add(obs::TraceEvent{what, obs::Category::kCompute, t0, clock_,
-                                  t0, 0, flops, 0.0});
+                                  t0, 0, flops, 0.0, {}});
     }
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace ca::sim {
 
@@ -35,6 +36,41 @@ Topology::Topology(std::string name, GpuModel gpu, int gpus_per_node,
 double Topology::bandwidth(int a, int b) const {
   assert(a != b && a >= 0 && b >= 0 && a < num_devices_ && b < num_devices_);
   return bw_[static_cast<std::size_t>(a) * num_devices_ + b];
+}
+
+bool Topology::spans_nodes(std::span<const int> ranks) const {
+  if (ranks.empty()) return false;
+  const int first = node_of(ranks.front());
+  for (int r : ranks) {
+    if (node_of(r) != first) return true;
+  }
+  return false;
+}
+
+double Topology::intra_node_bandwidth() const {
+  double slowest = std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (int i = 0; i < num_devices_; ++i) {
+    for (int j = i + 1; j < num_devices_; ++j) {
+      if (!same_node(i, j)) continue;
+      slowest = std::min(slowest, bandwidth(i, j));
+      any = true;
+    }
+  }
+  return any ? slowest : 0.0;
+}
+
+double Topology::inter_node_bandwidth() const {
+  double slowest = std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (int i = 0; i < num_devices_; ++i) {
+    for (int j = i + 1; j < num_devices_; ++j) {
+      if (same_node(i, j)) continue;
+      slowest = std::min(slowest, bandwidth(i, j));
+      any = true;
+    }
+  }
+  return any ? slowest : 0.0;
 }
 
 double Topology::ring_bottleneck(std::span<const int> ranks) const {

@@ -28,6 +28,21 @@ class Topology {
   [[nodiscard]] int num_nodes() const { return num_devices_ / gpus_per_node_; }
   [[nodiscard]] double latency() const { return latency_s_; }
 
+  /// Node housing device `dev` (devices are laid out node-major).
+  [[nodiscard]] int node_of(int dev) const { return dev / gpus_per_node_; }
+  [[nodiscard]] bool same_node(int a, int b) const {
+    return node_of(a) == node_of(b);
+  }
+  /// Whether this rank set touches more than one node — the precondition for
+  /// the hierarchical collective algorithms to have two distinct levels.
+  [[nodiscard]] bool spans_nodes(std::span<const int> ranks) const;
+
+  /// Slowest intra-node link (0 when every node holds a single device) and
+  /// slowest inter-node link (0 on a single-node machine) — the two bandwidth
+  /// classes the two-level collective cost model distinguishes.
+  [[nodiscard]] double intra_node_bandwidth() const;
+  [[nodiscard]] double inter_node_bandwidth() const;
+
   /// Point-to-point bandwidth between two (distinct) devices, bytes/second.
   [[nodiscard]] double bandwidth(int a, int b) const;
 

@@ -7,6 +7,25 @@ namespace ca::tp {
 
 namespace t = ca::tensor;
 
+namespace {
+/// Permute between the row-major last-dim layout ([row r][member m][w]) and
+/// the chunk-major layout the collectives use ([member m][row r][w]). The
+/// all-gather stitch and the reduce-scatter reorder are the two directions
+/// of this one permutation.
+void relayout_lastdim(const float* src, float* dst, std::int64_t rows,
+                      std::int64_t w, int p, bool to_chunk_major) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (int m = 0; m < p; ++m) {
+      const std::int64_t row_major = r * w * p + m * w;
+      const std::int64_t chunk_major = m * rows * w + r * w;
+      const std::int64_t s = to_chunk_major ? row_major : chunk_major;
+      const std::int64_t d = to_chunk_major ? chunk_major : row_major;
+      std::copy(src + s, src + s + w, dst + d);
+    }
+  }
+}
+}  // namespace
+
 t::Tensor all_gather_lastdim(collective::Group& g, int grank,
                              const t::Tensor& local) {
   const int p = g.size();
@@ -17,15 +36,8 @@ t::Tensor all_gather_lastdim(collective::Group& g, int grank,
   // flat = [rank0 block | rank1 block | ...]; stitch columns per row.
   const std::int64_t rows = local.numel() / w;
   t::Tensor out(local.shape().with_dim(-1, w * p));
-  auto pf = flat.data();
-  auto po = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    for (int m = 0; m < p; ++m) {
-      const float* src = pf.data() + m * rows * w + r * w;
-      float* dst = po.data() + r * w * p + m * w;
-      std::copy(src, src + w, dst);
-    }
-  }
+  relayout_lastdim(flat.data().data(), out.data().data(), rows, w, p,
+                   /*to_chunk_major=*/false);
   return out;
 }
 
@@ -57,15 +69,8 @@ t::Tensor reduce_scatter_lastdim(collective::Group& g, int grank,
   const std::int64_t rows = full.numel() / (w * p);
   // reorder to chunk-major: [chunk m][row r][w]
   t::Tensor reordered(t::Shape{full.numel()});
-  auto pf = full.data();
-  auto pr = reordered.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    for (int m = 0; m < p; ++m) {
-      const float* src = pf.data() + r * w * p + m * w;
-      float* dst = pr.data() + m * rows * w + r * w;
-      std::copy(src, src + w, dst);
-    }
-  }
+  relayout_lastdim(full.data().data(), reordered.data().data(), rows, w, p,
+                   /*to_chunk_major=*/true);
   t::Tensor out(full.shape().with_dim(-1, w));
   g.reduce_scatter(grank, reordered.data(), out.data());
   return out;

@@ -267,12 +267,12 @@ TEST(Exporters, SummaryComputesFractionsBytesAndOverlap) {
   obs::Tracer tracer(1);
   // Hand-built timeline: 10 ms compute, comm [2, 6] ms fully under it, and
   // comm [12, 14] ms fully exposed. wall = 14 ms, busy = [0,10]+[12,14].
-  tracer.rank(0).add({"gemm", obs::Category::kCompute, 0.0, 0.010, 0.0, 0, 1e9, 0.0});
+  tracer.rank(0).add({"gemm", obs::Category::kCompute, 0.0, 0.010, 0.0, 0, 1e9, 0.0, {}});
   tracer.rank(0).add({"data.all_reduce", obs::Category::kComm, 0.002, 0.006,
-                      0.002, 1000, 0.0, 0.0005});
+                      0.002, 1000, 0.0, 0.0005, {}});
   tracer.rank(0).add({"data.all_gather", obs::Category::kComm, 0.012, 0.014,
-                      0.012, 500, 0.0, 0.0});
-  tracer.rank(0).add({"step", obs::Category::kMarker, 0.0, 0.014, 0.0, 0, 0.0, 0.0});
+                      0.012, 500, 0.0, 0.0, {}});
+  tracer.rank(0).add({"step", obs::Category::kMarker, 0.0, 0.014, 0.0, 0, 0.0, 0.0, {}});
 
   const auto rep = obs::summarize(tracer);
   EXPECT_NEAR(rep.wall, 0.014, 1e-12);

@@ -1,0 +1,253 @@
+// Fault-tolerance costs: (1) what the numeric guard and the armed fault
+// machinery add to a training step when no fault fires — the disabled path
+// must stay a predictable branch — and (2) recovery time vs checkpoint
+// interval: a run killed mid-training restores from its last checkpoint and
+// replays the lost steps. Writes BENCH_faults.json.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "data/synthetic.hpp"
+#include "engine/checkpoint.hpp"
+#include "engine/engine.hpp"
+#include "nn/layers.hpp"
+#include "optim/optimizer.hpp"
+
+namespace t = ca::tensor;
+namespace nn = ca::nn;
+namespace core = ca::core;
+namespace sim = ca::sim;
+namespace data = ca::data;
+namespace engine = ca::engine;
+
+namespace {
+
+constexpr int kWorld = 4;
+constexpr int kBlocks = 8;
+constexpr std::int64_t kHidden = 32;
+constexpr std::int64_t kBatch = 4;
+constexpr int kWarmup = 2, kSteps = 20;
+
+nn::Sequential build_model() {
+  nn::Sequential net;
+  for (int b = 0; b < kBlocks; ++b) {
+    net.add(std::make_unique<nn::Linear>("l" + std::to_string(b), kHidden,
+                                         kHidden, 300u + static_cast<unsigned>(b)));
+    net.add(std::make_unique<nn::Gelu>());
+  }
+  return net;
+}
+
+enum class GuardMode {
+  kOff,    // no injector, nan_guard off: the seed-equivalent fast path
+  kGuard,  // nan_guard on: per-step scan + consensus all-reduce
+  kArmed,  // injector installed with an empty plan: every hook consulted
+};
+
+/// Mean wall ns per engine step over a DP training run, plus the loss
+/// trajectory (all three modes must train identically when nothing fires).
+struct GuardResult {
+  double step_ns = 0.0;
+  std::vector<float> losses;
+};
+
+GuardResult run_guard_mode(GuardMode mode) {
+  core::Config cfg;
+  cfg.data_parallel_size = kWorld;
+  bench::World w(sim::Topology::uniform(kWorld, 100e9), cfg);
+  if (mode == GuardMode::kArmed) {
+    w.cluster.install_faults(sim::FaultPlan{});  // armed, nothing scheduled
+  }
+  const auto x = t::randn(t::Shape{kBatch, kHidden}, 11);
+  std::vector<std::int64_t> labels(kBatch);
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    labels[i] = static_cast<std::int64_t>(i % kHidden);
+
+  GuardResult res;
+  std::vector<double> step_ns(kWorld, 0.0);
+  w.cluster.run([&](int g) {
+    auto net = build_model();
+    engine::Engine::Options opts;
+    opts.nan_guard = (mode == GuardMode::kGuard);
+    auto eng = engine::initialize(
+        w.env(g), net,
+        std::make_unique<ca::optim::Adam>(net.parameters(),
+                                          ca::optim::Adam::Hyper{1e-3f}),
+        opts);
+    double ns = 0.0;
+    std::vector<float> losses;
+    for (int s = 0; s < kWarmup + kSteps; ++s) {
+      eng->zero_grad();
+      auto out = eng->forward(x);
+      const float loss = eng->criterion(out, labels);
+      eng->backward();
+      const auto t0 = std::chrono::steady_clock::now();
+      eng->step();
+      const auto t1 = std::chrono::steady_clock::now();
+      if (s >= kWarmup) {
+        ns += std::chrono::duration<double, std::nano>(t1 - t0).count();
+        losses.push_back(loss);
+      }
+    }
+    step_ns[static_cast<std::size_t>(g)] = ns / kSteps;
+    if (g == 0) res.losses = std::move(losses);
+  });
+  for (double v : step_ns) res.step_ns = std::max(res.step_ns, v);
+  return res;
+}
+
+/// One crash-and-recover cycle: train to the failure step with periodic
+/// checkpoints, then restore in a fresh world and finish the schedule.
+/// Returns the steps replayed (work lost to the checkpoint granularity) and
+/// the wall time of the recovery phase (restore + replay + remainder).
+struct RecoveryResult {
+  int replayed_steps = 0;
+  std::int64_t saves = 0;
+  double recovery_wall_ns = 0.0;
+  double recovery_sim_s = 0.0;
+  bool bit_identical = false;
+};
+
+RecoveryResult run_recovery(int interval, int fail_step, int total_steps,
+                            const std::vector<float>& ref_losses,
+                            const std::string& path) {
+  core::Config cfg;
+  cfg.data_parallel_size = 2;
+  data::SyntheticClassification ds(512, 8, 4, 211);
+  RecoveryResult res;
+  {
+    bench::World w(sim::Topology::uniform(2, 100e9), cfg);
+    w.cluster.run([&](int g) {
+      nn::Sequential net;
+      net.add(std::make_unique<nn::Linear>("m", 8, 4, 212));
+      auto eng = engine::initialize(
+          w.env(g), net,
+          std::make_unique<ca::optim::Adam>(net.parameters(),
+                                            ca::optim::Adam::Hyper{0.01f}));
+      engine::Trainer trainer(*eng);
+      auto& ck = trainer.register_hook(std::make_unique<engine::CheckpointHook>(
+          w.env(g), net, eng->optimizer(), path, interval));
+      data::DataLoader loader(ds, 8, g, 2);
+      trainer.fit(loader, 1, fail_step);  // the job dies here
+      if (g == 0) res.saves = ck.saves();
+    });
+  }
+  const std::int64_t resume_step = engine::checkpoint_step(path);
+  res.replayed_steps = fail_step - static_cast<int>(resume_step);
+
+  bench::World w(sim::Topology::uniform(2, 100e9), cfg);
+  std::vector<float> rec_losses;
+  const auto t0 = std::chrono::steady_clock::now();
+  w.cluster.run([&](int g) {
+    nn::Sequential net;
+    net.add(std::make_unique<nn::Linear>("m", 8, 4, 212));
+    auto eng = engine::initialize(
+        w.env(g), net,
+        std::make_unique<ca::optim::Adam>(net.parameters(),
+                                          ca::optim::Adam::Hyper{0.01f}));
+    const std::int64_t step =
+        engine::load_checkpoint(w.env(g), net, eng->optimizer(), path);
+    eng->set_step_count(step);
+    engine::Trainer trainer(*eng);
+    auto& hist =
+        trainer.register_hook(std::make_unique<engine::LossHistoryHook>());
+    data::DataLoader loader(ds, 8, g, 2);
+    trainer.fit(loader, 1, total_steps, static_cast<int>(step));
+    if (g == 0) rec_losses = hist.losses();
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  res.recovery_wall_ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count();
+  res.recovery_sim_s = w.cluster.max_clock();
+
+  // the recovered tail must be bit-identical to the uninterrupted run
+  res.bit_identical = true;
+  const std::size_t offset = static_cast<std::size_t>(resume_step);
+  for (std::size_t i = 0; i < rec_losses.size(); ++i) {
+    if (rec_losses[i] != ref_losses[offset + i]) res.bit_identical = false;
+  }
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  bench::JsonReport report("BENCH_faults.json");
+  const std::string shape = "blocks" + std::to_string(kBlocks) + "_hidden" +
+                            std::to_string(kHidden) + "_world" +
+                            std::to_string(kWorld);
+
+  bench::header("numeric guard / fault machinery: step cost with no fault");
+  const auto off = run_guard_mode(GuardMode::kOff);
+  const auto guard = run_guard_mode(GuardMode::kGuard);
+  const auto armed = run_guard_mode(GuardMode::kArmed);
+  const double guard_pct = (guard.step_ns - off.step_ns) / off.step_ns * 100.0;
+  const double armed_pct = (armed.step_ns - off.step_ns) / off.step_ns * 100.0;
+  const bool same_losses =
+      off.losses == guard.losses && off.losses == armed.losses;
+  std::printf(
+      "step: off %8.0f us | nan_guard %8.0f us (%+5.1f%%) | armed empty plan "
+      "%8.0f us (%+5.1f%%) | losses %s\n",
+      off.step_ns / 1e3, guard.step_ns / 1e3, guard_pct, armed.step_ns / 1e3,
+      armed_pct, same_losses ? "identical" : "DIVERGED");
+  report.add("fault_step_off", shape, off.step_ns, 0.0);
+  report.add("fault_step_nan_guard", shape, guard.step_ns, 0.0);
+  report.add("fault_step_armed", shape, armed.step_ns, 0.0);
+  report.add("fault_guard_overhead_pct", shape, guard_pct, 0.0);
+
+  bench::header("recovery time vs checkpoint interval (fail at step 23/24)");
+  const int total_steps = 24, fail_step = 23;
+  // uninterrupted reference trajectory for the bit-identity check
+  std::vector<float> ref_losses;
+  {
+    core::Config cfg;
+    cfg.data_parallel_size = 2;
+    data::SyntheticClassification ds(512, 8, 4, 211);
+    bench::World w(sim::Topology::uniform(2, 100e9), cfg);
+    w.cluster.run([&](int g) {
+      nn::Sequential net;
+      net.add(std::make_unique<nn::Linear>("m", 8, 4, 212));
+      auto eng = engine::initialize(
+          w.env(g), net,
+          std::make_unique<ca::optim::Adam>(net.parameters(),
+                                            ca::optim::Adam::Hyper{0.01f}));
+      engine::Trainer trainer(*eng);
+      auto& hist =
+          trainer.register_hook(std::make_unique<engine::LossHistoryHook>());
+      data::DataLoader loader(ds, 8, g, 2);
+      trainer.fit(loader, 1, total_steps);
+      if (g == 0) ref_losses = hist.losses();
+    });
+  }
+
+  bool all_identical = true;
+  for (int interval : {1, 2, 4, 8}) {
+    const std::string path =
+        "bench_faults_ckpt_k" + std::to_string(interval) + ".bin";
+    const auto r =
+        run_recovery(interval, fail_step, total_steps, ref_losses, path);
+    all_identical = all_identical && r.bit_identical;
+    std::printf(
+        "interval %d: %2lld saves | %2d steps replayed | recovery %7.0f us "
+        "wall, %.4f sim s | tail %s\n",
+        interval, static_cast<long long>(r.saves), r.replayed_steps,
+        r.recovery_wall_ns / 1e3, r.recovery_sim_s,
+        r.bit_identical ? "bit-identical" : "DIVERGED");
+    const std::string tag = "_k" + std::to_string(interval);
+    report.add("fault_recovery_wall_ns" + tag, shape, r.recovery_wall_ns, 0.0);
+    report.add("fault_recovery_replayed_steps" + tag, shape,
+               static_cast<double>(r.replayed_steps), 0.0);
+    std::remove(path.c_str());
+  }
+  report.write();
+
+  if (!same_losses || !all_identical) {
+    std::fprintf(stderr, "FAIL: fault-tolerance paths changed the numerics\n");
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

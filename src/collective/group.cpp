@@ -71,7 +71,8 @@ Group::Group(sim::Cluster& cluster, std::vector<int> ranks, std::string name,
     : cluster_(cluster),
       ranks_(std::move(ranks)),
       name_(std::move(name)),
-      barrier_(static_cast<std::ptrdiff_t>(ranks_.size())),
+      barrier_(static_cast<std::ptrdiff_t>(ranks_.size()),
+               &cluster.fault_state()),
       plan_(plan_two_level(cluster.topology(), ranks_)),
       selector_(policy),
       members_(ranks_.size()) {
@@ -92,7 +93,7 @@ Group::PubToken Group::publish(int idx, const float* ptr, std::int64_t count,
   ptrs_[slot][i] = ptr;
   counts_[slot][i] = count;
   clocks_[slot][i] = clock;
-  barrier_.arrive_and_wait();
+  sync(idx);
   // This op's slot entries are stable from here to the end of the op: a rank
   // can only overwrite them two publishes later, and it reaches that publish
   // only after every rank has finished this op and published the next one.
@@ -108,7 +109,29 @@ void Group::ensure_arena(int idx, std::int64_t elems) {
       std::bit_ceil(static_cast<std::uint64_t>(std::max<std::int64_t>(elems, 1024))));
   if (idx == 0) arena_.resize(static_cast<std::size_t>(cap));
   me.arena_seen = cap;
-  barrier_.arrive_and_wait();
+  sync(idx);
+}
+
+void Group::sync(int idx) {
+  try {
+    barrier_.arrive_and_wait();
+  } catch (const sim::RendezvousAborted&) {
+    // A member died or threw: this rendezvous can never complete. Charge the
+    // watchdog budget (the simulated detection latency), leave a fault span
+    // on the timeline, and surface the stuck op's full context.
+    const int grank = ranks_[static_cast<std::size_t>(idx)];
+    const auto& me = members_[static_cast<std::size_t>(idx)];
+    auto& dev = cluster_.device(grank);
+    const double budget = cluster_.fault_state().watchdog();
+    const double t0 = dev.clock();
+    dev.advance_clock(budget);
+    if (obs::TraceBuffer* tb = dev.trace()) {
+      tb->add(obs::TraceEvent{name_ + ".watchdog", obs::Category::kFault, t0,
+                              t0 + budget, t0, me.cur_bytes, 0.0, 0.0, {}});
+    }
+    throw sim::CommTimeoutError(grank, name_, me.cur_op, me.cur_bytes, budget,
+                                cluster_.fault_state().cause());
+  }
 }
 
 void Group::reduce_members(int slot, std::int64_t src, float* dst,
@@ -141,8 +164,14 @@ double Group::settle(int grank, double t_start, Op op, Algo algo,
   // earlier than the previous one finished, even when both were issued
   // asynchronously (every member mirrors the same lane history).
   const double begin = std::max(t_start, me.lane_busy);
-  const double t_end = begin + collective_time(op, algo, cluster_.topology(),
-                                               ranks_, bytes, plan_);
+  double comm = collective_time(op, algo, cluster_.topology(), ranks_, bytes,
+                                plan_);
+  if (const sim::FaultInjector* fi = cluster_.fault_injector()) {
+    // Link degradation stretches the op's bandwidth term; `begin` is the same
+    // on every member, so all mirrors stay in lockstep.
+    comm *= fi->link_slowdown(begin);
+  }
+  const double t_end = begin + comm;
   me.lane_busy = t_end;
   auto& dev = cluster_.device(grank);
   dev.add_bytes_sent(bytes_sent_per_rank(op, algo, size(), bytes, plan_));
@@ -164,6 +193,12 @@ void Group::barrier(int grank) {
   if (size() == 1) return;
   const int idx = index_of(grank);
   flush(grank);
+  auto& me = members_[static_cast<std::size_t>(idx)];
+  if (const sim::FaultInjector* fi = cluster_.fault_injector()) {
+    fi->check_alive(grank, cluster_.device(grank).clock());
+  }
+  me.cur_op = "barrier";
+  me.cur_bytes = 0;
   const auto tok = publish(idx, nullptr, 0, cluster_.device(grank).clock());
   cluster_.device(grank).set_clock(tok.t_start);
 }
@@ -204,7 +239,35 @@ double Group::run_collective(int grank, Op op, const float* in,
   // every member compiles the same schedule with the same barrier count.
   const Algo algo = selector_.select(op, bytes, size(), plan_);
 
-  const auto tok = publish(idx, in, n_in, pub_clock);
+  const sim::FaultInjector* fi = cluster_.fault_injector();
+  // Fail-stop lands at collective *entry* — before publish, so every peer
+  // read of this rank's buffers (op k-1 phases are barrier-terminated) has
+  // already completed and the unwind is memory-safe.
+  if (fi != nullptr) fi->check_alive(grank, cluster_.device(grank).clock());
+  me.cur_op = op_name(op);
+  me.cur_bytes = bytes;
+
+  auto tok = publish(idx, in, n_in, pub_clock);
+
+  if (fi != nullptr) {
+    // Transient fabric fault: every member derives the same retry sequence
+    // from the same symmetric start time, so all agree on the backoff delay
+    // (or on giving up) with no extra communication.
+    const auto retry = fi->transient_delay(tok.t_start);
+    if (retry.gave_up) {
+      throw sim::CommTimeoutError(
+          grank, name_, op_name(op), bytes, retry.delay,
+          "transient comm fault persisted past the retry budget");
+    }
+    if (retry.delay > 0.0) {
+      if (obs::TraceBuffer* tb = cluster_.device(grank).trace()) {
+        tb->add(obs::TraceEvent{name_ + ".retry", obs::Category::kFault,
+                                tok.t_start, tok.t_start + retry.delay,
+                                tok.t_start, bytes, 0.0, 0.0, {}});
+      }
+      tok.t_start += retry.delay;
+    }
+  }
 
   const SchedKey key{static_cast<int>(op), static_cast<int>(algo), n_in, n_out,
                      root};
@@ -232,7 +295,7 @@ double Group::run_collective(int grank, Op op, const float* in,
     for (const auto& a : ph.actions[static_cast<std::size_t>(idx)]) {
       run_action(idx, tok.slot, a, out, scale);
     }
-    if (ph.barrier_after) barrier_.arrive_and_wait();
+    if (ph.barrier_after) sync(idx);
   }
 
   return settle(grank, tok.t_start, op, algo, sched.bytes);
@@ -463,7 +526,14 @@ void Group::flush(int grank) {
 void Group::account(int grank, Op op, std::int64_t bytes) {
   if (size() == 1) return;
   flush(grank);
-  const auto tok = publish(index_of(grank), nullptr, bytes,
+  const int idx = index_of(grank);
+  auto& me = members_[static_cast<std::size_t>(idx)];
+  if (const sim::FaultInjector* fi = cluster_.fault_injector()) {
+    fi->check_alive(grank, cluster_.device(grank).clock());
+  }
+  me.cur_op = op_name(op);
+  me.cur_bytes = bytes;
+  const auto tok = publish(idx, nullptr, bytes,
                            cluster_.device(grank).clock());
   // Same selector as the functional path, so the accounting twin charges
   // exactly what the matching data-moving call would.

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <barrier>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -15,6 +14,7 @@
 #include "collective/cost.hpp"
 #include "collective/schedule.hpp"
 #include "sim/cluster.hpp"
+#include "sim/fault.hpp"
 
 namespace ca::collective {
 
@@ -227,6 +227,13 @@ class Group {
   /// for this op are readable until the end of the op.
   PubToken publish(int idx, const float* ptr, std::int64_t count, double clock);
 
+  /// One watchdog-guarded barrier crossing for member `idx`. When the SPMD
+  /// region aborts (a member died or threw) while this member waits, charges
+  /// the watchdog budget to its clock, records a fault span, and raises
+  /// CommTimeoutError describing the operation it was stuck in — the no-hang
+  /// guarantee of the fault model (DESIGN.md section 7).
+  void sync(int idx);
+
   /// Ensure the scratch arena holds at least `elems` floats. Deterministic
   /// across members (each keeps a private mirror of the arena size, so all
   /// branch identically); group-index 0 performs the actual grow between two
@@ -274,7 +281,7 @@ class Group {
   std::vector<int> ranks_;
   std::string name_;
   std::unordered_map<int, int> index_;
-  std::barrier<> barrier_;
+  sim::AbortableBarrier barrier_;
 
   // The group's two-level topology partition and hierarchical chunk-owner
   // permutation (empty when the plan is not viable), both fixed at
@@ -296,6 +303,10 @@ class Group {
   struct alignas(64) MemberState {
     std::int64_t seq = 0;         // ops issued; low bit picks the parity slot
     std::int64_t arena_seen = 0;  // this member's mirror of arena_.size()
+    // What this member is currently rendezvousing for — context for the
+    // CommTimeoutError the watchdog raises if the rendezvous breaks.
+    const char* cur_op = "barrier";
+    std::int64_t cur_bytes = 0;
     // Mirror of the group's communication-lane availability: collectives on
     // one group serialize on its (virtual NCCL stream) lane, so overlapped
     // async ops queue behind each other rather than sharing bandwidth. All

@@ -7,6 +7,29 @@
 
 namespace ca::collective {
 
+P2pChannel::P2pChannel(sim::Cluster& cluster, int src, int dst)
+    : cluster_(cluster), src_(src), dst_(dst) {
+  cluster_.fault_state().register_waker(this, [this] {
+    std::scoped_lock lock(m_);
+    cv_.notify_all();
+  });
+}
+
+P2pChannel::~P2pChannel() { cluster_.fault_state().unregister_waker(this); }
+
+void P2pChannel::abort_timeout(int rank, const char* op, std::int64_t bytes) {
+  auto& fs = cluster_.fault_state();
+  auto& dev = cluster_.device(rank);
+  const double budget = fs.watchdog();
+  const double t0 = dev.clock();
+  dev.advance_clock(budget);
+  if (obs::TraceBuffer* tb = dev.trace()) {
+    tb->add(obs::TraceEvent{"p2p.watchdog", obs::Category::kFault, t0,
+                            t0 + budget, t0, bytes, 0.0, 0.0, {}});
+  }
+  throw sim::CommTimeoutError(rank, "p2p", op, bytes, budget, fs.cause());
+}
+
 void P2pChannel::do_send(const float* ptr, std::int64_t count,
                          std::int64_t bytes, bool async) {
   auto msg = std::make_shared<Message>();
@@ -31,10 +54,18 @@ void P2pChannel::do_send(const float* ptr, std::int64_t count,
     return;
   }
   msg->src_ptr = ptr;
+  sim::FaultState& fs = cluster_.fault_state();
   std::unique_lock lock(m_);
   queue_.push_back(msg);
   cv_.notify_all();
-  cv_.wait(lock, [&] { return msg->consumed; });
+  cv_.wait(lock, [&] { return msg->consumed || fs.aborted(); });
+  if (!msg->consumed) {
+    // Receiver died before matching this send: withdraw the unconsumed
+    // message so a later region never sees it, then raise the timeout.
+    std::erase(queue_, msg);
+    lock.unlock();
+    abort_timeout(src_, "send", bytes);
+  }
   // Receiver computed the common finish time; adopt it (synchronous send).
   src_dev.set_clock(msg->finish_clock);
   src_dev.add_bytes_sent(bytes);
@@ -49,8 +80,15 @@ void P2pChannel::do_recv(float* ptr, std::int64_t count, std::int64_t bytes,
                          double ready_clock) {
   std::shared_ptr<Message> msg;
   {
+    sim::FaultState& fs = cluster_.fault_state();
     std::unique_lock lock(m_);
-    cv_.wait(lock, [&] { return !queue_.empty(); });
+    cv_.wait(lock, [&] { return !queue_.empty() || fs.aborted(); });
+    if (queue_.empty()) {
+      // Sender died with nothing in flight; a parked message is still
+      // delivered (it was fully buffered before the death).
+      lock.unlock();
+      abort_timeout(dst_, "recv", bytes);
+    }
     msg = queue_.front();
     queue_.pop_front();
   }

@@ -60,8 +60,10 @@ class RecvHandle {
 ///    multiple in-flight activations around the ring (interleaved chunks).
 class P2pChannel {
  public:
-  P2pChannel(sim::Cluster& cluster, int src, int dst)
-      : cluster_(cluster), src_(src), dst_(dst) {}
+  P2pChannel(sim::Cluster& cluster, int src, int dst);
+  ~P2pChannel();
+  P2pChannel(const P2pChannel&) = delete;
+  P2pChannel& operator=(const P2pChannel&) = delete;
 
   /// Blocking (rendezvous) send of `data` (may be empty).
   void send(std::span<const float> data);
@@ -100,6 +102,11 @@ class P2pChannel {
   /// (current clock for blocking recv, post time for pre-posted irecv).
   void do_recv(float* ptr, std::int64_t count, std::int64_t bytes,
                double ready_clock);
+
+  /// Watchdog exit for a wait whose peer died: charge the budget, leave a
+  /// fault span, raise CommTimeoutError. Called with m_ released.
+  [[noreturn]] void abort_timeout(int rank, const char* op,
+                                  std::int64_t bytes);
 
   sim::Cluster& cluster_;
   int src_, dst_;

@@ -38,6 +38,15 @@ struct Config {
   /// this field (see DESIGN.md section 6).
   std::string collective_algo = "auto";
 
+  /// Sim-time the collective watchdog waits at a broken rendezvous before
+  /// raising CommTimeoutError on the survivors (`fault.watchdog`; the
+  /// CA_FAULT_WATCHDOG environment variable wins over this field).
+  double fault_watchdog = 1.0;
+  /// Checkpoint every this-many steps (`checkpoint.interval`; 0 disables).
+  int checkpoint_interval = 0;
+  /// Where CheckpointHook writes (`checkpoint.dir`).
+  std::string checkpoint_dir = ".";
+
   [[nodiscard]] int world_size() const {
     return data_parallel_size * pipeline_parallel_size * tensor_parallel_size *
            sequence_parallel_size;
@@ -70,6 +79,8 @@ struct Config {
                 collective_algo == "hierarchical" ||
                 collective_algo == "single_root",
             "unknown collective_algo '" + collective_algo + "'");
+    require(fault_watchdog > 0.0, "fault.watchdog must be > 0");
+    require(checkpoint_interval >= 0, "checkpoint.interval must be >= 0");
     switch (tensor_mode) {
       case TpMode::kNone:
         require(tensor_parallel_size == 1,

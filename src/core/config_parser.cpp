@@ -64,6 +64,19 @@ Config parse_config(const std::string& text) {
       cfg.sequence_parallel_size = parse_int(key, value);
     } else if (key == "collective_algo" || key == "collective.algo") {
       cfg.collective_algo = value;
+    } else if (key == "fault.watchdog") {
+      try {
+        std::size_t pos = 0;
+        cfg.fault_watchdog = std::stod(value, &pos);
+        if (pos != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("bad number for 'fault.watchdog': '" +
+                                    value + "'");
+      }
+    } else if (key == "checkpoint.interval") {
+      cfg.checkpoint_interval = parse_int(key, value);
+    } else if (key == "checkpoint.dir") {
+      cfg.checkpoint_dir = value;
     } else {
       throw std::invalid_argument("unknown configuration key '" + key + "'");
     }

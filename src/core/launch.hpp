@@ -1,11 +1,13 @@
 #pragma once
 
+#include <cstdlib>
 #include <functional>
 #include <memory>
 
 #include "collective/backend.hpp"
 #include "core/config_parser.hpp"
 #include "core/context.hpp"
+#include "sim/fault.hpp"
 #include "tp/env.hpp"
 
 namespace ca::core {
@@ -22,7 +24,19 @@ class LaunchedWorld {
   LaunchedWorld(Config config, sim::Topology topo)
       : cluster_(std::move(topo)),
         backend_(cluster_),
-        ctx_(backend_, config) {}
+        ctx_(backend_, config) {
+    // Arm fault injection straight from the environment (CA_FAULT_*), the
+    // no-recompile way to run any experiment under faults. The env watchdog
+    // wins over the config key, matching CA_COLLECTIVE_ALGO precedence.
+    if (auto plan = sim::FaultPlan::from_env()) {
+      if (std::getenv("CA_FAULT_WATCHDOG") == nullptr) {
+        plan->watchdog = config.fault_watchdog;
+      }
+      cluster_.install_faults(std::move(*plan));
+    } else {
+      cluster_.fault_state().set_watchdog(config.fault_watchdog);
+    }
+  }
 
   /// SPMD entry point; the callable receives a ready-made per-rank Env.
   void run(const std::function<void(tp::Env)>& fn) {

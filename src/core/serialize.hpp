@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace ca::core {
+
+/// Minimal little-endian binary (de)serialization for checkpoints. Streams
+/// throw on truncation/corruption instead of silently yielding zeros, so a
+/// damaged checkpoint file fails loud at load time.
+
+inline void write_i64(std::ostream& os, std::int64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline std::int64_t read_i64(std::istream& is) {
+  std::int64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("checkpoint: truncated stream (i64)");
+  return v;
+}
+
+inline void write_f64(std::ostream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline double read_f64(std::istream& is) {
+  double v = 0.0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("checkpoint: truncated stream (f64)");
+  return v;
+}
+
+inline void write_f32s(std::ostream& os, const float* p, std::int64_t n) {
+  os.write(reinterpret_cast<const char*>(p),
+           static_cast<std::streamsize>(n) *
+               static_cast<std::streamsize>(sizeof(float)));
+}
+
+inline void read_f32s(std::istream& is, float* p, std::int64_t n) {
+  is.read(reinterpret_cast<char*>(p),
+          static_cast<std::streamsize>(n) *
+              static_cast<std::streamsize>(sizeof(float)));
+  if (!is) throw std::runtime_error("checkpoint: truncated stream (f32[])");
+}
+
+inline void write_str(std::ostream& os, const std::string& s) {
+  write_i64(os, static_cast<std::int64_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline std::string read_str(std::istream& is) {
+  const std::int64_t n = read_i64(is);
+  if (n < 0 || n > (std::int64_t{1} << 32)) {
+    throw std::runtime_error("checkpoint: corrupt string length");
+  }
+  std::string s(static_cast<std::size_t>(n), '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  if (!is) throw std::runtime_error("checkpoint: truncated stream (str)");
+  return s;
+}
+
+}  // namespace ca::core

@@ -1,0 +1,148 @@
+#include "engine/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/serialize.hpp"
+
+namespace ca::engine {
+
+namespace {
+
+/// Discards everything written to it — non-root ranks stream their copy of
+/// an SPMD save here so every rank runs the same gather sequence.
+class NullBuf : public std::streambuf {
+ protected:
+  int overflow(int c) override { return c == EOF ? '\0' : c; }
+  std::streamsize xsputn(const char*, std::streamsize n) override { return n; }
+};
+
+void write_header(std::ostream& os, std::int64_t step) {
+  os.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+  core::write_i64(os, step);
+}
+
+std::int64_t read_header(std::istream& is, const std::string& path) {
+  char magic[sizeof(kCheckpointMagic)] = {};
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
+  return core::read_i64(is);
+}
+
+void write_params(std::ostream& os, nn::Module& model) {
+  const auto params = model.parameters();
+  core::write_i64(os, static_cast<std::int64_t>(params.size()));
+  for (const nn::Parameter* p : params) {
+    core::write_str(os, p->name);
+    core::write_i64(os, p->numel());
+    core::write_f32s(os, p->value.data().data(), p->numel());
+  }
+}
+
+void read_params(std::istream& is, nn::Module& model) {
+  const auto params = model.parameters();
+  if (core::read_i64(is) != static_cast<std::int64_t>(params.size())) {
+    throw std::runtime_error("checkpoint: parameter count mismatch");
+  }
+  for (nn::Parameter* p : params) {
+    const std::string name = core::read_str(is);
+    const std::int64_t n = core::read_i64(is);
+    if (name != p->name || n != p->numel()) {
+      throw std::runtime_error("checkpoint: parameter mismatch: file has '" +
+                               name + "' (" + std::to_string(n) +
+                               "), model has '" + p->name + "' (" +
+                               std::to_string(p->numel()) + ")");
+    }
+    core::read_f32s(is, p->value.data().data(), n);
+  }
+}
+
+/// Run `body(os)` with rank 0 writing to `path` (temp + atomic rename) and
+/// every other rank writing to a discarding stream, then barrier the world.
+template <class Body>
+void spmd_save(const tp::Env& env, const std::string& path, Body body) {
+  if (env.grank == 0) {
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      if (!os) throw std::runtime_error("checkpoint: cannot write " + tmp);
+      body(os);
+      os.flush();
+      if (!os) throw std::runtime_error("checkpoint: write failed: " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw std::runtime_error("checkpoint: rename failed: " + path);
+    }
+  } else {
+    NullBuf sink;
+    std::ostream os(&sink);
+    body(os);
+  }
+  env.ctx->backend().world().barrier(env.grank);
+}
+
+}  // namespace
+
+void save_checkpoint(const tp::Env& env, nn::Module& model,
+                     optim::Optimizer& opt, std::int64_t step,
+                     const std::string& path) {
+  // DP-replicated state is identical on every rank, so only rank 0's copy is
+  // gathered-free and canonical; the others just hit the closing barrier.
+  spmd_save(env, path, [&](std::ostream& os) {
+    write_header(os, step);
+    write_params(os, model);
+    opt.save_state(os);
+  });
+}
+
+std::int64_t load_checkpoint(const tp::Env& env, nn::Module& model,
+                             optim::Optimizer& opt, const std::string& path) {
+  (void)env;  // pure local reads: every rank loads the same file
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot read " + path);
+  const std::int64_t step = read_header(is, path);
+  read_params(is, model);
+  opt.load_state(is);
+  return step;
+}
+
+void save_checkpoint(const tp::Env& env, nn::Module& model,
+                     zero::ZeroOptimizer& opt, std::int64_t step,
+                     const std::string& path) {
+  (void)model;  // parameter values ARE the gathered master weights
+  spmd_save(env, path, [&](std::ostream& os) {
+    write_header(os, step);
+    core::write_i64(os, 0);  // empty params section
+    opt.save_state(os);      // SPMD: every rank joins the gathers
+  });
+}
+
+std::int64_t load_checkpoint(const tp::Env& env, nn::Module& model,
+                             zero::ZeroOptimizer& opt,
+                             const std::string& path) {
+  (void)env;
+  (void)model;
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot read " + path);
+  const std::int64_t step = read_header(is, path);
+  if (core::read_i64(is) != 0) {
+    throw std::runtime_error(
+        "checkpoint: expected a ZeRO checkpoint (empty params section) in " +
+        path);
+  }
+  opt.load_state(is);  // SPMD: stages 1-2 re-gather parameter values
+  return step;
+}
+
+std::int64_t checkpoint_step(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot read " + path);
+  return read_header(is, path);
+}
+
+}  // namespace ca::engine

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "engine/trainer.hpp"
+#include "nn/module.hpp"
+#include "optim/optimizer.hpp"
+#include "tp/env.hpp"
+#include "zero/zero_optimizer.hpp"
+
+namespace ca::engine {
+
+/// Checkpoint/restore for fault-tolerant training (DESIGN.md section 7).
+///
+/// Format (binary, little-endian, magic "CACKPT01"): the header carries the
+/// resume step; the body holds every parameter in FULL (unsharded) form plus
+/// the optimizer's full-form state blob. World-size-agnostic by
+/// construction: a file written by an 8-rank run restores onto 7 survivors —
+/// the new ZeroOptimizer re-slices the full tensors by its own shard layout.
+/// TP-sharded parameters are out of scope (the checkpoint covers
+/// DP-replicated and ZeRO-partitioned state).
+///
+/// save_checkpoint is SPMD over the world: rank 0 streams to `path` via a
+/// temp file + atomic rename (a crash mid-write never corrupts the previous
+/// checkpoint); other ranks participate in the gathers and discard their
+/// bytes. A world barrier at the end keeps no rank racing past an
+/// in-progress save. load_checkpoint has every rank read the same file and
+/// returns the step to resume from.
+
+inline constexpr char kCheckpointMagic[8] = {'C', 'A', 'C', 'K',
+                                             'P', 'T', '0', '1'};
+
+/// DP-replicated variant (Engine with Adam/AdamW/Sgd/HybridAdam underneath).
+void save_checkpoint(const tp::Env& env, nn::Module& model,
+                     optim::Optimizer& opt, std::int64_t step,
+                     const std::string& path);
+std::int64_t load_checkpoint(const tp::Env& env, nn::Module& model,
+                             optim::Optimizer& opt, const std::string& path);
+
+/// ZeRO variant: parameter values live inside the optimizer blob (the
+/// gathered fp32 master weights), so the params section is empty.
+void save_checkpoint(const tp::Env& env, nn::Module& model,
+                     zero::ZeroOptimizer& opt, std::int64_t step,
+                     const std::string& path);
+std::int64_t load_checkpoint(const tp::Env& env, nn::Module& model,
+                             zero::ZeroOptimizer& opt,
+                             const std::string& path);
+
+/// Read just the resume step from a checkpoint header (validates the magic).
+[[nodiscard]] std::int64_t checkpoint_step(const std::string& path);
+
+/// Trainer hook that checkpoints every `interval` steps (after the step
+/// completes, so the file resumes AFTER the step it was written at). Maps to
+/// the `checkpoint.interval` / `checkpoint.dir` config keys.
+class CheckpointHook : public TrainerHook {
+ public:
+  CheckpointHook(const tp::Env& env, nn::Module& model, optim::Optimizer& opt,
+                 std::string path, std::int64_t interval)
+      : env_(env),
+        model_(&model),
+        opt_(&opt),
+        path_(std::move(path)),
+        interval_(interval) {}
+
+  void after_step(int step, float loss) override {
+    (void)loss;
+    if (interval_ <= 0 || (step + 1) % interval_ != 0) return;
+    save_checkpoint(env_, *model_, *opt_, step + 1, path_);
+    ++saves_;
+  }
+
+  [[nodiscard]] std::int64_t saves() const { return saves_; }
+
+ private:
+  tp::Env env_;
+  nn::Module* model_;
+  optim::Optimizer* opt_;
+  std::string path_;
+  std::int64_t interval_;
+  std::int64_t saves_ = 0;
+};
+
+}  // namespace ca::engine

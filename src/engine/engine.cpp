@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "engine/numeric_guard.hpp"
+
 namespace ca::engine {
 
 namespace t = ca::tensor;
@@ -51,6 +53,12 @@ void Engine::backward_from(const t::Tensor& dy) { model_.backward(dy); }
 void Engine::step() {
   obs::TraceBuffer* tb = env_.dev().trace();
   obs::TraceSpan step_span(tb, obs::Category::kMarker, "engine.step");
+  const sim::FaultInjector* fi = env_.dev().fault();
+  const std::int64_t step = step_count_++;
+  // Step-triggered fail-stop lands here, before this rank touches any
+  // rendezvous of the step: survivors time out at their next collective.
+  if (fi != nullptr) fi->on_step(env_.grank, step, env_.dev().clock());
+
   auto& dp = env_.ctx->data_group(env_.grank);
   if (dp.size() > 1) {
     obs::TraceSpan sync_span(tb, obs::Category::kMarker, "engine.grad_sync");
@@ -65,6 +73,34 @@ void Engine::step() {
       }
     }
   }
+
+  // Injection after sync (buckets all-reduce flat copies during backward, so
+  // a pre-sync poke would not reach p->grad); only this rank's local buffer
+  // goes bad, exactly like a corrupted kernel output.
+  if (fi != nullptr && fi->corrupt_grads(env_.grank, step)) {
+    for (nn::Parameter* p : optimizer_->params()) poison(p->grad.data());
+  }
+  if (options_.nan_guard || fi != nullptr) {
+    bool bad = false;
+    for (nn::Parameter* p : optimizer_->params()) {
+      if (has_nonfinite(p->grad.data())) {
+        bad = true;
+        break;
+      }
+    }
+    // World-wide consensus so every rank skips or none does; the skipped
+    // step leaves parameters untouched (replicas stay bit-identical).
+    if (any_rank_nonfinite(env_.ctx->backend().world(), env_.grank, bad)) {
+      ++skipped_steps_;
+      if (tb != nullptr) {
+        const double t = env_.dev().clock();
+        tb->add(obs::TraceEvent{"engine.nan_skip", obs::Category::kFault, t, t,
+                                t, 0, 0.0, 0.0, {}});
+      }
+      return;
+    }
+  }
+
   obs::TraceSpan opt_span(tb, obs::Category::kMarker, "engine.optim");
   optimizer_->step();
 }

@@ -37,6 +37,11 @@ class Engine {
     GradSync grad_sync = GradSync::kBucketed;
     /// Bucket payload cap (bytes of float32 gradient per bucket).
     std::int64_t bucket_bytes = std::int64_t{1} << 20;
+    /// Scan synced gradients for NaN/Inf each step and skip the optimizer
+    /// update on EVERY rank when any rank saw one (the AMP loss-scale-skip
+    /// contract). Forced on while a fault injector is installed; otherwise
+    /// the guard costs one predictable branch.
+    bool nan_guard = false;
   };
 
   Engine(const tp::Env& env, nn::Module& model,
@@ -64,6 +69,13 @@ class Engine {
   [[nodiscard]] nn::Module& model() { return model_; }
   [[nodiscard]] optim::Optimizer& optimizer() { return *optimizer_; }
 
+  /// Steps executed so far (each step() call, skipped or not, counts one).
+  [[nodiscard]] std::int64_t steps_taken() const { return step_count_; }
+  /// Steps whose optimizer update was skipped by the NaN guard.
+  [[nodiscard]] std::int64_t skipped_steps() const { return skipped_steps_; }
+  /// Resume support: continue global-step numbering from a checkpoint.
+  void set_step_count(std::int64_t step) { step_count_ = step; }
+
  private:
   tp::Env env_;
   nn::Module& model_;
@@ -72,6 +84,8 @@ class Engine {
   std::unique_ptr<GradBucketer> bucketer_;  // null when serial or dp == 1
   tensor::Tensor dlogits_;
   bool has_dlogits_ = false;
+  std::int64_t step_count_ = 0;
+  std::int64_t skipped_steps_ = 0;
 };
 
 /// The C++ analogue of `colossalai.initialize`: bundle a model + optimizer

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <span>
+
+#include "collective/group.hpp"
+
+namespace ca::engine {
+
+/// Scan for NaN/Inf. Early-exits on the first bad element, so the clean-path
+/// cost is one pass and the (rare) faulted path stops immediately.
+[[nodiscard]] inline bool has_nonfinite(std::span<const float> x) {
+  for (const float v : x) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
+}
+
+/// Global skip consensus: every rank contributes its local verdict through a
+/// 1-float all-reduce over `group`, so either every rank skips the update or
+/// none does — the same contract an AMP loss-scale skip has. Must be called
+/// by every member (SPMD).
+[[nodiscard]] inline bool any_rank_nonfinite(collective::Group& group,
+                                             int grank, bool local_bad) {
+  float flag = local_bad ? 1.0f : 0.0f;
+  group.all_reduce(grank, std::span<float>(&flag, 1));
+  return flag != 0.0f;
+}
+
+/// Fault-injection helper: poison a gradient buffer the way a corrupted
+/// kernel would (a NaN somewhere in the middle, not just element 0).
+inline void poison(std::span<float> x) {
+  if (x.empty()) return;
+  x[x.size() / 2] = std::numeric_limits<float>::quiet_NaN();
+  x[0] = std::numeric_limits<float>::infinity();
+}
+
+}  // namespace ca::engine

@@ -3,13 +3,14 @@
 namespace ca::engine {
 
 float Trainer::fit(const data::DataLoader& loader, int epochs,
-                   int steps_per_epoch) {
+                   int steps_per_epoch, int start_step) {
   float last_epoch_mean = 0.0f;
   for (int epoch = 0; epoch < epochs; ++epoch) {
     for (auto& h : hooks_) h->before_epoch(epoch);
     float sum = 0.0f;
     for (int s = 0; s < steps_per_epoch; ++s) {
       const int global_step = epoch * steps_per_epoch + s;
+      if (global_step < start_step) continue;  // resumed past this batch
       for (auto& h : hooks_) h->before_step(global_step);
 
       auto batch = loader.next(global_step);

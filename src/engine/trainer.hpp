@@ -54,8 +54,12 @@ class Trainer {
   }
 
   /// Train for `epochs` x `steps_per_epoch` global batches; returns the mean
-  /// loss of the final epoch.
-  float fit(const data::DataLoader& loader, int epochs, int steps_per_epoch);
+  /// loss of the final epoch. `start_step` resumes mid-schedule from a
+  /// checkpoint: global steps before it are skipped entirely (the loader is
+  /// step-indexed, so the surviving steps see exactly the batches they would
+  /// have seen in an uninterrupted run).
+  float fit(const data::DataLoader& loader, int epochs, int steps_per_epoch,
+            int start_step = 0);
 
  private:
   Engine& engine_;

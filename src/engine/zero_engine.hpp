@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "engine/numeric_guard.hpp"
 #include "nn/module.hpp"
 #include "zero/zero_optimizer.hpp"
 
@@ -48,12 +49,47 @@ class ZeroEngine {
 
   /// ZeRO step: grad sync per stage + sharded update (+ release of the full
   /// parameters for stage 3 — they are re-gathered by the next forward).
+  ///
+  /// The NaN guard runs BEFORE the sync: ZeRO reduces gradients inside
+  /// opt_.step(), so a corrupted local gradient must be caught pre-reduce or
+  /// the NaN would spread into every rank's shard. The guarded skip is
+  /// symmetric (consensus all-reduce), so no rank enters the step's
+  /// collectives alone.
   void step() {
+    const sim::FaultInjector* fi = env_.dev().fault();
+    const std::int64_t step = step_count_++;
+    if (fi != nullptr) fi->on_step(env_.grank, step, env_.dev().clock());
+    if (fi != nullptr && fi->corrupt_grads(env_.grank, step)) {
+      for (nn::Parameter* p : model_.parameters()) poison(p->grad.data());
+    }
+    if (nan_guard_ || fi != nullptr) {
+      bool bad = false;
+      for (nn::Parameter* p : model_.parameters()) {
+        if (has_nonfinite(p->grad.data())) {
+          bad = true;
+          break;
+        }
+      }
+      if (any_rank_nonfinite(env_.ctx->backend().world(), env_.grank, bad)) {
+        ++skipped_steps_;
+        if (obs::TraceBuffer* tb = env_.dev().trace()) {
+          const double t = env_.dev().clock();
+          tb->add(obs::TraceEvent{"zero.nan_skip", obs::Category::kFault, t,
+                                  t, t, 0, 0.0, 0.0, {}});
+        }
+        opt_.release_params();
+        return;
+      }
+    }
     opt_.step();
     opt_.release_params();
   }
 
   [[nodiscard]] zero::ZeroOptimizer& optimizer() { return opt_; }
+  [[nodiscard]] std::int64_t steps_taken() const { return step_count_; }
+  [[nodiscard]] std::int64_t skipped_steps() const { return skipped_steps_; }
+  void set_step_count(std::int64_t step) { step_count_ = step; }
+  void set_nan_guard(bool on) { nan_guard_ = on; }
 
  private:
   tp::Env env_;
@@ -61,6 +97,9 @@ class ZeroEngine {
   zero::ZeroOptimizer opt_;
   tensor::Tensor dlogits_;
   bool has_dlogits_ = false;
+  bool nan_guard_ = false;
+  std::int64_t step_count_ = 0;
+  std::int64_t skipped_steps_ = 0;
 };
 
 }  // namespace ca::engine

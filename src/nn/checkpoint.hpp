@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 
 #include "nn/module.hpp"
 
@@ -21,21 +22,25 @@ class Checkpoint : public Module {
       : inner_(std::move(inner)) {}
 
   tensor::Tensor forward(const tensor::Tensor& x) override {
-    saved_input_ = x.clone();
     // run forward once for the output; the inner module's saved activations
-    // are considered dropped (they will be rebuilt in backward)
+    // are considered dropped (they will be rebuilt in backward). Save the
+    // input only after the inner forward succeeds: if it throws (OOM, fault
+    // unwind), no stale input outlives the failed step.
     auto y = inner_->forward(x);
     ++forward_runs_;
+    saved_input_ = x.clone();
     return y;
   }
 
   tensor::Tensor backward(const tensor::Tensor& dy) override {
-    // recompute: rebuild the inner activations from the stored input
-    inner_->forward(saved_input_);
+    // recompute: rebuild the inner activations from the stored input. Take
+    // the input out FIRST so it is released even when the recompute or the
+    // inner backward throws — a retried/abandoned step must not leak the
+    // held activation bytes.
+    const tensor::Tensor input = std::exchange(saved_input_, tensor::Tensor());
+    inner_->forward(input);
     ++forward_runs_;
-    auto dx = inner_->backward(dy);
-    saved_input_ = tensor::Tensor();
-    return dx;
+    return inner_->backward(dy);
   }
 
   void collect_parameters(std::vector<Parameter*>& out) override {

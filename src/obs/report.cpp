@@ -60,7 +60,10 @@ TraceReport summarize(const Tracer& tracer) {
     for (const TraceEvent& e : tracer.rank(r).events()) {
       rs.wall = std::max(rs.wall, e.t1);
       rs.seconds[static_cast<std::size_t>(e.cat)] += e.t1 - e.t0;
-      if (e.cat == Category::kMarker || e.cat == Category::kIdle) continue;
+      if (e.cat == Category::kMarker || e.cat == Category::kIdle ||
+          e.cat == Category::kFault) {
+        continue;  // annotations, not busy time
+      }
       busy.emplace_back(e.t0, e.t1);
       if (e.cat == Category::kCompute) compute.emplace_back(e.t0, e.t1);
       if (e.cat == Category::kComm) {

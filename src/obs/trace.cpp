@@ -1,7 +1,5 @@
 #include "obs/trace.hpp"
 
-namespace ca::obs {
-
-thread_local const double* ThreadClock::clock_ = nullptr;
-
-}  // namespace ca::obs
+// ThreadClock's TLS slot lives in a function-local thread_local (see
+// trace.hpp); this TU anchors the header for build-system dependency
+// tracking and any future out-of-line definitions.

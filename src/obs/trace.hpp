@@ -13,7 +13,9 @@ namespace ca::obs {
 /// compute-vs-communication breakdowns (Figs 6-7): kCompute is device math,
 /// kComm is collective/p2p traffic, kMemcpy is host<->device (or NVMe)
 /// staging, kOptimizer is the parameter update, kMarker is a named phase
-/// annotation (engine step, pipeline micro-batch) that overlaps the others.
+/// annotation (engine step, pipeline micro-batch) that overlaps the others,
+/// kFault is injected-fault activity (watchdog waits, retry backoff,
+/// NaN-skipped steps) so recovery cost is visible as its own lane.
 enum class Category : std::uint8_t {
   kCompute = 0,
   kComm,
@@ -21,9 +23,10 @@ enum class Category : std::uint8_t {
   kOptimizer,
   kIdle,
   kMarker,
+  kFault,
 };
 
-inline constexpr int kNumCategories = 6;
+inline constexpr int kNumCategories = 7;
 
 [[nodiscard]] constexpr const char* category_name(Category c) {
   switch (c) {
@@ -33,6 +36,7 @@ inline constexpr int kNumCategories = 6;
     case Category::kOptimizer: return "optimizer";
     case Category::kIdle: return "idle";
     case Category::kMarker: return "phase";
+    case Category::kFault: return "fault";
   }
   return "?";
 }
@@ -152,13 +156,20 @@ class TraceSpan {
 /// thread; reads its own thread's slot only, so it is race-free.
 class ThreadClock {
  public:
-  static void bind(const double* clock) { clock_ = clock; }
+  static void bind(const double* clock) { slot() = clock; }
   [[nodiscard]] static double now() {
-    return clock_ != nullptr ? *clock_ : 0.0;
+    const double* clock = slot();
+    return clock != nullptr ? *clock : 0.0;
   }
 
  private:
-  static thread_local const double* clock_;
+  // Function-local so the TLS slot is defined (and guard-initialised) in
+  // every TU that uses it; an extern class-static thread_local reaches the
+  // slot through GCC's TLS wrapper, which UBSan misreads as a null store.
+  static const double*& slot() {
+    static thread_local const double* clock = nullptr;
+    return clock;
+  }
 };
 
 /// The per-cluster trace store: one lock-free TraceBuffer per rank plus

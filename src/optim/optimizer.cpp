@@ -1,10 +1,42 @@
 #include "optim/optimizer.hpp"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "core/serialize.hpp"
 
 namespace ca::optim {
 
 namespace t = ca::tensor;
+
+namespace {
+
+void write_tensors(std::ostream& os, const std::vector<t::Tensor>& ts) {
+  core::write_i64(os, static_cast<std::int64_t>(ts.size()));
+  for (const t::Tensor& x : ts) {
+    core::write_i64(os, x.numel());
+    core::write_f32s(os, x.data().data(), x.numel());
+  }
+}
+
+void read_tensors(std::istream& is, std::vector<t::Tensor>& ts) {
+  const std::int64_t n = core::read_i64(is);
+  if (n != static_cast<std::int64_t>(ts.size())) {
+    throw std::runtime_error("optimizer state: tensor count mismatch");
+  }
+  for (t::Tensor& x : ts) {
+    if (core::read_i64(is) != x.numel()) {
+      throw std::runtime_error("optimizer state: tensor size mismatch");
+    }
+    core::read_f32s(is, x.data().data(), x.numel());
+  }
+}
+
+}  // namespace
+
+void Optimizer::save_state(std::ostream&) const {}
+void Optimizer::load_state(std::istream&) {}
 
 // ---- Sgd -----------------------------------------------------------------------
 
@@ -39,6 +71,9 @@ void Sgd::step() {
     }
   }
 }
+
+void Sgd::save_state(std::ostream& os) const { write_tensors(os, velocity_); }
+void Sgd::load_state(std::istream& is) { read_tensors(is, velocity_); }
 
 // ---- Adam ----------------------------------------------------------------------
 
@@ -87,6 +122,18 @@ void Adam::step() {
   for (std::size_t i = 0; i < params_.size(); ++i) {
     update_range(i, 0, params_[i]->numel());
   }
+}
+
+void Adam::save_state(std::ostream& os) const {
+  core::write_i64(os, t_);
+  write_tensors(os, m_);
+  write_tensors(os, v_);
+}
+
+void Adam::load_state(std::istream& is) {
+  t_ = core::read_i64(is);
+  read_tensors(is, m_);
+  read_tensors(is, v_);
 }
 
 std::int64_t Adam::state_bytes() const {

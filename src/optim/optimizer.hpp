@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "nn/module.hpp"
@@ -16,6 +17,14 @@ class Optimizer {
   virtual ~Optimizer() = default;
 
   virtual void step() = 0;
+
+  /// Serialize this optimizer's state (moments, step counters) in full,
+  /// world-size-agnostic form, so a checkpoint written at one world size
+  /// restores at another (the shrunk-cluster recovery path). Stateless
+  /// optimizers write nothing. Restores must target an optimizer built over
+  /// the same parameter list (same order and shapes).
+  virtual void save_state(std::ostream& os) const;
+  virtual void load_state(std::istream& is);
 
   void zero_grad() {
     for (nn::Parameter* p : params_) p->grad.fill(0.0f);
@@ -34,6 +43,8 @@ class Sgd : public Optimizer {
  public:
   Sgd(std::vector<nn::Parameter*> params, float lr, float momentum = 0.0f);
   void step() override;
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
 
  private:
   float lr_, momentum_;
@@ -55,6 +66,8 @@ class Adam : public Optimizer {
 
   Adam(std::vector<nn::Parameter*> params, Hyper hyper);
   void step() override;
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
 
   /// Bytes of optimizer state (two fp32 moments per element) — the "three
   /// times larger than parameters" model-data pressure the paper attributes

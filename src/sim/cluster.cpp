@@ -1,6 +1,7 @@
 #include "sim/cluster.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 
 namespace ca::sim {
@@ -15,7 +16,10 @@ Cluster::Cluster(Topology topo)
 
 void Cluster::run(const std::function<void(int)>& fn) {
   const int n = world_size();
+  fault_state_.reset();  // fresh SPMD region, no stale abort
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> error_order(static_cast<std::size_t>(n), -1);
+  std::atomic<std::int64_t> next_error{0};
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
@@ -26,15 +30,51 @@ void Cluster::run(const std::function<void(int)>& fn) {
       try {
         fn(r);
       } catch (...) {
+        // Record in arrival order (the root cause strictly precedes the
+        // survivors' watchdog timeouts it triggers), then abort the region
+        // so no peer stays blocked on a rendezvous with this rank.
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        error_order[static_cast<std::size_t>(r)] =
+            next_error.fetch_add(1, std::memory_order_relaxed);
+        const char* what = "unknown error";
+        bool death = false;
+        try {
+          throw;
+        } catch (const DeviceFailure& e) {
+          what = e.what();
+          death = true;
+        } catch (const std::exception& e) {
+          what = e.what();
+        } catch (...) {
+        }
+        fault_state_.abort(r, "rank " + std::to_string(r) + ": " + what,
+                           death);
       }
       obs::ThreadClock::bind(nullptr);
     });
   }
   for (auto& t : threads) t.join();
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+  int first = -1;
+  for (int r = 0; r < n; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    if (errors[i] && (first < 0 || error_order[i] <
+                                       error_order[static_cast<std::size_t>(first)])) {
+      first = r;
+    }
   }
+  if (first >= 0) std::rethrow_exception(errors[static_cast<std::size_t>(first)]);
+}
+
+FaultInjector& Cluster::install_faults(FaultPlan plan) {
+  fault_state_.set_watchdog(plan.watchdog);
+  injector_ = std::make_unique<FaultInjector>(std::move(plan));
+  for (auto& d : devices_) d->set_fault(injector_.get());
+  return *injector_;
+}
+
+void Cluster::clear_faults() {
+  for (auto& d : devices_) d->set_fault(nullptr);
+  injector_.reset();
 }
 
 double Cluster::max_clock() const {

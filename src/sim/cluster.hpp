@@ -7,6 +7,7 @@
 
 #include "obs/trace.hpp"
 #include "sim/device.hpp"
+#include "sim/fault.hpp"
 #include "sim/topology.hpp"
 
 namespace ca::sim {
@@ -39,7 +40,11 @@ class Cluster {
   [[nodiscard]] MemoryTracker& nvme_mem() { return nvme_mem_; }
 
   /// Run `fn(rank)` on world_size concurrent threads and join. The first
-  /// exception thrown by any rank is rethrown here after all threads finish.
+  /// exception thrown by any rank — in throw order, so the root cause, not a
+  /// survivor's secondary CommTimeoutError — is rethrown here after all
+  /// threads finish. A throwing rank aborts the region through fault_state(),
+  /// which cancels every rendezvous the peers are blocked on (they unwind
+  /// with CommTimeoutError instead of deadlocking).
   void run(const std::function<void(int)>& fn);
 
   /// Max of all device clocks — wall-clock time of the SPMD program.
@@ -50,6 +55,24 @@ class Cluster {
   /// Zero all clocks, peaks, and byte counters (new measurement). Keeps the
   /// tracer attached but drops any recorded events.
   void reset_stats();
+
+  // ---- fault injection --------------------------------------------------------
+
+  /// Activate the fault plan: builds the injector, hands every Device its
+  /// pointer, and arms the watchdog budget. Call outside the SPMD region.
+  /// Replaces any previous plan.
+  FaultInjector& install_faults(FaultPlan plan);
+  /// Detach the injector; every guard reverts to its single disabled-path
+  /// branch.
+  void clear_faults();
+  /// The injector, or nullptr while fault injection is off.
+  [[nodiscard]] const FaultInjector* fault_injector() const {
+    return injector_.get();
+  }
+
+  /// Shared abort registry: which ranks died, the first cause, and the wake
+  /// hooks that keep survivors from blocking on a dead member's rendezvous.
+  [[nodiscard]] FaultState& fault_state() { return fault_state_; }
 
   // ---- tracing ----------------------------------------------------------------
 
@@ -70,6 +93,8 @@ class Cluster {
   MemoryTracker host_mem_;
   MemoryTracker nvme_mem_{"nvme", 0};  // capacity 0 => unlimited
   std::unique_ptr<obs::Tracer> tracer_;
+  FaultState fault_state_;
+  std::unique_ptr<FaultInjector> injector_;
 };
 
 }  // namespace ca::sim

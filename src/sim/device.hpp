@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "obs/trace.hpp"
+#include "sim/fault.hpp"
 #include "sim/gpu_model.hpp"
 #include "sim/memory.hpp"
 
@@ -17,7 +18,7 @@ class Device {
   Device(int rank, const GpuModel& gpu)
       : rank_(rank),
         gpu_(gpu),
-        mem_("gpu" + std::to_string(rank), gpu.memory_bytes) {}
+        mem_("gpu" + std::to_string(rank), gpu.memory_bytes, rank) {}
 
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] const GpuModel& gpu() const { return gpu_; }
@@ -64,10 +65,25 @@ class Device {
     if (buf != nullptr) buf->bind_clock(&clock_);
   }
 
+  // ---- fault injection --------------------------------------------------------
+
+  /// The cluster's fault injector, or nullptr while injection is off. Like
+  /// trace(), the entire disabled-path cost is one predictable branch.
+  [[nodiscard]] const FaultInjector* fault() const { return fault_; }
+  /// Attach (or detach, with nullptr) the injector. Called by
+  /// Cluster::install_faults outside the SPMD region.
+  void set_fault(const FaultInjector* fi) { fault_ = fi; }
+
  private:
   void compute(double flops, double rate, const char* what) {
     const double t0 = clock_;
-    clock_ += flops / rate;
+    double seconds = flops / rate;
+    if (fault_ != nullptr) {
+      // Straggler model: this device's math runs factor-x slower while the
+      // fault window covers the op's start. Clocks diverge; data does not.
+      seconds *= fault_->compute_slowdown(rank_, t0);
+    }
+    clock_ += seconds;
     if (trace_ != nullptr) {
       trace_->add(obs::TraceEvent{what, obs::Category::kCompute, t0, clock_,
                                   t0, 0, flops, 0.0, {}});
@@ -80,6 +96,7 @@ class Device {
   double clock_ = 0.0;
   std::int64_t bytes_sent_ = 0;
   obs::TraceBuffer* trace_ = nullptr;
+  const FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace ca::sim

@@ -1,0 +1,231 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ca::sim {
+
+// ---- FaultPlan --------------------------------------------------------------
+
+double FaultPlan::jitter(std::uint64_t k) const {
+  // splitmix64 of (seed, k): stable across platforms, no global state.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (k + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+namespace {
+
+/// "<rank>@<rest>" -> (rank, rest); throws on malformed input.
+std::pair<int, std::string> split_rank(const std::string& s,
+                                       const char* var) {
+  const auto at = s.find('@');
+  if (at == std::string::npos) {
+    throw std::invalid_argument(std::string(var) + ": expected '<rank>@...', got '" + s + "'");
+  }
+  return {std::stoi(s.substr(0, at)), s.substr(at + 1)};
+}
+
+/// Split "a:b[:c]" into doubles.
+std::vector<double> split_scalars(const std::string& s) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const auto colon = s.find(':', pos);
+    const auto end = colon == std::string::npos ? s.size() : colon;
+    out.push_back(std::stod(s.substr(pos, end - pos)));
+    if (colon == std::string::npos) break;
+    pos = colon + 1;
+  }
+  return out;
+}
+
+const char* env(const char* name) { return std::getenv(name); }
+
+}  // namespace
+
+std::optional<FaultPlan> FaultPlan::from_env() {
+  FaultPlan plan;
+  bool any = false;
+  if (const char* v = env("CA_FAULT_SEED")) {
+    plan.seed = std::stoull(v);
+    any = true;
+  }
+  if (const char* v = env("CA_FAULT_WATCHDOG")) {
+    plan.watchdog = std::stod(v);
+    any = true;
+  }
+  if (const char* v = env("CA_FAULT_RETRY_BASE")) {
+    plan.retry_base = std::stod(v);
+    any = true;
+  }
+  if (const char* v = env("CA_FAULT_RETRIES")) {
+    plan.max_retries = std::stoi(v);
+    any = true;
+  }
+  if (const char* v = env("CA_FAULT_FAILSTOP")) {
+    auto [rank, rest] = split_rank(v, "CA_FAULT_FAILSTOP");
+    if (!rest.empty() && rest[0] == 't') {
+      plan.fail_stop_at(rank, std::stod(rest.substr(1)));
+    } else {
+      plan.fail_stop(rank, std::stoll(rest));
+    }
+    any = true;
+  }
+  if (const char* v = env("CA_FAULT_STRAGGLER")) {
+    auto [rank, rest] = split_rank(v, "CA_FAULT_STRAGGLER");
+    const auto s = split_scalars(rest);
+    if (s.size() != 3) {
+      throw std::invalid_argument(
+          "CA_FAULT_STRAGGLER: expected '<rank>@<from>:<duration>:<factor>'");
+    }
+    plan.straggler(rank, s[0], s[1], s[2]);
+    any = true;
+  }
+  if (const char* v = env("CA_FAULT_LINK")) {
+    const auto s = split_scalars(v);
+    if (s.size() != 3) {
+      throw std::invalid_argument(
+          "CA_FAULT_LINK: expected '<from>:<duration>:<factor>'");
+    }
+    plan.degrade_links(s[0], s[1], s[2]);
+    any = true;
+  }
+  if (const char* v = env("CA_FAULT_NAN")) {
+    auto [rank, rest] = split_rank(v, "CA_FAULT_NAN");
+    plan.corrupt_grads(rank, std::stoll(rest));
+    any = true;
+  }
+  if (const char* v = env("CA_FAULT_TRANSIENT")) {
+    const auto s = split_scalars(v);
+    if (s.size() != 2) {
+      throw std::invalid_argument(
+          "CA_FAULT_TRANSIENT: expected '<from>:<duration>'");
+    }
+    plan.transient_comm(s[0], s[1]);
+    any = true;
+  }
+  return any ? std::optional<FaultPlan>(std::move(plan)) : std::nullopt;
+}
+
+// ---- FaultInjector ----------------------------------------------------------
+
+void FaultInjector::on_step(int rank, std::int64_t step, double clock) const {
+  for (const FaultSpec& s : plan_.specs) {
+    if (s.kind == FaultKind::kFailStop && s.rank == rank && s.step >= 0 &&
+        s.step == step) {
+      throw DeviceFailure(rank, step, clock);
+    }
+  }
+}
+
+void FaultInjector::check_alive(int rank, double clock) const {
+  for (const FaultSpec& s : plan_.specs) {
+    if (s.kind == FaultKind::kFailStop && s.rank == rank && s.at >= 0.0 &&
+        clock >= s.at) {
+      throw DeviceFailure(rank, -1, clock);
+    }
+  }
+}
+
+double FaultInjector::compute_slowdown(int rank, double t) const {
+  double factor = 1.0;
+  for (const FaultSpec& s : plan_.specs) {
+    if (s.kind == FaultKind::kStraggler && s.rank == rank && t >= s.at &&
+        t < s.at + s.duration) {
+      factor = std::max(factor, s.factor);
+    }
+  }
+  return factor;
+}
+
+double FaultInjector::link_slowdown(double t) const {
+  double factor = 1.0;
+  for (const FaultSpec& s : plan_.specs) {
+    if (s.kind == FaultKind::kLinkDegrade && t >= s.at &&
+        t < s.at + s.duration) {
+      factor = std::max(factor, s.factor);
+    }
+  }
+  return factor;
+}
+
+bool FaultInjector::corrupt_grads(int rank, std::int64_t step) const {
+  for (const FaultSpec& s : plan_.specs) {
+    if (s.kind == FaultKind::kGradCorrupt && s.rank == rank &&
+        s.step == step) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector::RetryResult FaultInjector::transient_delay(double t) const {
+  RetryResult r;
+  for (const FaultSpec& s : plan_.specs) {
+    if (s.kind != FaultKind::kTransientComm) continue;
+    // Exponential backoff: attempt k fires at t + sum_{i<k} base*2^i; the op
+    // succeeds at the first attempt outside the fault window. Every member
+    // computes this from the same symmetric start time, so all members agree
+    // on the delay (or on giving up) without extra communication.
+    double now = t;
+    while (now >= s.at && now < s.at + s.duration) {
+      if (r.retries >= plan_.max_retries) {
+        r.gave_up = true;
+        return r;
+      }
+      const double backoff =
+          plan_.retry_base * static_cast<double>(std::int64_t{1} << r.retries);
+      now += backoff;
+      r.delay += backoff;
+      ++r.retries;
+    }
+  }
+  return r;
+}
+
+// ---- FaultState -------------------------------------------------------------
+
+void FaultState::abort(int rank, const std::string& cause, bool device_death) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (cause_.empty()) cause_ = cause;
+  if (device_death) dead_ranks_.push_back(rank);
+  aborted_.store(true, std::memory_order_release);
+  // Wake while holding the registry lock: unregister_waker (taken by owner
+  // destructors) then cannot return while a wake is mid-call, so a waker
+  // never outlives its barrier/channel. Acyclic lock order: wakers only lock
+  // their own mutex and notify, and no path locks this registry while
+  // holding a waker's mutex (waiter predicates read only the atomic flag).
+  for (auto& [key, wake] : wakers_) wake();
+}
+
+std::string FaultState::cause() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cause_;
+}
+
+std::vector<int> FaultState::dead_ranks() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dead_ranks_;
+}
+
+void FaultState::register_waker(const void* key, std::function<void()> wake) {
+  std::lock_guard<std::mutex> lk(mu_);
+  wakers_.emplace_back(key, std::move(wake));
+}
+
+void FaultState::unregister_waker(const void* key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::erase_if(wakers_, [key](const auto& w) { return w.first == key; });
+}
+
+void FaultState::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  aborted_.store(false, std::memory_order_release);
+  cause_.clear();
+  dead_ranks_.clear();
+}
+
+}  // namespace ca::sim

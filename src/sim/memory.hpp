@@ -10,23 +10,38 @@ namespace ca::sim {
 /// Thrown when a tracked allocation exceeds device (or host) capacity. The
 /// paper's range tests (Figs 8 and 12) grow batch size / sequence length
 /// until "the out-of-memory problem occurs" — this exception is that event.
+/// what() names the pool and (for per-device pools) the rank, and states
+/// requested vs available bytes, so OOMs at scale are attributable without a
+/// debugger.
 class OomError : public std::runtime_error {
  public:
-  OomError(std::string who, std::int64_t requested, std::int64_t in_use,
-           std::int64_t capacity)
-      : std::runtime_error("OOM on " + who + ": requested " +
-                           std::to_string(requested) + " B with " +
-                           std::to_string(in_use) + "/" +
-                           std::to_string(capacity) + " B in use"),
+  OomError(std::string pool, int rank, std::int64_t requested,
+           std::int64_t in_use, std::int64_t capacity)
+      : std::runtime_error(
+            "OOM on pool '" + pool + "'" +
+            (rank >= 0 ? " (rank " + std::to_string(rank) + ")" : "") +
+            ": requested " + std::to_string(requested) + " B but only " +
+            std::to_string(capacity - in_use) + " B available (" +
+            std::to_string(in_use) + "/" + std::to_string(capacity) +
+            " B in use)"),
+        pool_(std::move(pool)),
+        rank_(rank),
         requested_(requested),
         in_use_(in_use),
         capacity_(capacity) {}
 
+  /// Pool name ("gpu3", "host", "nvme", ...).
+  [[nodiscard]] const std::string& pool() const { return pool_; }
+  /// Owning rank for per-device pools; -1 for shared pools (host, NVMe).
+  [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] std::int64_t requested() const { return requested_; }
   [[nodiscard]] std::int64_t in_use() const { return in_use_; }
   [[nodiscard]] std::int64_t capacity() const { return capacity_; }
+  [[nodiscard]] std::int64_t available() const { return capacity_ - in_use_; }
 
  private:
+  std::string pool_;
+  int rank_;
   std::int64_t requested_, in_use_, capacity_;
 };
 
@@ -35,14 +50,16 @@ class OomError : public std::runtime_error {
 /// experiments read `peak()` where the paper reads max allocated CUDA memory.
 class MemoryTracker {
  public:
-  /// `capacity <= 0` means unlimited (no OOM enforcement).
-  explicit MemoryTracker(std::string name = "mem", std::int64_t capacity = 0)
-      : name_(std::move(name)), capacity_(capacity) {}
+  /// `capacity <= 0` means unlimited (no OOM enforcement). `rank` labels
+  /// per-device pools in OomError; leave -1 for shared pools.
+  explicit MemoryTracker(std::string name = "mem", std::int64_t capacity = 0,
+                         int rank = -1)
+      : name_(std::move(name)), capacity_(capacity), rank_(rank) {}
 
   /// Record an allocation; throws OomError if it would exceed capacity.
   void alloc(std::int64_t bytes) {
     if (capacity_ > 0 && current_ + bytes > capacity_) {
-      throw OomError(name_, bytes, current_, capacity_);
+      throw OomError(name_, rank_, bytes, current_, capacity_);
     }
     current_ += bytes;
     peak_ = std::max(peak_, current_);
@@ -80,6 +97,7 @@ class MemoryTracker {
  private:
   std::string name_;
   std::int64_t capacity_;
+  int rank_ = -1;
   std::int64_t current_ = 0;
   std::int64_t peak_ = 0;
   SampleHook sample_hook_;

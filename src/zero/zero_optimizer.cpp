@@ -4,6 +4,10 @@
 #include <cassert>
 #include <cmath>
 #include <deque>
+#include <istream>
+#include <ostream>
+
+#include "core/serialize.hpp"
 
 namespace ca::zero {
 
@@ -187,6 +191,76 @@ void ZeroOptimizer::step() {
   while (!gathers.empty()) {
     retire_gather(gathers.front());
     gathers.pop_front();
+  }
+}
+
+void ZeroOptimizer::save_state(std::ostream& os) {
+  const int world = group_.size();
+  core::write_i64(os, t_);
+  core::write_i64(os, static_cast<std::int64_t>(shards_.size()));
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ParamShard& s = shards_[i];
+    const std::int64_t full =
+        stage_ == 3 ? s.sharded->full_numel() : params_[i]->numel();
+    t::Tensor wire(t::Shape{s.padded * world});
+    for (t::Tensor* part : {&s.master, &s.m, &s.v}) {
+      group_.all_gather(env_.grank, part->data(), wire.data());
+      core::write_i64(os, full);
+      core::write_f32s(os, wire.data().data(), full);
+    }
+  }
+}
+
+void ZeroOptimizer::load_state(std::istream& is) {
+  const int idx = group_.index_of(env_.grank);
+  t_ = core::read_i64(is);
+  if (core::read_i64(is) != static_cast<std::int64_t>(shards_.size())) {
+    throw std::runtime_error("zero state: parameter count mismatch");
+  }
+  std::vector<float> full;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ParamShard& s = shards_[i];
+    const std::int64_t expect =
+        stage_ == 3 ? s.sharded->full_numel() : params_[i]->numel();
+    for (t::Tensor* part : {&s.master, &s.m, &s.v}) {
+      const std::int64_t n = core::read_i64(is);
+      if (n != expect) {
+        throw std::runtime_error("zero state: tensor size mismatch");
+      }
+      full.assign(static_cast<std::size_t>(n), 0.0f);
+      core::read_f32s(is, full.data(), n);
+      // Slice by THIS group's layout — `padded` was computed from the
+      // current world size, so a checkpoint written at another DP width
+      // re-shards here.
+      const std::int64_t begin = idx * s.padded;
+      const std::int64_t end = std::min(n, begin + s.padded);
+      auto dst = part->data();
+      std::fill(dst.begin(), dst.end(), 0.0f);
+      for (std::int64_t e = begin; e < end; ++e) {
+        dst[static_cast<std::size_t>(e - begin)] =
+            full[static_cast<std::size_t>(e)];
+      }
+    }
+    if (stage_ == 3) {
+      // The sharded storage serves the next gather_params(); keep it in
+      // sync with the restored master shard.
+      auto dst = s.sharded->shard().data();
+      auto src = s.master.data();
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  if (stage_ != 3) {
+    // Stages 1-2 keep full parameter values in the module; the next forward
+    // runs before any step would re-gather them, so refresh here.
+    const int world = group_.size();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      ParamShard& s = shards_[i];
+      t::Tensor wire(t::Shape{s.padded * world});
+      group_.all_gather(env_.grank, s.master.data(), wire.data());
+      auto src = wire.data();
+      auto dst = params_[i]->value.data();
+      std::copy(src.begin(), src.begin() + params_[i]->numel(), dst.begin());
+    }
   }
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 
 #include "collective/group.hpp"
@@ -42,6 +43,18 @@ class ZeroOptimizer {
   }
 
   [[nodiscard]] int stage() const { return stage_; }
+  [[nodiscard]] std::int64_t steps_taken() const { return t_; }
+
+  /// Serialize full (unsharded) state: every member all-gathers the
+  /// master/m/v shards and writes the same world-size-agnostic bytes, so a
+  /// checkpoint taken at one DP width restores at another. SPMD — every
+  /// group member must call (only one stream need go to a real file).
+  void save_state(std::ostream& os);
+  /// Restore from full-form state, slicing each tensor by THIS group's
+  /// shard layout (the shrunk-cluster re-sharding path). SPMD — all ranks
+  /// read the same bytes, and stages 1-2 re-gather the restored parameter
+  /// values into the module.
+  void load_state(std::istream& is);
 
   /// Per-rank model-data bytes (fp32 params/grads/moments with the stage's
   /// sharding) — the redundancy-elimination effect ZeRO exists for.

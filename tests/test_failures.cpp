@@ -1,13 +1,26 @@
 // Failure injection: out-of-memory behaviour (the mechanism behind every
 // "increase until OOM" range test in the paper), error propagation out of the
-// SPMD region, and edge-case schedules.
+// SPMD region, edge-case schedules, and the fault matrix — fail-stop /
+// straggler / link-degrade / NaN / transient faults against the watchdog,
+// the numeric guard, and checkpoint/restore.
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdlib>
+#include <optional>
+
+#include "collective/p2p.hpp"
+#include "core/launch.hpp"
+#include "data/synthetic.hpp"
+#include "engine/checkpoint.hpp"
+#include "engine/zero_engine.hpp"
+#include "nn/checkpoint.hpp"
 #include "nn/layers.hpp"
 #include "pp/pipeline.hpp"
 #include "tp/linear1d.hpp"
 #include "zero/chunk.hpp"
+#include "zero/hybrid_adam.hpp"
 
 namespace t = ca::tensor;
 namespace nn = ca::nn;
@@ -16,6 +29,11 @@ namespace sim = ca::sim;
 namespace col = ca::collective;
 namespace tp = ca::tp;
 namespace pp = ca::pp;
+namespace data = ca::data;
+namespace engine = ca::engine;
+namespace optim = ca::optim;
+namespace zero = ca::zero;
+namespace obs = ca::obs;
 
 namespace {
 
@@ -24,6 +42,29 @@ sim::Topology tiny_gpus(int n, std::int64_t capacity_bytes) {
   sim::GpuModel gpu{"tiny", capacity_bytes, 1e12, 1e12};
   return sim::Topology::uniform(n, 100e9, gpu);
 }
+
+struct World {
+  explicit World(core::Config cfg, double bw = 100e9)
+      : cluster(sim::Topology::uniform(cfg.world_size(), bw)),
+        backend(cluster),
+        ctx(backend, cfg) {}
+  tp::Env env(int g) { return tp::Env{&ctx, g}; }
+
+  sim::Cluster cluster;
+  col::Backend backend;
+  core::ParallelContext ctx;
+};
+
+/// Scoped environment variable (restores by unsetting on destruction).
+struct EnvGuard {
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~EnvGuard() { ::unsetenv(name_); }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+  const char* name_;
+};
 
 }  // namespace
 
@@ -150,4 +191,838 @@ TEST(FailureInjection, ScopedAllocReleasesOnException) {
   } catch (const std::runtime_error&) {
   }
   EXPECT_EQ(mem.current(), 0);  // RAII released despite the unwind
+}
+
+// ======================= fault matrix ==========================================
+// Injected faults against the collective watchdog, the numeric guard, and
+// checkpoint/restore (DESIGN.md section 7).
+
+TEST(FaultMatrix, FailStopBlockingCollectiveSurvivorsTimeout) {
+  // Rank 2 dies mid-run; the three survivors blocked at the next rendezvous
+  // must each raise a structured CommTimeoutError — not hang — and the region
+  // rethrows the root cause (the DeviceFailure, not a survivor's timeout).
+  sim::Cluster cluster(sim::Topology::uniform(4, 100e9));
+  sim::FaultPlan plan;
+  plan.fail_stop_at(2, 0.35);
+  plan.watchdog = 0.5;
+  cluster.install_faults(plan);
+  col::Backend backend(cluster);
+  auto& world = backend.world();
+
+  std::array<std::optional<sim::CommTimeoutError>, 4> survivor;
+  try {
+    cluster.run([&](int g) {
+      std::vector<float> buf(256, 1.0f);
+      for (;;) {
+        cluster.device(g).advance_clock(0.2);
+        try {
+          world.all_reduce(g, buf);
+        } catch (const sim::CommTimeoutError& e) {
+          survivor[static_cast<std::size_t>(g)] = e;
+          return;  // survivor handled the failure; only rank 2's error escapes
+        }
+      }
+    });
+    FAIL() << "expected the dead rank's DeviceFailure to propagate";
+  } catch (const sim::DeviceFailure& e) {
+    EXPECT_EQ(e.rank(), 2);
+  }
+  for (int g : {0, 1, 3}) {
+    const auto& e = survivor[static_cast<std::size_t>(g)];
+    ASSERT_TRUE(e.has_value()) << "rank " << g << " saw no timeout";
+    EXPECT_EQ(e->rank(), g);
+    EXPECT_EQ(e->group(), "world");
+    EXPECT_EQ(e->op(), "all_reduce");
+    EXPECT_EQ(e->bytes(), 256 * 4);
+    EXPECT_DOUBLE_EQ(e->elapsed(), 0.5);  // exactly the watchdog budget
+    EXPECT_NE(std::string(e->what()).find("fail-stop fault on rank 2"),
+              std::string::npos);
+  }
+  EXPECT_FALSE(survivor[2].has_value());
+  EXPECT_EQ(cluster.fault_state().dead_ranks(), std::vector<int>{2});
+}
+
+TEST(FaultMatrix, FailStopAsyncCollectiveSurvivorsTimeout) {
+  // Same fail-stop, but the survivors are inside wait() on deferred async
+  // ops when the peer dies: the drain's rendezvous must abort too.
+  sim::Cluster cluster(sim::Topology::uniform(4, 100e9));
+  sim::FaultPlan plan;
+  plan.fail_stop_at(3, 0.1);
+  cluster.install_faults(plan);
+  col::Backend backend(cluster);
+  auto& world = backend.world();
+
+  std::array<std::optional<sim::CommTimeoutError>, 4> survivor;
+  try {
+    cluster.run([&](int g) {
+      std::vector<float> a(128, 1.0f), b(128, 2.0f);
+      auto h1 = world.all_reduce_async(g, a);
+      auto h2 = world.all_reduce_async(g, b);
+      cluster.device(g).advance_clock(0.2);  // everyone is past the fail point
+      try {
+        h1.wait();
+        h2.wait();
+      } catch (const sim::CommTimeoutError& e) {
+        survivor[static_cast<std::size_t>(g)] = e;
+      }
+    });
+    FAIL() << "expected the dead rank's DeviceFailure to propagate";
+  } catch (const sim::DeviceFailure& e) {
+    EXPECT_EQ(e.rank(), 3);
+  }
+  for (int g : {0, 1, 2}) {
+    const auto& e = survivor[static_cast<std::size_t>(g)];
+    ASSERT_TRUE(e.has_value()) << "rank " << g << " saw no timeout";
+    EXPECT_EQ(e->op(), "all_reduce");
+    EXPECT_EQ(e->bytes(), 128 * 4);
+  }
+}
+
+TEST(FaultMatrix, FailStopDuringTrainingStepReportsRootCause) {
+  // Step-triggered death inside the DP engine (bucketed grad sync): the
+  // survivor unwinds out of Engine::step with CommTimeoutError, the region
+  // reports the DeviceFailure with its rank and step.
+  core::Config cfg;
+  cfg.data_parallel_size = 2;
+  World w(cfg);
+  sim::FaultPlan plan;
+  plan.fail_stop(1, 2);
+  w.cluster.install_faults(plan);
+  data::SyntheticClassification ds(256, 6, 3, 91);
+
+  std::optional<sim::CommTimeoutError> survivor;
+  std::int64_t survivor_steps = -1;
+  try {
+    w.cluster.run([&](int g) {
+      nn::Sequential net;
+      net.add(std::make_unique<nn::Linear>("m", 6, 3, 92));
+      auto eng = engine::initialize(
+          w.env(g), net,
+          std::make_unique<optim::Adam>(net.parameters(),
+                                        optim::Adam::Hyper{0.01f}));
+      data::DataLoader loader(ds, 8, g, 2);
+      try {
+        for (int s = 0; s < 4; ++s) {
+          auto batch = loader.next(s);
+          eng->zero_grad();
+          auto out = eng->forward(batch.x);
+          eng->criterion(out, batch.labels);
+          eng->backward();
+          eng->step();
+        }
+      } catch (const sim::CommTimeoutError& e) {
+        survivor = e;
+        survivor_steps = eng->steps_taken();
+        return;
+      }
+    });
+    FAIL() << "expected DeviceFailure";
+  } catch (const sim::DeviceFailure& e) {
+    EXPECT_EQ(e.rank(), 1);
+    EXPECT_EQ(e.step(), 2);
+  }
+  ASSERT_TRUE(survivor.has_value());
+  EXPECT_EQ(survivor->rank(), 0);
+  EXPECT_EQ(survivor->op(), "all_reduce");
+  EXPECT_EQ(survivor_steps, 3);  // two full steps + the aborted third
+}
+
+TEST(FaultMatrix, P2pRendezvousWithDeadPeerTimesOut) {
+  // A blocked p2p endpoint whose peer died must unwind with CommTimeoutError
+  // (group "p2p", op send/recv), both for a pending recv and a sync send.
+  {
+    sim::Cluster cluster(sim::Topology::uniform(2, 100e9));
+    cluster.fault_state().set_watchdog(0.25);
+    col::Backend backend(cluster);
+    std::optional<sim::CommTimeoutError> err;
+    try {
+      cluster.run([&](int g) {
+        if (g == 1) throw std::runtime_error("rank 1 crashed");
+        std::vector<float> buf(64);
+        try {
+          backend.channel(1, 0).recv(buf);  // sender is dead: never arrives
+        } catch (const sim::CommTimeoutError& e) {
+          err = e;
+        }
+      });
+      FAIL() << "expected the crash to propagate";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "rank 1 crashed");
+    }
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->rank(), 0);
+    EXPECT_EQ(err->group(), "p2p");
+    EXPECT_EQ(err->op(), "recv");
+    EXPECT_DOUBLE_EQ(err->elapsed(), 0.25);
+  }
+  {
+    sim::Cluster cluster(sim::Topology::uniform(2, 100e9));
+    col::Backend backend(cluster);
+    std::optional<sim::CommTimeoutError> err;
+    try {
+      cluster.run([&](int g) {
+        if (g == 1) throw std::runtime_error("rank 1 crashed");
+        std::vector<float> buf(64, 1.0f);
+        try {
+          backend.channel(0, 1).send(buf);  // receiver is dead: never consumed
+        } catch (const sim::CommTimeoutError& e) {
+          err = e;
+        }
+      });
+      FAIL() << "expected the crash to propagate";
+    } catch (const std::runtime_error&) {
+    }
+    ASSERT_TRUE(err.has_value());
+    EXPECT_EQ(err->op(), "send");
+  }
+}
+
+TEST(FaultMatrix, StragglerSlowsClockButKeepsLossesBitIdentical) {
+  // A transient compute straggler is a performance fault, not a correctness
+  // fault: the trained losses stay bit-identical, only sim-time stretches.
+  auto run_training = [](double factor) {
+    sim::Cluster cluster(sim::Topology::uniform(2, 100e9));
+    if (factor > 1.0) {
+      sim::FaultPlan plan;
+      plan.straggler(1, 0.0, 1e9, factor);
+      cluster.install_faults(plan);
+    }
+    col::Backend backend(cluster);
+    core::Config cfg;
+    cfg.data_parallel_size = 2;
+    core::ParallelContext ctx(backend, cfg);
+    data::SyntheticClassification ds(256, 6, 3, 101);
+    std::vector<std::vector<float>> losses(2);
+    cluster.run([&](int g) {
+      tp::Env env{&ctx, g};
+      nn::Sequential net;
+      net.add(std::make_unique<nn::Linear>("m", 6, 3, 102));
+      auto eng = engine::initialize(
+          env, net, std::make_unique<optim::Sgd>(net.parameters(), 0.1f));
+      data::DataLoader loader(ds, 8, g, 2);
+      for (int s = 0; s < 4; ++s) {
+        env.dev().compute_fp32(1e9, "step");  // the compute the fault stretches
+        auto batch = loader.next(s);
+        eng->zero_grad();
+        auto out = eng->forward(batch.x);
+        losses[static_cast<std::size_t>(g)].push_back(
+            eng->criterion(out, batch.labels));
+        eng->backward();
+        eng->step();
+      }
+    });
+    return std::pair{losses, cluster.max_clock()};
+  };
+  const auto base = run_training(1.0);
+  const auto slow = run_training(4.0);
+  for (int g = 0; g < 2; ++g) {
+    ASSERT_EQ(base.first[static_cast<std::size_t>(g)].size(),
+              slow.first[static_cast<std::size_t>(g)].size());
+    for (std::size_t s = 0; s < base.first[0].size(); ++s) {
+      ASSERT_EQ(base.first[static_cast<std::size_t>(g)][s],
+                slow.first[static_cast<std::size_t>(g)][s])
+          << "rank " << g << " step " << s;
+    }
+  }
+  EXPECT_GT(slow.second, base.second);  // straggling shows up only in time
+}
+
+TEST(FaultMatrix, LinkDegradeStretchesCommButPreservesData) {
+  auto run_all_reduce = [](bool degrade) {
+    sim::Cluster cluster(sim::Topology::uniform(2, 100e9));
+    if (degrade) {
+      sim::FaultPlan plan;
+      plan.degrade_links(0.0, 1e9, 8.0);
+      cluster.install_faults(plan);
+    }
+    col::Backend backend(cluster);
+    cluster.run([&](int g) {
+      std::vector<float> buf(1 << 16, static_cast<float>(g + 1));
+      backend.world().all_reduce(g, buf);
+      EXPECT_EQ(buf[0], 3.0f);  // 1 + 2, unaffected by the slow fabric
+    });
+    return cluster.max_clock();
+  };
+  const double fast = run_all_reduce(false);
+  const double slow = run_all_reduce(true);
+  EXPECT_GT(slow, fast);
+}
+
+TEST(FaultMatrix, TransientCommRetriesThenSucceeds) {
+  // Collectives starting inside the transient window back off exponentially
+  // (0.25, then 0.5) until the attempt lands outside it; the data is intact
+  // and the backoff shows up on the fault lane of the trace.
+  sim::Cluster cluster(sim::Topology::uniform(2, 100e9));
+  sim::FaultPlan plan;
+  plan.transient_comm(0.0, 0.4);  // retry_base 0.25: succeeds on attempt 3
+  cluster.install_faults(plan);
+  cluster.enable_tracing();
+  col::Backend backend(cluster);
+  cluster.run([&](int g) {
+    std::vector<float> buf(256, static_cast<float>(g + 1));
+    backend.world().all_reduce(g, buf);
+    EXPECT_EQ(buf[0], 3.0f);
+  });
+  EXPECT_GE(cluster.max_clock(), 0.75);  // 0.25 + 0.5 of backoff charged
+  bool saw_retry_span = false;
+  for (const auto& e : cluster.tracer()->rank(0).events()) {
+    if (e.cat == obs::Category::kFault &&
+        e.name.find(".retry") != std::string::npos) {
+      saw_retry_span = true;
+    }
+  }
+  EXPECT_TRUE(saw_retry_span);
+}
+
+TEST(FaultMatrix, TransientCommGivesUpSymmetrically) {
+  // A fabric fault outlasting the retry budget promotes to CommTimeoutError
+  // on EVERY member (same verdict from the symmetric start time) — nobody
+  // hangs, and no rank is recorded as dead.
+  sim::Cluster cluster(sim::Topology::uniform(2, 100e9));
+  sim::FaultPlan plan;
+  plan.transient_comm(0.0, 100.0);
+  plan.max_retries = 3;
+  cluster.install_faults(plan);
+  col::Backend backend(cluster);
+  try {
+    cluster.run([&](int g) {
+      std::vector<float> buf(64, 1.0f);
+      backend.world().all_reduce(g, buf);
+    });
+    FAIL() << "expected CommTimeoutError";
+  } catch (const sim::CommTimeoutError& e) {
+    EXPECT_EQ(e.op(), "all_reduce");
+    EXPECT_NE(std::string(e.what()).find("transient"), std::string::npos);
+  }
+  EXPECT_TRUE(cluster.fault_state().dead_ranks().empty());
+}
+
+TEST(FaultMatrix, NanSkipMatchesManualSkipTrajectory) {
+  // NaN injection on ONE rank's gradients must skip the optimizer update on
+  // EVERY rank (consensus), leaving a trajectory bit-identical to a run that
+  // deliberately skips the same step.
+  const int steps = 5;
+  auto run_training = [&](bool inject) {
+    sim::Cluster cluster(sim::Topology::uniform(2, 100e9));
+    if (inject) {
+      sim::FaultPlan plan;
+      plan.corrupt_grads(1, 2);
+      cluster.install_faults(plan);
+    }
+    col::Backend backend(cluster);
+    core::Config cfg;
+    cfg.data_parallel_size = 2;
+    core::ParallelContext ctx(backend, cfg);
+    data::SyntheticClassification ds(256, 6, 3, 111);
+    std::vector<std::vector<float>> losses(2);
+    std::vector<t::Tensor> weights(2);
+    std::array<std::int64_t, 2> skipped{};
+    cluster.run([&](int g) {
+      nn::Sequential net;
+      net.add(std::make_unique<nn::Linear>("m", 6, 3, 112));
+      engine::Engine::Options opts;
+      opts.grad_sync = engine::Engine::Options::GradSync::kSerial;
+      auto eng = engine::initialize(
+          tp::Env{&ctx, g}, net,
+          std::make_unique<optim::Adam>(net.parameters(),
+                                        optim::Adam::Hyper{0.01f}),
+          opts);
+      data::DataLoader loader(ds, 8, g, 2);
+      for (int s = 0; s < steps; ++s) {
+        auto batch = loader.next(s);
+        eng->zero_grad();
+        auto out = eng->forward(batch.x);
+        losses[static_cast<std::size_t>(g)].push_back(
+            eng->criterion(out, batch.labels));
+        eng->backward();
+        if (!inject && s == 2) continue;  // the reference skips by hand
+        eng->step();
+      }
+      skipped[static_cast<std::size_t>(g)] = eng->skipped_steps();
+      weights[static_cast<std::size_t>(g)] = net.parameters()[0]->value.clone();
+    });
+    return std::tuple{losses, weights, skipped};
+  };
+  const auto [ref_losses, ref_w, ref_skipped] = run_training(false);
+  const auto [inj_losses, inj_w, inj_skipped] = run_training(true);
+
+  EXPECT_EQ(ref_skipped, (std::array<std::int64_t, 2>{0, 0}));
+  // the guard skipped on BOTH ranks although only rank 1 was corrupted
+  EXPECT_EQ(inj_skipped, (std::array<std::int64_t, 2>{1, 1}));
+  for (int g = 0; g < 2; ++g) {
+    for (int s = 0; s < steps; ++s) {
+      ASSERT_EQ(ref_losses[static_cast<std::size_t>(g)][static_cast<std::size_t>(s)],
+                inj_losses[static_cast<std::size_t>(g)][static_cast<std::size_t>(s)])
+          << "rank " << g << " step " << s;
+    }
+    EXPECT_EQ(t::max_diff(ref_w[static_cast<std::size_t>(g)],
+                          inj_w[static_cast<std::size_t>(g)]),
+              0.0f);
+  }
+  EXPECT_EQ(t::max_diff(inj_w[0], inj_w[1]), 0.0f);  // replicas never diverged
+}
+
+TEST(FaultMatrix, ZeroNanSkipIsSymmetricAcrossRanks) {
+  // Same contract under ZeRO, where the guard must fire BEFORE the grad
+  // reduce (a NaN entering the reduce would poison every rank's shard).
+  const int steps = 3;
+  // serial Adam reference that skips step 1 by hand
+  data::SyntheticClassification ds(512, 6, 3, 61);
+  nn::Linear ref_model("m", 6, 3, 62);
+  optim::Adam ref_opt(ref_model.parameters(), {});
+  for (int s = 0; s < steps; ++s) {
+    auto x = ds.batch_features(s * 8, 8);
+    auto y = ds.batch_labels(s * 8, 8);
+    ref_opt.zero_grad();
+    auto out = ref_model.forward(x);
+    t::Tensor dl;
+    t::cross_entropy(out, y, dl);
+    ref_model.backward(dl);
+    if (s != 1) ref_opt.step();
+  }
+
+  core::Config cfg;
+  cfg.data_parallel_size = 2;
+  World w(cfg);
+  sim::FaultPlan plan;
+  plan.corrupt_grads(0, 1);
+  w.cluster.install_faults(plan);
+  std::vector<t::Tensor> weights(2);
+  std::array<std::int64_t, 2> skipped{};
+  w.cluster.run([&](int g) {
+    nn::Linear model("m", 6, 3, 62);
+    engine::ZeroEngine eng(w.env(g), model, {}, /*stage=*/2);
+    for (int s = 0; s < steps; ++s) {
+      auto x = ds.batch_features(s * 8, 8);
+      auto y = ds.batch_labels(s * 8, 8);
+      eng.zero_grad();
+      auto out = eng.forward(x);
+      eng.criterion(out, y);
+      eng.backward();
+      eng.step();
+    }
+    skipped[static_cast<std::size_t>(g)] = eng.skipped_steps();
+    eng.optimizer().gather_params();
+    weights[static_cast<std::size_t>(g)] = model.weight().value.clone();
+  });
+  EXPECT_EQ(skipped, (std::array<std::int64_t, 2>{1, 1}));
+  EXPECT_TRUE(t::allclose(weights[0], ref_model.weight().value, 1e-5f));
+  EXPECT_EQ(t::max_diff(weights[0], weights[1]), 0.0f);
+}
+
+TEST(FaultMatrix, CheckpointKillRestoreBitIdenticalAdam) {
+  // Train 6 steps uninterrupted; train 4 steps with a periodic checkpoint and
+  // "kill" the job; restore into a fresh world and finish. The surviving
+  // steps must see exactly the batches — and produce exactly the losses and
+  // weights — of the uninterrupted run.
+  const std::string path = ::testing::TempDir() + "ca_ckpt_adam.bin";
+  core::Config cfg;
+  cfg.data_parallel_size = 2;
+  data::SyntheticClassification ds(512, 6, 3, 121);
+
+  std::vector<float> ref_losses;
+  t::Tensor ref_w;
+  {
+    World w(cfg);
+    w.cluster.run([&](int g) {
+      nn::Sequential net;
+      net.add(std::make_unique<nn::Linear>("m", 6, 3, 122));
+      auto eng = engine::initialize(
+          w.env(g), net,
+          std::make_unique<optim::Adam>(net.parameters(),
+                                        optim::Adam::Hyper{0.01f}));
+      engine::Trainer trainer(*eng);
+      auto& hist =
+          trainer.register_hook(std::make_unique<engine::LossHistoryHook>());
+      data::DataLoader loader(ds, 8, g, 2);
+      trainer.fit(loader, 1, 6);
+      if (g == 0) {
+        ref_losses = hist.losses();
+        ref_w = net.parameters()[0]->value.clone();
+      }
+    });
+  }
+  {
+    World w(cfg);  // the doomed run: checkpoint every 2 steps, die after 4
+    w.cluster.run([&](int g) {
+      nn::Sequential net;
+      net.add(std::make_unique<nn::Linear>("m", 6, 3, 122));
+      auto eng = engine::initialize(
+          w.env(g), net,
+          std::make_unique<optim::Adam>(net.parameters(),
+                                        optim::Adam::Hyper{0.01f}));
+      engine::Trainer trainer(*eng);
+      auto& ck = trainer.register_hook(std::make_unique<engine::CheckpointHook>(
+          w.env(g), net, eng->optimizer(), path, 2));
+      data::DataLoader loader(ds, 8, g, 2);
+      trainer.fit(loader, 1, 4);
+      EXPECT_EQ(ck.saves(), 2);  // after steps 2 and 4
+    });
+    EXPECT_EQ(engine::checkpoint_step(path), 4);
+  }
+  {
+    World w(cfg);  // recovery: restore and run the remaining schedule
+    std::vector<float> res_losses;
+    t::Tensor res_w;
+    w.cluster.run([&](int g) {
+      nn::Sequential net;
+      net.add(std::make_unique<nn::Linear>("m", 6, 3, 122));
+      auto eng = engine::initialize(
+          w.env(g), net,
+          std::make_unique<optim::Adam>(net.parameters(),
+                                        optim::Adam::Hyper{0.01f}));
+      const std::int64_t step =
+          engine::load_checkpoint(w.env(g), net, eng->optimizer(), path);
+      EXPECT_EQ(step, 4);
+      eng->set_step_count(step);
+      engine::Trainer trainer(*eng);
+      auto& hist =
+          trainer.register_hook(std::make_unique<engine::LossHistoryHook>());
+      data::DataLoader loader(ds, 8, g, 2);
+      trainer.fit(loader, 1, 6, /*start_step=*/static_cast<int>(step));
+      if (g == 0) {
+        res_losses = hist.losses();
+        res_w = net.parameters()[0]->value.clone();
+      }
+    });
+    ASSERT_EQ(ref_losses.size(), 6u);
+    ASSERT_EQ(res_losses.size(), 2u);
+    ASSERT_EQ(res_losses[0], ref_losses[4]);  // bit-identical resume
+    ASSERT_EQ(res_losses[1], ref_losses[5]);
+    EXPECT_EQ(t::max_diff(res_w, ref_w), 0.0f);
+  }
+}
+
+TEST(FaultMatrix, CheckpointRestoreHybridAdam) {
+  // HybridAdam keeps its moments on the CPU pool; its serialized state must
+  // restore bit-identically all the same.
+  const std::string path = ::testing::TempDir() + "ca_ckpt_hybrid.bin";
+  core::Config cfg;  // single rank
+  data::SyntheticClassification ds(256, 6, 3, 131);
+
+  std::vector<float> ref_losses;
+  t::Tensor ref_w;
+  {
+    World w(cfg);
+    w.cluster.run([&](int g) {
+      (void)g;
+      nn::Sequential net;
+      net.add(std::make_unique<nn::Linear>("m", 6, 3, 132));
+      auto eng = engine::initialize(
+          w.env(0), net,
+          std::make_unique<zero::HybridAdam>(w.env(0), net.parameters(),
+                                             optim::Adam::Hyper{0.01f}));
+      for (int s = 0; s < 4; ++s) {
+        auto x = ds.batch_features(s * 8, 8);
+        auto y = ds.batch_labels(s * 8, 8);
+        eng->zero_grad();
+        auto out = eng->forward(x);
+        ref_losses.push_back(eng->criterion(out, y));
+        eng->backward();
+        eng->step();
+        if (s == 1) {
+          engine::save_checkpoint(w.env(0), net, eng->optimizer(), 2, path);
+        }
+      }
+      ref_w = net.parameters()[0]->value.clone();
+    });
+  }
+  {
+    World w(cfg);
+    w.cluster.run([&](int g) {
+      (void)g;
+      nn::Sequential net;
+      net.add(std::make_unique<nn::Linear>("m", 6, 3, 132));
+      auto eng = engine::initialize(
+          w.env(0), net,
+          std::make_unique<zero::HybridAdam>(w.env(0), net.parameters(),
+                                             optim::Adam::Hyper{0.01f}));
+      const std::int64_t step =
+          engine::load_checkpoint(w.env(0), net, eng->optimizer(), path);
+      ASSERT_EQ(step, 2);
+      eng->set_step_count(step);
+      for (int s = 2; s < 4; ++s) {
+        auto x = ds.batch_features(s * 8, 8);
+        auto y = ds.batch_labels(s * 8, 8);
+        eng->zero_grad();
+        auto out = eng->forward(x);
+        ASSERT_EQ(eng->criterion(out, y),
+                  ref_losses[static_cast<std::size_t>(s)]);
+        eng->backward();
+        eng->step();
+      }
+      EXPECT_EQ(t::max_diff(net.parameters()[0]->value, ref_w), 0.0f);
+    });
+  }
+}
+
+TEST(FaultMatrix, ZeroCheckpointRestoreBitIdenticalStage3) {
+  // ZeRO stage 3: parameter values live only in the shards / the optimizer's
+  // gathered masters. Save mid-run, restore into a fresh world, finish —
+  // losses and final weights bit-identical to the uninterrupted run.
+  const std::string path = ::testing::TempDir() + "ca_ckpt_zero3.bin";
+  core::Config cfg;
+  cfg.data_parallel_size = 2;
+  data::SyntheticClassification ds(512, 6, 3, 61);
+
+  std::vector<float> tail_losses;  // losses after the save point (rank 0)
+  t::Tensor ref_w;
+  {
+    World w(cfg);
+    w.cluster.run([&](int g) {
+      nn::Linear model("m", 6, 3, 62);
+      engine::ZeroEngine eng(w.env(g), model, {}, /*stage=*/3);
+      for (int s = 0; s < 4; ++s) {
+        auto x = ds.batch_features(s * 8, 8);
+        auto y = ds.batch_labels(s * 8, 8);
+        eng.zero_grad();
+        auto out = eng.forward(x);
+        const float loss = eng.criterion(out, y);
+        eng.backward();
+        eng.step();
+        if (s == 1) {
+          engine::save_checkpoint(w.env(g), model, eng.optimizer(),
+                                  eng.steps_taken(), path);
+        }
+        if (s >= 2 && g == 0) tail_losses.push_back(loss);
+      }
+      eng.optimizer().gather_params();
+      if (g == 0) ref_w = model.weight().value.clone();
+    });
+  }
+  {
+    World w(cfg);
+    w.cluster.run([&](int g) {
+      nn::Linear model("m", 6, 3, 62);
+      engine::ZeroEngine eng(w.env(g), model, {}, /*stage=*/3);
+      const std::int64_t step =
+          engine::load_checkpoint(w.env(g), model, eng.optimizer(), path);
+      ASSERT_EQ(step, 2);
+      ASSERT_EQ(eng.optimizer().steps_taken(), 2);  // Adam t restored
+      eng.set_step_count(step);
+      for (int s = 2; s < 4; ++s) {
+        auto x = ds.batch_features(s * 8, 8);
+        auto y = ds.batch_labels(s * 8, 8);
+        eng.zero_grad();
+        auto out = eng.forward(x);
+        const float loss = eng.criterion(out, y);
+        eng.backward();
+        eng.step();
+        if (g == 0) {
+          ASSERT_EQ(loss, tail_losses[static_cast<std::size_t>(s - 2)]);
+        }
+      }
+      eng.optimizer().gather_params();
+      if (g == 0) {
+        EXPECT_EQ(t::max_diff(model.weight().value, ref_w), 0.0f);
+      }
+    });
+  }
+}
+
+TEST(FaultMatrix, ZeroCheckpointReshardsOnShrunkWorld) {
+  // Checkpoints are world-size-agnostic: written from 4 DP ranks, restored
+  // onto the 2 survivors. The new ZeroOptimizer re-slices the full-form
+  // state by its own layout, and training continues on the serial-Adam
+  // trajectory.
+  const std::string path = ::testing::TempDir() + "ca_ckpt_zero_shrunk.bin";
+  data::SyntheticClassification ds(512, 6, 3, 61);
+  // serial Adam reference, 4 uninterrupted steps
+  nn::Linear ref_model("m", 6, 3, 62);
+  optim::Adam ref_opt(ref_model.parameters(), {});
+  for (int s = 0; s < 4; ++s) {
+    auto x = ds.batch_features(s * 8, 8);
+    auto y = ds.batch_labels(s * 8, 8);
+    ref_opt.zero_grad();
+    auto out = ref_model.forward(x);
+    t::Tensor dl;
+    t::cross_entropy(out, y, dl);
+    ref_model.backward(dl);
+    ref_opt.step();
+  }
+  {
+    core::Config cfg;
+    cfg.data_parallel_size = 4;  // the original cluster
+    World w(cfg);
+    w.cluster.run([&](int g) {
+      nn::Linear model("m", 6, 3, 62);
+      engine::ZeroEngine eng(w.env(g), model, {}, /*stage=*/2);
+      for (int s = 0; s < 2; ++s) {
+        auto x = ds.batch_features(s * 8, 8);
+        auto y = ds.batch_labels(s * 8, 8);
+        eng.zero_grad();
+        auto out = eng.forward(x);
+        eng.criterion(out, y);
+        eng.backward();
+        eng.step();
+      }
+      engine::save_checkpoint(w.env(g), model, eng.optimizer(),
+                              eng.steps_taken(), path);
+    });
+  }
+  {
+    core::Config cfg;
+    cfg.data_parallel_size = 2;  // one device lost; rebuild smaller
+    World w(cfg);
+    std::vector<t::Tensor> weights(2);
+    w.cluster.run([&](int g) {
+      nn::Linear model("m", 6, 3, 62);
+      engine::ZeroEngine eng(w.env(g), model, {}, /*stage=*/2);
+      const std::int64_t step =
+          engine::load_checkpoint(w.env(g), model, eng.optimizer(), path);
+      ASSERT_EQ(step, 2);
+      eng.set_step_count(step);
+      for (int s = 2; s < 4; ++s) {
+        auto x = ds.batch_features(s * 8, 8);
+        auto y = ds.batch_labels(s * 8, 8);
+        eng.zero_grad();
+        auto out = eng.forward(x);
+        eng.criterion(out, y);
+        eng.backward();
+        eng.step();
+      }
+      eng.optimizer().gather_params();
+      weights[static_cast<std::size_t>(g)] = model.weight().value.clone();
+    });
+    EXPECT_TRUE(t::allclose(weights[0], ref_model.weight().value, 1e-4f));
+    EXPECT_EQ(t::max_diff(weights[0], weights[1]), 0.0f);
+  }
+}
+
+TEST(FaultMatrix, OomErrorCarriesPoolRankAndBytes) {
+  sim::MemoryTracker mem("gpu3", 1000, /*rank=*/3);
+  mem.alloc(600);
+  try {
+    mem.alloc(600);
+    FAIL() << "expected OomError";
+  } catch (const sim::OomError& e) {
+    EXPECT_EQ(e.pool(), "gpu3");
+    EXPECT_EQ(e.rank(), 3);
+    EXPECT_EQ(e.requested(), 600);
+    EXPECT_EQ(e.available(), 400);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pool 'gpu3'"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("requested 600"), std::string::npos) << what;
+    EXPECT_NE(what.find("400"), std::string::npos) << what;
+  }
+}
+
+namespace {
+
+struct ThrowingInner : nn::Module {
+  bool throw_forward = false;
+  bool throw_backward = false;
+  t::Tensor forward(const t::Tensor& x) override {
+    if (throw_forward) throw std::runtime_error("inner forward fault");
+    return x.clone();
+  }
+  t::Tensor backward(const t::Tensor& dy) override {
+    if (throw_backward) throw std::runtime_error("inner backward fault");
+    return dy.clone();
+  }
+};
+
+}  // namespace
+
+TEST(FaultMatrix, ActivationCheckpointNoLeakOnThrowingInner) {
+  auto inner = std::make_unique<ThrowingInner>();
+  auto* raw = inner.get();
+  nn::Checkpoint ck(std::move(inner));
+  auto x = t::randn(t::Shape{4, 4}, 141);
+
+  // backward (recompute path) throws: the held input must still be released
+  auto y = ck.forward(x);
+  EXPECT_GT(ck.held_bytes(), 0);
+  raw->throw_backward = true;
+  EXPECT_THROW(ck.backward(y), std::runtime_error);
+  EXPECT_EQ(ck.held_bytes(), 0);
+
+  // forward throws: nothing is saved for the failed step
+  raw->throw_backward = false;
+  raw->throw_forward = true;
+  EXPECT_THROW(ck.forward(x), std::runtime_error);
+  EXPECT_EQ(ck.held_bytes(), 0);
+}
+
+TEST(FaultMatrix, FromEnvParsesFullPlan) {
+  ASSERT_FALSE(sim::FaultPlan::from_env().has_value());
+  {
+    EnvGuard e1("CA_FAULT_FAILSTOP", "2@5");
+    EnvGuard e2("CA_FAULT_STRAGGLER", "1@0.5:2.0:3.0");
+    EnvGuard e3("CA_FAULT_LINK", "1.0:0.5:2.0");
+    EnvGuard e4("CA_FAULT_NAN", "0@3");
+    EnvGuard e5("CA_FAULT_TRANSIENT", "0.1:0.2");
+    EnvGuard e6("CA_FAULT_WATCHDOG", "0.75");
+    EnvGuard e7("CA_FAULT_RETRY_BASE", "0.5");
+    EnvGuard e8("CA_FAULT_RETRIES", "7");
+    EnvGuard e9("CA_FAULT_SEED", "42");
+    auto plan = sim::FaultPlan::from_env();
+    ASSERT_TRUE(plan.has_value());
+    ASSERT_EQ(plan->specs.size(), 5u);
+    EXPECT_EQ(plan->specs[0].kind, sim::FaultKind::kFailStop);
+    EXPECT_EQ(plan->specs[0].rank, 2);
+    EXPECT_EQ(plan->specs[0].step, 5);
+    EXPECT_EQ(plan->specs[1].kind, sim::FaultKind::kStraggler);
+    EXPECT_EQ(plan->specs[1].rank, 1);
+    EXPECT_DOUBLE_EQ(plan->specs[1].at, 0.5);
+    EXPECT_DOUBLE_EQ(plan->specs[1].duration, 2.0);
+    EXPECT_DOUBLE_EQ(plan->specs[1].factor, 3.0);
+    EXPECT_EQ(plan->specs[2].kind, sim::FaultKind::kLinkDegrade);
+    EXPECT_EQ(plan->specs[3].kind, sim::FaultKind::kGradCorrupt);
+    EXPECT_EQ(plan->specs[3].rank, 0);
+    EXPECT_EQ(plan->specs[3].step, 3);
+    EXPECT_EQ(plan->specs[4].kind, sim::FaultKind::kTransientComm);
+    EXPECT_DOUBLE_EQ(plan->specs[4].at, 0.1);
+    EXPECT_DOUBLE_EQ(plan->specs[4].duration, 0.2);
+    EXPECT_DOUBLE_EQ(plan->watchdog, 0.75);
+    EXPECT_DOUBLE_EQ(plan->retry_base, 0.5);
+    EXPECT_EQ(plan->max_retries, 7);
+    EXPECT_EQ(plan->seed, 42u);
+    const double j = plan->jitter(3);
+    EXPECT_GE(j, 0.0);
+    EXPECT_LT(j, 1.0);
+    EXPECT_EQ(plan->jitter(3), j);  // seeded stream is reproducible
+  }
+  {
+    EnvGuard e("CA_FAULT_FAILSTOP", "1@t2.5");  // clock-triggered form
+    auto plan = sim::FaultPlan::from_env();
+    ASSERT_TRUE(plan.has_value());
+    ASSERT_EQ(plan->specs.size(), 1u);
+    EXPECT_EQ(plan->specs[0].step, -1);
+    EXPECT_DOUBLE_EQ(plan->specs[0].at, 2.5);
+  }
+  ASSERT_FALSE(sim::FaultPlan::from_env().has_value());
+}
+
+TEST(FaultMatrix, LaunchArmsInjectorAndWatchdogPrecedence) {
+  {
+    EnvGuard e("CA_FAULT_NAN", "0@1");
+    auto world = core::launch("data.size=2 fault.watchdog=0.25");
+    ASSERT_NE(world->cluster().fault_injector(), nullptr);
+    EXPECT_EQ(world->cluster().fault_injector()->plan().specs.size(), 1u);
+    // env set no watchdog: the config key applies
+    EXPECT_DOUBLE_EQ(world->cluster().fault_state().watchdog(), 0.25);
+    {
+      EnvGuard w("CA_FAULT_WATCHDOG", "0.125");  // env wins over config
+      auto world2 = core::launch("data.size=2 fault.watchdog=0.25");
+      EXPECT_DOUBLE_EQ(world2->cluster().fault_state().watchdog(), 0.125);
+    }
+  }
+  // no CA_FAULT_* at all: injector off, config watchdog still armed
+  auto world3 = core::launch("data.size=2 fault.watchdog=0.5");
+  EXPECT_EQ(world3->cluster().fault_injector(), nullptr);
+  EXPECT_DOUBLE_EQ(world3->cluster().fault_state().watchdog(), 0.5);
+}
+
+TEST(FaultMatrix, ConfigKeysParsedAndValidated) {
+  const auto cfg = core::parse_config(
+      "fault.watchdog=0.5 checkpoint.interval=3 checkpoint.dir=/tmp/ck");
+  EXPECT_DOUBLE_EQ(cfg.fault_watchdog, 0.5);
+  EXPECT_EQ(cfg.checkpoint_interval, 3);
+  EXPECT_EQ(cfg.checkpoint_dir, "/tmp/ck");
+  EXPECT_THROW(core::parse_config("fault.watchdog=0"), std::invalid_argument);
+  EXPECT_THROW(core::parse_config("fault.watchdog=abc"), std::invalid_argument);
+  EXPECT_THROW(core::parse_config("checkpoint.interval=-1"),
+               std::invalid_argument);
 }

@@ -1,0 +1,161 @@
+// Rank-count scalability of the simulator itself (the fiber scheduler's
+// reason to exist): sweeps a System IV all-reduce from 64 to 1024 ranks under
+// the tasks backend, compares wall time against thread-per-rank at worlds
+// where spawning that many OS threads is still reasonable, and runs a
+// 512-rank hybrid (data x pipeline x tensor) step. Writes
+// BENCH_scalability.json and exits non-zero if the 1024-rank sweep misses its
+// single-digit-seconds budget or the two backends disagree.
+
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/launch.hpp"
+#include "sim/scheduler.hpp"
+#include "tp/sim_transformer.hpp"
+
+using namespace ca;
+
+namespace {
+
+double now_wall(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One all-reduce "step" per rank, repeated `iters` times; returns the
+/// rank-0 buffer head so backends can be compared bitwise.
+float run_allreduce(sim::Cluster& cluster, collective::Group& g, int world,
+                    std::int64_t elems, int iters) {
+  float head = 0.0f;
+  cluster.run([&](int r) {
+    std::vector<float> buf(static_cast<std::size_t>(elems),
+                           1.0f + 0.001f * static_cast<float>(r % 97));
+    for (int it = 0; it < iters; ++it) {
+      g.all_reduce(r, buf, 1.0f / static_cast<float>(world));
+    }
+    if (r == 0) head = buf[0];
+  });
+  return head;
+}
+
+struct SweepPoint {
+  int world;
+  double wall_s = 0.0;
+  double sim_s = 0.0;
+  float head = 0.0f;
+};
+
+SweepPoint sweep_point(int world, sim::SimBackend backend, std::int64_t elems,
+                       int iters) {
+  sim::Cluster cluster(sim::Topology::system_iv(world));
+  cluster.set_backend(backend);
+  collective::Backend be(cluster);
+  SweepPoint p{world};
+  const auto t0 = std::chrono::steady_clock::now();
+  p.head = run_allreduce(cluster, be.world(), world, elems, iters);
+  p.wall_s = now_wall(t0);
+  p.sim_s = cluster.max_clock();
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::JsonReport report("BENCH_scalability.json");
+  bool ok = true;
+
+  // ---- 1. System IV all-reduce sweep, 64 -> 1024 ranks, tasks backend ----
+  bench::header("System IV all-reduce sweep (tasks backend, 64 KiB/rank)");
+  std::printf("%-8s %-12s %-12s %-12s\n", "ranks", "wall (s)", "sim (s)",
+              "ranks/s");
+  constexpr std::int64_t kElems = 16 * 1024;  // 64 KiB per rank
+  constexpr int kIters = 4;
+  double sweep_wall = 0.0;
+  for (const int world : {64, 256, 512, 1024}) {
+    const auto p = sweep_point(world, sim::SimBackend::kTasks, kElems, kIters);
+    sweep_wall += p.wall_s;
+    std::printf("%-8d %-12.3f %-12.4f %-12.0f\n", world, p.wall_s, p.sim_s,
+                static_cast<double>(world) / p.wall_s);
+    report.add("allreduce_sweep_tasks",
+               "system_iv world=" + std::to_string(world) + " bytes=65536",
+               p.wall_s * 1e9 / kIters, 0.0);
+  }
+  std::printf("sweep total: %.2f s\n", sweep_wall);
+  if (sweep_wall >= 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: 1024-rank sweep took %.2f s (budget: single-digit "
+                 "seconds)\n",
+                 sweep_wall);
+    ok = false;
+  }
+
+  // ---- 2. threads vs tasks wall time at small worlds --------------------
+  bench::header("threads vs tasks wall time");
+  std::printf("%-8s %-14s %-14s %-8s\n", "ranks", "threads (s)", "tasks (s)",
+              "match");
+  for (const int world : {16, 64}) {
+    const auto th = sweep_point(world, sim::SimBackend::kThreads, kElems,
+                                kIters);
+    const auto tk = sweep_point(world, sim::SimBackend::kTasks, kElems,
+                                kIters);
+    const bool match =
+        std::memcmp(&th.head, &tk.head, sizeof(float)) == 0 &&
+        th.sim_s == tk.sim_s;
+    std::printf("%-8d %-14.3f %-14.3f %-8s\n", world, th.wall_s, tk.wall_s,
+                match ? "yes" : "NO");
+    report.add("allreduce_threads",
+               "system_iv world=" + std::to_string(world),
+               th.wall_s * 1e9 / kIters, 0.0);
+    report.add("allreduce_tasks", "system_iv world=" + std::to_string(world),
+               tk.wall_s * 1e9 / kIters, 0.0);
+    if (!match) {
+      std::fprintf(stderr, "FAIL: backends disagree at world %d\n", world);
+      ok = false;
+    }
+  }
+
+  // ---- 3. 512-rank hybrid-parallel step ---------------------------------
+  // data=8 x pipeline=8 x tensor=8: each rank accounts a tensor-parallel
+  // transformer step, then the data replicas all-reduce a gradient shard —
+  // the blocking structure of a real hybrid step, at a rank count the
+  // thread backend cannot reach comfortably.
+  bench::header("512-rank hybrid step (dp=8 pp=8 tp=8, tasks backend)");
+  {
+    auto world = core::launch(
+        "data=8 pipeline=8 tensor.size=8 tensor.mode=1d sim.backend=tasks");
+    tp::TransformerShape shape;
+    shape.layers = 4;
+    shape.hidden = 1024;
+    shape.heads = 16;
+    shape.seq = 128;
+    shape.batch = 8;
+    shape.bytes_per_elem = 2;
+    const auto t0 = std::chrono::steady_clock::now();
+    world->run([&](tp::Env env) {
+      tp::SimTransformer model(env, core::TpMode::k1d, shape);
+      model.train_step();
+      std::vector<float> grad(4096, 1.0f);
+      world->context().data_group(env.grank).all_reduce(env.grank, grad,
+                                                        1.0f / 8.0f);
+    });
+    const double wall = now_wall(t0);
+    std::printf("wall %.3f s, sim %.4f s\n", wall,
+                world->cluster().max_clock());
+    report.add("hybrid_step_tasks", "dp=8 pp=8 tp=1d8 world=512", wall * 1e9,
+               0.0);
+    if (wall >= 10.0) {
+      std::fprintf(stderr, "FAIL: 512-rank hybrid step took %.2f s\n", wall);
+      ok = false;
+    }
+  }
+
+  report.write();
+  if (!ok) {
+    std::fprintf(stderr, "bench_scalability: self-check FAILED\n");
+    return 1;
+  }
+  std::printf("\nbench_scalability: all self-checks passed\n");
+  return 0;
+}

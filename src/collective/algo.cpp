@@ -120,8 +120,11 @@ std::optional<Algo> AlgoSelector::env_override() {
   return cached;
 }
 
-Algo AlgoSelector::select(Op op, std::int64_t bytes, int group_size,
+Algo AlgoSelector::select(Op op, std::int64_t bytes,
+                          const sim::Topology& topo,
+                          std::span<const int> ranks,
                           const TwoLevelPlan& plan) const {
+  const int group_size = static_cast<int>(ranks.size());
   if (!schedule_selectable(op) || group_size < 2) return Algo::kChunked;
 
   std::optional<Algo> forced = env_override();
@@ -135,9 +138,24 @@ Algo AlgoSelector::select(Op op, std::int64_t bytes, int group_size,
       bytes < std::max<std::int64_t>(kSmallMaxBytes, 4 * group_size)) {
     return Algo::kSingleRoot;
   }
-  if (plan.viable() && bytes >= kHierMinBytes) return Algo::kHierarchical;
-  if (bytes >= kRingMinBytes) return Algo::kRing;
-  return Algo::kChunked;
+
+  // Cost-ranked choice among the gated candidates. The inputs (op, bytes,
+  // topology, member span, plan) are identical on every member, so each
+  // computes the same modeled times and branches identically — the property
+  // the symmetric schedule compilation relies on. Strict < keeps ties on the
+  // first candidate, making the pick order-deterministic.
+  Algo best = Algo::kChunked;
+  double best_t = collective_time(op, Algo::kChunked, topo, ranks, bytes, plan);
+  const auto consider = [&](Algo a) {
+    const double t = collective_time(op, a, topo, ranks, bytes, plan);
+    if (t < best_t) {
+      best = a;
+      best_t = t;
+    }
+  };
+  if (plan.viable() && bytes >= kHierMinBytes) consider(Algo::kHierarchical);
+  if (bytes >= kRingMinBytes) consider(Algo::kRing);
+  return best;
 }
 
 }  // namespace ca::collective

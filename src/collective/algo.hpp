@@ -73,15 +73,26 @@ struct AlgoPolicy {
 };
 
 /// Picks the algorithm for one collective call from (topology, group span,
-/// message bytes). Decision table (see DESIGN.md section 6):
+/// message bytes). Decision procedure (see DESIGN.md section 6):
 ///
 ///   1. CA_COLLECTIVE_ALGO env var, if set and not "auto".
 ///   2. AlgoPolicy::forced (the `collective_algo` config field).
 ///   3. reducing/broadcast ops with bytes < max(1 KiB, 4*P)  -> kSingleRoot
 ///      (covers the degenerate n < P case: ownership chunks would be empty)
-///   4. group spans >= 2 topology blocks and bytes >= 64 KiB -> kHierarchical
-///   5. bytes >= 1 MiB                                       -> kRing
-///   6. otherwise                                            -> kChunked
+///   4. otherwise, rank the structurally sensible candidates by modeled
+///      alpha-beta time (collective_time) and pick the cheapest:
+///        - kChunked       always a candidate
+///        - kHierarchical  when the two-level plan is viable and
+///                         bytes >= 64 KiB (two extra phase boundaries only
+///                         pay off once bandwidth dominates)
+///        - kRing          when bytes >= 1 MiB (pipelined chunking only
+///                         amortizes its per-hop latency on large buffers)
+///      Strict-less comparison in a fixed candidate order, so ties and the
+///      final pick are deterministic across members. Cost-ranking is what
+///      catches the fabric-dependent crossovers a static table misses — on
+///      flat System IV the leader ring's inter-block hops make hierarchical
+///      lose to the pipelined ring at 64 MiB, while on System III the
+///      node-local bandwidth keeps hierarchical ahead.
 ///
 /// A forced kHierarchical silently degrades to kChunked when the plan is not
 /// viable for the group (e.g. a single-node group).
@@ -89,7 +100,9 @@ class AlgoSelector {
  public:
   explicit AlgoSelector(const AlgoPolicy* policy = nullptr) : policy_(policy) {}
 
-  [[nodiscard]] Algo select(Op op, std::int64_t bytes, int group_size,
+  [[nodiscard]] Algo select(Op op, std::int64_t bytes,
+                            const sim::Topology& topo,
+                            std::span<const int> ranks,
                             const TwoLevelPlan& plan) const;
 
   /// Parse a knob value; "auto"/"" -> nullopt, unknown -> nullopt with

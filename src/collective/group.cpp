@@ -81,9 +81,18 @@ Group::Group(sim::Cluster& cluster, std::vector<int> ranks, std::string name,
   for (auto& slot : ptrs_) slot.assign(ranks_.size(), nullptr);
   for (auto& slot : counts_) slot.assign(ranks_.size(), 0);
   for (auto& slot : clocks_) slot.assign(ranks_.size(), 0.0);
+  index_.reserve(ranks_.size());
   for (std::size_t i = 0; i < ranks_.size(); ++i) {
     index_.emplace(ranks_[i], static_cast<int>(i));
   }
+  // Pre-size the scratch arena from the world size so the first large
+  // collective at P=1024 doesn't pay a reallocation storm inside
+  // ensure_arena. Capacity only — ensure_arena still performs every resize
+  // between its barriers, so the grow-only size contract (and the members'
+  // arena_seen mirrors) is untouched; growth beyond this reservation simply
+  // reallocates as before.
+  arena_.reserve(static_cast<std::size_t>(std::bit_ceil(
+      static_cast<std::uint64_t>(std::max<std::size_t>(1024, ranks_.size() * 2048)))));
 }
 
 Group::PubToken Group::publish(int idx, const float* ptr, std::int64_t count,
@@ -237,7 +246,7 @@ double Group::run_collective(int grank, Op op, const float* in,
   const std::int64_t bytes = modeled_bytes(op, n_in, n_out, size());
   // Deterministic across members: same op/bytes/plan and a shared policy, so
   // every member compiles the same schedule with the same barrier count.
-  const Algo algo = selector_.select(op, bytes, size(), plan_);
+  const Algo algo = selector_.select(op, bytes, cluster_.topology(), ranks_, plan_);
 
   const sim::FaultInjector* fi = cluster_.fault_injector();
   // Fail-stop lands at collective *entry* — before publish, so every peer
@@ -537,7 +546,7 @@ void Group::account(int grank, Op op, std::int64_t bytes) {
                            cluster_.device(grank).clock());
   // Same selector as the functional path, so the accounting twin charges
   // exactly what the matching data-moving call would.
-  const Algo algo = selector_.select(op, bytes, size(), plan_);
+  const Algo algo = selector_.select(op, bytes, cluster_.topology(), ranks_, plan_);
   cluster_.device(grank).set_clock(settle(grank, tok.t_start, op, algo, bytes));
 }
 

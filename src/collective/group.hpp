@@ -137,7 +137,7 @@ class Group {
   /// The algorithm the selector would pick for `op` moving `bytes` on this
   /// group (exactly what a matching collective call will use).
   [[nodiscard]] Algo algo_for(Op op, std::int64_t bytes) const {
-    return selector_.select(op, bytes, size(), plan_);
+    return selector_.select(op, bytes, cluster_.topology(), ranks_, plan_);
   }
 
   /// Pure synchronization (also aligns logical clocks to the max).

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -9,6 +8,7 @@
 #include <vector>
 
 #include "sim/cluster.hpp"
+#include "sim/scheduler.hpp"
 
 namespace ca::collective {
 
@@ -112,7 +112,10 @@ class P2pChannel {
   int src_, dst_;
 
   std::mutex m_;
-  std::condition_variable cv_;
+  // Hybrid condvar: a blocked endpoint parks its fiber under the tasks
+  // backend instead of holding an OS thread (scheduler yield, DESIGN.md
+  // section 8); under the threads backend it is a plain condition variable.
+  sim::SimCv cv_;
   std::deque<std::shared_ptr<Message>> queue_;
 };
 

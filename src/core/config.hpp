@@ -42,6 +42,13 @@ struct Config {
   /// raising CommTimeoutError on the survivors (`fault.watchdog`; the
   /// CA_FAULT_WATCHDOG environment variable wins over this field).
   double fault_watchdog = 1.0;
+  /// Execution backend for the SPMD region: "threads" (one OS thread per
+  /// rank, the correctness oracle) or "tasks" (fiber scheduler, scales to
+  /// 1024+ ranks). `sim.backend`; CA_SIM_BACKEND wins over this field.
+  std::string sim_backend = "threads";
+  /// Worker threads for the tasks backend; 0 = one per hardware thread
+  /// (`sim.workers`; CA_SIM_WORKERS wins over this field).
+  int sim_workers = 0;
   /// Checkpoint every this-many steps (`checkpoint.interval`; 0 disables).
   int checkpoint_interval = 0;
   /// Where CheckpointHook writes (`checkpoint.dir`).
@@ -80,6 +87,9 @@ struct Config {
                 collective_algo == "single_root",
             "unknown collective_algo '" + collective_algo + "'");
     require(fault_watchdog > 0.0, "fault.watchdog must be > 0");
+    require(sim_backend == "threads" || sim_backend == "tasks",
+            "unknown sim.backend '" + sim_backend + "' (want threads|tasks)");
+    require(sim_workers >= 0, "sim.workers must be >= 0");
     require(checkpoint_interval >= 0, "checkpoint.interval must be >= 0");
     switch (tensor_mode) {
       case TpMode::kNone:

@@ -73,6 +73,10 @@ Config parse_config(const std::string& text) {
         throw std::invalid_argument("bad number for 'fault.watchdog': '" +
                                     value + "'");
       }
+    } else if (key == "sim.backend") {
+      cfg.sim_backend = value;
+    } else if (key == "sim.workers") {
+      cfg.sim_workers = parse_int(key, value);
     } else if (key == "checkpoint.interval") {
       cfg.checkpoint_interval = parse_int(key, value);
     } else if (key == "checkpoint.dir") {

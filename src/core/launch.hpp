@@ -36,6 +36,18 @@ class LaunchedWorld {
     } else {
       cluster_.fault_state().set_watchdog(config.fault_watchdog);
     }
+    // Execution-backend knobs (`sim.backend` / `sim.workers`): the Cluster
+    // constructor already applied CA_SIM_BACKEND / CA_SIM_WORKERS, so the
+    // config fields only land where the environment is silent — the same
+    // precedence as the fault watchdog above.
+    if (std::getenv("CA_SIM_BACKEND") == nullptr) {
+      cluster_.set_backend(config.sim_backend == "tasks"
+                               ? sim::SimBackend::kTasks
+                               : sim::SimBackend::kThreads);
+    }
+    if (std::getenv("CA_SIM_WORKERS") == nullptr && config.sim_workers > 0) {
+      cluster_.set_workers(config.sim_workers);
+    }
   }
 
   /// SPMD entry point; the callable receives a ready-made per-rank Env.

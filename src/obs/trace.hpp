@@ -149,14 +149,20 @@ class TraceSpan {
   TraceEvent ev_;
 };
 
-/// Per-thread registration of the running rank's simulated clock, so
-/// samplers on *shared* pools (host, NVMe — allocated from many rank
-/// threads) can stamp samples with the allocating rank's device time without
-/// reading another thread's clock. Bound by Cluster::run for each rank
-/// thread; reads its own thread's slot only, so it is race-free.
+/// Per-task registration of the running rank's simulated clock, so samplers
+/// on *shared* pools (host, NVMe — allocated from many ranks) can stamp
+/// samples with the allocating rank's device time without reading another
+/// rank's clock. The slot is physically thread-local but logically
+/// task-local: the threads backend binds it once per rank thread
+/// (Cluster::run), while the tasks backend rebinds it on every fiber
+/// switch-in/out (TaskScheduler::resume), so attribution follows a rank
+/// across worker threads. Each access reads its own thread's slot only, so
+/// it is race-free.
 class ThreadClock {
  public:
   static void bind(const double* clock) { slot() = clock; }
+  /// The currently bound clock (nullptr outside an SPMD rank context).
+  [[nodiscard]] static const double* current() { return slot(); }
   [[nodiscard]] static double now() {
     const double* clock = slot();
     return clock != nullptr ? *clock : 0.0;

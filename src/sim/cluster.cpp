@@ -2,15 +2,57 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 namespace ca::sim {
+
+namespace {
+
+/// Parse a non-negative integer knob; throws on garbage so a typo'd
+/// environment fails loudly instead of silently running the default.
+int env_int(const char* name, const char* value) {
+  std::size_t pos = 0;
+  int n = 0;
+  try {
+    n = std::stoi(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != std::string(value).size() || n < 0) {
+    throw std::invalid_argument(std::string(name) + ": bad value '" + value +
+                                "' (want a non-negative integer)");
+  }
+  return n;
+}
+
+}  // namespace
 
 Cluster::Cluster(Topology topo)
     : topo_(std::move(topo)), host_mem_("host", 512 * kGiB) {
   devices_.reserve(static_cast<std::size_t>(topo_.num_devices()));
   for (int r = 0; r < topo_.num_devices(); ++r) {
     devices_.push_back(std::make_unique<Device>(r, topo_.gpu()));
+  }
+  // Backend knobs come straight from the environment so any harness (raw
+  // Cluster tests included) can be flipped wholesale, e.g. the CI job that
+  // re-runs the whole suite under CA_SIM_BACKEND=tasks. The `sim.*` config
+  // keys are applied later by LaunchedWorld, and only where the env is unset.
+  if (const char* e = std::getenv("CA_SIM_BACKEND")) {
+    const auto b = parse_backend(e);
+    if (!b.has_value()) {
+      throw std::invalid_argument(std::string("CA_SIM_BACKEND: unknown backend '") +
+                                  e + "' (want threads|tasks)");
+    }
+    backend_ = *b;
+  }
+  if (const char* e = std::getenv("CA_SIM_WORKERS")) {
+    workers_ = env_int("CA_SIM_WORKERS", e);
+  }
+  if (const char* e = std::getenv("CA_SIM_STACK_KB")) {
+    stack_bytes_ = static_cast<std::size_t>(env_int("CA_SIM_STACK_KB", e)) << 10;
   }
 }
 
@@ -20,40 +62,58 @@ void Cluster::run(const std::function<void(int)>& fn) {
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
   std::vector<std::int64_t> error_order(static_cast<std::size_t>(n), -1);
   std::atomic<std::int64_t> next_error{0};
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(n));
-  for (int r = 0; r < n; ++r) {
-    threads.emplace_back([&, r] {
-      // Let samplers on shared pools (host/NVMe) stamp allocations from this
-      // thread with this rank's simulated clock.
-      obs::ThreadClock::bind(devices_[static_cast<std::size_t>(r)]->clock_addr());
+  // One body for both backends: run the rank, and on any escape record the
+  // exception in arrival order (the root cause strictly precedes the
+  // survivors' watchdog timeouts it triggers), then abort the region so no
+  // peer stays blocked on a rendezvous with this rank.
+  const auto body = [&](int r) {
+    try {
+      fn(r);
+    } catch (...) {
+      errors[static_cast<std::size_t>(r)] = std::current_exception();
+      error_order[static_cast<std::size_t>(r)] =
+          next_error.fetch_add(1, std::memory_order_relaxed);
+      const char* what = "unknown error";
+      bool death = false;
       try {
-        fn(r);
+        throw;
+      } catch (const DeviceFailure& e) {
+        what = e.what();
+        death = true;
+      } catch (const std::exception& e) {
+        what = e.what();
       } catch (...) {
-        // Record in arrival order (the root cause strictly precedes the
-        // survivors' watchdog timeouts it triggers), then abort the region
-        // so no peer stays blocked on a rendezvous with this rank.
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-        error_order[static_cast<std::size_t>(r)] =
-            next_error.fetch_add(1, std::memory_order_relaxed);
-        const char* what = "unknown error";
-        bool death = false;
-        try {
-          throw;
-        } catch (const DeviceFailure& e) {
-          what = e.what();
-          death = true;
-        } catch (const std::exception& e) {
-          what = e.what();
-        } catch (...) {
-        }
-        fault_state_.abort(r, "rank " + std::to_string(r) + ": " + what,
-                           death);
       }
-      obs::ThreadClock::bind(nullptr);
-    });
+      fault_state_.abort(r, "rank " + std::to_string(r) + ": " + what, death);
+    }
+  };
+  if (backend_ == SimBackend::kTasks) {
+    // Fibers on a worker pool; the scheduler owns the ThreadClock binding
+    // (task-local — it follows the fiber across workers).
+    TaskScheduler::Options opts;
+    opts.workers = workers_;
+    opts.stack_bytes = stack_bytes_;
+    TaskScheduler::run(
+        n, body,
+        [this](int r) {
+          return devices_[static_cast<std::size_t>(r)]->clock_addr();
+        },
+        opts);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      threads.emplace_back([&, r] {
+        // Let samplers on shared pools (host/NVMe) stamp allocations from
+        // this thread with this rank's simulated clock.
+        obs::ThreadClock::bind(
+            devices_[static_cast<std::size_t>(r)]->clock_addr());
+        body(r);
+        obs::ThreadClock::bind(nullptr);
+      });
+    }
+    for (auto& t : threads) t.join();
   }
-  for (auto& t : threads) t.join();
   int first = -1;
   for (int r = 0; r < n; ++r) {
     const auto i = static_cast<std::size_t>(r);

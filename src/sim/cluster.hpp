@@ -8,6 +8,7 @@
 #include "obs/trace.hpp"
 #include "sim/device.hpp"
 #include "sim/fault.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/topology.hpp"
 
 namespace ca::sim {
@@ -39,13 +40,29 @@ class Cluster {
   /// NVMe pool (effectively unbounded) for the deepest offload tier.
   [[nodiscard]] MemoryTracker& nvme_mem() { return nvme_mem_; }
 
-  /// Run `fn(rank)` on world_size concurrent threads and join. The first
-  /// exception thrown by any rank — in throw order, so the root cause, not a
-  /// survivor's secondary CommTimeoutError — is rethrown here after all
-  /// threads finish. A throwing rank aborts the region through fault_state(),
-  /// which cancels every rendezvous the peers are blocked on (they unwind
-  /// with CommTimeoutError instead of deadlocking).
+  /// Run `fn(rank)` SPMD on all world_size ranks and wait for completion —
+  /// one OS thread per rank (kThreads, the oracle) or fibers on a worker
+  /// pool (kTasks, see TaskScheduler); both produce bit-identical results.
+  /// The first exception thrown by any rank — in throw order, so the root
+  /// cause, not a survivor's secondary CommTimeoutError — is rethrown here
+  /// after all ranks finish. A throwing rank aborts the region through
+  /// fault_state(), which cancels every rendezvous the peers are blocked on
+  /// (they unwind with CommTimeoutError instead of deadlocking).
   void run(const std::function<void(int)>& fn);
+
+  // ---- execution backend ------------------------------------------------------
+
+  /// Backend run() uses. Initialised from CA_SIM_BACKEND at construction
+  /// (bad values throw std::invalid_argument); defaults to kThreads.
+  [[nodiscard]] SimBackend backend() const { return backend_; }
+  void set_backend(SimBackend b) { backend_ = b; }
+  /// Worker threads for the tasks backend; 0 = one per hardware thread,
+  /// clamped to world size. Initialised from CA_SIM_WORKERS.
+  [[nodiscard]] int workers() const { return workers_; }
+  void set_workers(int w) { workers_ = w; }
+  /// Per-fiber stack bytes; 0 = scheduler default. From CA_SIM_STACK_KB.
+  [[nodiscard]] std::size_t stack_bytes() const { return stack_bytes_; }
+  void set_stack_bytes(std::size_t b) { stack_bytes_ = b; }
 
   /// Max of all device clocks — wall-clock time of the SPMD program.
   [[nodiscard]] double max_clock() const;
@@ -90,6 +107,9 @@ class Cluster {
  private:
   Topology topo_;
   std::vector<std::unique_ptr<Device>> devices_;
+  SimBackend backend_ = SimBackend::kThreads;
+  int workers_ = 0;
+  std::size_t stack_bytes_ = 0;
   MemoryTracker host_mem_;
   MemoryTracker nvme_mem_{"nvme", 0};  // capacity 0 => unlimited
   std::unique_ptr<obs::Tracer> tracer_;

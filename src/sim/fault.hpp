@@ -1,7 +1,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -9,6 +8,8 @@
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "sim/scheduler.hpp"
 
 namespace ca::sim {
 
@@ -240,10 +241,12 @@ class FaultState {
 };
 
 /// Drop-in replacement for the rendezvous std::barrier that can be cancelled
-/// by a FaultState: when any rank aborts the SPMD region, every thread
-/// blocked here (and every later arrival) throws RendezvousAborted instead of
+/// by a FaultState: when any rank aborts the SPMD region, every rank blocked
+/// here (and every later arrival) throws RendezvousAborted instead of
 /// waiting forever on the dead member. With a null FaultState it degrades to
-/// a plain generation-counting barrier.
+/// a plain generation-counting barrier. Blocking goes through SimCv, so under
+/// the tasks backend a waiting rank parks its fiber and yields the worker
+/// instead of blocking an OS thread.
 class AbortableBarrier {
  public:
   AbortableBarrier(std::ptrdiff_t n, FaultState* fs) : n_(n), fs_(fs) {
@@ -286,7 +289,7 @@ class AbortableBarrier {
   std::uint64_t gen_ = 0;
   FaultState* fs_;
   std::mutex mu_;
-  std::condition_variable cv_;
+  SimCv cv_;
 };
 
 }  // namespace ca::sim

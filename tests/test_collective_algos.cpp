@@ -134,38 +134,72 @@ TEST(AlgoSelector, DecisionTable) {
   col::AlgoSelector sel;
 
   // Small reducing messages: single-root (also the n < P degenerate fix).
-  EXPECT_EQ(sel.select(col::Op::kAllReduce, 512, 16, plan),
+  EXPECT_EQ(sel.select(col::Op::kAllReduce, 512, multi, ranks, plan),
             col::Algo::kSingleRoot);
-  // Large messages on a node-spanning group: hierarchical.
-  EXPECT_EQ(sel.select(col::Op::kAllReduce, 64 << 20, 16, plan),
+  // Gradient-bucket-size messages on a node-spanning group: hierarchical
+  // wins the cost race. (At 64 MiB on this small 4-node machine the
+  // pipelined ring overtakes it — the same crossover the System IV
+  // regression below pins.)
+  EXPECT_EQ(sel.select(col::Op::kAllReduce, 4 << 20, multi, ranks, plan),
             col::Algo::kHierarchical);
-  EXPECT_EQ(sel.select(col::Op::kReduceScatter, 1 << 20, 16, plan),
+  EXPECT_EQ(sel.select(col::Op::kReduceScatter, 1 << 20, multi, ranks, plan),
             col::Algo::kHierarchical);
-  // Mid-size: chunked.
-  EXPECT_EQ(sel.select(col::Op::kAllReduce, 4096, 16, plan),
+  // Mid-size: no other candidate clears its byte gate; chunked.
+  EXPECT_EQ(sel.select(col::Op::kAllReduce, 4096, multi, ranks, plan),
             col::Algo::kChunked);
-  // Non-viable plan, large message: pipelined ring.
+  // Non-viable plan, large message: pipelined ring beats store-and-forward.
   const col::TwoLevelPlan flat;
-  EXPECT_EQ(sel.select(col::Op::kAllReduce, 4 << 20, 16, flat),
+  EXPECT_EQ(sel.select(col::Op::kAllReduce, 64 << 20, multi, ranks, flat),
             col::Algo::kRing);
   // Ops without schedule freedom never leave chunked.
-  EXPECT_EQ(sel.select(col::Op::kAllToAll, 64 << 20, 16, plan),
+  EXPECT_EQ(sel.select(col::Op::kAllToAll, 64 << 20, multi, ranks, plan),
             col::Algo::kChunked);
-  EXPECT_EQ(sel.select(col::Op::kGather, 64 << 20, 16, plan),
+  EXPECT_EQ(sel.select(col::Op::kGather, 64 << 20, multi, ranks, plan),
             col::Algo::kChunked);
 }
 
 TEST(AlgoSelector, PolicyForcesAndHierarchicalDegrades) {
+  const auto topo = sim::Topology::uniform(8, 100e9);
+  std::vector<int> ranks(8);
+  std::iota(ranks.begin(), ranks.end(), 0);
   col::AlgoPolicy policy;
   policy.forced = col::Algo::kRing;
   col::AlgoSelector sel(&policy);
   const col::TwoLevelPlan flat;
-  EXPECT_EQ(sel.select(col::Op::kAllReduce, 64, 8, flat), col::Algo::kRing);
+  EXPECT_EQ(sel.select(col::Op::kAllReduce, 64, topo, ranks, flat),
+            col::Algo::kRing);
 
   // Forced hierarchical silently degrades when the plan is not viable.
   policy.forced = col::Algo::kHierarchical;
-  EXPECT_EQ(sel.select(col::Op::kAllReduce, 64 << 20, 8, flat),
+  EXPECT_EQ(sel.select(col::Op::kAllReduce, 64 << 20, topo, ranks, flat),
             col::Algo::kChunked);
+}
+
+TEST(AlgoSelector, SystemIvCrossoverPicksRingAt64MiB) {
+  // Regression for the crossover a static threshold table missed: on the
+  // flat System IV fabric the sqrt-P virtual-block hierarchy is cheapest at
+  // gradient-bucket sizes, but by 64 MiB the pipelined ring overtakes it
+  // (the leader ring's inter-block exchange stops paying for itself). The
+  // cost-ranked selector must land on each side of the crossover.
+  const auto topo = sim::Topology::system_iv(64);
+  std::vector<int> ranks(64);
+  std::iota(ranks.begin(), ranks.end(), 0);
+  const auto plan = col::plan_two_level(topo, ranks);
+  ASSERT_TRUE(plan.viable());
+
+  const auto t = [&](col::Algo a, std::int64_t bytes) {
+    return col::collective_time(col::Op::kAllReduce, a, topo, ranks, bytes,
+                                plan);
+  };
+  ASSERT_LT(t(col::Algo::kHierarchical, 4 << 20), t(col::Algo::kRing, 4 << 20));
+  ASSERT_LT(t(col::Algo::kRing, 64 << 20),
+            t(col::Algo::kHierarchical, 64 << 20));
+
+  col::AlgoSelector sel;
+  EXPECT_EQ(sel.select(col::Op::kAllReduce, 4 << 20, topo, ranks, plan),
+            col::Algo::kHierarchical);
+  EXPECT_EQ(sel.select(col::Op::kAllReduce, 64 << 20, topo, ranks, plan),
+            col::Algo::kRing);
 }
 
 TEST(AlgoSelector, ParsesKnobValues) {

@@ -10,6 +10,7 @@
 #include "bench_common.hpp"
 #include "data/synthetic.hpp"
 #include "models/classifier.hpp"
+#include "models/gpt.hpp"
 #include "models/transformer_classifier.hpp"
 
 using namespace ca;
@@ -55,6 +56,8 @@ Curve run_parallel(core::TpMode mode, int p, int depth, const char* label) {
   auto ds = dataset();
   bench::World w(sim::Topology::uniform(p, 100e9),
                  bench::tp_config(mode, p, depth));
+  // This section demonstrates exact serial equivalence: fp32 wire.
+  w.ctx.set_comm_dtype(tensor::Dtype::kF32);
   std::vector<float> loss0(kSteps);
   std::vector<float> acc0;
   w.cluster.run([&](int g) {
@@ -114,10 +117,12 @@ std::vector<float> vit_serial(int steps, const data::SyntheticClassification& ds
 }
 
 std::vector<float> vit_parallel(core::TpMode mode, int p, int depth, int steps,
-                                const data::SyntheticClassification& ds) {
+                                const data::SyntheticClassification& ds,
+                                tensor::Dtype wire = tensor::Dtype::kF32) {
   auto cfg = vit_cfg();
   bench::World w(sim::Topology::uniform(p, 100e9),
                  bench::tp_config(mode, p, depth));
+  w.ctx.set_comm_dtype(wire);
   std::vector<float> losses(static_cast<std::size_t>(steps));
   w.cluster.run([&](int g) {
     models::TransformerClassifier model(w.env(g), cfg);
@@ -170,6 +175,102 @@ void vit_transformer_section() {
               "all modes)\n", dev);
 }
 
+// ---- half-precision wire: convergence stays on the fp32 curve ------------------------
+
+/// ViT-style transformer and GPT under 1D tensor parallelism with a bf16
+/// wire, against the serial fp32 trajectories. The activation/gradient
+/// exchanges are rounded to bf16 on the interconnect, so losses drift by
+/// O(2^-8) per exchange instead of matching bit-for-bit; the pinned
+/// tolerances bound that drift. Returns false when either model leaves the
+/// fp32 curve.
+bool halfwire_section() {
+  bench::header("half wire (bf16): convergence vs the fp32 serial curve");
+  constexpr float kVitTol = 5e-2f;
+  constexpr float kGptTol = 5e-2f;
+
+  // ViT-style blocks, 1D TP over 4 ranks on a bf16 wire.
+  const int steps = 12;
+  data::SyntheticClassification ds(65536, 8 * 16, 8, 91);
+  const auto serial = vit_serial(steps, ds);
+  const auto bf16 =
+      vit_parallel(core::TpMode::k1d, 4, 1, steps, ds, tensor::Dtype::kBF16);
+  float vit_dev = 0.0f;
+  for (int s = 0; s < steps; ++s)
+    vit_dev = std::max(vit_dev, std::abs(bf16[static_cast<std::size_t>(s)] -
+                                         serial[static_cast<std::size_t>(s)]));
+
+  // GPT next-token LM, 1D TP over 2 ranks on a bf16 wire.
+  const int gpt_steps = 10;
+  models::GptModel::Config gcfg;
+  gcfg.vocab = 64;
+  gcfg.seq = 8;
+  gcfg.hidden = 16;
+  gcfg.heads = 2;
+  gcfg.ffn = 32;
+  gcfg.layers = 2;
+  gcfg.seed = 3;
+  const std::int64_t gbatch = 4;
+  data::SyntheticTokens stream(gcfg.vocab, 5);
+
+  std::vector<float> gpt_serial;
+  {
+    models::GptModel m(gcfg);
+    for (int s = 0; s < gpt_steps; ++s) {
+      auto toks = stream.tokens(s * gbatch * gcfg.seq, gbatch * gcfg.seq);
+      for (nn::Parameter* p : m.parameters()) p->grad.fill(0.0f);
+      gpt_serial.push_back(m.train_batch(toks, gbatch));
+      for (nn::Parameter* p : m.parameters())
+        tensor::axpy_(p->value, -0.05f, p->grad);
+    }
+  }
+  std::vector<float> gpt_bf16(static_cast<std::size_t>(gpt_steps));
+  {
+    bench::World w(sim::Topology::uniform(2, 100e9),
+                   bench::tp_config(core::TpMode::k1d, 2));
+    w.ctx.set_comm_dtype(tensor::Dtype::kBF16);
+    w.cluster.run([&](int g) {
+      models::GptModel m(w.env(g), models::GptModel::Mode::kTensor1D, gcfg);
+      for (int s = 0; s < gpt_steps; ++s) {
+        auto toks = stream.tokens(s * gbatch * gcfg.seq, gbatch * gcfg.seq);
+        for (nn::Parameter* p : m.parameters()) p->grad.fill(0.0f);
+        const float l = m.train_batch(toks, gbatch);
+        for (nn::Parameter* p : m.parameters())
+          tensor::axpy_(p->value, -0.05f, p->grad);
+        if (g == 0) gpt_bf16[static_cast<std::size_t>(s)] = l;
+      }
+    });
+  }
+  float gpt_dev = 0.0f;
+  for (int s = 0; s < gpt_steps; ++s)
+    gpt_dev = std::max(gpt_dev,
+                       std::abs(gpt_bf16[static_cast<std::size_t>(s)] -
+                                gpt_serial[static_cast<std::size_t>(s)]));
+
+  std::printf("%-8s %-14s %-14s %-14s %-14s\n", "step", "vit fp32",
+              "vit bf16", "gpt fp32", "gpt bf16");
+  for (int s = 0; s < std::min(steps, gpt_steps); s += 2)
+    std::printf("%-8d %-14.5f %-14.5f %-14.5f %-14.5f\n", s,
+                serial[static_cast<std::size_t>(s)],
+                bf16[static_cast<std::size_t>(s)],
+                gpt_serial[static_cast<std::size_t>(s)],
+                gpt_bf16[static_cast<std::size_t>(s)]);
+  std::printf("max deviation from fp32 serial: vit %.2e (tol %.0e), "
+              "gpt %.2e (tol %.0e)\n",
+              static_cast<double>(vit_dev), static_cast<double>(kVitTol),
+              static_cast<double>(gpt_dev), static_cast<double>(kGptTol));
+
+  bool ok = true;
+  if (!(vit_dev < kVitTol)) {
+    std::printf("FAIL: ViT bf16 trajectory left the fp32 curve\n");
+    ok = false;
+  }
+  if (!(gpt_dev < kGptTol)) {
+    std::printf("FAIL: GPT bf16 trajectory left the fp32 curve\n");
+    ok = false;
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main() {
@@ -213,5 +314,5 @@ int main() {
               "parallel training)\n");
 
   vit_transformer_section();
-  return 0;
+  return halfwire_section() ? 0 : 1;
 }

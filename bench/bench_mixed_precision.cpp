@@ -1,0 +1,208 @@
+// Half-precision wire path: per-rank collective wire bytes and modeled
+// all-reduce time under an fp32 vs bf16 wire across the four paper systems, a
+// comm-bound data-parallel training step per wire dtype (simulated step time,
+// host wall time, loss agreement), and the throughput of the fp32<->half
+// convert kernels. Writes BENCH_mixed_precision.json; exits non-zero when
+// bf16 fails to cut per-rank wire bytes by >= 1.9x on any system, when the
+// comm-bound step does not get faster in simulated time, or when the bf16
+// loss drifts past the pinned tolerance.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "engine/engine.hpp"
+#include "nn/layers.hpp"
+#include "optim/optimizer.hpp"
+#include "tensor/convert.hpp"
+#include "tensor/ops.hpp"
+
+namespace t = ca::tensor;
+namespace nn = ca::nn;
+namespace col = ca::collective;
+namespace core = ca::core;
+namespace sim = ca::sim;
+namespace engine = ca::engine;
+
+namespace {
+
+// ---- per-system wire-byte / modeled-time sweep -----------------------------
+
+struct WireRun {
+  std::int64_t bytes_per_rank = 0;  // interconnect bytes rank 0 pushed
+  double sim_s = 0.0;               // modeled seconds per all-reduce
+};
+
+WireRun run_allreduce(sim::Topology topo, t::Dtype wire) {
+  constexpr std::int64_t kElems = 1 << 20;  // 4 MiB of fp32 gradient
+  constexpr int kIters = 3;
+  sim::Cluster cluster(std::move(topo));
+  col::Backend backend(cluster);
+  auto& g = backend.world();
+  cluster.run([&](int grank) {
+    std::vector<float> buf(static_cast<std::size_t>(kElems));
+    for (std::size_t i = 0; i < buf.size(); ++i)
+      buf[i] = std::sin(0.001f * static_cast<float>(i) +
+                        static_cast<float>(grank));
+    for (int it = 0; it < kIters; ++it)
+      g.all_reduce(grank, buf, 1.0f / static_cast<float>(g.size()), wire);
+  });
+  WireRun res;
+  res.bytes_per_rank = cluster.device(0).bytes_sent() / kIters;
+  res.sim_s = cluster.max_clock() / kIters;
+  return res;
+}
+
+// ---- comm-bound DP training step per wire ----------------------------------
+
+struct StepRun {
+  double sim_ms = 0.0;   // simulated ms per training step
+  double wall_ns = 0.0;  // host wall ns per training step (whole SPMD step)
+  float final_loss = 0.0f;
+};
+
+StepRun run_dp_step(t::Dtype wire) {
+  // Slow flat fabric (System IV) + a fat model over a tiny batch: the step
+  // is gradient-sync-bound, the regime the half wire exists for.
+  constexpr int kWarmup = 1, kSteps = 5;
+  const int world = 8;
+  core::Config cfg;
+  cfg.data_parallel_size = world;
+  bench::World w(sim::Topology::system_iv(world), cfg);
+
+  const auto x = t::randn(t::Shape{4, 64}, 7);
+  std::vector<std::int64_t> labels{0, 5, 11, 3};
+  std::vector<float> losses(static_cast<std::size_t>(world));
+  const auto t0 = std::chrono::steady_clock::now();
+  w.cluster.run([&](int g) {
+    nn::Sequential net;
+    net.add(std::make_unique<nn::Linear>("l1", 64, 512, 21));
+    net.add(std::make_unique<nn::Gelu>());
+    net.add(std::make_unique<nn::Linear>("l2", 512, 64, 22));
+    engine::Engine::Options opts;
+    opts.comm_dtype = wire;
+    auto eng = engine::initialize(
+        w.env(g), net,
+        std::make_unique<ca::optim::Adam>(net.parameters(),
+                                          ca::optim::Adam::Hyper{1e-3f}),
+        opts);
+    float loss = 0.0f;
+    for (int s = 0; s < kWarmup + kSteps; ++s) {
+      eng->zero_grad();
+      auto out = eng->forward(x);
+      loss = eng->criterion(out, labels);
+      eng->backward();
+      eng->step();
+    }
+    losses[static_cast<std::size_t>(g)] = loss;
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  StepRun res;
+  res.sim_ms =
+      w.cluster.max_clock() * 1e3 / static_cast<double>(kWarmup + kSteps);
+  res.wall_ns = std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                static_cast<double>(kWarmup + kSteps);
+  res.final_loss = losses[0];
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("mixed precision: bf16 wire volume, comm-bound step, kernels");
+  bench::JsonReport report("BENCH_mixed_precision.json");
+  bool ok = true;
+
+  // -- Systems I-IV: per-rank wire bytes and modeled time, f32 vs bf16 ------
+  std::printf("\nall-reduce of 4 MiB fp32 gradient, full-machine group\n");
+  std::printf("  %-12s %14s %14s %7s %11s %11s %7s\n", "system", "f32 B/rank",
+              "bf16 B/rank", "ratio", "f32 sim", "bf16 sim", "speedup");
+  const sim::Topology systems[] = {
+      sim::Topology::system_i(), sim::Topology::system_ii(),
+      sim::Topology::system_iii(2), sim::Topology::system_iv(8)};
+  const char* names[] = {"system_i", "system_ii", "system_iii", "system_iv"};
+  for (int s = 0; s < 4; ++s) {
+    const auto f32 = run_allreduce(systems[s], t::Dtype::kF32);
+    const auto bf16 = run_allreduce(systems[s], t::Dtype::kBF16);
+    const double ratio = static_cast<double>(f32.bytes_per_rank) /
+                         static_cast<double>(bf16.bytes_per_rank);
+    const double speedup = f32.sim_s / bf16.sim_s;
+    std::printf("  %-12s %14lld %14lld %6.2fx %8.1f us %8.1f us %6.2fx\n",
+                names[s], static_cast<long long>(f32.bytes_per_rank),
+                static_cast<long long>(bf16.bytes_per_rank), ratio,
+                f32.sim_s * 1e6, bf16.sim_s * 1e6, speedup);
+    report.add("ar_wire_bytes_f32", names[s],
+               static_cast<double>(f32.bytes_per_rank), 0.0);
+    report.add("ar_wire_bytes_bf16", names[s],
+               static_cast<double>(bf16.bytes_per_rank), 0.0);
+    report.add("ar_sim_time_f32", names[s], f32.sim_s * 1e9, 0.0);
+    report.add("ar_sim_time_bf16", names[s], bf16.sim_s * 1e9, 0.0);
+    if (ratio < 1.9) {
+      std::printf("  FAIL: %s wire-byte reduction %.2fx < 1.9x\n", names[s],
+                  ratio);
+      ok = false;
+    }
+    if (speedup <= 1.0) {
+      std::printf("  FAIL: %s modeled all-reduce not faster on bf16\n",
+                  names[s]);
+      ok = false;
+    }
+  }
+
+  // -- comm-bound DP training step ------------------------------------------
+  std::printf("\nDP training step on System IV (8 ranks, grad-sync-bound)\n");
+  const auto step_f32 = run_dp_step(t::Dtype::kF32);
+  const auto step_bf16 = run_dp_step(t::Dtype::kBF16);
+  const double sim_speedup = step_f32.sim_ms / step_bf16.sim_ms;
+  std::printf("  %-6s sim %8.3f ms/step  wall %8.1f us/step  loss %.6f\n",
+              "f32", step_f32.sim_ms, step_f32.wall_ns / 1e3,
+              static_cast<double>(step_f32.final_loss));
+  std::printf("  %-6s sim %8.3f ms/step  wall %8.1f us/step  loss %.6f\n",
+              "bf16", step_bf16.sim_ms, step_bf16.wall_ns / 1e3,
+              static_cast<double>(step_bf16.final_loss));
+  std::printf("  simulated step speedup: %.2fx\n", sim_speedup);
+  for (const auto* r : {&step_f32, &step_bf16}) {
+    const char* lbl = r == &step_f32 ? "f32" : "bf16";
+    report.add(std::string("dp_step_sim_") + lbl, "sysiv_p8_mlp512",
+               r->sim_ms * 1e6, 0.0);
+    report.add(std::string("dp_step_wall_") + lbl, "sysiv_p8_mlp512",
+               r->wall_ns, 0.0);
+  }
+  if (sim_speedup <= 1.05) {
+    std::printf("  FAIL: bf16 wire does not speed up the comm-bound step\n");
+    ok = false;
+  }
+  const double loss_drift = std::abs(static_cast<double>(step_f32.final_loss) -
+                                     static_cast<double>(step_bf16.final_loss));
+  if (!(loss_drift < 5e-2)) {
+    std::printf("  FAIL: bf16 loss drift %.4f exceeds tolerance\n", loss_drift);
+    ok = false;
+  }
+
+  // -- convert-kernel throughput --------------------------------------------
+  constexpr std::int64_t kN = std::int64_t{1} << 22;
+  std::vector<float> src(static_cast<std::size_t>(kN), 1.2345f);
+  std::vector<float> dst(static_cast<std::size_t>(kN));
+  const double bf16_ns =
+      bench::time_ns([&] { t::round_trip_bf16(src.data(), dst.data(), kN); });
+  const double f16_ns =
+      bench::time_ns([&] { t::round_trip_f16(src.data(), dst.data(), kN); });
+  // 8 bytes of host traffic per element (fp32 read + fp32 write).
+  const double bf16_gbps = 8.0 * static_cast<double>(kN) / bf16_ns;
+  const double f16_gbps = 8.0 * static_cast<double>(kN) / f16_ns;
+  std::printf("\nconvert kernels on %lld elems: bf16 %.1f GB/s, f16 %.1f GB/s\n",
+              static_cast<long long>(kN), bf16_gbps, f16_gbps);
+  report.add("round_trip_bf16", "n4M", bf16_ns, 0.0);
+  report.add("round_trip_f16", "n4M", f16_ns, 0.0);
+
+  report.write();
+  if (!ok) {
+    std::printf("\nmixed-precision gates FAILED\n");
+    return 1;
+  }
+  std::printf("\nall mixed-precision gates passed\n");
+  return 0;
+}

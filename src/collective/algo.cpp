@@ -123,7 +123,8 @@ std::optional<Algo> AlgoSelector::env_override() {
 Algo AlgoSelector::select(Op op, std::int64_t bytes,
                           const sim::Topology& topo,
                           std::span<const int> ranks,
-                          const TwoLevelPlan& plan) const {
+                          const TwoLevelPlan& plan,
+                          std::int64_t elem_bytes) const {
   const int group_size = static_cast<int>(ranks.size());
   if (!schedule_selectable(op) || group_size < 2) return Algo::kChunked;
 
@@ -134,8 +135,11 @@ Algo AlgoSelector::select(Op op, std::int64_t bytes,
     return *forced;
   }
 
+  // elem_bytes * P is the n < P floor in *bytes* for this wire width: a
+  // 2-byte wire halves the byte count of the same element count, so pricing
+  // the floor with a hardcoded 4 would mis-chunk small half-wire messages.
   if (reducing_or_rooted(op) &&
-      bytes < std::max<std::int64_t>(kSmallMaxBytes, 4 * group_size)) {
+      bytes < std::max<std::int64_t>(kSmallMaxBytes, elem_bytes * group_size)) {
     return Algo::kSingleRoot;
   }
 

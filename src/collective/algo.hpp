@@ -100,10 +100,16 @@ class AlgoSelector {
  public:
   explicit AlgoSelector(const AlgoPolicy* policy = nullptr) : policy_(policy) {}
 
+  /// `bytes` are *wire* bytes (element count x wire element width), so the
+  /// bandwidth crossovers shift exactly as the message shrinks on a half
+  /// wire; `elem_bytes` is the wire element width, needed only for the
+  /// n < P empty-ownership-chunk floor in step 3 (element count = bytes /
+  /// elem_bytes, so a 2-byte wire must keep the same *element* floor).
   [[nodiscard]] Algo select(Op op, std::int64_t bytes,
                             const sim::Topology& topo,
                             std::span<const int> ranks,
-                            const TwoLevelPlan& plan) const;
+                            const TwoLevelPlan& plan,
+                            std::int64_t elem_bytes = 4) const;
 
   /// Parse a knob value; "auto"/"" -> nullopt, unknown -> nullopt with
   /// `ok=false` for callers that want to reject bad config.

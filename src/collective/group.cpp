@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <utility>
+
+#include "tensor/convert.hpp"
 
 namespace ca::collective {
 
 namespace {
-
-constexpr std::int64_t kFloatBytes = 4;
 /// Below this many elements a rank-local loop is not worth an OpenMP team.
 constexpr std::int64_t kOmpMinElems = 1 << 16;
 /// Cache-friendly block for the reducing actions: the block stays L1-resident
@@ -40,18 +41,19 @@ void scale_inplace(std::span<float> data, float scale) {
 
 /// The op's modeled payload under its byte convention — what the selector,
 /// the cost model, and the emitted comm span all agree on (and what
-/// build_schedule stores in CommSchedule::bytes).
-std::int64_t modeled_bytes(Op op, std::int64_t n_in, std::int64_t n_out,
-                           int p) {
+/// build_schedule stores in CommSchedule::bytes). `elem_bytes` is the wire
+/// element width: a half wire halves every formula.
+std::int64_t modeled_bytes(Op op, std::int64_t n_in, std::int64_t n_out, int p,
+                           std::int64_t elem_bytes) {
   switch (op) {
     case Op::kAllGather:
-      return n_out * kFloatBytes;  // the full gathered size (NCCL convention)
+      return n_out * elem_bytes;  // the full gathered size (NCCL convention)
     case Op::kGather:
-      return n_in * p * kFloatBytes;
+      return n_in * p * elem_bytes;
     case Op::kScatter:
-      return n_out * p * kFloatBytes;
+      return n_out * p * elem_bytes;
     default:
-      return n_in * kFloatBytes;
+      return n_in * elem_bytes;
   }
 }
 
@@ -136,7 +138,7 @@ void Group::sync(int idx) {
     dev.advance_clock(budget);
     if (obs::TraceBuffer* tb = dev.trace()) {
       tb->add(obs::TraceEvent{name_ + ".watchdog", obs::Category::kFault, t0,
-                              t0 + budget, t0, me.cur_bytes, 0.0, 0.0, {}});
+                              t0 + budget, t0, me.cur_bytes, 0.0, 0.0, {}, {}});
     }
     throw sim::CommTimeoutError(grank, name_, me.cur_op, me.cur_bytes, budget,
                                 cluster_.fault_state().cause());
@@ -167,7 +169,7 @@ void Group::reduce_members(int slot, std::int64_t src, float* dst,
 }
 
 double Group::settle(int grank, double t_start, Op op, Algo algo,
-                     std::int64_t bytes) {
+                     std::int64_t bytes, tensor::Dtype wire) {
   auto& me = members_[static_cast<std::size_t>(index_of(grank))];
   // Collectives on one group serialize on its comm lane: an op starts no
   // earlier than the previous one finished, even when both were issued
@@ -193,7 +195,7 @@ double Group::settle(int grank, double t_start, Op op, Algo algo,
         name_ + "." + op_name(op), obs::Category::kComm, begin, t_end, t_start,
         bytes, 0.0,
         collective_time(op, algo, cluster_.topology(), ranks_, 0, plan_),
-        algo_name(algo)});
+        algo_name(algo), tensor::dtype_name(wire)});
   }
   return t_end;
 }
@@ -240,13 +242,16 @@ void Group::run_action(int idx, int slot, const CommAction& a, float* out,
 
 double Group::run_collective(int grank, Op op, const float* in,
                              std::int64_t n_in, float* out, std::int64_t n_out,
-                             int root, float scale, double pub_clock) {
+                             int root, float scale, double pub_clock,
+                             tensor::Dtype wire) {
   const int idx = index_of(grank);
   auto& me = members_[static_cast<std::size_t>(idx)];
-  const std::int64_t bytes = modeled_bytes(op, n_in, n_out, size());
+  const std::int64_t elem_bytes = tensor::dtype_bytes(wire);
+  const std::int64_t bytes = modeled_bytes(op, n_in, n_out, size(), elem_bytes);
   // Deterministic across members: same op/bytes/plan and a shared policy, so
   // every member compiles the same schedule with the same barrier count.
-  const Algo algo = selector_.select(op, bytes, cluster_.topology(), ranks_, plan_);
+  const Algo algo = selector_.select(op, bytes, cluster_.topology(), ranks_,
+                                     plan_, elem_bytes);
 
   const sim::FaultInjector* fi = cluster_.fault_injector();
   // Fail-stop lands at collective *entry* — before publish, so every peer
@@ -256,7 +261,25 @@ double Group::run_collective(int grank, Op op, const float* in,
   me.cur_op = op_name(op);
   me.cur_bytes = bytes;
 
-  auto tok = publish(idx, in, n_in, pub_clock);
+  // Half-wire pack: round my input through the wire format into this op's
+  // parity staging buffer and publish that, so every read of "my" data —
+  // peers' folds and my own — sees exactly what crossed the wire. Writing
+  // stage[seq & 1] *before* publish is race-free for the same reason user
+  // buffers are: the only peers reading this staging slot (op k-2) finished
+  // behind a barrier that gates my previous publish. NaNs survive the
+  // rounding (quieted), so injected gradient corruption is still visible to
+  // the NaN-consensus guard after the trip.
+  const float* pub = in;
+  if (wire != tensor::Dtype::kF32 && in != nullptr && n_in > 0) {
+    auto& stage = me.stage[static_cast<std::size_t>(me.seq & 1)];
+    if (std::cmp_less(stage.size(), n_in)) {
+      stage.resize(static_cast<std::size_t>(n_in));
+    }
+    tensor::wire_round_trip(wire, in, stage.data(), n_in);
+    pub = stage.data();
+  }
+
+  auto tok = publish(idx, pub, n_in, pub_clock);
 
   if (fi != nullptr) {
     // Transient fabric fault: every member derives the same retry sequence
@@ -272,19 +295,19 @@ double Group::run_collective(int grank, Op op, const float* in,
       if (obs::TraceBuffer* tb = cluster_.device(grank).trace()) {
         tb->add(obs::TraceEvent{name_ + ".retry", obs::Category::kFault,
                                 tok.t_start, tok.t_start + retry.delay,
-                                tok.t_start, bytes, 0.0, 0.0, {}});
+                                tok.t_start, bytes, 0.0, 0.0, {}, {}});
       }
       tok.t_start += retry.delay;
     }
   }
 
   const SchedKey key{static_cast<int>(op), static_cast<int>(algo), n_in, n_out,
-                     root};
+                     root, static_cast<int>(wire)};
   auto it = me.schedules.find(key);
   if (it == me.schedules.end()) {
     it = me.schedules
              .emplace(key, build_schedule(op, algo, size(), n_in, n_out, root,
-                                          owner_perm_))
+                                          owner_perm_, elem_bytes))
              .first;
   }
   const CommSchedule& sched = it->second;
@@ -307,21 +330,48 @@ double Group::run_collective(int grank, Op op, const float* in,
     if (ph.barrier_after) sync(idx);
   }
 
-  return settle(grank, tok.t_start, op, algo, sched.bytes);
+  // Half-wire copy-out: the *result* crosses the wire too. Only the reducing
+  // ops produce fresh fp32 sums that need rounding (one pass, AFTER the
+  // fp32-accumulated canonical fold — never per hop, so the fold order and
+  // hence cross-algorithm bit-identity are untouched); pure data movers
+  // already hold wire-rounded payloads (the rounding is idempotent) and are
+  // skipped. Broadcast roots never execute a copy action, so their buffer is
+  // rounded here to keep SPMD replicas bit-identical with the receivers.
+  if (wire != tensor::Dtype::kF32 && out != nullptr && n_out > 0) {
+    switch (op) {
+      case Op::kAllReduce:
+      case Op::kReduceScatter:
+        tensor::wire_round_trip(wire, out, out, n_out);
+        break;
+      case Op::kReduce:
+      case Op::kBroadcast:
+        if (idx == root) tensor::wire_round_trip(wire, out, out, n_out);
+        break;
+      default:
+        break;
+    }
+  }
+
+  return settle(grank, tok.t_start, op, algo, sched.bytes, wire);
 }
 
 // ---- blocking collectives ---------------------------------------------------
 
-void Group::all_reduce(int grank, std::span<float> data, float scale) {
+void Group::all_reduce(int grank, std::span<float> data, float scale,
+                       tensor::Dtype wire) {
   if (size() == 1) {
     scale_inplace(data, scale);
+    // A size-1 "wire" still yields wire-representable values, so behavior is
+    // uniform across group sizes.
+    tensor::wire_round_trip(wire, data.data(), data.data(),
+                            static_cast<std::int64_t>(data.size()));
     return;
   }
   flush(grank);
   const auto n = static_cast<std::int64_t>(data.size());
   const double t_end =
       run_collective(grank, Op::kAllReduce, data.data(), n, data.data(), n,
-                     /*root=*/0, scale, cluster_.device(grank).clock());
+                     /*root=*/0, scale, cluster_.device(grank).clock(), wire);
   cluster_.device(grank).set_clock(t_end);
 }
 
@@ -336,26 +386,30 @@ void Group::reduce(int grank, std::span<float> data, int root) {
 }
 
 void Group::all_gather(int grank, std::span<const float> in,
-                       std::span<float> out) {
+                       std::span<float> out, tensor::Dtype wire) {
   if (size() == 1) {
     assert(in.size() == out.size());
-    std::copy(in.begin(), in.end(), out.begin());
+    tensor::wire_round_trip(wire, in.data(), out.data(),
+                            static_cast<std::int64_t>(in.size()));
     return;
   }
   flush(grank);
   const double t_end = run_collective(
       grank, Op::kAllGather, in.data(), static_cast<std::int64_t>(in.size()),
       out.data(), static_cast<std::int64_t>(out.size()), /*root=*/0, 1.0f,
-      cluster_.device(grank).clock());
+      cluster_.device(grank).clock(), wire);
   cluster_.device(grank).set_clock(t_end);
 }
 
 void Group::reduce_scatter(int grank, std::span<const float> in,
-                           std::span<float> out, float scale) {
+                           std::span<float> out, float scale,
+                           tensor::Dtype wire) {
   if (size() == 1) {
     assert(in.size() == out.size());
     std::copy(in.begin(), in.end(), out.begin());
     scale_inplace(out, scale);
+    tensor::wire_round_trip(wire, out.data(), out.data(),
+                            static_cast<std::int64_t>(out.size()));
     return;
   }
   flush(grank);
@@ -363,17 +417,22 @@ void Group::reduce_scatter(int grank, std::span<const float> in,
       grank, Op::kReduceScatter, in.data(),
       static_cast<std::int64_t>(in.size()), out.data(),
       static_cast<std::int64_t>(out.size()), /*root=*/0, scale,
-      cluster_.device(grank).clock());
+      cluster_.device(grank).clock(), wire);
   cluster_.device(grank).set_clock(t_end);
 }
 
-void Group::broadcast(int grank, std::span<float> data, int root) {
-  if (size() == 1) return;
+void Group::broadcast(int grank, std::span<float> data, int root,
+                      tensor::Dtype wire) {
+  if (size() == 1) {
+    tensor::wire_round_trip(wire, data.data(), data.data(),
+                            static_cast<std::int64_t>(data.size()));
+    return;
+  }
   flush(grank);
   const auto n = static_cast<std::int64_t>(data.size());
   const double t_end =
       run_collective(grank, Op::kBroadcast, data.data(), n, data.data(), n,
-                     root, 1.0f, cluster_.device(grank).clock());
+                     root, 1.0f, cluster_.device(grank).clock(), wire);
   cluster_.device(grank).set_clock(t_end);
 }
 
@@ -430,10 +489,12 @@ void Group::scatter(int grank, std::span<const float> in, std::span<float> out,
 // ---- non-blocking collectives -----------------------------------------------
 
 CollectiveHandle Group::all_reduce_async(int grank, std::span<float> data,
-                                         float scale) {
+                                         float scale, tensor::Dtype wire) {
   auto st = std::make_shared<detail::AsyncOpState>();
   if (size() == 1) {
     scale_inplace(data, scale);
+    tensor::wire_round_trip(wire, data.data(), data.data(),
+                            static_cast<std::int64_t>(data.size()));
     st->done = true;
     st->t_end = cluster_.device(grank).clock();
     return {this, grank, std::move(st)};
@@ -441,20 +502,22 @@ CollectiveHandle Group::all_reduce_async(int grank, std::span<float> data,
   auto& me = members_[static_cast<std::size_t>(index_of(grank))];
   me.pending.push_back(PendingOp{
       Op::kAllReduce, data.data(), nullptr, nullptr,
-      static_cast<std::int64_t>(data.size()), 0, scale,
+      static_cast<std::int64_t>(data.size()), 0, scale, wire,
       cluster_.device(grank).clock(), st});
   return {this, grank, std::move(st)};
 }
 
 CollectiveHandle Group::reduce_scatter_async(int grank,
                                              std::span<const float> in,
-                                             std::span<float> out,
-                                             float scale) {
+                                             std::span<float> out, float scale,
+                                             tensor::Dtype wire) {
   auto st = std::make_shared<detail::AsyncOpState>();
   if (size() == 1) {
     assert(in.size() == out.size());
     std::copy(in.begin(), in.end(), out.begin());
     scale_inplace(out, scale);
+    tensor::wire_round_trip(wire, out.data(), out.data(),
+                            static_cast<std::int64_t>(out.size()));
     st->done = true;
     st->t_end = cluster_.device(grank).clock();
     return {this, grank, std::move(st)};
@@ -463,17 +526,19 @@ CollectiveHandle Group::reduce_scatter_async(int grank,
   me.pending.push_back(PendingOp{
       Op::kReduceScatter, nullptr, in.data(), out.data(),
       static_cast<std::int64_t>(in.size()),
-      static_cast<std::int64_t>(out.size()), scale,
+      static_cast<std::int64_t>(out.size()), scale, wire,
       cluster_.device(grank).clock(), st});
   return {this, grank, std::move(st)};
 }
 
 CollectiveHandle Group::all_gather_async(int grank, std::span<const float> in,
-                                         std::span<float> out) {
+                                         std::span<float> out,
+                                         tensor::Dtype wire) {
   auto st = std::make_shared<detail::AsyncOpState>();
   if (size() == 1) {
     assert(in.size() == out.size());
-    std::copy(in.begin(), in.end(), out.begin());
+    tensor::wire_round_trip(wire, in.data(), out.data(),
+                            static_cast<std::int64_t>(in.size()));
     st->done = true;
     st->t_end = cluster_.device(grank).clock();
     return {this, grank, std::move(st)};
@@ -482,7 +547,7 @@ CollectiveHandle Group::all_gather_async(int grank, std::span<const float> in,
   me.pending.push_back(PendingOp{
       Op::kAllGather, nullptr, in.data(), out.data(),
       static_cast<std::int64_t>(in.size()),
-      static_cast<std::int64_t>(out.size()), 1.0f,
+      static_cast<std::int64_t>(out.size()), 1.0f, wire,
       cluster_.device(grank).clock(), st});
   return {this, grank, std::move(st)};
 }
@@ -494,15 +559,18 @@ void Group::run_pending(int grank, PendingOp& op) {
   switch (op.kind) {
     case Op::kAllReduce:
       t_end = run_collective(grank, Op::kAllReduce, op.data, op.n, op.data,
-                             op.n, /*root=*/0, op.scale, op.issue_clock);
+                             op.n, /*root=*/0, op.scale, op.issue_clock,
+                             op.wire);
       break;
     case Op::kReduceScatter:
       t_end = run_collective(grank, Op::kReduceScatter, op.in, op.n, op.out,
-                             op.n_out, /*root=*/0, op.scale, op.issue_clock);
+                             op.n_out, /*root=*/0, op.scale, op.issue_clock,
+                             op.wire);
       break;
     case Op::kAllGather:
       t_end = run_collective(grank, Op::kAllGather, op.in, op.n, op.out,
-                             op.n_out, /*root=*/0, 1.0f, op.issue_clock);
+                             op.n_out, /*root=*/0, 1.0f, op.issue_clock,
+                             op.wire);
       break;
     default:
       assert(false && "unsupported deferred op");

@@ -15,6 +15,7 @@
 #include "collective/schedule.hpp"
 #include "sim/cluster.hpp"
 #include "sim/fault.hpp"
+#include "tensor/dtype.hpp"
 
 namespace ca::collective {
 
@@ -134,26 +135,46 @@ class Group {
   /// The two-level (intra-node / inter-node) partition of this group's ranks;
   /// non-viable when the group cannot benefit from hierarchical collectives.
   [[nodiscard]] const TwoLevelPlan& plan() const { return plan_; }
-  /// The algorithm the selector would pick for `op` moving `bytes` on this
-  /// group (exactly what a matching collective call will use).
-  [[nodiscard]] Algo algo_for(Op op, std::int64_t bytes) const {
-    return selector_.select(op, bytes, cluster_.topology(), ranks_, plan_);
+  /// The algorithm the selector would pick for `op` moving `bytes` (wire
+  /// bytes, elem_bytes wide each) on this group (exactly what a matching
+  /// collective call will use).
+  [[nodiscard]] Algo algo_for(Op op, std::int64_t bytes,
+                              std::int64_t elem_bytes = 4) const {
+    return selector_.select(op, bytes, cluster_.topology(), ranks_, plan_,
+                            elem_bytes);
   }
 
   /// Pure synchronization (also aligns logical clocks to the max).
   void barrier(int grank);
 
+  // The bandwidth-bound collectives take a wire dtype: with kF16/kBF16 the
+  // payload crosses the simulated interconnect in half precision — inputs
+  // are rounded through the wire format on pack (so peers and my own fold
+  // read rounded values), the fold itself accumulates in fp32 (canonical
+  // ascending order, bit-identical across algorithms), and the result is
+  // rounded through the wire format once on copy-out. Modeled bytes, cost,
+  // selector crossovers, and trace spans all shrink to the 2-byte element
+  // width. NaNs survive both conversions (quieted), so the NaN-consensus
+  // guard still fires. Default kF32 is the exact fp32 path, bit-identical to
+  // previous behavior.
+
   /// In-place sum over all members, multiplied by `scale` during the
   /// copy-out (fused gradient averaging: no second full sweep).
-  void all_reduce(int grank, std::span<float> data, float scale = 1.0f);
+  void all_reduce(int grank, std::span<float> data, float scale = 1.0f,
+                  tensor::Dtype wire = tensor::Dtype::kF32);
   /// out[i-th chunk] = scale * sum over members of their in[i-th chunk];
   /// in.size() must be size() * out.size(); in and out must not alias.
   void reduce_scatter(int grank, std::span<const float> in,
-                      std::span<float> out, float scale = 1.0f);
+                      std::span<float> out, float scale = 1.0f,
+                      tensor::Dtype wire = tensor::Dtype::kF32);
   /// out = concatenation of every member's in, in group-index order.
-  void all_gather(int grank, std::span<const float> in, std::span<float> out);
-  /// Copy root's buffer to every member. `root` is a group index.
-  void broadcast(int grank, std::span<float> data, int root);
+  void all_gather(int grank, std::span<const float> in, std::span<float> out,
+                  tensor::Dtype wire = tensor::Dtype::kF32);
+  /// Copy root's buffer to every member. `root` is a group index. On a half
+  /// wire *every* member's buffer (root's included) holds the wire-rounded
+  /// values afterwards, so SPMD replicas stay bit-identical.
+  void broadcast(int grank, std::span<float> data, int root,
+                 tensor::Dtype wire = tensor::Dtype::kF32);
   /// Sum every member's buffer into root's buffer (others' unchanged).
   void reduce(int grank, std::span<float> data, int root);
   /// Chunk i of my `in` goes to member i; my out chunk j comes from member j.
@@ -174,15 +195,15 @@ class Group {
   // wait. The referenced buffers must stay alive and untouched until the
   // handle is waited. Results are bit-identical to the blocking variants.
 
-  [[nodiscard]] CollectiveHandle all_reduce_async(int grank,
-                                                  std::span<float> data,
-                                                  float scale = 1.0f);
+  [[nodiscard]] CollectiveHandle all_reduce_async(
+      int grank, std::span<float> data, float scale = 1.0f,
+      tensor::Dtype wire = tensor::Dtype::kF32);
   [[nodiscard]] CollectiveHandle reduce_scatter_async(
       int grank, std::span<const float> in, std::span<float> out,
-      float scale = 1.0f);
-  [[nodiscard]] CollectiveHandle all_gather_async(int grank,
-                                                  std::span<const float> in,
-                                                  std::span<float> out);
+      float scale = 1.0f, tensor::Dtype wire = tensor::Dtype::kF32);
+  [[nodiscard]] CollectiveHandle all_gather_async(
+      int grank, std::span<const float> in, std::span<float> out,
+      tensor::Dtype wire = tensor::Dtype::kF32);
 
   /// Execute every pending async op of this member (without charging the
   /// device clock — only wait() does that). Implicit before any blocking
@@ -218,6 +239,7 @@ class Group {
     std::int64_t n = 0;         // all_reduce: elems; others: in-elems
     std::int64_t n_out = 0;     // reduce_scatter / all_gather: out-elems
     float scale = 1.0f;
+    tensor::Dtype wire = tensor::Dtype::kF32;
     double issue_clock = 0.0;  // member's clock when the op was issued
     std::shared_ptr<detail::AsyncOpState> st;
   };
@@ -255,10 +277,13 @@ class Group {
   /// alias for in-place ops); `pub_clock` is the clock value to publish
   /// (current for blocking calls, the recorded issue clock for deferred
   /// ones). Returns the op's simulated completion time; the caller decides
-  /// how to charge it.
+  /// how to charge it. With a half `wire`, `in` is packed (rounded) into the
+  /// member's parity staging buffer before publish and `out` is rounded
+  /// after the phases run (see the blocking-API comment above).
   double run_collective(int grank, Op op, const float* in, std::int64_t n_in,
                         float* out, std::int64_t n_out, int root, float scale,
-                        double pub_clock);
+                        double pub_clock,
+                        tensor::Dtype wire = tensor::Dtype::kF32);
 
   /// Execute one schedule action on behalf of member `idx`.
   void run_action(int idx, int slot, const CommAction& a, float* out,
@@ -274,7 +299,8 @@ class Group {
   /// emit the algorithm-tagged comm span, and return the op's completion
   /// time.
   double settle(int grank, double t_start, Op op, Algo algo,
-                std::int64_t bytes);
+                std::int64_t bytes,
+                tensor::Dtype wire = tensor::Dtype::kF32);
   void account(int grank, Op op, std::int64_t bytes);
 
   sim::Cluster& cluster_;
@@ -295,8 +321,11 @@ class Group {
   std::vector<std::int64_t> counts_[2];
   std::vector<double> clocks_[2];
 
-  /// Cache key of a compiled schedule: (op, algo, n_in, n_out, root).
-  using SchedKey = std::tuple<int, int, std::int64_t, std::int64_t, int>;
+  /// Cache key of a compiled schedule: (op, algo, n_in, n_out, root, wire).
+  /// Wire dtype is part of the key because the schedule's modeled bytes are
+  /// priced at the wire element width.
+  using SchedKey =
+      std::tuple<int, int, std::int64_t, std::int64_t, int, int>;
 
   // Per-member private state (each member thread touches only its own entry);
   // padded to a cache line to keep the counters from false-sharing.
@@ -315,10 +344,18 @@ class Group {
     double lane_busy = 0.0;
     // Deferred async ops, executed in issue order by wait()/flush().
     std::deque<PendingOp> pending;
-    // Compiled schedules, one per (op, algo, sizes, root) this member has
-    // executed: steady-state steps replay cached schedules and allocate
+    // Compiled schedules, one per (op, algo, sizes, root, wire) this member
+    // has executed: steady-state steps replay cached schedules and allocate
     // nothing. Private per member, so no synchronization is needed.
     std::map<SchedKey, CommSchedule> schedules;
+    // Half-wire pack staging, double-buffered by the same op parity as the
+    // rendezvous slots: stage[seq & 1] holds this op's wire-rounded input
+    // and is published in place of the user buffer. Safe under the parity
+    // protocol for exactly the reason user buffers are: peers' reads of op
+    // k-2's staging finish behind a barrier every member passed before it
+    // could publish op k-1, which precedes my pack for op k. Grow-only, so
+    // steady-state steps allocate nothing.
+    std::vector<float> stage[2];
   };
   std::vector<MemberState> members_;
 

@@ -25,7 +25,7 @@ void P2pChannel::abort_timeout(int rank, const char* op, std::int64_t bytes) {
   dev.advance_clock(budget);
   if (obs::TraceBuffer* tb = dev.trace()) {
     tb->add(obs::TraceEvent{"p2p.watchdog", obs::Category::kFault, t0,
-                            t0 + budget, t0, bytes, 0.0, 0.0, {}});
+                            t0 + budget, t0, bytes, 0.0, 0.0, {}, {}});
   }
   throw sim::CommTimeoutError(rank, "p2p", op, bytes, budget, fs.cause());
 }
@@ -46,7 +46,7 @@ void P2pChannel::do_send(const float* ptr, std::int64_t count,
     if (obs::TraceBuffer* tb = src_dev.trace()) {
       tb->add(obs::TraceEvent{"p2p.send", obs::Category::kComm,
                               msg->send_clock, src_dev.clock(),
-                              msg->send_clock, bytes, 0.0, 0.0, {}});
+                              msg->send_clock, bytes, 0.0, 0.0, {}, {}});
     }
     std::scoped_lock lock(m_);
     queue_.push_back(std::move(msg));
@@ -72,7 +72,7 @@ void P2pChannel::do_send(const float* ptr, std::int64_t count,
   if (obs::TraceBuffer* tb = src_dev.trace()) {
     tb->add(obs::TraceEvent{"p2p.send", obs::Category::kComm, msg->send_clock,
                             msg->finish_clock, msg->send_clock, bytes, 0.0,
-                            0.0, {}});
+                            0.0, {}, {}});
   }
 }
 
@@ -110,7 +110,7 @@ void P2pChannel::do_recv(float* ptr, std::int64_t count, std::int64_t bytes,
     // t_issue = when the recv was posted; the span itself covers the wire
     // transfer (which may sit entirely under the receiver's compute).
     tb->add(obs::TraceEvent{"p2p.recv", obs::Category::kComm, t_start, finish,
-                            ready_clock, bytes, 0.0, 0.0, {}});
+                            ready_clock, bytes, 0.0, 0.0, {}, {}});
   }
   if (msg->sync) {
     std::scoped_lock lock(m_);

@@ -240,24 +240,31 @@ std::pair<std::int64_t, std::int64_t> chunk_range(std::int64_t n, int idx,
 
 CommSchedule build_schedule(Op op, Algo algo, int p, std::int64_t n_in,
                             std::int64_t n_out, int root,
-                            const std::vector<int>& owner_perm) {
+                            const std::vector<int>& owner_perm,
+                            std::int64_t elem_bytes) {
+  const auto priced = [elem_bytes](CommSchedule s) {
+    // The per-op builders compute the payload at fp32 width; re-price for
+    // the wire element width (exact: every formula is elems * kFloatBytes).
+    s.bytes = s.bytes / kFloatBytes * elem_bytes;
+    return s;
+  };
   switch (op) {
     case Op::kAllReduce:
-      return all_reduce_schedule(algo, p, n_in, owner_perm);
+      return priced(all_reduce_schedule(algo, p, n_in, owner_perm));
     case Op::kReduce:
-      return reduce_schedule(algo, p, n_in, root, owner_perm);
+      return priced(reduce_schedule(algo, p, n_in, root, owner_perm));
     case Op::kReduceScatter:
-      return reduce_scatter_schedule(algo, p, n_in, n_out);
+      return priced(reduce_scatter_schedule(algo, p, n_in, n_out));
     case Op::kAllGather:
-      return all_gather_schedule(algo, p, n_in, n_out);
+      return priced(all_gather_schedule(algo, p, n_in, n_out));
     case Op::kBroadcast:
-      return broadcast_schedule(algo, p, n_in, root);
+      return priced(broadcast_schedule(algo, p, n_in, root));
     case Op::kAllToAll:
-      return all_to_all_schedule(p, n_in);
+      return priced(all_to_all_schedule(p, n_in));
     case Op::kGather:
-      return gather_schedule(p, n_in, root);
+      return priced(gather_schedule(p, n_in, root));
     case Op::kScatter:
-      return scatter_schedule(p, n_out, root);
+      return priced(scatter_schedule(p, n_out, root));
   }
   assert(false && "unknown op");
   return {};

@@ -65,10 +65,13 @@ struct CommSchedule {
 /// P * n_in; rooted ops: n_in = buffer elements). `owner_perm` is the
 /// hierarchical chunk-ownership permutation (perm[c] = owning member of chunk
 /// c); pass an empty vector for identity. Ops without algorithm freedom
-/// (gather/scatter/all_to_all) ignore `algo`.
+/// (gather/scatter/all_to_all) ignore `algo`. `elem_bytes` is the wire
+/// element width (4 for an fp32 wire, 2 for f16/bf16): offsets and counts
+/// stay in elements, only the modeled `bytes` shrink with the wire format.
 CommSchedule build_schedule(Op op, Algo algo, int p, std::int64_t n_in,
                             std::int64_t n_out, int root,
-                            const std::vector<int>& owner_perm);
+                            const std::vector<int>& owner_perm,
+                            std::int64_t elem_bytes = 4);
 
 /// [begin, end) of ownership chunk `idx` of an n-element buffer: near-equal
 /// contiguous split, remainder spread over low indices. (Shared with the

@@ -38,6 +38,15 @@ struct Config {
   /// this field (see DESIGN.md section 6).
   std::string collective_algo = "auto";
 
+  /// Wire element type product comm paths (DP gradient sync, ZeRO
+  /// reduce-scatter/all-gather, TP/SP activation exchanges) move payloads
+  /// in: "f32" (exact), "f16", or "bf16" — halving modeled interconnect
+  /// bytes at reduced mantissa precision, with fp32 master accumulation
+  /// (`comm_dtype`; the CA_COMM_DTYPE environment variable wins over this
+  /// field, and an explicit Engine::Options/ZeroOptimizer override wins over
+  /// both). Checkpoints and bare Group calls stay fp32.
+  std::string comm_dtype = "f32";
+
   /// Sim-time the collective watchdog waits at a broken rendezvous before
   /// raising CommTimeoutError on the survivors (`fault.watchdog`; the
   /// CA_FAULT_WATCHDOG environment variable wins over this field).
@@ -86,6 +95,8 @@ struct Config {
                 collective_algo == "hierarchical" ||
                 collective_algo == "single_root",
             "unknown collective_algo '" + collective_algo + "'");
+    require(comm_dtype == "f32" || comm_dtype == "f16" || comm_dtype == "bf16",
+            "unknown comm_dtype '" + comm_dtype + "' (want f32|f16|bf16)");
     require(fault_watchdog > 0.0, "fault.watchdog must be > 0");
     require(sim_backend == "threads" || sim_backend == "tasks",
             "unknown sim.backend '" + sim_backend + "' (want threads|tasks)");

@@ -64,6 +64,8 @@ Config parse_config(const std::string& text) {
       cfg.sequence_parallel_size = parse_int(key, value);
     } else if (key == "collective_algo" || key == "collective.algo") {
       cfg.collective_algo = value;
+    } else if (key == "comm_dtype" || key == "comm.dtype") {
+      cfg.comm_dtype = value;
     } else if (key == "fault.watchdog") {
       try {
         std::size_t pos = 0;

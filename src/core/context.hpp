@@ -4,6 +4,7 @@
 
 #include "collective/backend.hpp"
 #include "core/config.hpp"
+#include "tensor/dtype.hpp"
 
 namespace ca::core {
 
@@ -28,6 +29,21 @@ class ParallelContext {
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] collective::Backend& backend() { return backend_; }
   [[nodiscard]] int world_size() const { return config_.world_size(); }
+
+  /// The wire element type product comm paths (engine gradient sync, ZeRO,
+  /// TP/SP activation exchanges) pass to their collectives. Resolved once at
+  /// construction: CA_COMM_DTYPE env var > `comm_dtype` config field (the
+  /// same precedence as the fault-watchdog and sim-backend knobs); an
+  /// explicit Engine::Options / ZeroOptimizer override wins over both. Bare
+  /// Group calls and checkpoint traffic are unaffected (fp32).
+  [[nodiscard]] tensor::Dtype comm_dtype() const { return comm_dtype_; }
+
+  /// The explicit-override tier of the precedence chain: force the wire
+  /// dtype regardless of env/config. Call before the SPMD region (not
+  /// thread-safe against concurrent comm_dtype() readers). Tests asserting
+  /// exact serial equivalence pin kF32 here so they stay meaningful when the
+  /// suite runs under CA_COMM_DTYPE=bf16.
+  void set_comm_dtype(tensor::Dtype d) { comm_dtype_ = d; }
 
   // ---- rank decomposition ----------------------------------------------------
 
@@ -93,6 +109,7 @@ class ParallelContext {
 
   collective::Backend& backend_;
   Config config_;
+  tensor::Dtype comm_dtype_ = tensor::Dtype::kF32;
   int grid_side_ = 0;
 
   // one entry per global rank

@@ -17,11 +17,12 @@ Engine::Engine(const tp::Env& env, nn::Module& model,
     : env_(env),
       model_(model),
       optimizer_(std::move(optimizer)),
-      options_(options) {
+      options_(options),
+      wire_(options.comm_dtype.value_or(env.ctx->comm_dtype())) {
   auto& dp = env_.ctx->data_group(env_.grank);
   if (dp.size() > 1 && options_.grad_sync == Options::GradSync::kBucketed) {
     bucketer_ = std::make_unique<GradBucketer>(
-        dp, env_.grank, optimizer_->params(), options_.bucket_bytes);
+        dp, env_.grank, optimizer_->params(), options_.bucket_bytes, wire_);
     model_.set_grad_ready_hook(
         [this](nn::Parameter& p) { bucketer_->on_grad_ready(p); });
   }
@@ -69,7 +70,7 @@ void Engine::step() {
       // 1/P averaging fused into the reduce's copy-out phase.
       const float inv = 1.0f / static_cast<float>(dp.size());
       for (nn::Parameter* p : optimizer_->params()) {
-        dp.all_reduce(env_.grank, p->grad.data(), inv);
+        dp.all_reduce(env_.grank, p->grad.data(), inv, wire_);
       }
     }
   }
@@ -95,7 +96,7 @@ void Engine::step() {
       if (tb != nullptr) {
         const double t = env_.dev().clock();
         tb->add(obs::TraceEvent{"engine.nan_skip", obs::Category::kFault, t, t,
-                                t, 0, 0.0, 0.0, {}});
+                                t, 0, 0.0, 0.0, {}, {}});
       }
       return;
     }

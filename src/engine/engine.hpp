@@ -3,8 +3,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "engine/grad_bucket.hpp"
+#include "tensor/dtype.hpp"
 #include "nn/module.hpp"
 #include "optim/optimizer.hpp"
 #include "tp/env.hpp"
@@ -42,6 +44,14 @@ class Engine {
     /// contract). Forced on while a fault injector is installed; otherwise
     /// the guard costs one predictable branch.
     bool nan_guard = false;
+    /// Wire element type of data-parallel gradient sync (bucketed and
+    /// serial). Unset (the default) resolves through the established knob
+    /// precedence: CA_COMM_DTYPE env var > `comm_dtype` config field (via
+    /// ParallelContext::comm_dtype()); set it to pin a dtype regardless of
+    /// the environment. Half wires move 2-byte gradients with fp32
+    /// accumulation; the NaN guard and loss-scaler skip still fire because
+    /// the conversions preserve NaN.
+    std::optional<tensor::Dtype> comm_dtype;
   };
 
   Engine(const tp::Env& env, nn::Module& model,
@@ -81,6 +91,7 @@ class Engine {
   nn::Module& model_;
   std::unique_ptr<optim::Optimizer> optimizer_;
   Options options_;
+  tensor::Dtype wire_ = tensor::Dtype::kF32;  // resolved grad-sync wire dtype
   std::unique_ptr<GradBucketer> bucketer_;  // null when serial or dp == 1
   tensor::Tensor dlogits_;
   bool has_dlogits_ = false;

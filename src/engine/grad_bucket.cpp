@@ -7,10 +7,11 @@ namespace ca::engine {
 
 GradBucketer::GradBucketer(collective::Group& dp, int grank,
                            const std::vector<nn::Parameter*>& params,
-                           std::int64_t bucket_bytes)
+                           std::int64_t bucket_bytes, tensor::Dtype wire)
     : dp_(dp),
       grank_(grank),
-      scale_(1.0f / static_cast<float>(dp.size())) {
+      scale_(1.0f / static_cast<float>(dp.size())),
+      wire_(wire) {
   const std::int64_t cap_elems = std::max<std::int64_t>(bucket_bytes / 4, 1);
   // Reverse registration order ≈ backward completion order, so buckets fill
   // (and their reduces launch) while backward is still running earlier layers.
@@ -43,7 +44,7 @@ void GradBucketer::issue(Bucket& b) {
     const auto g = b.params[i]->grad.data();
     std::copy(g.begin(), g.end(), b.flat.begin() + b.offsets[i]);
   }
-  b.handle = dp_.all_reduce_async(grank_, b.flat, scale_);
+  b.handle = dp_.all_reduce_async(grank_, b.flat, scale_, wire_);
   b.issued = true;
 }
 

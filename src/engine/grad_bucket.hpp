@@ -28,10 +28,15 @@ class GradBucketer {
  public:
   /// `params` in registration order; buckets are built back-to-front.
   /// `bucket_bytes` caps a bucket's payload (a single parameter larger than
-  /// the cap gets its own bucket).
+  /// the cap gets its own bucket). `wire` is the element type the bucket
+  /// all-reduces move over the interconnect: a half wire halves each
+  /// bucket's wire bytes (the bucket *cap* stays in fp32 gradient bytes, so
+  /// bucket boundaries — and hence the reduction grouping — are identical
+  /// across wire dtypes).
   GradBucketer(collective::Group& dp, int grank,
                const std::vector<nn::Parameter*>& params,
-               std::int64_t bucket_bytes);
+               std::int64_t bucket_bytes,
+               tensor::Dtype wire = tensor::Dtype::kF32);
 
   /// Re-arm for a new step: clears per-step ready/issued state so hooks may
   /// trigger eager issue again. Call before backward.
@@ -65,6 +70,7 @@ class GradBucketer {
   collective::Group& dp_;
   int grank_;
   float scale_;  // 1/P gradient averaging, fused into the reduce copy-out
+  tensor::Dtype wire_;  // wire element type of the bucket all-reduces
   std::vector<Bucket> buckets_;
   // grad-buffer pointer -> owning bucket index (Tensor storage is stable)
   std::unordered_map<const float*, int> bucket_of_;

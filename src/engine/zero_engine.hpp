@@ -75,7 +75,7 @@ class ZeroEngine {
         if (obs::TraceBuffer* tb = env_.dev().trace()) {
           const double t = env_.dev().clock();
           tb->add(obs::TraceEvent{"zero.nan_skip", obs::Category::kFault, t,
-                                  t, t, 0, 0.0, 0.0, {}});
+                                  t, t, 0, 0.0, 0.0, {}, {}});
         }
         opt_.release_params();
         return;

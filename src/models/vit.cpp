@@ -81,7 +81,8 @@ t::Tensor VitClassifier::logits(const t::Tensor& x) {
   t::scale_(pooled, 1.0f / static_cast<float>(cfg_.patches));
   if (mode_ == Mode::kSequence) {
     auto& g = env_->ctx->sequence_group(env_->grank);
-    g.all_reduce(env_->grank, pooled.data());  // sum the partial means
+    // sum the partial means over the configured wire dtype
+    g.all_reduce(env_->grank, pooled.data(), 1.0f, env_->ctx->comm_dtype());
   }
   return head_->forward(pooled);
 }
@@ -117,7 +118,9 @@ float VitClassifier::train_batch(const t::Tensor& x,
     std::vector<nn::Parameter*> partial;
     embed_->collect_parameters(partial);
     final_ln_->collect_parameters(partial);
-    for (nn::Parameter* p : partial) grp.all_reduce(env_->grank, p->grad.data());
+    for (nn::Parameter* p : partial)
+      grp.all_reduce(env_->grank, p->grad.data(), 1.0f,
+                     env_->ctx->comm_dtype());
   }
   return loss;
 }

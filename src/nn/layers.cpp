@@ -186,8 +186,7 @@ t::Tensor MultiHeadAttention::forward(const t::Tensor& x) {
 
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
   auto scores = t::bmm_nt(saved_q_, saved_k_);  // (b*heads, s, s)
-  t::scale_(scores, scale);
-  saved_attn_ = t::softmax_lastdim(scores);
+  saved_attn_ = t::softmax_lastdim_scaled(scores, scale);
   auto ctx = t::bmm(saved_attn_, saved_v_);  // (b*heads, s, d)
   auto merged = merge_heads(ctx, heads_);    // (b, s, h)
   return proj_.forward(merged);
@@ -200,9 +199,8 @@ t::Tensor MultiHeadAttention::backward(const t::Tensor& dy) {
   // ctx = attn @ v
   auto dattn = t::bmm_nt(dctx, saved_v_);        // (b*heads, s, s)
   auto dv = t::bmm_tn(saved_attn_, dctx);        // (b*heads, s, d)
-  auto dscores = t::softmax_backward(saved_attn_, dattn);
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
-  t::scale_(dscores, scale);
+  auto dscores = t::softmax_backward_scaled(saved_attn_, dattn, scale);
 
   // scores = q @ k^T
   auto dq = t::bmm(dscores, saved_k_);           // (b*heads, s, d)

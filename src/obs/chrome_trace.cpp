@@ -93,6 +93,9 @@ bool write_chrome_trace(const Tracer& tracer, const std::string& path) {
         if (!e.algo.empty()) {
           std::fprintf(f, ",\"algo\":\"%s\"", escape(e.algo).c_str());
         }
+        if (!e.dtype.empty()) {
+          std::fprintf(f, ",\"dtype\":\"%s\"", escape(e.dtype).c_str());
+        }
       }
       std::fprintf(f, "}},\n");
     }

@@ -68,6 +68,7 @@ TraceReport summarize(const Tracer& tracer) {
       if (e.cat == Category::kCompute) compute.emplace_back(e.t0, e.t1);
       if (e.cat == Category::kComm) {
         rep.comm_bytes[group_of(e.name)] += e.bytes;
+        rep.comm_bytes_by_dtype[e.dtype.empty() ? "f32" : e.dtype] += e.bytes;
       }
     }
     rs.busy = merge_union(busy);
@@ -134,6 +135,9 @@ void print_report(const TraceReport& rep) {
   for (const auto& [group, bytes] : rep.comm_bytes) {
     std::printf("  comm %-12s %12" PRId64 " B\n", group.c_str(), bytes);
   }
+  for (const auto& [dtype, bytes] : rep.comm_bytes_by_dtype) {
+    std::printf("  wire %-12s %12" PRId64 " B\n", dtype.c_str(), bytes);
+  }
   for (const auto& [pool, bytes] : rep.peak_mem) {
     std::printf("  peak %-12s %12" PRId64 " B\n", pool.c_str(), bytes);
   }
@@ -167,6 +171,13 @@ bool write_report_json(const TraceReport& rep, const std::string& path) {
   for (const auto& [group, bytes] : rep.comm_bytes) {
     std::fprintf(f, "%s\n    \"%s\": %" PRId64, first ? "" : ",",
                  group.c_str(), bytes);
+    first = false;
+  }
+  std::fprintf(f, "\n  },\n  \"comm_bytes_by_dtype\": {");
+  first = true;
+  for (const auto& [dtype, bytes] : rep.comm_bytes_by_dtype) {
+    std::fprintf(f, "%s\n    \"%s\": %" PRId64, first ? "" : ",",
+                 dtype.c_str(), bytes);
     first = false;
   }
   std::fprintf(f, "\n  },\n  \"peak_mem_bytes\": {");

@@ -35,6 +35,10 @@ struct TraceReport {
   /// Interconnect payload per process group (and "p2p"), bytes, summed over
   /// member calls.
   std::map<std::string, std::int64_t> comm_bytes;
+  /// The same payload split by wire element type ("f32"/"f16"/"bf16";
+  /// untagged spans count as f32) — the per-precision comm-volume view the
+  /// mixed-precision wire is judged by.
+  std::map<std::string, std::int64_t> comm_bytes_by_dtype;
   /// Mean over ranks of (wall - busy) / wall: for a pipeline step this is
   /// the measured bubble fraction.
   double bubble_fraction = 0.0;

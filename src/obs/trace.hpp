@@ -63,6 +63,10 @@ struct TraceEvent {
   /// "ring", "hierarchical", "single_root"); empty for non-collective spans.
   /// Kept out of the span name so report grouping ("group.op") is unchanged.
   std::string algo;
+  /// Comm only: the wire element type the payload crossed the interconnect
+  /// in ("f32", "f16", "bf16"); empty (treated as f32) for non-collective
+  /// spans. Lets the report split comm volume per precision.
+  std::string dtype;
 };
 
 /// Append-only per-rank event sink. Owned by the Tracer; exactly one SPMD

@@ -1,18 +1,33 @@
 #include "optim/amp.hpp"
 
 #include <cmath>
+#include <cstdint>
 
+#include "tensor/convert.hpp"
 #include "tensor/half.hpp"
 
 namespace ca::optim {
 
 namespace t = ca::tensor;
 
+namespace {
+// Below this many elements the omp fork/join overhead exceeds the loop body.
+constexpr std::int64_t kOmpMinElems = 1 << 16;
+}  // namespace
+
 bool LossScaler::has_overflow(const std::vector<nn::Parameter*>& params) {
   for (const nn::Parameter* p : params) {
-    for (float g : p->grad.data()) {
-      if (!std::isfinite(g)) return true;
+    const auto g = p->grad.data();
+    const std::int64_t n = static_cast<std::int64_t>(g.size());
+    // Branch-free OR-reduction over the finiteness predicate vectorizes and
+    // parallelizes (no early exit, but the scan is memory-bound anyway).
+    int bad = 0;
+#pragma omp parallel for simd if (n >= kOmpMinElems) schedule(static) \
+    reduction(| : bad)
+    for (std::int64_t e = 0; e < n; ++e) {
+      bad |= !std::isfinite(g[static_cast<std::size_t>(e)]);
     }
+    if (bad != 0) return true;
   }
   return false;
 }
@@ -21,7 +36,9 @@ void MixedPrecision::round_live_to_fp16() {
   for (std::size_t i = 0; i < live_.size(); ++i) {
     auto src = masters_[i]->value.data();
     auto dst = live_[i]->value.data();
-    for (std::size_t e = 0; e < src.size(); ++e) dst[e] = t::fp16_round_trip(src[e]);
+    // SIMD convert kernel (master fp32 -> live fp16 storage round-trip).
+    t::round_trip_f16(src.data(), dst.data(),
+                      static_cast<std::int64_t>(src.size()));
   }
 }
 
@@ -33,7 +50,12 @@ bool MixedPrecision::step() {
     for (std::size_t i = 0; i < live_.size(); ++i) {
       auto src = live_[i]->grad.data();
       auto dst = masters_[i]->grad.data();
-      for (std::size_t e = 0; e < src.size(); ++e) dst[e] = src[e] * inv;
+      const std::int64_t n = static_cast<std::int64_t>(src.size());
+#pragma omp parallel for simd if (n >= kOmpMinElems) schedule(static)
+      for (std::int64_t e = 0; e < n; ++e) {
+        dst[static_cast<std::size_t>(e)] =
+            src[static_cast<std::size_t>(e)] * inv;
+      }
     }
     inner_->step();
     round_live_to_fp16();

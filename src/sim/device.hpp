@@ -86,7 +86,7 @@ class Device {
     clock_ += seconds;
     if (trace_ != nullptr) {
       trace_->add(obs::TraceEvent{what, obs::Category::kCompute, t0, clock_,
-                                  t0, 0, flops, 0.0, {}});
+                                  t0, 0, flops, 0.0, {}, {}});
     }
   }
 

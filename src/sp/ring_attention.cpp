@@ -13,11 +13,12 @@ namespace {
 constexpr std::int64_t kF = 4;
 
 /// All-reduce the delta of a parameter's grad across `g` (keeps gradient
-/// accumulation over multiple backwards correct).
+/// accumulation over multiple backwards correct). The delta rides the
+/// configured wire dtype; the accumulated base stays untouched fp32.
 void sync_grad_delta(collective::Group& g, int grank, nn::Parameter& p,
-                     const t::Tensor& before) {
+                     const t::Tensor& before, t::Dtype wire) {
   auto delta = t::sub(p.grad, before);
-  g.all_reduce(grank, delta.data());
+  g.all_reduce(grank, delta.data(), 1.0f, wire);
   p.grad = t::add(before, delta);
 }
 }  // namespace
@@ -82,8 +83,7 @@ t::Tensor RingAttention::forward(const t::Tensor& x) {
 
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
   auto scores = t::bmm_nt(saved_q_, saved_k_full_);  // (B, sc, s)
-  t::scale_(scores, scale);
-  saved_attn_ = t::softmax_lastdim(scores);
+  saved_attn_ = t::softmax_lastdim_scaled(scores, scale);
   acts_.hold(saved_attn_.numel() * kF);
   auto ctx = t::bmm(saved_attn_, saved_v_full_);  // (B, sc, d)
 
@@ -114,9 +114,8 @@ t::Tensor RingAttention::backward(const t::Tensor& dy) {
 
   auto dattn = t::bmm_nt(dctx, saved_v_full_);       // (B, sc, s)
   auto dv_full = t::bmm_tn(saved_attn_, dctx);       // (B, s, d)
-  auto dscores = t::softmax_backward(saved_attn_, dattn);
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
-  t::scale_(dscores, scale);
+  auto dscores = t::softmax_backward_scaled(saved_attn_, dattn, scale);
   auto dq = t::bmm(dscores, saved_k_full_);          // (B, sc, d)
   auto dk_full = t::bmm_tn(dscores, saved_q_);       // (B, s, d)
 
@@ -144,10 +143,11 @@ t::Tensor RingAttention::backward(const t::Tensor& dy) {
                               head_dim_);
 
   // replicated weights: data-parallel-style gradient synchronization
-  sync_grad_delta(g, env_.grank, qkv_.weight(), qkv_w_before);
-  sync_grad_delta(g, env_.grank, *qkv_.bias(), qkv_b_before);
-  sync_grad_delta(g, env_.grank, proj_.weight(), proj_w_before);
-  sync_grad_delta(g, env_.grank, *proj_.bias(), proj_b_before);
+  const t::Dtype wire = env_.ctx->comm_dtype();
+  sync_grad_delta(g, env_.grank, qkv_.weight(), qkv_w_before, wire);
+  sync_grad_delta(g, env_.grank, *qkv_.bias(), qkv_b_before, wire);
+  sync_grad_delta(g, env_.grank, proj_.weight(), proj_w_before, wire);
+  sync_grad_delta(g, env_.grank, *proj_.bias(), proj_b_before, wire);
 
   acts_.release_all();
   return dx;
@@ -189,8 +189,9 @@ t::Tensor TransformerBlockSP::backward(const t::Tensor& dy) {
   auto dh = t::add(dy, ln2_.backward(mlp_.backward(dy)));
   auto dx = t::add(dh, ln1_.backward(attn_.backward(dh)));
 
+  const t::Dtype wire = env_.ctx->comm_dtype();
   for (std::size_t i = 0; i < local.size(); ++i)
-    sync_grad_delta(g, env_.grank, *local[i], before[i]);
+    sync_grad_delta(g, env_.grank, *local[i], before[i], wire);
   return dx;
 }
 

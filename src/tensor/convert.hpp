@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/dtype.hpp"
+
+namespace ca::tensor {
+
+/// Bulk fp32 -> half -> fp32 round trips: the value a buffer takes after a
+/// trip over a reduced-precision wire. src and dst may alias exactly
+/// (in-place) but must not partially overlap. NaNs stay NaN (quieted), infs
+/// stay inf in bf16; large-magnitude values saturate to inf in f16.
+void round_trip_f16(const float* src, float* dst, std::int64_t n);
+void round_trip_bf16(const float* src, float* dst, std::int64_t n);
+
+/// Dispatch on wire dtype. kF32 copies (or no-ops when src == dst).
+void wire_round_trip(Dtype wire, const float* src, float* dst, std::int64_t n);
+
+}  // namespace ca::tensor

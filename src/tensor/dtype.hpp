@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace ca::tensor {
+
+/// Element type of a wire or storage buffer. Functional tensors stay fp32 in
+/// host memory; kF16/kBF16 select the *wire* representation a collective or
+/// gradient bucket moves (values are rounded through the half format on pack,
+/// widened back to fp32 on copy-out), which halves modeled interconnect
+/// bytes exactly as the paper's fp16 ablation does.
+enum class Dtype : std::uint8_t {
+  kF32 = 0,
+  kF16,   ///< IEEE binary16 (1-5-10)
+  kBF16,  ///< bfloat16 (1-8-7): fp32 range, truncated mantissa
+};
+
+[[nodiscard]] constexpr std::int64_t dtype_bytes(Dtype d) {
+  return d == Dtype::kF32 ? 4 : 2;
+}
+
+[[nodiscard]] constexpr const char* dtype_name(Dtype d) {
+  switch (d) {
+    case Dtype::kF32: return "f32";
+    case Dtype::kF16: return "f16";
+    case Dtype::kBF16: return "bf16";
+  }
+  return "?";
+}
+
+/// Parse a knob value ("f32"/"fp32"/"float32", "f16"/"fp16"/"half",
+/// "bf16"/"bfloat16"); nullopt for unknown names so callers can reject bad
+/// config with their own message.
+[[nodiscard]] inline std::optional<Dtype> parse_dtype(std::string_view name) {
+  if (name == "f32" || name == "fp32" || name == "float32") return Dtype::kF32;
+  if (name == "f16" || name == "fp16" || name == "half") return Dtype::kF16;
+  if (name == "bf16" || name == "bfloat16") return Dtype::kBF16;
+  return std::nullopt;
+}
+
+}  // namespace ca::tensor

@@ -79,4 +79,35 @@ inline float half_to_float(Half h) {
 /// storage would read back as.
 inline float fp16_round_trip(float f) { return half_to_float(float_to_half(f)); }
 
+/// bfloat16 ("bf16") stored as uint16: the top 16 bits of an fp32, so the
+/// full fp32 exponent range survives (no overflow-to-inf below fp32 inf, no
+/// extra subnormal handling) at the cost of a 7-bit mantissa.
+struct BFloat16 {
+  std::uint16_t bits = 0;
+};
+
+/// Round-to-nearest-even fp32 -> bf16 conversion, NaN-preserving: any NaN
+/// input stays a NaN (quieted) rather than rounding up into infinity, so the
+/// NaN-consensus guard still fires after a half wire trip.
+inline BFloat16 float_to_bf16(float f) {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  if ((x & 0x7FFFFFFFu) > 0x7F800000u) {  // NaN: truncate payload, force quiet
+    return BFloat16{static_cast<std::uint16_t>((x >> 16) | 0x40u)};
+  }
+  // Round to nearest even on the low 16 bits: adding 0x7FFF plus the LSB of
+  // the kept part rounds halfway cases toward the even kept mantissa. A
+  // mantissa carry correctly increments the exponent (inf on overflow).
+  const std::uint32_t lsb = (x >> 16) & 1u;
+  return BFloat16{static_cast<std::uint16_t>((x + 0x7FFFu + lsb) >> 16)};
+}
+
+/// Exact bf16 -> fp32 widening.
+inline float bf16_to_float(BFloat16 b) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(b.bits) << 16);
+}
+
+/// Widen-convert back and forth: the value a tensor materialized in bf16
+/// storage would read back as.
+inline float bf16_round_trip(float f) { return bf16_to_float(float_to_bf16(f)); }
+
 }  // namespace ca::tensor

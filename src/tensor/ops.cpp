@@ -402,13 +402,76 @@ std::vector<std::int64_t> argmax_rows(const Tensor& a) {
 
 // ---- nn kernels -------------------------------------------------------------------
 
-Tensor softmax_lastdim(const Tensor& a) {
+Tensor softmax_lastdim_scaled(const Tensor& a, float scale) {
   const std::int64_t n = a.dim(-1);
   const std::int64_t rows = a.numel() / n;
   Tensor out(a.shape());
   auto pa = a.data();
   auto po = out.data();
 #pragma omp parallel for schedule(static)
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* x = pa.data() + r * n;
+    float* y = po.data() + r * n;
+    // Online max+sum (Milakov & Gimelshein): one read sweep maintains the
+    // running max and the exp-sum rescaled to it, replacing the separate
+    // max / exp+sum sweeps; the attention score scale is fused into the
+    // loads so callers skip their own scale_ pass over the row.
+    float mx = x[0] * scale;
+    float sum = 1.0f;
+    for (std::int64_t i = 1; i < n; ++i) {
+      const float v = x[i] * scale;
+      if (v > mx) {
+        sum = sum * std::exp(mx - v) + 1.0f;
+        mx = v;
+      } else {
+        sum += std::exp(v - mx);
+      }
+    }
+    const float inv = 1.0f / sum;
+#pragma omp simd
+    for (std::int64_t i = 0; i < n; ++i)
+      y[i] = std::exp(x[i] * scale - mx) * inv;
+  }
+  return out;
+}
+
+Tensor softmax_lastdim(const Tensor& a) {
+  return softmax_lastdim_scaled(a, 1.0f);
+}
+
+Tensor softmax_backward_scaled(const Tensor& y, const Tensor& dy, float scale) {
+  assert(y.shape() == dy.shape());
+  const std::int64_t n = y.dim(-1);
+  const std::int64_t rows = y.numel() / n;
+  Tensor dx(y.shape());
+  auto py = y.data();
+  auto pdy = dy.data();
+  auto pdx = dx.data();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* yr = py.data() + r * n;
+    const float* dyr = pdy.data() + r * n;
+    float* dxr = pdx.data() + r * n;
+    float dot = 0.0f;
+#pragma omp simd reduction(+ : dot)
+    for (std::int64_t i = 0; i < n; ++i) dot += yr[i] * dyr[i];
+#pragma omp simd
+    for (std::int64_t i = 0; i < n; ++i)
+      dxr[i] = yr[i] * (dyr[i] - dot) * scale;
+  }
+  return dx;
+}
+
+Tensor softmax_backward(const Tensor& y, const Tensor& dy) {
+  return softmax_backward_scaled(y, dy, 1.0f);
+}
+
+Tensor naive_softmax_lastdim(const Tensor& a) {
+  const std::int64_t n = a.dim(-1);
+  const std::int64_t rows = a.numel() / n;
+  Tensor out(a.shape());
+  auto pa = a.data();
+  auto po = out.data();
   for (std::int64_t r = 0; r < rows; ++r) {
     const float* x = pa.data() + r * n;
     float* y = po.data() + r * n;
@@ -425,7 +488,7 @@ Tensor softmax_lastdim(const Tensor& a) {
   return out;
 }
 
-Tensor softmax_backward(const Tensor& y, const Tensor& dy) {
+Tensor naive_softmax_backward(const Tensor& y, const Tensor& dy) {
   assert(y.shape() == dy.shape());
   const std::int64_t n = y.dim(-1);
   const std::int64_t rows = y.numel() / n;
@@ -433,7 +496,6 @@ Tensor softmax_backward(const Tensor& y, const Tensor& dy) {
   auto py = y.data();
   auto pdy = dy.data();
   auto pdx = dx.data();
-#pragma omp parallel for schedule(static)
   for (std::int64_t r = 0; r < rows; ++r) {
     const float* yr = py.data() + r * n;
     const float* dyr = pdy.data() + r * n;
@@ -516,6 +578,49 @@ Tensor layernorm_forward(const Tensor& x, const Tensor& gamma,
   for (std::int64_t r = 0; r < rows; ++r) {
     const float* xr = px.data() + r * h;
     float* yr = py.data() + r * h;
+    // Fused single read sweep: sum and sum-of-squares together (double
+    // accumulators keep var = E[x^2] - mu^2 cancellation-safe for fp32
+    // inputs), halving the reduction traffic of the two-pass version.
+    double sum = 0.0, sumsq = 0.0;
+#pragma omp simd reduction(+ : sum, sumsq)
+    for (std::int64_t i = 0; i < h; ++i) {
+      const double v = xr[i];
+      sum += v;
+      sumsq += v * v;
+    }
+    const double mu = sum / static_cast<double>(h);
+    const double var =
+        std::max(0.0, sumsq / static_cast<double>(h) - mu * mu);
+    const float rs = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    const float muf = static_cast<float>(mu);
+    pm[static_cast<std::size_t>(r)] = muf;
+    pr[static_cast<std::size_t>(r)] = rs;
+#pragma omp simd
+    for (std::int64_t i = 0; i < h; ++i)
+      yr[i] = (xr[i] - muf) * rs * pg[static_cast<std::size_t>(i)] +
+              pb[static_cast<std::size_t>(i)];
+  }
+  return y;
+}
+
+Tensor naive_layernorm_forward(const Tensor& x, const Tensor& gamma,
+                               const Tensor& beta, float eps, Tensor& mean,
+                               Tensor& rstd) {
+  const std::int64_t h = x.dim(-1);
+  assert(gamma.numel() == h && beta.numel() == h);
+  const std::int64_t rows = x.numel() / h;
+  mean = Tensor(Shape{rows});
+  rstd = Tensor(Shape{rows});
+  Tensor y(x.shape());
+  auto px = x.data();
+  auto pg = gamma.data();
+  auto pb = beta.data();
+  auto pm = mean.data();
+  auto pr = rstd.data();
+  auto py = y.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = px.data() + r * h;
+    float* yr = py.data() + r * h;
     double mu = 0.0;
     for (std::int64_t i = 0; i < h; ++i) mu += xr[i];
     mu /= static_cast<double>(h);
@@ -550,6 +655,8 @@ Tensor layernorm_backward(const Tensor& x, const Tensor& dy,
   auto pdx = dx.data();
   auto pdg = dgamma.data();
   auto pdb = dbeta.data();
+  // dx rows are independent — parallelize over rows.
+#pragma omp parallel for schedule(static)
   for (std::int64_t r = 0; r < rows; ++r) {
     const float* xr = px.data() + r * h;
     const float* dyr = pdy.data() + r * h;
@@ -557,6 +664,65 @@ Tensor layernorm_backward(const Tensor& x, const Tensor& dy,
     const float mu = pm[static_cast<std::size_t>(r)];
     const float rs = pr[static_cast<std::size_t>(r)];
     // xhat = (x - mu) * rs ; dy_hat = dy * gamma
+    float sum_dyhat = 0.0f, sum_dyhat_xhat = 0.0f;
+#pragma omp simd reduction(+ : sum_dyhat, sum_dyhat_xhat)
+    for (std::int64_t i = 0; i < h; ++i) {
+      const float xhat = (xr[i] - mu) * rs;
+      const float dyhat = dyr[i] * pg[static_cast<std::size_t>(i)];
+      sum_dyhat += dyhat;
+      sum_dyhat_xhat += dyhat * xhat;
+    }
+    const float inv_h = 1.0f / static_cast<float>(h);
+#pragma omp simd
+    for (std::int64_t i = 0; i < h; ++i) {
+      const float xhat = (xr[i] - mu) * rs;
+      const float dyhat = dyr[i] * pg[static_cast<std::size_t>(i)];
+      dxr[i] = rs * (dyhat - inv_h * sum_dyhat - xhat * inv_h * sum_dyhat_xhat);
+    }
+  }
+  // dgamma/dbeta are per-column sums over rows — parallelize over columns
+  // (race-free: each thread owns a disjoint set of columns). Per-column
+  // double partials accumulate in ascending-row order, then one float add
+  // preserves the grad-accumulation contract (+= into caller buffers).
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < h; ++i) {
+    double dg = 0.0, db = 0.0;
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float xv = px[static_cast<std::size_t>(r * h + i)];
+      const float dyv = pdy[static_cast<std::size_t>(r * h + i)];
+      const float xhat = (xv - pm[static_cast<std::size_t>(r)]) *
+                         pr[static_cast<std::size_t>(r)];
+      dg += static_cast<double>(dyv) * xhat;
+      db += dyv;
+    }
+    pdg[static_cast<std::size_t>(i)] += static_cast<float>(dg);
+    pdb[static_cast<std::size_t>(i)] += static_cast<float>(db);
+  }
+  return dx;
+}
+
+Tensor naive_layernorm_backward(const Tensor& x, const Tensor& dy,
+                                const Tensor& gamma, const Tensor& mean,
+                                const Tensor& rstd, Tensor& dgamma,
+                                Tensor& dbeta) {
+  const std::int64_t h = x.dim(-1);
+  const std::int64_t rows = x.numel() / h;
+  assert(dgamma.numel() == h && dbeta.numel() == h);
+  Tensor dx(x.shape());
+  auto px = x.data();
+  auto pdy = dy.data();
+  auto pg = gamma.data();
+  auto pm = mean.data();
+  auto pr = rstd.data();
+  auto pdx = dx.data();
+  auto pdg = dgamma.data();
+  auto pdb = dbeta.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = px.data() + r * h;
+    const float* dyr = pdy.data() + r * h;
+    float* dxr = pdx.data() + r * h;
+    const float mu = pm[static_cast<std::size_t>(r)];
+    const float rs = pr[static_cast<std::size_t>(r)];
     float sum_dyhat = 0.0f, sum_dyhat_xhat = 0.0f;
     for (std::int64_t i = 0; i < h; ++i) {
       const float xhat = (xr[i] - mu) * rs;

@@ -87,8 +87,19 @@ std::vector<std::int64_t> argmax_rows(const Tensor& a);
 
 /// Softmax over the last dimension (numerically stabilized).
 Tensor softmax_lastdim(const Tensor& a);
+/// Fused scale+softmax: softmax(a * scale) computed with a single online
+/// max/sum read sweep per row, so attention skips the separate scale_ pass
+/// over the scores. softmax_lastdim(a) == softmax_lastdim_scaled(a, 1).
+Tensor softmax_lastdim_scaled(const Tensor& a, float scale);
 /// Given y = softmax(x) and dL/dy, return dL/dx.
 Tensor softmax_backward(const Tensor& y, const Tensor& dy);
+/// Backward of softmax_lastdim_scaled: the input scale is folded into the
+/// output sweep (dL/dx_pre_scale = softmax_backward(y, dy) * scale).
+Tensor softmax_backward_scaled(const Tensor& y, const Tensor& dy, float scale);
+/// Unfused serial references — the oracles the fused/parallel softmax
+/// kernels are validated against (results differ by float rounding only).
+Tensor naive_softmax_lastdim(const Tensor& a);
+Tensor naive_softmax_backward(const Tensor& y, const Tensor& dy);
 
 /// Tanh-approximation GELU, as used by BERT/GPT/ViT.
 Tensor gelu(const Tensor& x);
@@ -107,6 +118,16 @@ Tensor layernorm_forward(const Tensor& x, const Tensor& gamma,
 Tensor layernorm_backward(const Tensor& x, const Tensor& dy,
                           const Tensor& gamma, const Tensor& mean,
                           const Tensor& rstd, Tensor& dgamma, Tensor& dbeta);
+
+/// Unfused serial references for the fused/parallel LayerNorm kernels
+/// (two-pass mean/variance forward, serial row-loop backward).
+Tensor naive_layernorm_forward(const Tensor& x, const Tensor& gamma,
+                               const Tensor& beta, float eps, Tensor& mean,
+                               Tensor& rstd);
+Tensor naive_layernorm_backward(const Tensor& x, const Tensor& dy,
+                                const Tensor& gamma, const Tensor& mean,
+                                const Tensor& rstd, Tensor& dgamma,
+                                Tensor& dbeta);
 
 /// Mean cross entropy of row-wise logits (n, c) against integer labels;
 /// writes dL/dlogits (already divided by n) into `dlogits`.

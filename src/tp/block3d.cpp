@@ -142,8 +142,7 @@ t::Tensor Attention3D::forward(const t::Tensor& x) {
 
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
   auto scores = t::bmm_nt(saved_q_, saved_k_);
-  t::scale_(scores, scale);
-  saved_attn_ = t::softmax_lastdim(scores);
+  saved_attn_ = t::softmax_lastdim_scaled(scores, scale);
   auto ctx = t::bmm(saved_attn_, saved_v_);
   env_.dev().compute_fp32(4.0 * static_cast<double>(bl / l_) * local_heads_ *
                           s * s * head_dim_);
@@ -170,9 +169,8 @@ t::Tensor Attention3D::backward(const t::Tensor& dy) {
 
   auto dattn = t::bmm_nt(dctx, saved_v_);
   auto dv = t::bmm_tn(saved_attn_, dctx);
-  auto dscores = t::softmax_backward(saved_attn_, dattn);
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
-  t::scale_(dscores, scale);
+  auto dscores = t::softmax_backward_scaled(saved_attn_, dattn, scale);
   auto dq = t::bmm(dscores, saved_k_);
   auto dk = t::bmm_tn(dscores, saved_q_);
   env_.dev().compute_fp32(8.0 * static_cast<double>(bl / l_) * local_heads_ *

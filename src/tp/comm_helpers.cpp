@@ -27,12 +27,12 @@ void relayout_lastdim(const float* src, float* dst, std::int64_t rows,
 }  // namespace
 
 t::Tensor all_gather_lastdim(collective::Group& g, int grank,
-                             const t::Tensor& local) {
+                             const t::Tensor& local, t::Dtype wire) {
   const int p = g.size();
   if (p == 1) return local.clone();
   const std::int64_t w = local.dim(-1);
   t::Tensor flat(t::Shape{static_cast<std::int64_t>(p) * local.numel()});
-  g.all_gather(grank, local.data(), flat.data());
+  g.all_gather(grank, local.data(), flat.data(), wire);
   // flat = [rank0 block | rank1 block | ...]; stitch columns per row.
   const std::int64_t rows = local.numel() / w;
   t::Tensor out(local.shape().with_dim(-1, w * p));
@@ -42,11 +42,11 @@ t::Tensor all_gather_lastdim(collective::Group& g, int grank,
 }
 
 t::Tensor all_gather_dim0(collective::Group& g, int grank,
-                          const t::Tensor& local) {
+                          const t::Tensor& local, t::Dtype wire) {
   const int p = g.size();
   if (p == 1) return local.clone();
   t::Tensor out(local.shape().with_dim(0, local.dim(0) * p));
-  g.all_gather(grank, local.data(), out.data());
+  g.all_gather(grank, local.data(), out.data(), wire);
   return out;
 }
 
@@ -61,7 +61,7 @@ t::Tensor my_chunk_dim0(collective::Group& g, int grank,
 }
 
 t::Tensor reduce_scatter_lastdim(collective::Group& g, int grank,
-                                 const t::Tensor& full) {
+                                 const t::Tensor& full, t::Dtype wire) {
   const int p = g.size();
   if (p == 1) return full.clone();
   assert(full.dim(-1) % p == 0);
@@ -72,26 +72,28 @@ t::Tensor reduce_scatter_lastdim(collective::Group& g, int grank,
   relayout_lastdim(full.data().data(), reordered.data().data(), rows, w, p,
                    /*to_chunk_major=*/true);
   t::Tensor out(full.shape().with_dim(-1, w));
-  g.reduce_scatter(grank, reordered.data(), out.data());
+  g.reduce_scatter(grank, reordered.data(), out.data(), 1.0f, wire);
   return out;
 }
 
 t::Tensor reduce_scatter_dim0(collective::Group& g, int grank,
-                              const t::Tensor& full) {
+                              const t::Tensor& full, t::Dtype wire) {
   const int p = g.size();
   if (p == 1) return full.clone();
   assert(full.dim(0) % p == 0);
   t::Tensor out(full.shape().with_dim(0, full.dim(0) / p));
-  g.reduce_scatter(grank, full.data(), out.data());
+  g.reduce_scatter(grank, full.data(), out.data(), 1.0f, wire);
   return out;
 }
 
-void all_reduce(collective::Group& g, int grank, t::Tensor& t) {
-  g.all_reduce(grank, t.data());
+void all_reduce(collective::Group& g, int grank, t::Tensor& t,
+                tensor::Dtype wire) {
+  g.all_reduce(grank, t.data(), 1.0f, wire);
 }
 
-void broadcast(collective::Group& g, int grank, t::Tensor& t, int root) {
-  g.broadcast(grank, t.data(), root);
+void broadcast(collective::Group& g, int grank, t::Tensor& t, int root,
+               tensor::Dtype wire) {
+  g.broadcast(grank, t.data(), root, wire);
 }
 
 }  // namespace ca::tp

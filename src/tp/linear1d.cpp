@@ -54,7 +54,7 @@ t::Tensor Linear1DCol::forward(const t::Tensor& x) {
                           static_cast<double>(weight_.value.dim(1)));
   acts_.hold(y.numel() * kF);
   if (!gather_output_) return y;
-  auto full = all_gather_lastdim(g, env_.grank, y);
+  auto full = all_gather_lastdim(g, env_.grank, y, env_.ctx->comm_dtype());
   acts_.hold(full.numel() * kF);
   return full;
 }
@@ -69,7 +69,7 @@ t::Tensor Linear1DCol::backward(const t::Tensor& dy_in) {
                           static_cast<double>(weight_.value.dim(1)));
   // input was replicated and each rank used only its weight columns, so the
   // input gradient is a partial sum — the 1D backward all-reduce.
-  all_reduce(g, env_.grank, dx);
+  all_reduce(g, env_.grank, dx, env_.ctx->comm_dtype());
   acts_.release_all();
   return dx;
 }
@@ -109,7 +109,8 @@ t::Tensor Linear1DRow::forward(const t::Tensor& x) {
   auto y = t::matmul(x, weight_.value);
   env_.dev().compute_fp32(2.0 * static_cast<double>(x.numel()) *
                           static_cast<double>(out_));
-  all_reduce(g, env_.grank, y);  // the Figure 4 forward all-reduce
+  // the Figure 4 forward all-reduce, over the configured wire dtype
+  all_reduce(g, env_.grank, y, env_.ctx->comm_dtype());
   if (with_bias_) t::add_bias_(y, bias_.value);
   acts_.hold(y.numel() * kF);
   return y;
@@ -222,8 +223,7 @@ t::Tensor Attention1D::forward(const t::Tensor& x) {
 
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
   auto scores = t::bmm_nt(saved_q_, saved_k_);
-  t::scale_(scores, scale);
-  saved_attn_ = t::softmax_lastdim(scores);
+  saved_attn_ = t::softmax_lastdim_scaled(scores, scale);
   acts_.hold(saved_attn_.numel() * kF);
   saved_ctx_ = t::bmm(saved_attn_, saved_v_);        // (b*lh, s, d)
   auto merged = nn::merge_heads(saved_ctx_, local_heads_);  // (b, s, h/p)
@@ -234,7 +234,7 @@ t::Tensor Attention1D::forward(const t::Tensor& x) {
   env_.dev().compute_fp32(flops);
 
   auto y = t::matmul(merged, proj_weight_.value);  // (b, s, h) partial
-  all_reduce(g, env_.grank, y);
+  all_reduce(g, env_.grank, y, env_.ctx->comm_dtype());
   t::add_bias_(y, proj_bias_.value);
   acts_.hold(y.numel() * kF);
   return y;
@@ -251,9 +251,8 @@ t::Tensor Attention1D::backward(const t::Tensor& dy) {
 
   auto dattn = t::bmm_nt(dctx, saved_v_);
   auto dv = t::bmm_tn(saved_attn_, dctx);
-  auto dscores = t::softmax_backward(saved_attn_, dattn);
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
-  t::scale_(dscores, scale);
+  auto dscores = t::softmax_backward_scaled(saved_attn_, dattn, scale);
   auto dq = t::bmm(dscores, saved_k_);
   auto dk = t::bmm_tn(dscores, saved_q_);
 
@@ -271,7 +270,7 @@ t::Tensor Attention1D::backward(const t::Tensor& dy) {
                        8.0 * static_cast<double>(saved_batch_) * local_heads_ *
                            saved_seq_ * saved_seq_ * head_dim_;
   env_.dev().compute_fp32(flops);
-  all_reduce(g, env_.grank, dx);  // the 1D backward all-reduce
+  all_reduce(g, env_.grank, dx, env_.ctx->comm_dtype());  // 1D backward all-reduce
   acts_.release_all();
   return dx;
 }

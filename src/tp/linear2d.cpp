@@ -66,16 +66,17 @@ t::Tensor Linear2D::forward(const t::Tensor& x) {
   saved_x_ = x;
   acts_.hold(x.numel() * kF);
 
+  const t::Dtype wire = env_.ctx->comm_dtype();
   auto y = t::zeros(x.shape().with_dim(-1, out_ / q_));
   // SUMMA: Y(r,c) = sum_t X(r,t) W(t,c)
   for (int step = 0; step < q_; ++step) {
     sim::ScopedAlloc tmp_a(env_.mem(), x.numel() * kF);
     sim::ScopedAlloc tmp_b(env_.mem(), weight_.numel() * kF);
     t::Tensor a = (c_ == step) ? saved_x_.clone() : t::zeros(x.shape());
-    broadcast(row, env_.grank, a, step);
+    broadcast(row, env_.grank, a, step, wire);
     t::Tensor b =
         (r_ == step) ? weight_.value.clone() : t::zeros(weight_.value.shape());
-    broadcast(col, env_.grank, b, step);
+    broadcast(col, env_.grank, b, step, wire);
     t::add_(y, t::matmul(a, b));
     env_.dev().compute_fp32(2.0 * static_cast<double>(a.numel()) *
                             static_cast<double>(b.dim(1)));
@@ -89,11 +90,12 @@ t::Tensor Linear2D::backward(const t::Tensor& dy) {
   auto& row = env_.ctx->row_group(env_.grank);
   auto& col = env_.ctx->col_group(env_.grank);
   assert(dy.dim(-1) == out_ / q_);
+  const t::Dtype wire = env_.ctx->comm_dtype();
 
   if (with_bias_) {
     // db(c) = sum over all row blocks; local rows first, then column reduce.
     auto db = t::sum_to_lastdim(dy);
-    all_reduce(col, env_.grank, db);
+    all_reduce(col, env_.grank, db, wire);
     t::add_(bias_.grad, db);
   }
 
@@ -105,7 +107,7 @@ t::Tensor Linear2D::backward(const t::Tensor& dy) {
     sim::ScopedAlloc tmp_p(env_.mem(), saved_x_.numel() * kF);
     t::Tensor w_tc =
         (r_ == step) ? weight_.value.clone() : t::zeros(weight_.value.shape());
-    broadcast(col, env_.grank, w_tc, step);
+    broadcast(col, env_.grank, w_tc, step, wire);
     auto partial = t::matmul_nt(dy, w_tc);  // (rows/q, in/q)
     env_.dev().compute_fp32(2.0 * static_cast<double>(dy.numel()) *
                             static_cast<double>(w_tc.dim(0)));
@@ -119,7 +121,7 @@ t::Tensor Linear2D::backward(const t::Tensor& dy) {
     sim::ScopedAlloc tmp_a(env_.mem(), saved_x_.numel() * kF);
     sim::ScopedAlloc tmp_p(env_.mem(), weight_.numel() * kF);
     t::Tensor x_rt = (c_ == step) ? saved_x_.clone() : t::zeros(saved_x_.shape());
-    broadcast(row, env_.grank, x_rt, step);
+    broadcast(row, env_.grank, x_rt, step, wire);
     auto partial = t::matmul_tn(x_rt, dy);  // (in/q, out/q)
     env_.dev().compute_fp32(2.0 * static_cast<double>(x_rt.numel()) *
                             static_cast<double>(dy.dim(-1)));

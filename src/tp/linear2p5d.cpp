@@ -54,7 +54,8 @@ t::Tensor Linear2p5D::shard_activation(const t::Tensor& full, int q, int depth,
 
 t::Tensor Linear2p5D::gather_weight_block() {
   auto& depth_g = env_.ctx->depth_group(env_.grank);
-  return all_gather_dim0(depth_g, env_.grank, weight_.value);
+  return all_gather_dim0(depth_g, env_.grank, weight_.value,
+                         env_.ctx->comm_dtype());
 }
 
 t::Tensor Linear2p5D::forward(const t::Tensor& x) {
@@ -69,14 +70,15 @@ t::Tensor Linear2p5D::forward(const t::Tensor& x) {
   sim::ScopedAlloc wtmp(env_.mem(), weight_.numel() * d_ * kF);
   auto w_block = gather_weight_block();
 
+  const t::Dtype wire = env_.ctx->comm_dtype();
   auto y = t::zeros(x.shape().with_dim(-1, out_ / q_));
   for (int step = 0; step < q_; ++step) {
     sim::ScopedAlloc tmp_a(env_.mem(), x.numel() * kF);
     sim::ScopedAlloc tmp_b(env_.mem(), w_block.numel() * kF);
     t::Tensor a = (c_ == step) ? saved_x_.clone() : t::zeros(x.shape());
-    broadcast(row, env_.grank, a, step);
+    broadcast(row, env_.grank, a, step, wire);
     t::Tensor b = (r_ == step) ? w_block.clone() : t::zeros(w_block.shape());
-    broadcast(col, env_.grank, b, step);
+    broadcast(col, env_.grank, b, step, wire);
     t::add_(y, t::matmul(a, b));
     env_.dev().compute_fp32(2.0 * static_cast<double>(a.numel()) *
                             static_cast<double>(b.dim(1)));
@@ -91,12 +93,13 @@ t::Tensor Linear2p5D::backward(const t::Tensor& dy) {
   auto& col = env_.ctx->col_group(env_.grank);
   auto& depth_g = env_.ctx->depth_group(env_.grank);
   assert(dy.dim(-1) == out_ / q_);
+  const t::Dtype wire = env_.ctx->comm_dtype();
 
   if (with_bias_) {
     // db(c) = sum over all row blocks of all depth slabs.
     auto db = t::sum_to_lastdim(dy);
-    all_reduce(col, env_.grank, db);
-    all_reduce(depth_g, env_.grank, db);
+    all_reduce(col, env_.grank, db, wire);
+    all_reduce(depth_g, env_.grank, db, wire);
     t::add_(bias_.grad, db);
   }
 
@@ -109,7 +112,7 @@ t::Tensor Linear2p5D::backward(const t::Tensor& dy) {
     sim::ScopedAlloc tmp_b(env_.mem(), w_block.numel() * kF);
     sim::ScopedAlloc tmp_p(env_.mem(), saved_x_.numel() * kF);
     t::Tensor w_tc = (r_ == step) ? w_block.clone() : t::zeros(w_block.shape());
-    broadcast(col, env_.grank, w_tc, step);
+    broadcast(col, env_.grank, w_tc, step, wire);
     auto partial = t::matmul_nt(dy, w_tc);
     env_.dev().compute_fp32(2.0 * static_cast<double>(dy.numel()) *
                             static_cast<double>(w_tc.dim(0)));
@@ -124,14 +127,14 @@ t::Tensor Linear2p5D::backward(const t::Tensor& dy) {
     sim::ScopedAlloc tmp_a(env_.mem(), saved_x_.numel() * kF);
     sim::ScopedAlloc tmp_p(env_.mem(), dw_block.numel() * kF);
     t::Tensor x_rt = (c_ == step) ? saved_x_.clone() : t::zeros(saved_x_.shape());
-    broadcast(row, env_.grank, x_rt, step);
+    broadcast(row, env_.grank, x_rt, step, wire);
     auto partial = t::matmul_tn(x_rt, dy);
     env_.dev().compute_fp32(2.0 * static_cast<double>(x_rt.numel()) *
                             static_cast<double>(dy.dim(-1)));
     col.reduce(env_.grank, partial.data(), step);
     if (r_ == step) dw_block = partial;
   }
-  auto dw_slab = reduce_scatter_dim0(depth_g, env_.grank, dw_block);
+  auto dw_slab = reduce_scatter_dim0(depth_g, env_.grank, dw_block, wire);
   t::add_(weight_.grad, dw_slab);
 
   acts_.release_all();

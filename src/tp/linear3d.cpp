@@ -76,8 +76,10 @@ t::Tensor Linear3D::forward(const t::Tensor& x) {
   // held until backward: the local input and output shards
   acts_.hold(x.numel() * kF);
 
-  saved_a_ = all_gather_lastdim(gj, env_.grank, x);          // (rows/l, in/l)
-  saved_b_ = all_gather_lastdim(gi, env_.grank, weight_.value);  // (in/l, out/l)
+  const t::Dtype wire = env_.ctx->comm_dtype();
+  saved_a_ = all_gather_lastdim(gj, env_.grank, x, wire);  // (rows/l, in/l)
+  saved_b_ =
+      all_gather_lastdim(gi, env_.grank, weight_.value, wire);  // (in/l, out/l)
   const std::int64_t a_blk = saved_a_.numel() * kF;
   const std::int64_t b_blk = saved_b_.numel() * kF;
   const std::int64_t y_blk = saved_a_.dim(0) * (out_ / l_) * kF;
@@ -87,7 +89,8 @@ t::Tensor Linear3D::forward(const t::Tensor& x) {
   auto partial = t::matmul(saved_a_, saved_b_);  // (rows/l, out/l)
   env_.dev().compute_fp32(2.0 * static_cast<double>(saved_a_.numel()) *
                           static_cast<double>(saved_b_.dim(1)));
-  auto y = reduce_scatter_dim0(gk, env_.grank, partial);  // (rows/l^2, out/l)
+  auto y =
+      reduce_scatter_dim0(gk, env_.grank, partial, wire);  // (rows/l^2, out/l)
   if (with_bias_) t::add_bias_(y, bias_.value);
   acts_.hold(y.numel() * kF);
   return y;
@@ -98,11 +101,12 @@ t::Tensor Linear3D::backward(const t::Tensor& dy) {
   auto& gj = env_.ctx->cube_j_group(env_.grank);
   auto& gk = env_.ctx->cube_k_group(env_.grank);
   assert(dy.dim(-1) == out_ / l_);
+  const t::Dtype wire = env_.ctx->comm_dtype();
 
   if (with_bias_) {
     auto db = t::sum_to_lastdim(dy);
-    all_reduce(gi, env_.grank, db);
-    all_reduce(gk, env_.grank, db);
+    all_reduce(gi, env_.grank, db, wire);
+    all_reduce(gk, env_.grank, db, wire);
     t::add_(bias_.grad, db);
   }
 
@@ -112,15 +116,15 @@ t::Tensor Linear3D::backward(const t::Tensor& dy) {
   sim::ScopedAlloc stream(env_.mem(),
                           2 * (a_blk + b_blk + y_blk) / kStreamChunks);
 
-  auto dy_full = all_gather_dim0(gk, env_.grank, dy);  // (rows/l, out/l)
+  auto dy_full = all_gather_dim0(gk, env_.grank, dy, wire);  // (rows/l, out/l)
 
   // dX = dY W^T, partial over j; scatter back to the X layout.
   auto dx_partial = t::matmul_nt(dy_full, saved_b_);  // (rows/l, in/l)
-  auto dx = reduce_scatter_lastdim(gj, env_.grank, dx_partial);
+  auto dx = reduce_scatter_lastdim(gj, env_.grank, dx_partial, wire);
 
   // dW = X^T dY, partial over i; scatter back to the W layout.
   auto dw_partial = t::matmul_tn(saved_a_, dy_full);  // (in/l, out/l)
-  auto dw = reduce_scatter_lastdim(gi, env_.grank, dw_partial);
+  auto dw = reduce_scatter_lastdim(gi, env_.grank, dw_partial, wire);
   t::add_(weight_.grad, dw);
 
   env_.dev().compute_fp32(4.0 * static_cast<double>(saved_a_.numel()) *
@@ -135,9 +139,10 @@ t::Tensor convert_3d_y_to_x(const Env& env, const t::Tensor& y) {
   auto& gk = ctx.cube_k_group(env.grank);
   const int l = ctx.grid_side();
   const int j = ctx.cube_j(env.grank), k = ctx.cube_k(env.grank);
+  const t::Dtype wire = ctx.comm_dtype();
   // (rows/l^2, n/l) --AG over k--> (rows/l, n/l) --AG over j--> (rows/l, n)
-  auto rows_i = all_gather_dim0(gk, env.grank, y);
-  auto full_cols = all_gather_lastdim(gj, env.grank, rows_i);
+  auto rows_i = all_gather_dim0(gk, env.grank, y, wire);
+  auto full_cols = all_gather_lastdim(gj, env.grank, rows_i, wire);
   // take the (k*l + j) column chunk: the next layer's X layout
   return t::chunk(full_cols, 1, l * l, k * l + j);
 }
@@ -148,10 +153,11 @@ t::Tensor convert_3d_x_to_y(const Env& env, const t::Tensor& dx) {
   auto& gk = ctx.cube_k_group(env.grank);
   const int l = ctx.grid_side();
   const int j = ctx.cube_j(env.grank), k = ctx.cube_k(env.grank);
+  const t::Dtype wire = ctx.comm_dtype();
   // cols chunk (k*l + j), j varying over the j-group => AG over j restores the
   // coarse col chunk k; AG over k then restores all columns.
-  auto coarse_k = all_gather_lastdim(gj, env.grank, dx);
-  auto full_cols = all_gather_lastdim(gk, env.grank, coarse_k);
+  auto coarse_k = all_gather_lastdim(gj, env.grank, dx, wire);
+  auto full_cols = all_gather_lastdim(gk, env.grank, coarse_k, wire);
   // rows sub-chunk k within my rows chunk i => global rows chunk i*l + k;
   // cols chunk j.
   auto rows_sub = t::chunk(full_cols, 0, l, k);

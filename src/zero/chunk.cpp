@@ -71,7 +71,7 @@ void ChunkManager::move_to(int chunk_id, Placement target) {
                        : target == Placement::kDevice ? "chunk.h2d"
                                                       : "chunk.d2h";
     tb->add(obs::TraceEvent{what, obs::Category::kMemcpy, t0, t0 + t, t0,
-                            c.capacity_bytes, 0.0, 0.0, {}});
+                            c.capacity_bytes, 0.0, 0.0, {}, {}});
   }
 }
 

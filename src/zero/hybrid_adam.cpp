@@ -48,11 +48,11 @@ void HybridAdam::step() {
   env_.dev().advance_clock(gpu_t + cpu_t + xfer);
   if (obs::TraceBuffer* tb = env_.dev().trace()) {
     tb->add(obs::TraceEvent{"adam.update", obs::Category::kOptimizer, t0,
-                            t0 + gpu_t + cpu_t, t0, 0, 0.0, 0.0, {}});
+                            t0 + gpu_t + cpu_t, t0, 0, 0.0, 0.0, {}, {}});
     if (xfer > 0.0) {
       tb->add(obs::TraceEvent{"adam.writeback", obs::Category::kMemcpy,
                               t0 + gpu_t + cpu_t, t0 + gpu_t + cpu_t + xfer,
-                              t0, cpu_elems_ * 4, 0.0, 0.0, {}});
+                              t0, cpu_elems_ * 4, 0.0, 0.0, {}, {}});
     }
   }
 }

@@ -86,7 +86,7 @@ void SimOffloadTrainer::train_step() {
     env_.dev().advance_clock(t);
     if (obs::TraceBuffer* tb = env_.dev().trace()) {
       tb->add(obs::TraceEvent{"chunk.fetch", obs::Category::kMemcpy, t0,
-                              t0 + t, t0, bytes, 0.0, 0.0, {}});
+                              t0 + t, t0, bytes, 0.0, 0.0, {}, {}});
     }
   };
 
@@ -123,7 +123,7 @@ void SimOffloadTrainer::train_step() {
       env_.dev().advance_clock(t);
       if (obs::TraceBuffer* tb = env_.dev().trace()) {
         tb->add(obs::TraceEvent{"grad.d2h", obs::Category::kMemcpy, t0, t0 + t,
-                                t0, layer_full_bytes / p, 0.0, 0.0, {}});
+                                t0, layer_full_bytes / p, 0.0, 0.0, {}, {}});
       }
     }
   }
@@ -142,11 +142,11 @@ void SimOffloadTrainer::train_step() {
   env_.dev().advance_clock(static_cast<double>(wb_bytes) / host_bw);
   if (obs::TraceBuffer* tb = env_.dev().trace()) {
     tb->add(obs::TraceEvent{"adam.update", obs::Category::kOptimizer, t_adam0,
-                            t_adam1, t_adam0, 0, 0.0, 0.0, {}});
+                            t_adam1, t_adam0, 0, 0.0, 0.0, {}, {}});
     if (wb_bytes > 0) {
       tb->add(obs::TraceEvent{"adam.writeback", obs::Category::kMemcpy,
                               t_adam1, env_.dev().clock(), t_adam1, wb_bytes,
-                              0.0, 0.0, {}});
+                              0.0, 0.0, {}, {}});
     }
   }
 

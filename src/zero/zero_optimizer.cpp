@@ -16,13 +16,15 @@ namespace t = ca::tensor;
 ZeroOptimizer::ZeroOptimizer(const tp::Env& env, collective::Group& group,
                              std::vector<nn::Parameter*> params,
                              optim::Adam::Hyper hyper, int stage,
-                             bool average_grads)
+                             bool average_grads,
+                             std::optional<tensor::Dtype> wire)
     : env_(env),
       group_(group),
       params_(std::move(params)),
       hyper_(hyper),
       stage_(stage),
-      average_(average_grads) {
+      average_(average_grads),
+      wire_(wire.value_or(env.ctx->comm_dtype())) {
   assert(stage_ >= 1 && stage_ <= 3);
   const int world = group_.size();
   const int idx = group_.index_of(env_.grank);
@@ -144,7 +146,8 @@ void ZeroOptimizer::step() {
       GatherInFlight g;
       g.i = pg.i;
       g.wire = t::Tensor(t::Shape{s.padded * world});
-      g.h = group_.all_gather_async(env_.grank, s.master.data(), g.wire.data());
+      g.h = group_.all_gather_async(env_.grank, s.master.data(), g.wire.data(),
+                                    wire_);
       gathers.push_back(std::move(g));
       if (gathers.size() > kWindow) {
         retire_gather(gathers.front());
@@ -168,7 +171,7 @@ void ZeroOptimizer::step() {
     pg.i = i;
     pg.grad_shard = t::Tensor(t::Shape{s.padded}, 0.0f);
     if (stage_ == 1) {
-      pg.h = group_.all_reduce_async(env_.grank, p.grad.data(), avg);
+      pg.h = group_.all_reduce_async(env_.grank, p.grad.data(), avg, wire_);
     } else {
       // pad the full gradient onto the wire and reduce-scatter
       pg.wire = t::Tensor(t::Shape{s.padded * world}, 0.0f);
@@ -176,7 +179,7 @@ void ZeroOptimizer::step() {
       auto dst = pg.wire.data();
       std::copy(src.begin(), src.end(), dst.begin());
       pg.h = group_.reduce_scatter_async(env_.grank, pg.wire.data(),
-                                         pg.grad_shard.data(), avg);
+                                         pg.grad_shard.data(), avg, wire_);
     }
     grads.push_back(std::move(pg));
     if (grads.size() > kWindow) {
@@ -251,12 +254,16 @@ void ZeroOptimizer::load_state(std::istream& is) {
   }
   if (stage_ != 3) {
     // Stages 1-2 keep full parameter values in the module; the next forward
-    // runs before any step would re-gather them, so refresh here.
+    // runs before any step would re-gather them, so refresh here. The
+    // refresh goes through the SAME wire dtype as step()'s reconstruction:
+    // in a half-wire run the live params at step k were wire-rounded
+    // masters, and rounding the restored (identical fp32) masters again
+    // reproduces them exactly — bit-identical resume holds per wire dtype.
     const int world = group_.size();
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       ParamShard& s = shards_[i];
       t::Tensor wire(t::Shape{s.padded * world});
-      group_.all_gather(env_.grank, s.master.data(), wire.data());
+      group_.all_gather(env_.grank, s.master.data(), wire.data(), wire_);
       auto src = wire.data();
       auto dst = params_[i]->value.data();
       std::copy(src.begin(), src.begin() + params_[i]->numel(), dst.begin());

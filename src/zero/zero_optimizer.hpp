@@ -2,6 +2,7 @@
 
 #include <iosfwd>
 #include <memory>
+#include <optional>
 
 #include "collective/group.hpp"
 #include "nn/module.hpp"
@@ -24,9 +25,16 @@ namespace ca::zero {
 /// serial Adam on the summed/averaged gradient, which test_zero verifies.
 class ZeroOptimizer {
  public:
+  /// `wire` is the element type gradient sync (all-reduce / reduce-scatter)
+  /// and parameter reconstruction (all-gather) move over the interconnect;
+  /// unset resolves CA_COMM_DTYPE env > `comm_dtype` config via the context.
+  /// Adam always updates the fp32 master shards, and save_state/load_state
+  /// checkpoint traffic stays exact fp32 regardless (CACKPT01 bit-identical
+  /// re-sharding is wire-dtype-independent).
   ZeroOptimizer(const tp::Env& env, collective::Group& group,
                 std::vector<nn::Parameter*> params, optim::Adam::Hyper hyper,
-                int stage, bool average_grads = true);
+                int stage, bool average_grads = true,
+                std::optional<tensor::Dtype> wire = std::nullopt);
 
   /// Stage 3: materialize full parameter values (all-gather) into the
   /// module's Parameters and zero fresh gradient buffers. No-op otherwise.
@@ -76,6 +84,7 @@ class ZeroOptimizer {
   optim::Adam::Hyper hyper_;
   int stage_;
   bool average_;
+  tensor::Dtype wire_ = tensor::Dtype::kF32;
   std::int64_t t_ = 0;
   ShardingStrategy strategy_;
   std::vector<ParamShard> shards_;

@@ -584,6 +584,8 @@ TEST(FaultMatrix, ZeroNanSkipIsSymmetricAcrossRanks) {
   core::Config cfg;
   cfg.data_parallel_size = 2;
   World w(cfg);
+  // Trajectory is compared against the serial Adam reference: fp32 wire.
+  w.ctx.set_comm_dtype(t::Dtype::kF32);
   sim::FaultPlan plan;
   plan.corrupt_grads(0, 1);
   w.cluster.install_faults(plan);
@@ -844,6 +846,8 @@ TEST(FaultMatrix, ZeroCheckpointReshardsOnShrunkWorld) {
     core::Config cfg;
     cfg.data_parallel_size = 4;  // the original cluster
     World w(cfg);
+    // Compared against the serial Adam trajectory below: fp32 wire.
+    w.ctx.set_comm_dtype(t::Dtype::kF32);
     w.cluster.run([&](int g) {
       nn::Linear model("m", 6, 3, 62);
       engine::ZeroEngine eng(w.env(g), model, {}, /*stage=*/2);
@@ -864,6 +868,7 @@ TEST(FaultMatrix, ZeroCheckpointReshardsOnShrunkWorld) {
     core::Config cfg;
     cfg.data_parallel_size = 2;  // one device lost; rebuild smaller
     World w(cfg);
+    w.ctx.set_comm_dtype(t::Dtype::kF32);
     std::vector<t::Tensor> weights(2);
     w.cluster.run([&](int g) {
       nn::Linear model("m", 6, 3, 62);

@@ -27,7 +27,10 @@ struct World {
   explicit World(core::Config cfg)
       : cluster(sim::Topology::uniform(cfg.world_size(), 100e9)),
         backend(cluster),
-        ctx(backend, cfg) {}
+        ctx(backend, cfg) {
+    // Serial-equivalence suite: pin the wire to fp32 (see DESIGN.md §10).
+    ctx.set_comm_dtype(ca::tensor::Dtype::kF32);
+  }
   tp::Env env(int g) { return tp::Env{&ctx, g}; }
 
   sim::Cluster cluster;

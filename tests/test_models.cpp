@@ -95,6 +95,7 @@ TEST(Gpt, TensorParallelMatchesSerial) {
   sim::Cluster cluster(sim::Topology::uniform(2, 100e9));
   col::Backend backend(cluster);
   core::ParallelContext ctx(backend, pcfg);
+  ctx.set_comm_dtype(t::Dtype::kF32);  // serial-equivalence test: fp32 wire
 
   std::vector<float> losses(2);
   std::vector<t::Tensor> emb_grad(2), pos_grad(2);
@@ -128,6 +129,7 @@ TEST(Vit, ParamCountIndependentOfMode) {
   sim::Cluster cluster(sim::Topology::uniform(2, 100e9));
   col::Backend backend(cluster);
   core::ParallelContext ctx(backend, pcfg);
+  ctx.set_comm_dtype(t::Dtype::kF32);  // serial-equivalence test: fp32 wire
 
   std::vector<std::int64_t> shard_params(2);
   cluster.run([&](int g) {
@@ -192,6 +194,7 @@ TEST_P(TransformerClassifierModes, LossMatchesSerial) {
   sim::Cluster cluster(sim::Topology::uniform(c.size, 100e9));
   col::Backend backend(cluster);
   core::ParallelContext ctx(backend, pcfg);
+  ctx.set_comm_dtype(t::Dtype::kF32);  // serial-equivalence test: fp32 wire
 
   std::vector<float> losses(static_cast<std::size_t>(c.size));
   cluster.run([&](int g) {
@@ -243,6 +246,7 @@ TEST(Gpt, VocabParallelScalesToFourRanks) {
   sim::Cluster cluster(sim::Topology::uniform(4, 100e9));
   col::Backend backend(cluster);
   core::ParallelContext ctx(backend, pcfg);
+  ctx.set_comm_dtype(t::Dtype::kF32);  // serial-equivalence test: fp32 wire
 
   std::vector<float> losses(4);
   cluster.run([&](int g) {

@@ -267,12 +267,14 @@ TEST(Exporters, SummaryComputesFractionsBytesAndOverlap) {
   obs::Tracer tracer(1);
   // Hand-built timeline: 10 ms compute, comm [2, 6] ms fully under it, and
   // comm [12, 14] ms fully exposed. wall = 14 ms, busy = [0,10]+[12,14].
-  tracer.rank(0).add({"gemm", obs::Category::kCompute, 0.0, 0.010, 0.0, 0, 1e9, 0.0, {}});
+  tracer.rank(0).add({"gemm", obs::Category::kCompute, 0.0, 0.010, 0.0, 0, 1e9,
+                      0.0, {}, {}});
   tracer.rank(0).add({"data.all_reduce", obs::Category::kComm, 0.002, 0.006,
-                      0.002, 1000, 0.0, 0.0005, {}});
+                      0.002, 1000, 0.0, 0.0005, {}, "bf16"});
   tracer.rank(0).add({"data.all_gather", obs::Category::kComm, 0.012, 0.014,
-                      0.012, 500, 0.0, 0.0, {}});
-  tracer.rank(0).add({"step", obs::Category::kMarker, 0.0, 0.014, 0.0, 0, 0.0, 0.0, {}});
+                      0.012, 500, 0.0, 0.0, {}, {}});
+  tracer.rank(0).add({"step", obs::Category::kMarker, 0.0, 0.014, 0.0, 0, 0.0,
+                      0.0, {}, {}});
 
   const auto rep = obs::summarize(tracer);
   EXPECT_NEAR(rep.wall, 0.014, 1e-12);
@@ -286,12 +288,18 @@ TEST(Exporters, SummaryComputesFractionsBytesAndOverlap) {
   EXPECT_NEAR(rep.bubble_fraction, (0.014 - 0.012) / 0.014, 1e-9);
   ASSERT_EQ(rep.comm_bytes.count("data"), 1u);
   EXPECT_EQ(rep.comm_bytes.at("data"), 1500);
+  // per-wire-dtype split: tagged comm under its tag, untagged counts as f32
+  ASSERT_EQ(rep.comm_bytes_by_dtype.count("bf16"), 1u);
+  EXPECT_EQ(rep.comm_bytes_by_dtype.at("bf16"), 1000);
+  ASSERT_EQ(rep.comm_bytes_by_dtype.count("f32"), 1u);
+  EXPECT_EQ(rep.comm_bytes_by_dtype.at("f32"), 500);
 
   TempFile f("test_report_out.json");
   ASSERT_TRUE(obs::write_report_json(rep, f.path));
   const std::string body = slurp(f.path);
   EXPECT_NE(body.find("\"comm_overlap_fraction\""), std::string::npos);
   EXPECT_NE(body.find("\"bubble_fraction\""), std::string::npos);
+  EXPECT_NE(body.find("\"comm_bytes_by_dtype\""), std::string::npos);
   EXPECT_NE(body.find("\"comm_bytes\""), std::string::npos);
 }
 

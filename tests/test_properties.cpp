@@ -235,6 +235,7 @@ TEST_P(TpExactnessSweep, LinearForwardBackwardMatchSerial) {
   sim::Cluster cluster(sim::Topology::uniform(c.p, 100e9));
   col::Backend backend(cluster);
   core::ParallelContext ctx(backend, cfg);
+  ctx.set_comm_dtype(t::Dtype::kF32);  // serial-equivalence test: fp32 wire
 
   nn::Linear serial("l", c.in, c.out, c.seed);
   auto x = t::randn(t::Shape{c.rows, c.in}, c.seed + 1);

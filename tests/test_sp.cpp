@@ -23,7 +23,10 @@ namespace {
 
 struct SpWorld {
   explicit SpWorld(int n, sim::Topology topo)
-      : cluster(std::move(topo)), backend(cluster), ctx(backend, config(n)) {}
+      : cluster(std::move(topo)), backend(cluster), ctx(backend, config(n)) {
+    // Serial-equivalence suite: pin the wire to fp32 (see DESIGN.md §10).
+    ctx.set_comm_dtype(ca::tensor::Dtype::kF32);
+  }
   explicit SpWorld(int n) : SpWorld(n, sim::Topology::uniform(n, 100e9)) {}
 
   static core::Config config(int n) {

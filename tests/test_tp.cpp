@@ -35,7 +35,11 @@ struct TpWorld {
   TpWorld(core::Config cfg)
       : cluster(sim::Topology::uniform(cfg.world_size(), 100e9)),
         backend(cluster),
-        ctx(backend, cfg) {}
+        ctx(backend, cfg) {
+    // This suite asserts exact serial equivalence; pin the wire to fp32 so
+    // it stays meaningful under the CA_COMM_DTYPE=bf16 CI sweep.
+    ctx.set_comm_dtype(ca::tensor::Dtype::kF32);
+  }
 
   tp::Env env(int grank) { return tp::Env{&ctx, grank}; }
 

@@ -20,7 +20,10 @@ struct World {
   World(core::TpMode mode, int size, int depth = 1)
       : cluster(sim::Topology::uniform(size, 100e9)),
         backend(cluster),
-        ctx(backend, make(mode, size, depth)) {}
+        ctx(backend, make(mode, size, depth)) {
+    // Serial-equivalence suite: pin the wire to fp32 (see DESIGN.md §10).
+    ctx.set_comm_dtype(ca::tensor::Dtype::kF32);
+  }
   static core::Config make(core::TpMode mode, int size, int depth) {
     core::Config cfg;
     cfg.tensor_parallel_size = size;

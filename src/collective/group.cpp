@@ -136,6 +136,9 @@ void Group::sync(int idx) {
     const double budget = cluster_.fault_state().watchdog();
     const double t0 = dev.clock();
     dev.advance_clock(budget);
+    if (obs::MetricsSink* mx = dev.metrics()) {
+      mx->counter("fault.watchdog_timeouts").inc();
+    }
     if (obs::TraceBuffer* tb = dev.trace()) {
       tb->add(obs::TraceEvent{name_ + ".watchdog", obs::Category::kFault, t0,
                               t0 + budget, t0, me.cur_bytes, 0.0, 0.0, {}, {}});
@@ -175,8 +178,12 @@ double Group::settle(int grank, double t_start, Op op, Algo algo,
   // earlier than the previous one finished, even when both were issued
   // asynchronously (every member mirrors the same lane history).
   const double begin = std::max(t_start, me.lane_busy);
-  double comm = collective_time(op, algo, cluster_.topology(), ranks_, bytes,
-                                plan_);
+  // The pure cost-model prediction — what the calibration report joins the
+  // measured span against. Fault slowdowns apply on top of it, so the two
+  // agree exactly on a clean run and diverge under link degradation.
+  const double predicted = collective_time(op, algo, cluster_.topology(),
+                                           ranks_, bytes, plan_);
+  double comm = predicted;
   if (const sim::FaultInjector* fi = cluster_.fault_injector()) {
     // Link degradation stretches the op's bandwidth term; `begin` is the same
     // on every member, so all mirrors stay in lockstep.
@@ -186,6 +193,16 @@ double Group::settle(int grank, double t_start, Op op, Algo algo,
   me.lane_busy = t_end;
   auto& dev = cluster_.device(grank);
   dev.add_bytes_sent(bytes_sent_per_rank(op, algo, size(), bytes, plan_));
+  if (obs::MetricsSink* mx = dev.metrics()) {
+    // Like the trace emit below, this single point covers the whole comm
+    // plane: every blocking call, deferred async op, and accounting twin.
+    mx->observe_comm(name_, op_name(op), algo_name(algo),
+                     tensor::dtype_name(wire), bytes, comm, predicted);
+    mx->counter("comm.bytes").inc(bytes);
+    // Lane queueing: how long this op waited behind earlier collectives on
+    // the group's comm lane (0 when the lane was free at issue).
+    mx->hist("comm.queue_s").record(begin - t_start);
+  }
   if (obs::TraceBuffer* tb = dev.trace()) {
     // Every collective — blocking, deferred-async, or accounting twin — funnels
     // through here, so this one emit point covers the whole comm plane.
@@ -292,6 +309,10 @@ double Group::run_collective(int grank, Op op, const float* in,
           "transient comm fault persisted past the retry budget");
     }
     if (retry.delay > 0.0) {
+      if (obs::MetricsSink* mx = cluster_.device(grank).metrics()) {
+        mx->counter("fault.retries").inc();
+        mx->hist("fault.retry_backoff_s").record(retry.delay);
+      }
       if (obs::TraceBuffer* tb = cluster_.device(grank).trace()) {
         tb->add(obs::TraceEvent{name_ + ".retry", obs::Category::kFault,
                                 tok.t_start, tok.t_start + retry.delay,

@@ -126,6 +126,9 @@ class Group {
   Group& operator=(const Group&) = delete;
 
   [[nodiscard]] const std::string& name() const { return name_; }
+  /// The cluster this group communicates over (e.g. for reaching a member's
+  /// Device from engine-side instrumentation).
+  [[nodiscard]] sim::Cluster& cluster() { return cluster_; }
   [[nodiscard]] int size() const { return static_cast<int>(ranks_.size()); }
   [[nodiscard]] const std::vector<int>& ranks() const { return ranks_; }
   /// Index of a global rank inside this group.

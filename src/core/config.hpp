@@ -58,6 +58,13 @@ struct Config {
   /// Worker threads for the tasks backend; 0 = one per hardware thread
   /// (`sim.workers`; CA_SIM_WORKERS wins over this field).
   int sim_workers = 0;
+  /// Online metrics collection: "on" or "off" (`metrics` / `metrics.enabled`;
+  /// the CA_METRICS environment variable wins over this field). Off keeps the
+  /// hot paths at one predictable null-check per instrument.
+  std::string metrics = "off";
+  /// Histogram bucket count for metrics (`metrics.hist_buckets`; 0 keeps the
+  /// built-in default, CA_METRICS_HIST_BUCKETS wins over this field).
+  int metrics_hist_buckets = 0;
   /// Checkpoint every this-many steps (`checkpoint.interval`; 0 disables).
   int checkpoint_interval = 0;
   /// Where CheckpointHook writes (`checkpoint.dir`).
@@ -101,6 +108,10 @@ struct Config {
     require(sim_backend == "threads" || sim_backend == "tasks",
             "unknown sim.backend '" + sim_backend + "' (want threads|tasks)");
     require(sim_workers >= 0, "sim.workers must be >= 0");
+    require(metrics == "on" || metrics == "off",
+            "unknown metrics '" + metrics + "' (want on|off)");
+    require(metrics_hist_buckets >= 0 && metrics_hist_buckets <= 4096,
+            "metrics.hist_buckets must be in 0..4096");
     require(checkpoint_interval >= 0, "checkpoint.interval must be >= 0");
     switch (tensor_mode) {
       case TpMode::kNone:

@@ -79,6 +79,10 @@ Config parse_config(const std::string& text) {
       cfg.sim_backend = value;
     } else if (key == "sim.workers") {
       cfg.sim_workers = parse_int(key, value);
+    } else if (key == "metrics" || key == "metrics.enabled") {
+      cfg.metrics = value;
+    } else if (key == "metrics.hist_buckets") {
+      cfg.metrics_hist_buckets = parse_int(key, value);
     } else if (key == "checkpoint.interval") {
       cfg.checkpoint_interval = parse_int(key, value);
     } else if (key == "checkpoint.dir") {

@@ -48,6 +48,15 @@ class LaunchedWorld {
     if (std::getenv("CA_SIM_WORKERS") == nullptr && config.sim_workers > 0) {
       cluster_.set_workers(config.sim_workers);
     }
+    // Metrics knobs: bucket count before enable so the registry is built
+    // with the configured resolution.
+    if (std::getenv("CA_METRICS_HIST_BUCKETS") == nullptr &&
+        config.metrics_hist_buckets > 0) {
+      cluster_.set_metrics_hist_buckets(config.metrics_hist_buckets);
+    }
+    if (std::getenv("CA_METRICS") == nullptr && config.metrics == "on") {
+      cluster_.enable_metrics();
+    }
   }
 
   /// SPMD entry point; the callable receives a ready-made per-rank Env.

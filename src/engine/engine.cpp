@@ -34,7 +34,13 @@ void Engine::zero_grad() {
   has_dlogits_ = false;
 }
 
-t::Tensor Engine::forward(const t::Tensor& x) { return model_.forward(x); }
+t::Tensor Engine::forward(const t::Tensor& x) {
+  if (env_.dev().metrics() == nullptr) return model_.forward(x);
+  const double t0 = env_.dev().clock();
+  auto y = model_.forward(x);
+  fwd_accum_s_ += env_.dev().clock() - t0;
+  return y;
+}
 
 float Engine::criterion(const t::Tensor& logits,
                         std::span<const std::int64_t> labels) {
@@ -45,17 +51,50 @@ float Engine::criterion(const t::Tensor& logits,
 
 void Engine::backward() {
   assert(has_dlogits_ && "criterion() must run before backward()");
-  model_.backward(dlogits_);
+  if (env_.dev().metrics() == nullptr) {
+    model_.backward(dlogits_);
+  } else {
+    const double t0 = env_.dev().clock();
+    model_.backward(dlogits_);
+    bwd_accum_s_ += env_.dev().clock() - t0;
+  }
   has_dlogits_ = false;
 }
 
-void Engine::backward_from(const t::Tensor& dy) { model_.backward(dy); }
+void Engine::backward_from(const t::Tensor& dy) {
+  if (env_.dev().metrics() == nullptr) {
+    model_.backward(dy);
+    return;
+  }
+  const double t0 = env_.dev().clock();
+  model_.backward(dy);
+  bwd_accum_s_ += env_.dev().clock() - t0;
+}
 
 void Engine::step() {
   obs::TraceBuffer* tb = env_.dev().trace();
+  obs::MetricsSink* mx = env_.dev().metrics();
   obs::TraceSpan step_span(tb, obs::Category::kMarker, "engine.step");
   const sim::FaultInjector* fi = env_.dev().fault();
   const std::int64_t step = step_count_++;
+  const double t_step0 = env_.dev().clock();
+  double sync_s = 0.0;
+  // Per-step metric flush: fwd/bwd compute accumulated since the last step
+  // plus this step's exposed grad-sync wait become the per-rank series the
+  // straggler detector scans (a compute straggler inflates its own
+  // compute_s; its peers absorb the skew as sync_wait_s).
+  const auto record_step = [&] {
+    if (mx == nullptr) return;
+    mx->counter("engine.steps").inc();
+    mx->hist("engine.step_s").record(env_.dev().clock() - t_step0);
+    mx->hist("engine.grad_sync_s").record(sync_s);
+    mx->hist("engine.fwd_s").record(fwd_accum_s_);
+    mx->hist("engine.bwd_s").record(bwd_accum_s_);
+    mx->record_series("engine.compute_s", step, fwd_accum_s_ + bwd_accum_s_);
+    mx->record_series("engine.sync_wait_s", step, sync_s);
+    fwd_accum_s_ = 0.0;
+    bwd_accum_s_ = 0.0;
+  };
   // Step-triggered fail-stop lands here, before this rank touches any
   // rendezvous of the step: survivors time out at their next collective.
   if (fi != nullptr) fi->on_step(env_.grank, step, env_.dev().clock());
@@ -63,6 +102,7 @@ void Engine::step() {
   auto& dp = env_.ctx->data_group(env_.grank);
   if (dp.size() > 1) {
     obs::TraceSpan sync_span(tb, obs::Category::kMarker, "engine.grad_sync");
+    const double t_sync0 = env_.dev().clock();
     if (bucketer_) {
       bucketer_->finish();
     } else {
@@ -73,6 +113,7 @@ void Engine::step() {
         dp.all_reduce(env_.grank, p->grad.data(), inv, wire_);
       }
     }
+    sync_s = env_.dev().clock() - t_sync0;
   }
 
   // Injection after sync (buckets all-reduce flat copies during backward, so
@@ -93,17 +134,26 @@ void Engine::step() {
     // step leaves parameters untouched (replicas stay bit-identical).
     if (any_rank_nonfinite(env_.ctx->backend().world(), env_.grank, bad)) {
       ++skipped_steps_;
+      if (mx != nullptr) mx->counter("engine.nan_skips").inc();
       if (tb != nullptr) {
         const double t = env_.dev().clock();
         tb->add(obs::TraceEvent{"engine.nan_skip", obs::Category::kFault, t, t,
                                 t, 0, 0.0, 0.0, {}, {}});
       }
+      record_step();  // a skipped step still counts (and still has timings)
       return;
     }
   }
 
-  obs::TraceSpan opt_span(tb, obs::Category::kMarker, "engine.optim");
-  optimizer_->step();
+  {
+    obs::TraceSpan opt_span(tb, obs::Category::kMarker, "engine.optim");
+    const double t_opt0 = env_.dev().clock();
+    optimizer_->step();
+    if (mx != nullptr) {
+      mx->hist("engine.optim_s").record(env_.dev().clock() - t_opt0);
+    }
+  }
+  record_step();
 }
 
 }  // namespace ca::engine

@@ -97,6 +97,10 @@ class Engine {
   bool has_dlogits_ = false;
   std::int64_t step_count_ = 0;
   std::int64_t skipped_steps_ = 0;
+  // Simulated compute seconds accumulated by forward()/backward() since the
+  // last step() — flushed into the per-step metric series (metrics on only).
+  double fwd_accum_s_ = 0.0;
+  double bwd_accum_s_ = 0.0;
 };
 
 /// The C++ analogue of `colossalai.initialize`: bundle a model + optimizer

@@ -46,6 +46,9 @@ void GradBucketer::issue(Bucket& b) {
   }
   b.handle = dp_.all_reduce_async(grank_, b.flat, scale_, wire_);
   b.issued = true;
+  if (obs::MetricsSink* mx = dp_.cluster().device(grank_).metrics()) {
+    mx->counter("engine.bucket_flushes").inc();
+  }
 }
 
 void GradBucketer::on_grad_ready(const nn::Parameter& p) {

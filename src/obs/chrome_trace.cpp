@@ -49,9 +49,22 @@ void counter(std::FILE* f, int pid, const std::string& track, double t,
                escape(track).c_str(), pid, t * kUs, value);
 }
 
+void counter_value(std::FILE* f, int pid, const std::string& track, double t,
+                   double value) {
+  std::fprintf(f,
+               "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":%d,\"ts\":%.3f,"
+               "\"args\":{\"value\":%.9g}},\n",
+               escape(track).c_str(), pid, t * kUs, value);
+}
+
 }  // namespace
 
 bool write_chrome_trace(const Tracer& tracer, const std::string& path) {
+  return write_chrome_trace(tracer, nullptr, path);
+}
+
+bool write_chrome_trace(const Tracer& tracer, const MetricsRegistry* metrics,
+                        const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
@@ -101,6 +114,16 @@ bool write_chrome_trace(const Tracer& tracer, const std::string& path) {
     }
     for (const auto& [t, bytes] : tracer.rank(r).mem_timeline()) {
       counter(f, r, "gpu" + std::to_string(r) + " mem", t, bytes);
+    }
+    // Online metrics ride along as counter tracks inside the rank's process:
+    // each per-step series (step time, exposed sync wait, ...) becomes one
+    // track stamped at the simulated clock the sample was recorded at.
+    if (metrics != nullptr && r < metrics->world()) {
+      for (const auto& [name, series] : metrics->rank(r).all_series()) {
+        for (const SeriesPoint& p : series.points) {
+          counter_value(f, r, name, p.t, p.value);
+        }
+      }
     }
   }
   for (const auto& [pool, timeline] : tracer.pool_timelines()) {

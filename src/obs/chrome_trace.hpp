@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace ca::obs {
@@ -17,5 +18,11 @@ namespace ca::obs {
 ///
 /// Returns false (after printing a warning) on I/O failure.
 bool write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+/// Same, folding a MetricsRegistry's per-step series (step time, exposed
+/// sync wait, ...) into additional per-rank counter tracks, so online
+/// metrics render next to the span timeline. `metrics` may be nullptr.
+bool write_chrome_trace(const Tracer& tracer, const MetricsRegistry* metrics,
+                        const std::string& path);
 
 }  // namespace ca::obs

@@ -1,0 +1,188 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ca::obs {
+
+std::map<std::string, std::int64_t> MetricsRegistry::merged_counters() const {
+  std::map<std::string, std::int64_t> out;
+  for (const auto& s : sinks_) {
+    for (const auto& [name, c] : s.counters()) out[name] += c.value;
+  }
+  return out;
+}
+
+std::map<std::string, Histogram> MetricsRegistry::merged_hists() const {
+  std::map<std::string, Histogram> out;
+  for (const auto& s : sinks_) {
+    for (const auto& [name, h] : s.hists()) {
+      auto it = out.find(name);
+      if (it == out.end()) {
+        it = out.emplace(name, Histogram(hist_buckets_)).first;
+      }
+      it->second.merge(h);
+    }
+  }
+  return out;
+}
+
+std::map<CommKey, CommStat> MetricsRegistry::merged_comm() const {
+  std::map<CommKey, CommStat> out;
+  for (const auto& s : sinks_) {
+    for (const auto& [key, stat] : s.comm()) out[key].merge(stat);
+  }
+  return out;
+}
+
+// ---- calibration -------------------------------------------------------------
+
+std::vector<CalibrationRow> calibrate(const MetricsRegistry& registry) {
+  // Regroup the merged per-(group, op, algo, dtype, bytes) stats into one
+  // point list per (group, op, algo, dtype): bytes on the x axis, the mean
+  // measured time on the y axis, the mean predicted time alongside.
+  struct Point {
+    std::int64_t bytes;
+    double measured_s;
+    double predicted_s;
+  };
+  std::map<std::tuple<std::string, std::string, std::string, std::string>,
+           std::vector<Point>>
+      series;
+  for (const auto& [key, stat] : registry.merged_comm()) {
+    series[{key.group, key.op, key.algo, key.dtype}].push_back(
+        {key.bytes, stat.mean_s(), stat.mean_pred_s()});
+  }
+
+  std::vector<CalibrationRow> rows;
+  rows.reserve(series.size());
+  for (auto& [id, pts] : series) {
+    std::sort(pts.begin(), pts.end(),
+              [](const Point& a, const Point& b) { return a.bytes < b.bytes; });
+    CalibrationRow row;
+    std::tie(row.group, row.op, row.algo, row.dtype) = id;
+    row.points = static_cast<int>(pts.size());
+    row.min_bytes = pts.front().bytes;
+    row.max_bytes = pts.back().bytes;
+
+    // Least-squares t = alpha + beta * bytes over the observed sizes. With a
+    // single size (or all-equal sizes) the slope is indeterminate: report the
+    // mean as pure latency.
+    const double n = static_cast<double>(pts.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (const Point& p : pts) {
+      const double x = static_cast<double>(p.bytes);
+      sx += x;
+      sy += p.measured_s;
+      sxx += x * x;
+      sxy += x * p.measured_s;
+    }
+    const double det = n * sxx - sx * sx;
+    if (det > 0.0 && pts.size() > 1) {
+      row.beta_s_per_b = (n * sxy - sx * sy) / det;
+      row.alpha_s = (sy - row.beta_s_per_b * sx) / n;
+    } else {
+      row.alpha_s = sy / n;
+      row.beta_s_per_b = 0.0;
+    }
+
+    for (const Point& p : pts) {
+      if (p.predicted_s > 0.0) {
+        const double err =
+            std::abs(p.measured_s - p.predicted_s) / p.predicted_s;
+        row.max_rel_err_model = std::max(row.max_rel_err_model, err);
+        if (p.bytes >= (std::int64_t{1} << 20)) {
+          row.max_rel_err_model_1mib =
+              std::max(row.max_rel_err_model_1mib, err);
+        }
+      }
+      if (p.measured_s > 0.0) {
+        const double fit =
+            row.alpha_s + row.beta_s_per_b * static_cast<double>(p.bytes);
+        row.max_rel_err_fit = std::max(
+            row.max_rel_err_fit, std::abs(p.measured_s - fit) / p.measured_s);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+bool write_calibration_json(const std::vector<CalibrationRow>& rows,
+                            const std::string& topology,
+                            const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"topology\": \"%s\",\n  \"collectives\": [\n",
+               topology.c_str());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const CalibrationRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"group\": \"%s\", \"op\": \"%s\", \"algo\": \"%s\", "
+                 "\"dtype\": \"%s\", \"points\": %d, \"min_bytes\": %lld, "
+                 "\"max_bytes\": %lld, \"alpha_s\": %.9e, "
+                 "\"beta_s_per_byte\": %.9e, \"max_rel_err_model\": %.6f, "
+                 "\"max_rel_err_model_1mib\": %.6f, \"max_rel_err_fit\": "
+                 "%.6f}%s\n",
+                 r.group.c_str(), r.op.c_str(), r.algo.c_str(),
+                 r.dtype.c_str(), r.points,
+                 static_cast<long long>(r.min_bytes),
+                 static_cast<long long>(r.max_bytes), r.alpha_s,
+                 r.beta_s_per_b, r.max_rel_err_model, r.max_rel_err_model_1mib,
+                 r.max_rel_err_fit, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+// ---- straggler detection -----------------------------------------------------
+
+std::vector<StragglerEvent> detect_stragglers(const MetricsRegistry& registry,
+                                              const std::string& series,
+                                              StragglerConfig cfg) {
+  // Collect every rank's value per step (ranks that recorded the series more
+  // than once in a step contribute their sum — one sample per step is the
+  // contract of the engine wiring, but the detector tolerates repeats).
+  std::map<std::int64_t, std::map<int, double>> by_step;
+  for (int r = 0; r < registry.world(); ++r) {
+    const auto& all = registry.rank(r).all_series();
+    const auto it = all.find(series);
+    if (it == all.end()) continue;
+    for (const SeriesPoint& p : it->second.points) {
+      by_step[p.step][r] += p.value;
+    }
+  }
+
+  std::vector<StragglerEvent> events;
+  for (const auto& [step, values] : by_step) {
+    const int n = static_cast<int>(values.size());
+    if (n < 3) continue;  // no meaningful peer statistics
+    double sum = 0.0, sumsq = 0.0;
+    for (const auto& [rank, v] : values) {
+      sum += v;
+      sumsq += v * v;
+    }
+    for (const auto& [rank, v] : values) {
+      // Leave-one-out peer statistics: a lone heavy outlier cannot inflate
+      // the mean/stddev it is judged against (x = [1,1,1,4] scores z ~ 1.7
+      // against all-in statistics but is unmistakable against its peers).
+      const double m = (sum - v) / static_cast<double>(n - 1);
+      const double var =
+          std::max(0.0, (sumsq - v * v) / static_cast<double>(n - 1) - m * m);
+      const double floor =
+          std::max(cfg.abs_floor, cfg.rel_floor * std::abs(m));
+      const double sd = std::max(std::sqrt(var), floor);
+      const double z = (v - m) / sd;
+      if (z > cfg.z_threshold) {
+        events.push_back({series, step, rank, v, m, z});
+      }
+    }
+  }
+  return events;
+}
+
+}  // namespace ca::obs

@@ -1,0 +1,108 @@
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace ca::obs {
+
+namespace {
+
+/// Metric names come from dotted instrument names ("engine.step_s"); the
+/// Prometheus grammar wants [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 3);
+  out += "ca_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Power-of-2 size class label ("1MiB" covers [1MiB, 2MiB)).
+std::string bytes_class(std::int64_t bytes) {
+  if (bytes <= 0) return "0B";
+  int e = 0;
+  while ((std::int64_t{1} << (e + 1)) <= bytes) ++e;
+  const std::int64_t base = std::int64_t{1} << e;
+  if (base >= (std::int64_t{1} << 30)) {
+    return std::to_string(base >> 30) + "GiB";
+  }
+  if (base >= (std::int64_t{1} << 20)) {
+    return std::to_string(base >> 20) + "MiB";
+  }
+  if (base >= (std::int64_t{1} << 10)) {
+    return std::to_string(base >> 10) + "KiB";
+  }
+  return std::to_string(base) + "B";
+}
+
+}  // namespace
+
+bool write_prometheus(const MetricsRegistry& registry,
+                      const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+
+  for (const auto& [name, value] : registry.merged_counters()) {
+    const std::string m = sanitize(name) + "_total";
+    std::fprintf(f, "# TYPE %s counter\n%s %" PRId64 "\n", m.c_str(),
+                 m.c_str(), value);
+  }
+
+  // Gauges are instantaneous per rank; expose them with a rank label rather
+  // than summed (a sum of gauges is meaningless).
+  for (int r = 0; r < registry.world(); ++r) {
+    for (const auto& [name, g] : registry.rank(r).gauges()) {
+      const std::string m = sanitize(name);
+      std::fprintf(f, "%s{rank=\"%d\"} %.9g\n", m.c_str(), r, g.value);
+    }
+  }
+
+  for (const auto& [name, h] : registry.merged_hists()) {
+    const std::string m = sanitize(name);
+    std::fprintf(f, "# TYPE %s histogram\n", m.c_str());
+    std::int64_t cum = 0;
+    const auto& buckets = h.buckets();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] == 0) continue;  // sparse dump: 64 empty lines help no one
+      cum += buckets[i];
+      std::fprintf(f, "%s_bucket{le=\"%.9g\"} %" PRId64 "\n", m.c_str(),
+                   Histogram::bucket_upper(static_cast<int>(i)), cum);
+    }
+    std::fprintf(f, "%s_bucket{le=\"+Inf\"} %" PRId64 "\n", m.c_str(),
+                 h.count());
+    std::fprintf(f, "%s_sum %.9g\n%s_count %" PRId64 "\n", m.c_str(), h.sum(),
+                 m.c_str(), h.count());
+    std::fprintf(f, "%s_min %.9g\n%s_max %.9g\n", m.c_str(), h.min(),
+                 m.c_str(), h.max());
+  }
+
+  // The comm plane: one labeled family per (group, op, algo, dtype, bytes
+  // class), carrying both measured and cost-model-predicted totals so the
+  // calibration error is readable straight off the dump.
+  std::fprintf(f, "# TYPE ca_comm_ops_total counter\n");
+  for (const auto& [key, stat] : registry.merged_comm()) {
+    const std::string labels = "{group=\"" + key.group + "\",op=\"" + key.op +
+                               "\",algo=\"" + key.algo + "\",dtype=\"" +
+                               key.dtype + "\",bytes_class=\"" +
+                               bytes_class(key.bytes) + "\"}";
+    std::fprintf(f, "ca_comm_ops_total%s %" PRId64 "\n", labels.c_str(),
+                 stat.count);
+    std::fprintf(f, "ca_comm_seconds_total%s %.9g\n", labels.c_str(),
+                 stat.sum_s);
+    std::fprintf(f, "ca_comm_predicted_seconds_total%s %.9g\n", labels.c_str(),
+                 stat.sum_pred_s);
+  }
+
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace ca::obs

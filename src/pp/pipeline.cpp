@@ -44,7 +44,14 @@ t::Tensor Pipeline::forward_micro(int m,
   if (ctx.is_first_stage(env_.grank)) {
     x = inputs[static_cast<std::size_t>(m)].clone();
   } else {
+    const double t_wait0 = env_.dev().clock();
     fwd_h_.wait();
+    if (obs::MetricsSink* mx = env_.dev().metrics()) {
+      // Exposed activation wait per micro-batch: the measured per-micro
+      // pipeline bubble on this stage (0 when the transfer hid under
+      // earlier compute).
+      mx->hist("pp.fwd_wait_s").record(env_.dev().clock() - t_wait0);
+    }
     x = std::move(next_fwd_);
     // Re-post immediately: the next micro-batch's activation streams in
     // while this one is being computed (1F1B overlap).
@@ -118,7 +125,11 @@ float Pipeline::train_step(int micros, std::span<const t::Tensor> inputs,
       dy = t::Tensor(y.shape());
       loss_sum += loss(y, dy, m);
     } else {
+      const double t_wait0 = env_.dev().clock();
       dy_h.wait();
+      if (obs::MetricsSink* mx = env_.dev().metrics()) {
+        mx->hist("pp.bwd_wait_s").record(env_.dev().clock() - t_wait0);
+      }
     }
     backward_micro(m, dy);
   };

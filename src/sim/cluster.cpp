@@ -54,6 +54,26 @@ Cluster::Cluster(Topology topo)
   if (const char* e = std::getenv("CA_SIM_STACK_KB")) {
     stack_bytes_ = static_cast<std::size_t>(env_int("CA_SIM_STACK_KB", e)) << 10;
   }
+  // Metrics knobs follow the same pattern: CA_METRICS / CA_METRICS_HIST_BUCKETS
+  // flip any harness wholesale; the `metrics.*` config keys land only where
+  // the env is silent (LaunchedWorld).
+  if (const char* e = std::getenv("CA_METRICS_HIST_BUCKETS")) {
+    const int buckets = env_int("CA_METRICS_HIST_BUCKETS", e);
+    if (buckets < 1 || buckets > 4096) {
+      throw std::invalid_argument(
+          std::string("CA_METRICS_HIST_BUCKETS: bad value '") + e +
+          "' (want 1..4096)");
+    }
+    hist_buckets_ = buckets;
+  }
+  if (const char* e = std::getenv("CA_METRICS")) {
+    const std::string v(e);
+    if (v != "on" && v != "off") {
+      throw std::invalid_argument(std::string("CA_METRICS: bad value '") + e +
+                                  "' (want on|off)");
+    }
+    if (v == "on") enable_metrics();
+  }
 }
 
 void Cluster::run(const std::function<void(int)>& fn) {
@@ -158,6 +178,7 @@ void Cluster::reset_stats() {
   host_mem_.reset();
   nvme_mem_.reset();  // offload benches measure NVMe peaks per configuration
   if (tracer_) tracer_->clear();
+  if (metrics_) metrics_->clear();
 }
 
 obs::Tracer& Cluster::enable_tracing() {
@@ -186,6 +207,21 @@ void Cluster::disable_tracing() {
   }
   host_mem_.set_sample_hook(nullptr);
   nvme_mem_.set_sample_hook(nullptr);
+}
+
+obs::MetricsRegistry& Cluster::enable_metrics() {
+  if (!metrics_) {
+    metrics_ =
+        std::make_unique<obs::MetricsRegistry>(world_size(), hist_buckets_);
+  }
+  for (int r = 0; r < world_size(); ++r) {
+    devices_[static_cast<std::size_t>(r)]->set_metrics(&metrics_->rank(r));
+  }
+  return *metrics_;
+}
+
+void Cluster::disable_metrics() {
+  for (auto& d : devices_) d->set_metrics(nullptr);
 }
 
 }  // namespace ca::sim

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/device.hpp"
 #include "sim/fault.hpp"
@@ -104,6 +105,25 @@ class Cluster {
   /// The tracer, or nullptr if enable_tracing was never called.
   [[nodiscard]] obs::Tracer* tracer() { return tracer_.get(); }
 
+  // ---- online metrics ---------------------------------------------------------
+
+  /// Turn on the per-rank metric registry: creates (or reuses) the
+  /// MetricsRegistry and hands each Device its rank sink. Call outside the
+  /// SPMD region. Idempotent. CA_METRICS=on enables this at construction
+  /// (bad values throw std::invalid_argument); CA_METRICS_HIST_BUCKETS sizes
+  /// the histograms, with the `metrics.*` config keys applied by
+  /// LaunchedWorld only where the env is unset.
+  obs::MetricsRegistry& enable_metrics();
+  /// Detach all sinks; values collected so far stay readable through
+  /// metrics(). The emit points revert to their single disabled-path branch.
+  void disable_metrics();
+  /// The registry, or nullptr if enable_metrics was never called.
+  [[nodiscard]] obs::MetricsRegistry* metrics() { return metrics_.get(); }
+  /// Histogram bucket count for the next enable_metrics() (existing
+  /// registries keep their size).
+  [[nodiscard]] int metrics_hist_buckets() const { return hist_buckets_; }
+  void set_metrics_hist_buckets(int buckets) { hist_buckets_ = buckets; }
+
  private:
   Topology topo_;
   std::vector<std::unique_ptr<Device>> devices_;
@@ -113,6 +133,8 @@ class Cluster {
   MemoryTracker host_mem_;
   MemoryTracker nvme_mem_{"nvme", 0};  // capacity 0 => unlimited
   std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  int hist_buckets_ = obs::kDefaultHistBuckets;
   FaultState fault_state_;
   std::unique_ptr<FaultInjector> injector_;
 };

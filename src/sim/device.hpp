@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/fault.hpp"
 #include "sim/gpu_model.hpp"
@@ -65,6 +66,20 @@ class Device {
     if (buf != nullptr) buf->bind_clock(&clock_);
   }
 
+  // ---- metrics ----------------------------------------------------------------
+
+  /// This rank's metric sink, or nullptr while metrics are off. Emit points
+  /// test this pointer — like trace(), the entire disabled-path cost is one
+  /// predictable branch.
+  [[nodiscard]] obs::MetricsSink* metrics() const { return metrics_; }
+  /// Attach (or detach, with nullptr) a metric sink; binds it to this
+  /// device's clock. Called by Cluster::enable_metrics outside the SPMD
+  /// region.
+  void set_metrics(obs::MetricsSink* sink) {
+    metrics_ = sink;
+    if (sink != nullptr) sink->bind_clock(&clock_);
+  }
+
   // ---- fault injection --------------------------------------------------------
 
   /// The cluster's fault injector, or nullptr while injection is off. Like
@@ -96,6 +111,7 @@ class Device {
   double clock_ = 0.0;
   std::int64_t bytes_sent_ = 0;
   obs::TraceBuffer* trace_ = nullptr;
+  obs::MetricsSink* metrics_ = nullptr;
   const FaultInjector* fault_ = nullptr;
 };
 

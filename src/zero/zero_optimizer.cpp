@@ -56,7 +56,14 @@ ZeroOptimizer::ZeroOptimizer(const tp::Env& env, collective::Group& group,
 
 void ZeroOptimizer::gather_params() {
   if (stage_ != 3) return;
+  obs::MetricsSink* mx = env_.dev().metrics();
   for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (mx != nullptr) {
+      // Stage-3 param reconstruction goes through ShardedTensor's fp32
+      // all_gather, not the step()'s wire-dtype pipeline.
+      mx->counter("zero.gather_bytes")
+          .inc(shards_[i].padded * group_.size() * 4);
+    }
     params_[i]->value = shards_[i].sharded->gather().clone();
     params_[i]->grad = t::Tensor(shards_[i].sharded->full_shape(), 0.0f);
     shards_[i].sharded->release();  // the wire buffer itself is not kept
@@ -94,10 +101,13 @@ void ZeroOptimizer::adam_update(ParamShard& s, const t::Tensor& grad_shard) {
 
 void ZeroOptimizer::step() {
   obs::TraceSpan span(env_.dev().trace(), obs::Category::kMarker, "zero.step");
+  obs::MetricsSink* mx = env_.dev().metrics();
+  const double t_step0 = env_.dev().clock();
   ++t_;
   const int world = group_.size();
   const int idx = group_.index_of(env_.grank);
   const float avg = average_ ? 1.0f / static_cast<float>(world) : 1.0f;
+  const std::int64_t elem_bytes = t::dtype_bytes(wire_);
 
   // The per-parameter pipeline (grad sync -> shard update -> param
   // reconstruction) runs over a sliding window of in-flight async
@@ -148,6 +158,11 @@ void ZeroOptimizer::step() {
       g.wire = t::Tensor(t::Shape{s.padded * world});
       g.h = group_.all_gather_async(env_.grank, s.master.data(), g.wire.data(),
                                     wire_);
+      if (mx != nullptr) {
+        // Shard traffic: the gathered size is the all_gather's modeled
+        // payload (NCCL convention — see modeled_bytes in group.cpp).
+        mx->counter("zero.gather_bytes").inc(s.padded * world * elem_bytes);
+      }
       gathers.push_back(std::move(g));
       if (gathers.size() > kWindow) {
         retire_gather(gathers.front());
@@ -170,6 +185,10 @@ void ZeroOptimizer::step() {
     GradInFlight pg;
     pg.i = i;
     pg.grad_shard = t::Tensor(t::Shape{s.padded}, 0.0f);
+    if (mx != nullptr) {
+      mx->counter("zero.reduce_bytes")
+          .inc((stage_ == 1 ? p.grad.numel() : s.padded * world) * elem_bytes);
+    }
     if (stage_ == 1) {
       pg.h = group_.all_reduce_async(env_.grank, p.grad.data(), avg, wire_);
     } else {
@@ -194,6 +213,9 @@ void ZeroOptimizer::step() {
   while (!gathers.empty()) {
     retire_gather(gathers.front());
     gathers.pop_front();
+  }
+  if (mx != nullptr) {
+    mx->hist("zero.step_s").record(env_.dev().clock() - t_step0);
   }
 }
 

@@ -303,6 +303,72 @@ TEST(Exporters, SummaryComputesFractionsBytesAndOverlap) {
   EXPECT_NE(body.find("\"comm_bytes\""), std::string::npos);
 }
 
+// ---- summarize edge cases ---------------------------------------------------
+
+TEST(ReportEdge, EmptyTracerYieldsZeroedReport) {
+  obs::Tracer tracer(2);
+  const auto rep = obs::summarize(tracer);
+  EXPECT_EQ(rep.wall, 0.0);
+  ASSERT_EQ(rep.ranks.size(), 2u);
+  for (const auto& r : rep.ranks) {
+    EXPECT_EQ(r.wall, 0.0);
+    EXPECT_EQ(r.busy, 0.0);
+  }
+  // no events: the fraction denominators are zero and must not divide
+  EXPECT_EQ(rep.bubble_fraction, 0.0);
+  EXPECT_EQ(rep.comm_overlap_fraction, 0.0);
+  EXPECT_TRUE(rep.comm_bytes.empty());
+  EXPECT_TRUE(rep.comm_bytes_by_dtype.empty());
+  EXPECT_TRUE(rep.peak_mem.empty());
+}
+
+TEST(ReportEdge, MarkerOnlyTimelineCountsWallButNoBusy) {
+  obs::Tracer tracer(1);
+  tracer.rank(0).add({"epoch", obs::Category::kMarker, 0.0, 0.02, 0.0, 0, 0.0,
+                      0.0, {}, {}});
+  const auto rep = obs::summarize(tracer);
+  // markers extend the wall but are annotations, not busy time: the whole
+  // window reads as bubble
+  EXPECT_NEAR(rep.wall, 0.02, 1e-12);
+  EXPECT_EQ(rep.ranks[0].busy, 0.0);
+  EXPECT_NEAR(rep.bubble_fraction, 1.0, 1e-12);
+  EXPECT_EQ(rep.comm_overlap_fraction, 0.0);
+}
+
+TEST(ReportEdge, FullyHiddenCommHasOverlapFractionOne) {
+  obs::Tracer tracer(1);
+  tracer.rank(0).add({"gemm", obs::Category::kCompute, 0.0, 0.010, 0.0, 0, 1e9,
+                      0.0, {}, {}});
+  tracer.rank(0).add({"data.all_reduce", obs::Category::kComm, 0.002, 0.006,
+                      0.002, 512, 0.0, 0.0, {}, {}});
+  tracer.rank(0).add({"data.all_gather", obs::Category::kComm, 0.007, 0.009,
+                      0.007, 256, 0.0, 0.0, {}, {}});
+  const auto rep = obs::summarize(tracer);
+  // every comm second sits under the compute span
+  EXPECT_NEAR(rep.comm_overlap_fraction, 1.0, 1e-12);
+  EXPECT_NEAR(rep.ranks[0].comm_overlap, 0.006, 1e-12);
+  EXPECT_NEAR(rep.ranks[0].busy, 0.010, 1e-12);  // comm adds no busy time
+}
+
+TEST(ReportEdge, DtypeSplitMixesTaggedAndUntaggedSpans) {
+  obs::Tracer tracer(2);
+  // rank 0: tagged f16 + untagged; rank 1: tagged bf16 + tagged f16
+  tracer.rank(0).add({"data.all_reduce", obs::Category::kComm, 0.0, 0.001, 0.0,
+                      1000, 0.0, 0.0, {}, "f16"});
+  tracer.rank(0).add({"data.all_reduce", obs::Category::kComm, 0.001, 0.002,
+                      0.001, 300, 0.0, 0.0, {}, {}});
+  tracer.rank(1).add({"tp.all_gather", obs::Category::kComm, 0.0, 0.001, 0.0,
+                      700, 0.0, 0.0, {}, "bf16"});
+  tracer.rank(1).add({"tp.all_gather", obs::Category::kComm, 0.001, 0.002,
+                      0.001, 11, 0.0, 0.0, {}, "f16"});
+  const auto rep = obs::summarize(tracer);
+  EXPECT_EQ(rep.comm_bytes_by_dtype.at("f16"), 1011);
+  EXPECT_EQ(rep.comm_bytes_by_dtype.at("bf16"), 700);
+  EXPECT_EQ(rep.comm_bytes_by_dtype.at("f32"), 300);  // untagged counts as f32
+  EXPECT_EQ(rep.comm_bytes.at("data"), 1300);  // group split is orthogonal
+  EXPECT_EQ(rep.comm_bytes.at("tp"), 711);
+}
+
 TEST(Exporters, SharedPoolTimelinesSurfaceInPeakMem) {
   sim::Cluster cluster(sim::Topology::uniform(1, 100e9));
   auto& tracer = cluster.enable_tracing();

@@ -61,7 +61,7 @@ void pipeline_memory() {
   for (int v : {1, 2, 4, 7}) {
     std::printf("V=%d: %.3f  ", v, pp::bubble_fraction_interleaved(8, 8, v));
   }
-  std::printf("\n  (the ChunkedPipeline runs these virtual stages "
+  std::printf("\n  (the interleaved Pipeline schedule runs these virtual stages "
               "functionally; test_pp verifies gradient equality)\n");
 }
 

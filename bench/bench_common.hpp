@@ -74,7 +74,7 @@ class JsonReport {
       const Row& r = rows_[i];
       std::fprintf(f,
                    "  {\"op\": \"%s\", \"shape\": \"%s\", "
-                   "\"ns_per_iter\": %.1f, \"gflops\": %.3f}%s\n",
+                   "\"ns_per_iter\": %.4f, \"gflops\": %.3f}%s\n",
                    r.op.c_str(), r.shape.c_str(), r.ns_per_iter, r.gflops,
                    i + 1 < rows_.size() ? "," : "");
     }

@@ -67,7 +67,10 @@ class CostedBlock : public nn::Module {
   nn::TransformerBlock inner_;
 };
 
-/// One pipeline stage (a linear layer) with a modeled compute cost.
+/// One pipeline stage (a linear layer) with a modeled compute cost. Supports
+/// the dgrad/wgrad split so the zero-bubble schedule can defer the weight
+/// leg; the split halves (1x + 1x) charge exactly what the fused backward
+/// (2x) does, keeping total work identical across schedules.
 class CostedStage : public nn::Module {
  public:
   CostedStage(ca::tp::Env env, int stage)
@@ -81,6 +84,15 @@ class CostedStage : public nn::Module {
   t::Tensor backward(const t::Tensor& dy) override {
     env_.dev().compute_fp16(2.0 * kBlockFlops, "stage.bwd");
     return inner_.backward(dy);
+  }
+  bool has_split_backward() const override { return true; }
+  t::Tensor backward_input(const t::Tensor& dy) override {
+    env_.dev().compute_fp16(kBlockFlops, "stage.dgrad");
+    return inner_.backward_input(dy);
+  }
+  void backward_weight() override {
+    env_.dev().compute_fp16(kBlockFlops, "stage.wgrad");
+    inner_.backward_weight();
   }
   void collect_parameters(std::vector<nn::Parameter*>& out) override {
     inner_.collect_parameters(out);
@@ -123,8 +135,12 @@ double run_dp(bench::World& w, bool trace) {
   return w.cluster.max_clock();
 }
 
-/// One traced 1F1B pipeline step over `kWorld` stages; returns max_clock.
-double run_pp(bench::World& w) {
+/// `steps` traced pipeline training steps over `kWorld` stages under
+/// `sched`, with `chunks` model chunks (virtual stages) per rank; returns
+/// max_clock. Consecutive steps stream back-to-back, so multi-step runs show
+/// the amortized bubble (the per-step fill/drain of a schedule that keeps the
+/// drain busy — zero-bubble — nearly vanishes from the window average).
+double run_pp(bench::World& w, pp::Schedule sched, int chunks, int steps) {
   w.cluster.enable_tracing();
   const int micros = 8;
   std::vector<t::Tensor> inputs;
@@ -134,24 +150,33 @@ double run_pp(bench::World& w) {
   const std::vector<std::int64_t> labels{0, 1};
 
   w.cluster.run([&](int g) {
-    CostedStage stage(w.env(g), g);
-    pp::Pipeline pipe(w.env(g), stage, t::Shape{kBatch * kSeq, kHidden},
-                      pp::Schedule::kOneFOneB);
-    if (w.ctx.is_last_stage(g)) {
-      pipe.train_step(micros, inputs,
-                      [&](const t::Tensor& y, t::Tensor& dy, int) {
-                        t::Tensor dl;
-                        const float loss = t::cross_entropy(y, labels, dl);
-                        t::scale_(dl, 1.0f / static_cast<float>(micros));
-                        dy = dl;
-                        return loss;
-                      });
-    } else {
-      pipe.train_step(micros, inputs, {});
+    std::vector<std::unique_ptr<CostedStage>> own;
+    std::vector<nn::Module*> stages;
+    std::vector<t::Shape> shapes;
+    for (int v = 0; v < chunks; ++v) {
+      own.push_back(std::make_unique<CostedStage>(w.env(g), v * kWorld + g));
+      stages.push_back(own.back().get());
+      shapes.push_back(t::Shape{kBatch * kSeq, kHidden});
+    }
+    pp::Pipeline pipe(w.env(g), stages, shapes, sched);
+    for (int s = 0; s < steps; ++s) {
+      if (w.ctx.is_last_stage(g)) {
+        pipe.train_step(micros, inputs,
+                        [&](const t::Tensor& y, t::Tensor& dy, int) {
+                          t::Tensor dl;
+                          const float loss = t::cross_entropy(y, labels, dl);
+                          t::scale_(dl, 1.0f / static_cast<float>(micros));
+                          dy = dl;
+                          return loss;
+                        });
+      } else {
+        pipe.train_step(micros, inputs, {});
+      }
     }
   });
   return w.cluster.max_clock();
 }
+
 
 core::Config dp_config() {
   core::Config cfg;
@@ -163,6 +188,13 @@ core::Config pp_config() {
   core::Config cfg;
   cfg.pipeline_parallel_size = kWorld;
   return cfg;
+}
+
+/// Traced bubble fraction of `steps` pipeline steps under `sched`.
+double pp_bubble(pp::Schedule sched, int chunks, int steps) {
+  bench::World w(sim::Topology::uniform(kWorld, 100e9), pp_config());
+  run_pp(w, sched, chunks, steps);
+  return obs::summarize(*w.cluster.tracer()).bubble_fraction;
 }
 
 bool check(bool ok, const char* what) {
@@ -213,7 +245,7 @@ int main() {
 
   // ---- scenario B: 1F1B pipeline --------------------------------------------
   bench::World pipe(sim::Topology::uniform(kWorld, 100e9), pp_config());
-  const double pp_clock = run_pp(pipe);
+  const double pp_clock = run_pp(pipe, pp::Schedule::kOneFOneB, 1, 1);
   const auto pp_rep = obs::summarize(*pipe.cluster.tracer());
   obs::print_report(pp_rep);
   ok &= check(obs::write_chrome_trace(*pipe.cluster.tracer(), "trace_pp.json"),
@@ -229,6 +261,56 @@ int main() {
   report.add("trace_pp_bubble_fraction",
              "stages" + std::to_string(kWorld) + "_micros8",
              pp_rep.bubble_fraction, 0.0);
+
+  // ---- scenario C: schedule shoot-out ----------------------------------------
+  // Same stages/micros/costs, different compiled schedules. Interleaving
+  // (2 chunks per rank) shrinks the single-step bubble; over 8 back-to-back
+  // steps the deferred-wgrad zero-bubble schedule keeps the drain busy and
+  // the measured window bubble collapses, while 1F1B keeps paying its
+  // (S-1)/(M+S-1) per step.
+  const double il_1 = pp_bubble(pp::Schedule::kInterleaved, 2, 1);
+  const double f1b_8 = pp_bubble(pp::Schedule::kOneFOneB, 1, 8);
+  const double zb_8 = pp_bubble(pp::Schedule::kZeroBubble, 1, 8);
+  const double zbv_8 = pp_bubble(pp::Schedule::kZeroBubble, 2, 8);
+  std::printf("PP  schedules: interleaved(V=2) %.1f%% | over 8 steps: "
+              "1f1b %.1f%%, zero_bubble %.1f%%, zero_bubble(V=2) %.1f%%\n",
+              il_1 * 100.0, f1b_8 * 100.0, zb_8 * 100.0, zbv_8 * 100.0);
+  ok &= check(il_1 < pp_rep.bubble_fraction,
+              "interleaved virtual stages must shrink the 1F1B bubble");
+  ok &= check(zb_8 < f1b_8,
+              "zero-bubble must beat 1F1B over back-to-back steps");
+  ok &= check(zbv_8 <= 0.05,
+              "chunked zero-bubble steady-state bubble must stay within 5%");
+  report.add("trace_pp_bubble_fraction",
+             "stages" + std::to_string(kWorld) + "_micros8_interleaved2", il_1,
+             0.0);
+  report.add("trace_pp_bubble_fraction",
+             "stages" + std::to_string(kWorld) + "_micros8_steps8_1f1b", f1b_8,
+             0.0);
+  report.add("trace_pp_bubble_fraction",
+             "stages" + std::to_string(kWorld) + "_micros8_steps8_zero_bubble",
+             zb_8, 0.0);
+  report.add("trace_pp_bubble_fraction",
+             "stages" + std::to_string(kWorld) +
+                 "_micros8_steps8_zero_bubble_chunks2",
+             zbv_8, 0.0);
+
+  // bf16 wire: the same pipeline step moves half the bytes (satellite check
+  // mirroring tests/test_pp.cpp's exact 2x assertion, here at bench scale)
+  {
+    bench::World full(sim::Topology::uniform(kWorld, 100e9), pp_config());
+    full.ctx.set_comm_dtype(t::Dtype::kF32);
+    run_pp(full, pp::Schedule::kOneFOneB, 1, 1);
+    bench::World half(sim::Topology::uniform(kWorld, 100e9), pp_config());
+    half.ctx.set_comm_dtype(t::Dtype::kBF16);
+    run_pp(half, pp::Schedule::kOneFOneB, 1, 1);
+    const auto fb = full.cluster.total_bytes_sent();
+    const auto hb = half.cluster.total_bytes_sent();
+    std::printf("PP  wire bytes: f32 %lld B, bf16 %lld B\n",
+                static_cast<long long>(fb), static_cast<long long>(hb));
+    ok &= check(fb > 0 && hb * 2 == fb,
+                "bf16 wire must halve pipeline p2p bytes");
+  }
 
   report.write();
   return ok ? EXIT_SUCCESS : EXIT_FAILURE;

@@ -18,9 +18,10 @@
 using namespace ca;
 
 int main() {
-  // one line of configuration: 2-way data x 2-stage pipeline x 2-way tensor
-  const auto config =
-      core::parse_config("data=2 pipeline=2 tensor.size=2 tensor.mode=1d");
+  // one line of configuration: 2-way data x 2-stage pipeline x 2-way tensor,
+  // driving the zero-bubble pipeline schedule (CA_PP_SCHEDULE still wins)
+  const auto config = core::parse_config(
+      "data=2 pipeline=2 tensor.size=2 tensor.mode=1d pp.schedule=zero_bubble");
   std::printf("hybrid parallel training on %d simulated GPUs "
               "(data=%d x pipeline=%d x tensor=%d)\n",
               config.world_size(), config.data_parallel_size,
@@ -64,8 +65,8 @@ int main() {
     for (std::int64_t m = 0; m < micros; ++m)
       inputs.push_back(tensor::narrow(x, 0, base + m * micro_rows, micro_rows));
 
-    pp::Pipeline pipe(env, module, tensor::Shape{micro_rows, h},
-                      pp::Schedule::kOneFOneB);
+    // schedule resolved from the knobs above (config, or CA_PP_SCHEDULE)
+    pp::Pipeline pipe(env, module, tensor::Shape{micro_rows, h});
     const float loss = pipe.train_step(
         static_cast<int>(micros), inputs,
         [&](const tensor::Tensor& y, tensor::Tensor& dy, int m) {

@@ -185,4 +185,47 @@ Plan Planner::plan(const std::vector<LinearNode>& graph,
   return plan;
 }
 
+PipeScheduleChoice best_pipeline_schedule(collective::PipeCostParams base,
+                                          std::int64_t held_bytes_per_micro,
+                                          std::int64_t memory_budget) {
+  namespace col = ca::collective;
+  const int chunks = std::max(1, base.chunks);
+
+  std::vector<PipeScheduleChoice> candidates;
+  auto add = [&](col::PipeSched sched) {
+    col::PipeCostParams p = base;
+    if (sched == col::PipeSched::kInterleaved) {
+      // per-chunk costs: the stage's work split evenly over its V chunks
+      p.fwd_s /= chunks;
+      p.bwd_input_s /= chunks;
+      p.bwd_weight_s /= chunks;
+    } else {
+      p.chunks = 1;
+    }
+    PipeScheduleChoice c;
+    c.sched = sched;
+    c.cost = col::pipeline_schedule_cost(sched, p);
+    c.peak_bytes =
+        static_cast<std::int64_t>(c.cost.peak_micros) * held_bytes_per_micro;
+    c.feasible = memory_budget <= 0 || c.peak_bytes <= memory_budget;
+    candidates.push_back(c);
+  };
+  add(col::PipeSched::kFillDrain);
+  add(col::PipeSched::kOneFOneB);
+  if (chunks > 1) add(col::PipeSched::kInterleaved);
+  add(col::PipeSched::kZeroBubble);
+
+  const PipeScheduleChoice* best = nullptr;
+  for (const auto& c : candidates) {
+    if (!c.feasible) continue;
+    if (best == nullptr || c.cost.step_s < best->cost.step_s) best = &c;
+  }
+  if (best != nullptr) return *best;
+  // over budget everywhere: surface the least-memory schedule, infeasible
+  for (const auto& c : candidates) {
+    if (best == nullptr || c.peak_bytes < best->peak_bytes) best = &c;
+  }
+  return *best;
+}
+
 }  // namespace ca::autop

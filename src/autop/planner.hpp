@@ -1,9 +1,11 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "autop/conversion.hpp"
+#include "collective/cost.hpp"
 
 namespace ca::autop {
 
@@ -67,5 +69,27 @@ class Planner {
   Mesh mesh_;
   double flops_;
 };
+
+/// The pipeline-schedule leg of the plan search.
+struct PipeScheduleChoice {
+  collective::PipeSched sched = collective::PipeSched::kOneFOneB;
+  collective::PipeCostResult cost;
+  std::int64_t peak_bytes = 0;  ///< worst-rank resident micro-batch bytes
+  bool feasible = true;         ///< fits `memory_budget`
+};
+
+/// Pick the cheapest pipeline schedule under a per-device activation memory
+/// budget, using the analytic collective::pipeline_schedule_cost model.
+/// `base` carries full-stage per-micro seconds with chunks = the virtual
+/// stages available per rank (1 disables the interleaved candidate; for V > 1
+/// the interleaved leg splits the stage costs evenly across chunks).
+/// `held_bytes_per_micro` prices one resident micro-batch; a budget <= 0
+/// means unconstrained. Zero-bubble wins on time when memory allows — its
+/// uncapped residency is exactly what the budget can veto, which is when the
+/// chooser falls back to 1F1B (the classic bubble at minimal residency). If
+/// nothing fits, the minimum-memory choice is returned with feasible=false.
+PipeScheduleChoice best_pipeline_schedule(collective::PipeCostParams base,
+                                          std::int64_t held_bytes_per_micro,
+                                          std::int64_t memory_budget);
 
 }  // namespace ca::autop

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <map>
 #include <memory>
+#include <tuple>
 #include <vector>
 
 #include "collective/group.hpp"
@@ -55,6 +57,19 @@ class Backend {
     return *slot;
   }
 
+  /// Tagged variant: a distinct ordered FIFO per (src, dst, tag), like an
+  /// MPI tag. Traffic classes that interleave on the same rank pair — e.g. a
+  /// 2-stage interleaved pipeline, where forward activations and backward
+  /// dys both flow rank0 -> rank1 — must use distinct tags so each class
+  /// keeps its own in-order matching. Tag 0 is the untagged channel.
+  [[nodiscard]] P2pChannel& channel(int src, int dst, int tag) {
+    if (tag == 0) return channel(src, dst);
+    std::scoped_lock lock(channel_mutex_);
+    auto& slot = tagged_channels_[{src, dst, tag}];
+    if (!slot) slot = std::make_unique<P2pChannel>(cluster_, src, dst);
+    return *slot;
+  }
+
  private:
   sim::Cluster& cluster_;
   // Shared by every group this backend creates (groups hold a pointer), so
@@ -62,6 +77,8 @@ class Backend {
   AlgoPolicy policy_;
   std::vector<std::unique_ptr<Group>> groups_;
   std::vector<std::unique_ptr<P2pChannel>> channels_;
+  std::map<std::tuple<int, int, int>, std::unique_ptr<P2pChannel>>
+      tagged_channels_;
   std::mutex channel_mutex_;
   Group* world_ = nullptr;
 };

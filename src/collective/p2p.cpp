@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "collective/cost.hpp"
+#include "tensor/convert.hpp"
 
 namespace ca::collective {
 
@@ -31,22 +32,30 @@ void P2pChannel::abort_timeout(int rank, const char* op, std::int64_t bytes) {
 }
 
 void P2pChannel::do_send(const float* ptr, std::int64_t count,
-                         std::int64_t bytes, bool async) {
+                         std::int64_t bytes, bool async, tensor::Dtype wire) {
   auto msg = std::make_shared<Message>();
   msg->count = count;
   msg->bytes = bytes;
   msg->send_clock = cluster_.device(src_).clock();
   msg->sync = !async;
+  msg->wire = wire;
   auto& src_dev = cluster_.device(src_);
   if (async) {
-    if (ptr != nullptr && count > 0) msg->buffer.assign(ptr, ptr + count);
+    if (ptr != nullptr && count > 0) {
+      msg->buffer.assign(ptr, ptr + count);
+      // Round once on the sending side: the parked copy already holds the
+      // values the payload takes after the reduced-precision wire.
+      tensor::wire_round_trip(wire, msg->buffer.data(), msg->buffer.data(),
+                              count);
+    }
     // eager injection: the sender only pays the injection latency
     src_dev.advance_clock(cluster_.topology().latency());
     src_dev.add_bytes_sent(bytes);
     if (obs::TraceBuffer* tb = src_dev.trace()) {
       tb->add(obs::TraceEvent{"p2p.send", obs::Category::kComm,
                               msg->send_clock, src_dev.clock(),
-                              msg->send_clock, bytes, 0.0, 0.0, {}, {}});
+                              msg->send_clock, bytes, 0.0, 0.0, {},
+                              tensor::dtype_name(wire)});
     }
     std::scoped_lock lock(m_);
     queue_.push_back(std::move(msg));
@@ -77,7 +86,7 @@ void P2pChannel::do_send(const float* ptr, std::int64_t count,
 }
 
 void P2pChannel::do_recv(float* ptr, std::int64_t count, std::int64_t bytes,
-                         double ready_clock) {
+                         double ready_clock, tensor::Dtype wire) {
   std::shared_ptr<Message> msg;
   {
     sim::FaultState& fs = cluster_.fault_state();
@@ -94,9 +103,14 @@ void P2pChannel::do_recv(float* ptr, std::int64_t count, std::int64_t bytes,
   }
   assert(msg->count == count);
   assert(msg->bytes == bytes);
+  assert(msg->wire == wire);
   const float* src = msg->sync ? msg->src_ptr : msg->buffer.data();
   if (ptr != nullptr && count > 0 && src != nullptr) {
     std::copy(src, src + count, ptr);
+    // Async payloads were rounded at send; the round trip is idempotent, so
+    // applying it here also covers the rendezvous path (which copies out of
+    // the sender's still-fp32 memory).
+    tensor::wire_round_trip(wire, ptr, ptr, count);
   }
   auto& dst_dev = cluster_.device(dst_);
   // The transfer starts once both the payload is in flight and the receiver
@@ -110,7 +124,8 @@ void P2pChannel::do_recv(float* ptr, std::int64_t count, std::int64_t bytes,
     // t_issue = when the recv was posted; the span itself covers the wire
     // transfer (which may sit entirely under the receiver's compute).
     tb->add(obs::TraceEvent{"p2p.recv", obs::Category::kComm, t_start, finish,
-                            ready_clock, bytes, 0.0, 0.0, {}, {}});
+                            ready_clock, bytes, 0.0, 0.0, {},
+                            tensor::dtype_name(wire)});
   }
   if (msg->sync) {
     std::scoped_lock lock(m_);
@@ -122,18 +137,20 @@ void P2pChannel::do_recv(float* ptr, std::int64_t count, std::int64_t bytes,
 
 void P2pChannel::send(std::span<const float> data) {
   do_send(data.data(), static_cast<std::int64_t>(data.size()),
-          static_cast<std::int64_t>(data.size()) * 4, /*async=*/false);
+          static_cast<std::int64_t>(data.size()) * 4, /*async=*/false,
+          tensor::Dtype::kF32);
 }
 
 void P2pChannel::send_async(std::span<const float> data) {
   do_send(data.data(), static_cast<std::int64_t>(data.size()),
-          static_cast<std::int64_t>(data.size()) * 4, /*async=*/true);
+          static_cast<std::int64_t>(data.size()) * 4, /*async=*/true,
+          tensor::Dtype::kF32);
 }
 
 void P2pChannel::recv(std::span<float> data) {
   do_recv(data.data(), static_cast<std::int64_t>(data.size()),
           static_cast<std::int64_t>(data.size()) * 4,
-          cluster_.device(dst_).clock());
+          cluster_.device(dst_).clock(), tensor::Dtype::kF32);
 }
 
 RecvHandle P2pChannel::irecv(std::span<float> data) {
@@ -146,20 +163,39 @@ RecvHandle P2pChannel::irecv_bytes(std::int64_t bytes) {
   return {this, nullptr, 0, bytes, cluster_.device(dst_).clock()};
 }
 
+void P2pChannel::send_async(std::span<const float> data, tensor::Dtype wire) {
+  const auto count = static_cast<std::int64_t>(data.size());
+  do_send(data.data(), count, count * tensor::dtype_bytes(wire),
+          /*async=*/true, wire);
+}
+
+void P2pChannel::recv(std::span<float> data, tensor::Dtype wire) {
+  const auto count = static_cast<std::int64_t>(data.size());
+  do_recv(data.data(), count, count * tensor::dtype_bytes(wire),
+          cluster_.device(dst_).clock(), wire);
+}
+
+RecvHandle P2pChannel::irecv(std::span<float> data, tensor::Dtype wire) {
+  const auto count = static_cast<std::int64_t>(data.size());
+  return {this, data.data(), count, count * tensor::dtype_bytes(wire),
+          cluster_.device(dst_).clock(), wire};
+}
+
 void RecvHandle::wait() {
   if (chan_ == nullptr || done_) return;
-  chan_->do_recv(ptr_, count_, bytes_, post_clock_);
+  chan_->do_recv(ptr_, count_, bytes_, post_clock_, wire_);
   done_ = true;
 }
 
 void P2pChannel::send_bytes(std::int64_t bytes) {
-  do_send(nullptr, 0, bytes, /*async=*/false);
+  do_send(nullptr, 0, bytes, /*async=*/false, tensor::Dtype::kF32);
 }
 void P2pChannel::send_async_bytes(std::int64_t bytes) {
-  do_send(nullptr, 0, bytes, /*async=*/true);
+  do_send(nullptr, 0, bytes, /*async=*/true, tensor::Dtype::kF32);
 }
 void P2pChannel::recv_bytes(std::int64_t bytes) {
-  do_recv(nullptr, 0, bytes, cluster_.device(dst_).clock());
+  do_recv(nullptr, 0, bytes, cluster_.device(dst_).clock(),
+          tensor::Dtype::kF32);
 }
 
 }  // namespace ca::collective

@@ -9,6 +9,7 @@
 
 #include "sim/cluster.hpp"
 #include "sim/scheduler.hpp"
+#include "tensor/dtype.hpp"
 
 namespace ca::collective {
 
@@ -32,15 +33,17 @@ class RecvHandle {
  private:
   friend class P2pChannel;
   RecvHandle(P2pChannel* chan, float* ptr, std::int64_t count,
-             std::int64_t bytes, double post_clock)
+             std::int64_t bytes, double post_clock,
+             tensor::Dtype wire = tensor::Dtype::kF32)
       : chan_(chan), ptr_(ptr), count_(count), bytes_(bytes),
-        post_clock_(post_clock) {}
+        post_clock_(post_clock), wire_(wire) {}
 
   P2pChannel* chan_ = nullptr;
   float* ptr_ = nullptr;
   std::int64_t count_ = 0;
   std::int64_t bytes_ = 0;
   double post_clock_ = 0.0;
+  tensor::Dtype wire_ = tensor::Dtype::kF32;
   bool done_ = false;
 };
 
@@ -77,6 +80,15 @@ class P2pChannel {
   [[nodiscard]] RecvHandle irecv(std::span<float> data);
   [[nodiscard]] RecvHandle irecv_bytes(std::int64_t bytes);
 
+  /// Wire-dtype twins: the payload crosses the interconnect in `wire`
+  /// elements (count * dtype_bytes(wire) modeled bytes, rounded once on the
+  /// sending side via tensor::wire_round_trip) and lands back as fp32. Both
+  /// endpoints must name the same wire dtype — pipeline stages resolve it
+  /// from ParallelContext::comm_dtype(). kF32 is bit-for-bit the plain path.
+  void send_async(std::span<const float> data, tensor::Dtype wire);
+  void recv(std::span<float> data, tensor::Dtype wire);
+  [[nodiscard]] RecvHandle irecv(std::span<float> data, tensor::Dtype wire);
+
   /// Cost-model-only twins (no payload).
   void send_bytes(std::int64_t bytes);
   void send_async_bytes(std::int64_t bytes);
@@ -92,16 +104,17 @@ class P2pChannel {
     bool sync = false;
     bool consumed = false;
     double finish_clock = 0.0;
+    tensor::Dtype wire = tensor::Dtype::kF32;
   };
 
   friend class RecvHandle;
 
   void do_send(const float* ptr, std::int64_t count, std::int64_t bytes,
-               bool async);
+               bool async, tensor::Dtype wire);
   /// `ready_clock`: the time the receiver became ready for this message
   /// (current clock for blocking recv, post time for pre-posted irecv).
   void do_recv(float* ptr, std::int64_t count, std::int64_t bytes,
-               double ready_clock);
+               double ready_clock, tensor::Dtype wire);
 
   /// Watchdog exit for a wait whose peer died: charge the budget, leave a
   /// fault span, raise CommTimeoutError. Called with m_ released.

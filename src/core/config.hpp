@@ -47,6 +47,15 @@ struct Config {
   /// both). Checkpoints and bare Group calls stay fp32.
   std::string comm_dtype = "f32";
 
+  /// Pipeline micro-batch schedule every pp::Pipeline built without an
+  /// explicit Schedule compiles to: "fill_drain" (GPipe; alias "gpipe"),
+  /// "1f1b" (PipeDream-flush), "interleaved" (virtual stages), or
+  /// "zero_bubble" (deferred wgrad; alias "zb"). `pp.schedule` /
+  /// `pipeline.schedule`; the CA_PP_SCHEDULE environment variable wins over
+  /// this field, and an explicit Pipeline constructor argument wins over
+  /// both.
+  std::string pp_schedule = "1f1b";
+
   /// Sim-time the collective watchdog waits at a broken rendezvous before
   /// raising CommTimeoutError on the survivors (`fault.watchdog`; the
   /// CA_FAULT_WATCHDOG environment variable wins over this field).
@@ -104,6 +113,11 @@ struct Config {
             "unknown collective_algo '" + collective_algo + "'");
     require(comm_dtype == "f32" || comm_dtype == "f16" || comm_dtype == "bf16",
             "unknown comm_dtype '" + comm_dtype + "' (want f32|f16|bf16)");
+    require(pp_schedule == "fill_drain" || pp_schedule == "gpipe" ||
+                pp_schedule == "1f1b" || pp_schedule == "interleaved" ||
+                pp_schedule == "zero_bubble" || pp_schedule == "zb",
+            "unknown pp.schedule '" + pp_schedule +
+                "' (want fill_drain|1f1b|interleaved|zero_bubble)");
     require(fault_watchdog > 0.0, "fault.watchdog must be > 0");
     require(sim_backend == "threads" || sim_backend == "tasks",
             "unknown sim.backend '" + sim_backend + "' (want threads|tasks)");

@@ -51,6 +51,8 @@ Config parse_config(const std::string& text) {
 
     if (key == "data" || key == "data.size") {
       cfg.data_parallel_size = parse_int(key, value);
+    } else if (key == "pp.schedule" || key == "pipeline.schedule") {
+      cfg.pp_schedule = value;
     } else if (key == "pipeline" || key == "pipeline.size") {
       cfg.pipeline_parallel_size = parse_int(key, value);
     } else if (key == "tensor.size") {

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+namespace ca::models {
+
+/// Half-open range of consecutive model layers owned by one virtual stage.
+struct StageRange {
+  int begin = 0;
+  int end = 0;
+  [[nodiscard]] int size() const { return end - begin; }
+};
+
+/// Partition `layers` consecutive layers into stages * chunks contiguous
+/// virtual stages, balanced to within one layer (earlier virtual stages take
+/// the remainder). Index the result by vs = chunk * stages + stage — the
+/// interleaved placement pp::Pipeline executes, where rank s runs virtual
+/// stages {s, S+s, 2S+s, ...} as its chunks 0..V-1 and the activation wraps
+/// from rank S-1 back to rank 0 between chunks.
+inline std::vector<StageRange> partition_layers(int layers, int stages,
+                                                int chunks = 1) {
+  assert(layers >= 1 && stages >= 1 && chunks >= 1);
+  const int vs_total = stages * chunks;
+  assert(layers >= vs_total && "need at least one layer per virtual stage");
+  std::vector<StageRange> out(static_cast<std::size_t>(vs_total));
+  const int base = layers / vs_total;
+  const int extra = layers % vs_total;
+  int at = 0;
+  for (int vs = 0; vs < vs_total; ++vs) {
+    const int take = base + (vs < extra ? 1 : 0);
+    out[static_cast<std::size_t>(vs)] = {at, at + take};
+    at += take;
+  }
+  assert(at == layers);
+  return out;
+}
+
+/// The layer ranges rank `stage` owns, one per chunk (chunk v is virtual
+/// stage v * stages + stage). Feed these to the multi-chunk pp::Pipeline
+/// constructor in chunk order.
+inline std::vector<StageRange> rank_stage_ranges(
+    const std::vector<StageRange>& partition, int stages, int stage) {
+  assert(stages >= 1 && stage >= 0 && stage < stages);
+  assert(partition.size() % static_cast<std::size_t>(stages) == 0);
+  const int chunks = static_cast<int>(partition.size()) / stages;
+  std::vector<StageRange> out;
+  out.reserve(static_cast<std::size_t>(chunks));
+  for (int v = 0; v < chunks; ++v)
+    out.push_back(partition[static_cast<std::size_t>(v * stages + stage)]);
+  return out;
+}
+
+}  // namespace ca::models

@@ -37,6 +37,23 @@ t::Tensor Linear::backward(const t::Tensor& dy) {
   return t::matmul_nt(dy, weight_.value);
 }
 
+t::Tensor Linear::backward_input(const t::Tensor& dy) {
+  assert(dy.dim(-1) == out_);
+  // Stash what wgrad needs before a recompute for another micro-batch
+  // overwrites saved_x_. Shallow handles: no data copy.
+  wgrad_queue_.push_back({saved_x_, dy});
+  return t::matmul_nt(dy, weight_.value);
+}
+
+void Linear::backward_weight() {
+  assert(!wgrad_queue_.empty());
+  WgradStash s = std::move(wgrad_queue_.front());
+  wgrad_queue_.pop_front();
+  auto dw = t::matmul_tn(s.x, s.dy);
+  t::add_(weight_.grad, dw);
+  if (with_bias_) t::add_(bias_.grad, t::sum_to_lastdim(s.dy));
+}
+
 void Linear::collect_parameters(std::vector<Parameter*>& out) {
   out.push_back(&weight_);
   if (with_bias_) out.push_back(&bias_);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 
 #include "nn/module.hpp"
@@ -18,6 +19,14 @@ class Linear : public Module {
 
   tensor::Tensor forward(const tensor::Tensor& x) override;
   tensor::Tensor backward(const tensor::Tensor& dy) override;
+  /// dgrad/wgrad split (zero-bubble pipelines): backward_input returns
+  /// dy W^T immediately and stashes (x, dy); backward_weight pops the oldest
+  /// stash and accumulates dW/db with the exact ops backward() uses, so the
+  /// split pair is bit-identical to the combined call. Stashes are shallow
+  /// tensor handles (shared storage), so deferral is cheap.
+  [[nodiscard]] bool has_split_backward() const override { return true; }
+  tensor::Tensor backward_input(const tensor::Tensor& dy) override;
+  void backward_weight() override;
   void collect_parameters(std::vector<Parameter*>& out) override;
 
   [[nodiscard]] Parameter& weight() { return weight_; }
@@ -26,11 +35,16 @@ class Linear : public Module {
   [[nodiscard]] std::int64_t out_features() const { return out_; }
 
  private:
+  struct WgradStash {
+    tensor::Tensor x, dy;
+  };
+
   std::int64_t in_, out_;
   bool with_bias_;
   Parameter weight_;
   Parameter bias_;
   tensor::Tensor saved_x_;
+  std::deque<WgradStash> wgrad_queue_;
 };
 
 /// Tanh-approximation GELU.

@@ -43,6 +43,25 @@ class Module {
   virtual tensor::Tensor forward(const tensor::Tensor& x) = 0;
   virtual tensor::Tensor backward(const tensor::Tensor& dy) = 0;
 
+  /// Split backward for zero-bubble pipeline schedules: `backward_input`
+  /// computes only the input gradient (dgrad — the part downstream stages
+  /// wait on) and queues whatever the weight gradient needs;
+  /// `backward_weight` later pops the oldest queued entry and accumulates
+  /// the parameter gradients (wgrad). One backward_weight call is owed per
+  /// backward_input call, in the same order, and the pair is bit-identical
+  /// to one combined backward() because both run the exact same tensor ops —
+  /// only the issue order of the independent dx and dW GEMMs changes.
+  ///
+  /// The default keeps non-split modules correct under any schedule: the
+  /// full backward runs inside backward_input (gradients land early) and
+  /// backward_weight is a no-op, so a zero-bubble schedule degrades
+  /// gracefully instead of mis-accumulating.
+  [[nodiscard]] virtual bool has_split_backward() const { return false; }
+  virtual tensor::Tensor backward_input(const tensor::Tensor& dy) {
+    return backward(dy);
+  }
+  virtual void backward_weight() {}
+
   /// Install (or clear, with nullptr) the grad-ready hook. Container modules
   /// fire it during backward, after each direct member's backward returns,
   /// for that member's parameters — i.e. in backward completion order. Leaf
@@ -120,6 +139,31 @@ class Sequential : public Module {
       notify_grads_ready(**it);
     }
     return g;
+  }
+
+  [[nodiscard]] bool has_split_backward() const override {
+    for (auto& m : members_)
+      if (m->has_split_backward()) return true;
+    return false;
+  }
+
+  tensor::Tensor backward_input(const tensor::Tensor& dy) override {
+    tensor::Tensor g = dy;
+    for (auto it = members_.rbegin(); it != members_.rend(); ++it) {
+      g = (*it)->backward_input(g);
+      // Members without a split ran their full backward just now; their
+      // grads are final. Split members notify from backward_weight.
+      if (!(*it)->has_split_backward()) notify_grads_ready(**it);
+    }
+    return g;
+  }
+
+  void backward_weight() override {
+    for (auto it = members_.rbegin(); it != members_.rend(); ++it) {
+      if (!(*it)->has_split_backward()) continue;
+      (*it)->backward_weight();
+      notify_grads_ready(**it);
+    }
   }
 
   void collect_parameters(std::vector<Parameter*>& out) override {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace ca::pp {
 
@@ -17,248 +20,330 @@ double bubble_fraction_interleaved(int stages, int micro_batches, int chunks) {
   return fill / (micro_batches + fill);
 }
 
-Pipeline::Pipeline(const tp::Env& env, nn::Module& stage,
-                   tensor::Shape input_shape, Schedule schedule)
-    : env_(env),
-      stage_(stage),
-      input_shape_(std::move(input_shape)),
-      schedule_(schedule) {}
-
-void Pipeline::post_fwd_recv() {
-  auto& ctx = env_.context();
-  if (ctx.is_first_stage(env_.grank) || fwd_posted_ >= micros_) return;
-  next_fwd_ = t::Tensor(input_shape_);
-  fwd_h_ = ctx.backend()
-               .channel(ctx.pipeline_prev(env_.grank), env_.grank)
-               .irecv(next_fwd_.data());
-  ++fwd_posted_;
+Schedule Pipeline::parse_schedule(std::string_view name) {
+  if (auto s = collective::parse_pipe_sched(name)) return *s;
+  throw std::invalid_argument("unknown pipeline schedule: \"" +
+                              std::string(name) +
+                              "\" (expected fill_drain, 1f1b, interleaved, or "
+                              "zero_bubble)");
 }
 
-t::Tensor Pipeline::forward_micro(int m,
-                                  std::span<const t::Tensor> inputs) {
+Schedule Pipeline::resolved_schedule(const core::ParallelContext& ctx) {
+  if (const char* env = std::getenv("CA_PP_SCHEDULE")) {
+    return parse_schedule(env);
+  }
+  return parse_schedule(ctx.config().pp_schedule);
+}
+
+Pipeline::Pipeline(const tp::Env& env, std::vector<nn::Module*> chunks,
+                   std::vector<tensor::Shape> input_shapes, Schedule schedule)
+    : env_(env),
+      chunks_(std::move(chunks)),
+      input_shapes_(std::move(input_shapes)),
+      schedule_(schedule) {
+  assert(chunks_.size() == input_shapes_.size() && !chunks_.empty());
   auto& ctx = env_.context();
+  stages_ = ctx.config().pipeline_parallel_size;
+  rank_ = ctx.pipeline_rank(env_.grank);
+  first_vs_ = rank_ == 0;
+  last_vs_ = rank_ == stages_ - 1;
+  if (stages_ > 1) {
+    const int next = ctx.pipeline_next(env_.grank);
+    const int prev = ctx.pipeline_prev(env_.grank);
+    // Global-rank stride between adjacent pipeline stages in this
+    // (data, tensor) slice; lets the wrap channels (S-1 -> 0 forward,
+    // 0 -> S-1 backward) name their peers without a global registry.
+    const int tp_stride = next >= 0 ? next - env_.grank : env_.grank - prev;
+    auto rank_of_stage = [&](int stage) {
+      return env_.grank + (stage - rank_) * tp_stride;
+    };
+    fwd_src_ = rank_ > 0 ? prev : rank_of_stage(stages_ - 1);
+    fwd_dst_ = rank_ < stages_ - 1 ? next : rank_of_stage(0);
+  }
+  wire_ = ctx.comm_dtype();
+}
+
+Pipeline::Pipeline(const tp::Env& env, std::vector<nn::Module*> chunks,
+                   std::vector<tensor::Shape> input_shapes)
+    : Pipeline(env, std::move(chunks), std::move(input_shapes),
+               resolved_schedule(env.context())) {}
+
+Pipeline::Pipeline(const tp::Env& env, nn::Module& stage,
+                   tensor::Shape input_shape, Schedule schedule)
+    : Pipeline(env, std::vector<nn::Module*>{&stage},
+               std::vector<tensor::Shape>{std::move(input_shape)}, schedule) {}
+
+Pipeline::Pipeline(const tp::Env& env, nn::Module& stage,
+                   tensor::Shape input_shape)
+    : Pipeline(env, stage, std::move(input_shape),
+               resolved_schedule(env.context())) {}
+
+void Pipeline::reset_step(int micros) {
+  micros_ = micros;
+  const auto chans = chunks_.size();
+  held_.assign(chans, std::vector<t::Tensor>(static_cast<std::size_t>(micros)));
+  stash_bytes_.assign(
+      chans, std::vector<std::int64_t>(static_cast<std::size_t>(micros), 0));
+  out_shapes_.assign(chans, t::Shape());
+  loss_sum_ = 0.0f;
+  wait_s_ = 0.0;
+  in_flight_ = 0;
+  peak_in_flight_ = 0;
+  assert(held_bytes_ == 0);
+  peak_held_bytes_ = 0;
+
+  auto& ctx = env_.context();
+  const auto& rp = prog_->ranks[static_cast<std::size_t>(rank_)];
+  // Forward traffic rides the untagged (src, dst) channel; backward dys get
+  // tag 1 so the two classes never interleave on one FIFO (they share the
+  // rank pair when S == 2 and chunks wrap).
+  auto init_chan = [&](ChanState& c, const std::vector<MsgTag>& order, int src,
+                       int tag) {
+    c = ChanState{};
+    c.order = &order;
+    if (stages_ > 1 && !order.empty()) {
+      c.chan = &ctx.backend().channel(src, env_.grank, tag);
+    }
+    c.buf.reserve(order.size());
+    c.handles.reserve(order.size());
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      c.index[{order[k].chunk, order[k].micro}] = k;
+    }
+  };
+  init_chan(fwd_in_, rp.in_fwd, fwd_src_, 0);
+  init_chan(bwd_in_, rp.in_bwd, fwd_dst_, 1);
+}
+
+void Pipeline::post_one(ChanState& c, bool fwd_dir) {
+  if (c.chan == nullptr) {  // S == 1: payloads arrive via the local map
+    ++c.posted;
+    return;
+  }
+  assert(c.posted < c.order->size());
+  const MsgTag& tag = (*c.order)[c.posted];
+  const t::Shape& shape =
+      fwd_dir ? input_shapes_[static_cast<std::size_t>(tag.chunk)]
+              : out_shapes_[static_cast<std::size_t>(tag.chunk)];
+  // Backward shapes come from this rank's own forward of that chunk, which
+  // causality guarantees has run by the time the compiled marker executes.
+  assert(shape.ndim() > 0);
+  t::Tensor landing(shape);
+  c.handles.push_back(c.chan->irecv(landing.data(), wire_));
+  c.buf.push_back(std::move(landing));
+  ++c.posted;
+}
+
+t::Tensor Pipeline::obtain(ChanState& c, int chunk, int micro, bool fwd_dir) {
+  if (c.chan == nullptr) {
+    auto it = c.local.find({chunk, micro});
+    assert(it != c.local.end());
+    t::Tensor out = std::move(it->second);
+    c.local.erase(it);
+    return out;
+  }
+  const std::size_t k = c.index.at({chunk, micro});
+  while (c.posted <= k) post_one(c, fwd_dir);  // compiled markers cover this
+  obs::MetricsSink* mx = env_.dev().metrics();
+  while (c.waited <= k) {
+    const double t_wait0 = env_.dev().clock();
+    c.handles[c.waited].wait();
+    const double dt = env_.dev().clock() - t_wait0;
+    wait_s_ += dt;
+    if (mx != nullptr) {
+      // Exposed transfer wait per message: the measured per-micro pipeline
+      // bubble on this rank (0 when the payload hid under earlier compute).
+      mx->hist(fwd_dir ? "pp.fwd_wait_s" : "pp.bwd_wait_s").record(dt);
+    }
+    ++c.waited;
+  }
+  return std::move(c.buf[k]);
+}
+
+void Pipeline::send_payload(const t::Tensor& t, bool fwd_dir,
+                            int consumer_chunk, int micro) {
+  if (stages_ == 1) {
+    ChanState& c = fwd_dir ? fwd_in_ : bwd_in_;
+    c.local.insert_or_assign({consumer_chunk, micro}, t);
+    return;
+  }
+  const int dst = fwd_dir ? fwd_dst_ : fwd_src_;
+  env_.context()
+      .backend()
+      .channel(env_.grank, dst, fwd_dir ? 0 : 1)
+      .send_async(t.data(), wire_);
+}
+
+void Pipeline::exec_fwd(const PipeTask& tk, bool send_next,
+                        std::span<const t::Tensor> inputs) {
+  const int v = tk.chunk;
+  const int m = tk.micro;
   obs::TraceBuffer* tb = env_.dev().trace();
+  const bool multi = chunks_.size() > 1;
   obs::TraceSpan span(tb, obs::Category::kMarker,
-                      tb ? "fwd.micro" + std::to_string(m) : std::string());
+                      tb ? (multi ? "fwd.v" + std::to_string(v) + ".m" +
+                                        std::to_string(m)
+                                  : "fwd.micro" + std::to_string(m))
+                         : std::string());
   t::Tensor x;
-  if (ctx.is_first_stage(env_.grank)) {
+  if (v == 0 && first_vs_) {
     x = inputs[static_cast<std::size_t>(m)].clone();
   } else {
-    const double t_wait0 = env_.dev().clock();
-    fwd_h_.wait();
-    if (obs::MetricsSink* mx = env_.dev().metrics()) {
-      // Exposed activation wait per micro-batch: the measured per-micro
-      // pipeline bubble on this stage (0 when the transfer hid under
-      // earlier compute).
-      mx->hist("pp.fwd_wait_s").record(env_.dev().clock() - t_wait0);
-    }
-    x = std::move(next_fwd_);
-    // Re-post immediately: the next micro-batch's activation streams in
-    // while this one is being computed (1F1B overlap).
-    post_fwd_recv();
+    x = obtain(fwd_in_, v, m, /*fwd_dir=*/true);
   }
-  held_inputs_[static_cast<std::size_t>(m)] = x;
-  env_.mem().alloc(x.numel() * 4);
-  held_bytes_ += x.numel() * 4;
+  held_[static_cast<std::size_t>(v)][static_cast<std::size_t>(m)] = x;
+  const std::int64_t bytes = x.numel() * 4;
+  env_.mem().alloc(bytes);
+  held_bytes_ += bytes;
+  peak_held_bytes_ = std::max(peak_held_bytes_, held_bytes_);
   ++in_flight_;
   peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
 
-  auto y = stage_.forward(x);
-  out_shape_ = y.shape();
-  if (!ctx.is_last_stage(env_.grank)) {
-    ctx.backend().channel(env_.grank, ctx.pipeline_next(env_.grank))
-        .send_async(y.data());
+  auto y = chunks_[static_cast<std::size_t>(v)]->forward(x);
+  out_shapes_[static_cast<std::size_t>(v)] = y.shape();
+  if (send_next) {
+    const int vs = v * stages_ + rank_;
+    send_payload(y, /*fwd_dir=*/true, (vs + 1) / stages_, m);
   }
-  return y;
 }
 
-void Pipeline::backward_micro(int m, const t::Tensor& dy) {
-  auto& ctx = env_.context();
-  auto dx = stage_.backward(dy);
-  if (!ctx.is_first_stage(env_.grank)) {
-    ctx.backend().channel(env_.grank, ctx.pipeline_prev(env_.grank))
-        .send_async(dx.data());
+void Pipeline::exec_bwd(const PipeTask& tk, bool send_dx, bool fused_wgrad,
+                        const LossFn& loss) {
+  const int v = tk.chunk;
+  const int m = tk.micro;
+  const auto vz = static_cast<std::size_t>(v);
+  const auto mz = static_cast<std::size_t>(m);
+  obs::TraceBuffer* tb = env_.dev().trace();
+  const bool multi = chunks_.size() > 1;
+  obs::TraceSpan span(tb, obs::Category::kMarker,
+                      tb ? (multi ? "bwd.v" + std::to_string(v) + ".m" +
+                                        std::to_string(m)
+                                  : "bwd.micro" + std::to_string(m))
+                         : std::string());
+  // Activation checkpointing: recompute this chunk's forward from the held
+  // input; the dy receive was pre-posted so the transfer rides under it.
+  auto y = chunks_[vz]->forward(held_[vz][mz]);
+  t::Tensor dy;
+  if (v == static_cast<int>(chunks_.size()) - 1 && last_vs_) {
+    dy = t::Tensor(y.shape());
+    loss_sum_ += loss(y, dy, m);
+  } else {
+    dy = obtain(bwd_in_, v, m, /*fwd_dir=*/false);
   }
-  auto& held = held_inputs_[static_cast<std::size_t>(m)];
-  env_.mem().free(held.numel() * 4);
-  held_bytes_ -= held.numel() * 4;
-  held = t::Tensor();
+  auto dx = chunks_[vz]->backward_input(dy);
   --in_flight_;
+  if (send_dx) {
+    const int vs = v * stages_ + rank_;
+    send_payload(dx, /*fwd_dir=*/false, (vs - 1) / stages_, m);
+  }
+  if (fused_wgrad) {
+    chunks_[vz]->backward_weight();
+    env_.mem().free(held_[vz][mz].numel() * 4);
+    held_bytes_ -= held_[vz][mz].numel() * 4;
+    held_[vz][mz] = t::Tensor();
+  } else if (chunks_[vz]->has_split_backward()) {
+    // Deferred wgrad keeps (x, dy) alive until kBwdWeight; account the dy
+    // stash so the zero-bubble memory cost shows up in peak_held_bytes().
+    const std::int64_t sb = dy.numel() * 4;
+    env_.mem().alloc(sb);
+    held_bytes_ += sb;
+    peak_held_bytes_ = std::max(peak_held_bytes_, held_bytes_);
+    stash_bytes_[vz][mz] = sb;
+  }
+}
+
+void Pipeline::exec_wgrad(const PipeTask& tk) {
+  const int v = tk.chunk;
+  const int m = tk.micro;
+  const auto vz = static_cast<std::size_t>(v);
+  const auto mz = static_cast<std::size_t>(m);
+  obs::TraceBuffer* tb = env_.dev().trace();
+  const bool multi = chunks_.size() > 1;
+  obs::TraceSpan span(tb, obs::Category::kMarker,
+                      tb ? (multi ? "wgrad.v" + std::to_string(v) + ".m" +
+                                        std::to_string(m)
+                                  : "wgrad.micro" + std::to_string(m))
+                         : std::string());
+  chunks_[vz]->backward_weight();
+  const std::int64_t bytes = held_[vz][mz].numel() * 4 + stash_bytes_[vz][mz];
+  env_.mem().free(bytes);
+  held_bytes_ -= bytes;
+  stash_bytes_[vz][mz] = 0;
+  held_[vz][mz] = t::Tensor();
 }
 
 float Pipeline::train_step(int micros, std::span<const t::Tensor> inputs,
                            const LossFn& loss) {
-  auto& ctx = env_.context();
-  const int stages = ctx.config().pipeline_parallel_size;
-  const int s = ctx.pipeline_rank(env_.grank);
-  const bool last = ctx.is_last_stage(env_.grank);
-  assert(!ctx.is_first_stage(env_.grank) ||
-         static_cast<int>(inputs.size()) == micros);
+  assert(!first_vs_ || static_cast<int>(inputs.size()) == micros);
+  prog_ = compile_schedule(schedule_, stages_, micros,
+                           static_cast<int>(chunks_.size()));
+  reset_step(micros);
+  const double t_step0 = env_.dev().clock();
+  const auto& tasks = prog_->ranks[static_cast<std::size_t>(rank_)].tasks;
+  const bool fused = schedule_ != Schedule::kZeroBubble;
 
-  held_inputs_.assign(static_cast<std::size_t>(micros), t::Tensor());
-  in_flight_ = 0;
-  peak_in_flight_ = 0;
-  micros_ = micros;
-  fwd_posted_ = 0;
-  post_fwd_recv();  // pre-post micro 0's input before any compute
-  float loss_sum = 0.0f;
-
-  // Backward for micro m: recompute the stage forward from the held input
-  // (activation checkpointing), obtain dL/dy (from the loss on the last
-  // stage, from downstream otherwise), then run backward. The dy receive is
-  // pre-posted before the recompute so the transfer rides under it; the
-  // stage output shape is known from the original forward pass.
-  auto run_backward = [&](int m) {
-    obs::TraceBuffer* tb = env_.dev().trace();
-    obs::TraceSpan span(tb, obs::Category::kMarker,
-                        tb ? "bwd.micro" + std::to_string(m) : std::string());
-    t::Tensor dy;
-    collective::RecvHandle dy_h;
-    if (!last) {
-      dy = t::Tensor(out_shape_);
-      dy_h = ctx.backend()
-                 .channel(ctx.pipeline_next(env_.grank), env_.grank)
-                 .irecv(dy.data());
-    }
-    auto y = stage_.forward(held_inputs_[static_cast<std::size_t>(m)]);
-    if (last) {
-      dy = t::Tensor(y.shape());
-      loss_sum += loss(y, dy, m);
-    } else {
-      const double t_wait0 = env_.dev().clock();
-      dy_h.wait();
-      if (obs::MetricsSink* mx = env_.dev().metrics()) {
-        mx->hist("pp.bwd_wait_s").record(env_.dev().clock() - t_wait0);
+  std::size_t i = 0;
+  while (i < tasks.size()) {
+    const PipeTask& tk = tasks[i];
+    switch (tk.kind) {
+      case TaskKind::kRecvFwd: {
+        const std::size_t k = fwd_in_.index.at({tk.chunk, tk.micro});
+        while (fwd_in_.posted <= k) post_one(fwd_in_, /*fwd_dir=*/true);
+        ++i;
+        break;
       }
-    }
-    backward_micro(m, dy);
-  };
-
-  switch (schedule_) {
-    case Schedule::kFillDrain: {
-      for (int m = 0; m < micros; ++m) forward_micro(m, inputs);
-      for (int m = micros - 1; m >= 0; --m) run_backward(m);
-      break;
-    }
-    case Schedule::kOneFOneB: {
-      const int warmup = std::min(micros, stages - s - 1);
-      for (int m = 0; m < warmup; ++m) forward_micro(m, inputs);
-      const int steady = micros - warmup;
-      for (int i = 0; i < steady; ++i) {
-        forward_micro(warmup + i, inputs);
-        run_backward(i);
+      case TaskKind::kRecvBwd: {
+        const std::size_t k = bwd_in_.index.at({tk.chunk, tk.micro});
+        while (bwd_in_.posted <= k) post_one(bwd_in_, /*fwd_dir=*/false);
+        ++i;
+        break;
       }
-      for (int m = steady; m < micros; ++m) run_backward(m);
-      break;
+      case TaskKind::kFwd: {
+        const bool send = i + 1 < tasks.size() &&
+                          tasks[i + 1].kind == TaskKind::kSendFwd;
+        exec_fwd(tk, send, inputs);
+        i += send ? 2 : 1;
+        break;
+      }
+      case TaskKind::kRecompute: {
+        // Compiled group: kRecompute, kBwdInput, [kSendBwd], [kBwdWeight]
+        assert(i + 1 < tasks.size() &&
+               tasks[i + 1].kind == TaskKind::kBwdInput);
+        std::size_t j = i + 2;
+        const bool send =
+            j < tasks.size() && tasks[j].kind == TaskKind::kSendBwd;
+        if (send) ++j;
+        exec_bwd(tk, send, fused, loss);
+        if (fused) {
+          assert(j < tasks.size() &&
+                 tasks[j].kind == TaskKind::kBwdWeight);
+          ++j;
+        }
+        i = j;
+        break;
+      }
+      case TaskKind::kBwdWeight: {  // standalone: zero-bubble deferral
+        exec_wgrad(tk);
+        ++i;
+        break;
+      }
+      default:
+        assert(false && "send tasks are consumed with their producer");
+        ++i;
+        break;
     }
   }
   assert(in_flight_ == 0);
-  return last ? loss_sum / static_cast<float>(micros) : 0.0f;
-}
+  assert(held_bytes_ == 0);
+  assert(fwd_in_.waited == fwd_in_.handles.size());
+  assert(bwd_in_.waited == bwd_in_.handles.size());
 
-// ---- ChunkedPipeline ---------------------------------------------------------------
-
-ChunkedPipeline::ChunkedPipeline(const tp::Env& env,
-                                 std::vector<nn::Module*> chunks,
-                                 std::vector<tensor::Shape> input_shapes)
-    : env_(env), chunks_(std::move(chunks)), input_shapes_(std::move(input_shapes)) {
-  assert(chunks_.size() == input_shapes_.size() && !chunks_.empty());
-}
-
-float ChunkedPipeline::train_step(int micros,
-                                  std::span<const t::Tensor> inputs,
-                                  const LossFn& loss) {
-  auto& ctx = env_.context();
-  const int stages = ctx.config().pipeline_parallel_size;
-  const int s = ctx.pipeline_rank(env_.grank);
-  const auto chunks = static_cast<int>(chunks_.size());
-  const int tp_stride = ctx.pipeline_next(env_.grank) >= 0
-                            ? ctx.pipeline_next(env_.grank) - env_.grank
-                            : env_.grank - (stages > 1 ? ctx.pipeline_prev(env_.grank) : 0);
-  // global rank of pipeline stage `stage` in this (data, tensor) slice
-  auto rank_of_stage = [&](int stage) {
-    return env_.grank + (stage - s) * (stages > 1 ? tp_stride : 0);
-  };
-  const bool first_vs = (s == 0);                        // chunk 0 entry
-  const bool last_vs = (s == stages - 1);                // chunk V-1 exit
-
-  held_.assign(chunks_.size(), std::vector<t::Tensor>(
-                                   static_cast<std::size_t>(micros)));
-  float loss_sum = 0.0f;
-
-  // virtual-stage neighbours: within a chunk, ranks s-1/s+1; across chunks,
-  // the activation wraps from rank S-1 (chunk v) to rank 0 (chunk v+1)
-  auto recv_input = [&](int v, int m) -> t::Tensor {
-    if (v == 0 && first_vs) {
-      return inputs[static_cast<std::size_t>(m)].clone();
-    }
-    t::Tensor x(input_shapes_[static_cast<std::size_t>(v)]);
-    const int src = first_vs ? rank_of_stage(stages - 1)
-                             : ctx.pipeline_prev(env_.grank);
-    ctx.backend().channel(src, env_.grank).recv(x.data());
-    return x;
-  };
-  auto send_output = [&](int v, const t::Tensor& y) {
-    if (v == chunks - 1 && last_vs) return;  // final output: loss consumes it
-    const int dst =
-        last_vs ? rank_of_stage(0) : ctx.pipeline_next(env_.grank);
-    ctx.backend().channel(env_.grank, dst).send_async(y.data());
-  };
-
-  // ---- forward: chunk-major fill-drain ---------------------------------------
-  std::vector<t::Shape> out_shapes(static_cast<std::size_t>(chunks));
-  for (int v = 0; v < chunks; ++v) {
-    for (int m = 0; m < micros; ++m) {
-      obs::TraceBuffer* tb = env_.dev().trace();
-      obs::TraceSpan span(tb, obs::Category::kMarker,
-                          tb ? "fwd.v" + std::to_string(v) + ".m" +
-                                   std::to_string(m)
-                             : std::string());
-      auto x = recv_input(v, m);
-      held_[static_cast<std::size_t>(v)][static_cast<std::size_t>(m)] = x;
-      auto y = chunks_[static_cast<std::size_t>(v)]->forward(x);
-      out_shapes[static_cast<std::size_t>(v)] = y.shape();
-      send_output(v, y);
-    }
+  if (obs::MetricsSink* mx = env_.dev().metrics()) {
+    const double wall = env_.dev().clock() - t_step0;
+    // This rank's measured idle share of the step: the live counterpart of
+    // the analytic collective::pipeline_schedule_cost bubble.
+    mx->gauge("pp.bubble_fraction").set(wall > 0.0 ? wait_s_ / wall : 0.0);
   }
-
-  // ---- backward: reverse order, with recomputation ----------------------------
-  for (int v = chunks - 1; v >= 0; --v) {
-    for (int m = micros - 1; m >= 0; --m) {
-      obs::TraceBuffer* tb = env_.dev().trace();
-      obs::TraceSpan span(tb, obs::Category::kMarker,
-                          tb ? "bwd.v" + std::to_string(v) + ".m" +
-                                   std::to_string(m)
-                             : std::string());
-      // Pre-post the dy receive so the transfer overlaps the recompute.
-      const bool from_loss = (v == chunks - 1 && last_vs);
-      t::Tensor dy;
-      collective::RecvHandle dy_h;
-      if (!from_loss) {
-        dy = t::Tensor(out_shapes[static_cast<std::size_t>(v)]);
-        const int src =
-            last_vs ? rank_of_stage(0) : ctx.pipeline_next(env_.grank);
-        dy_h = ctx.backend().channel(src, env_.grank).irecv(dy.data());
-      }
-      auto y = chunks_[static_cast<std::size_t>(v)]->forward(
-          held_[static_cast<std::size_t>(v)][static_cast<std::size_t>(m)]);
-      if (from_loss) {
-        dy = t::Tensor(y.shape());
-        loss_sum += loss(y, dy, m);
-      } else {
-        dy_h.wait();
-      }
-      auto dx = chunks_[static_cast<std::size_t>(v)]->backward(dy);
-      if (!(v == 0 && first_vs)) {
-        const int dst = first_vs ? rank_of_stage(stages - 1)
-                                 : ctx.pipeline_prev(env_.grank);
-        ctx.backend().channel(env_.grank, dst).send_async(dx.data());
-      }
-      held_[static_cast<std::size_t>(v)][static_cast<std::size_t>(m)] =
-          t::Tensor();
-    }
-  }
-  return (last_vs) ? loss_sum / static_cast<float>(micros) : 0.0f;
+  return last_vs_ ? loss_sum_ / static_cast<float>(micros) : 0.0f;
 }
 
 }  // namespace ca::pp

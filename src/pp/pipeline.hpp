@@ -1,22 +1,23 @@
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "collective/p2p.hpp"
 #include "nn/module.hpp"
+#include "pp/schedule.hpp"
 #include "tp/env.hpp"
 
 namespace ca::pp {
 
-/// Micro-batch schedules. Fill-drain is GPipe; 1F1B is the PipeDream-flush
-/// schedule Megatron-LM uses — identical gradients and bubble fraction, but
-/// at most (stages - stage_rank) micro-batches in flight instead of all of
-/// them, which is the memory advantage the ablation bench measures.
-enum class Schedule { kFillDrain, kOneFOneB };
-
 /// Fraction of a pipelined step wasted in the bubble:
-/// (S - 1) / (M + S - 1) for both schedules.
+/// (S - 1) / (M + S - 1) for fill-drain and 1F1B.
 double bubble_fraction(int stages, int micro_batches);
 
 /// Bubble fraction with `chunks` interleaved virtual stages per rank
@@ -24,86 +25,137 @@ double bubble_fraction(int stages, int micro_batches);
 /// 1/chunks: (S-1)/chunks / (M + (S-1)/chunks).
 double bubble_fraction_interleaved(int stages, int micro_batches, int chunks);
 
-/// Runs one pipeline stage of a model. Construction is per-rank inside the
-/// SPMD region; `stage` owns this stage's consecutive layers. Activations
-/// are recomputed in backward (full activation checkpointing, one of the
-/// paper's acceleration techniques), so only the micro-batch *inputs* are
-/// retained between forward and backward — held counts are tracked so the
-/// fill-drain vs 1F1B memory difference is observable.
+/// Unified pipeline executor. Every schedule — fill-drain (GPipe), 1F1B
+/// (PipeDream-flush), interleaved 1F1B with virtual stages, and zero-bubble
+/// (dgrad/wgrad split) — compiles to the same per-rank PipeSchedule task
+/// list (pp/schedule.hpp), and this one executor walks it, owning:
+///
+///  * channel state: recvs are pre-posted at the compiled kRecvFwd/kRecvBwd
+///    markers, in channel-FIFO order, so transfers ride under compute;
+///  * held-input/memory accounting: full activation checkpointing means only
+///    micro-batch *inputs* are retained between forward and backward (plus
+///    the (x, dy) wgrad stash a zero-bubble deferral holds), and
+///    peak_in_flight()/peak_held_bytes() report the same quantities for
+///    every schedule so the memory tradeoff is observable;
+///  * trace/metrics emission: per-task marker spans, pp.fwd_wait_s /
+///    pp.bwd_wait_s wait histograms (one sample per message), and a
+///    pp.bubble_fraction gauge per step.
+///
+/// Activation/dy payloads cross the interconnect in the configured comm wire
+/// dtype (ParallelContext::comm_dtype(), CA_COMM_DTYPE), so a bf16 wire
+/// halves pipeline p2p bytes; fp32 is bit-for-bit the plain path.
+///
+/// With V model chunks per rank (virtual / interleaved stages), virtual
+/// stage vs = v*S + s runs on rank s: consecutive virtual stages alternate
+/// ranks and the activation wraps from rank S-1 back to rank 0 between
+/// chunks. Gradients are bit-identical to the serial model over all V*S
+/// chunks for every schedule.
 class Pipeline {
  public:
-  /// `input_shape`: the shape of one incoming micro-batch on this stage.
+  /// Single chunk per rank; `stage` owns this rank's consecutive layers and
+  /// `input_shape` is the shape of one incoming micro-batch.
   Pipeline(const tp::Env& env, nn::Module& stage, tensor::Shape input_shape,
            Schedule schedule);
+  /// Knob-resolved schedule: CA_PP_SCHEDULE env var > `pp.schedule` config.
+  Pipeline(const tp::Env& env, nn::Module& stage, tensor::Shape input_shape);
 
-  /// Last stage: compute the loss for micro `m` given output `y`, write
-  /// dL/dy into `dy` (pre-sized to y's shape), return the loss value.
+  /// `chunks[v]` is this rank's v-th model chunk (virtual stage v*S + s);
+  /// `input_shapes[v]` the shape of one incoming micro-batch for that chunk.
+  Pipeline(const tp::Env& env, std::vector<nn::Module*> chunks,
+           std::vector<tensor::Shape> input_shapes, Schedule schedule);
+  Pipeline(const tp::Env& env, std::vector<nn::Module*> chunks,
+           std::vector<tensor::Shape> input_shapes);
+
+  /// Last virtual stage: compute the loss for micro `m` given output `y`,
+  /// write dL/dy into `dy` (pre-sized to y's shape), return the loss value.
   using LossFn = std::function<float(const tensor::Tensor& y,
                                      tensor::Tensor& dy, int micro)>;
 
-  /// Run one training step over `micros` micro-batches. The first stage
-  /// reads inputs from `inputs` (exactly `micros` tensors); later stages
-  /// ignore it. The last stage calls `loss`; earlier stages ignore it.
-  /// Returns the mean micro-batch loss on the last stage, 0.0 elsewhere.
-  /// Gradients accumulate into the stage module's parameters.
+  /// Run one training step over `micros` micro-batches. The first virtual
+  /// stage (rank 0, chunk 0) reads `inputs` (exactly `micros` tensors); the
+  /// last virtual stage (rank S-1, chunk V-1) calls `loss` and returns the
+  /// mean micro-batch loss (0.0 elsewhere). Gradients accumulate into the
+  /// chunk modules' parameters, micro-ascending per parameter under every
+  /// schedule (the bit-identity contract).
   float train_step(int micros, std::span<const tensor::Tensor> inputs,
                    const LossFn& loss);
 
-  /// Highest number of micro-batch inputs resident at once in the last step.
+  [[nodiscard]] Schedule schedule() const { return schedule_; }
+
+  /// Highest number of micro-batch inputs resident at once in the last step
+  /// (incremented at kFwd, decremented at kBwdInput).
   [[nodiscard]] int peak_in_flight() const { return peak_in_flight_; }
+  /// Peak held activation bytes in the last step: checkpointed inputs plus
+  /// any zero-bubble wgrad-stash dy tensors (released at kBwdWeight).
+  [[nodiscard]] std::int64_t peak_held_bytes() const {
+    return peak_held_bytes_;
+  }
+
+  /// Parse a schedule name ("fill_drain"/"gpipe", "1f1b", "interleaved",
+  /// "zero_bubble"/"zb"); throws std::invalid_argument on anything else.
+  static Schedule parse_schedule(std::string_view name);
+  /// Knob resolution: CA_PP_SCHEDULE env var > cfg.pp_schedule.
+  static Schedule resolved_schedule(const core::ParallelContext& ctx);
 
  private:
-  tensor::Tensor forward_micro(int m, std::span<const tensor::Tensor> inputs);
-  /// Recompute forward for micro m, run backward with dy, send dx upstream.
-  void backward_micro(int m, const tensor::Tensor& dy);
-  /// Pre-post the receive for the next incoming forward micro-batch (no-op
-  /// on the first stage or once all of them are posted). Posting before the
-  /// current micro's compute lets the activation transfer ride under it.
-  void post_fwd_recv();
+  /// One incoming FIFO channel's executor-side state for the running step.
+  struct ChanState {
+    collective::P2pChannel* chan = nullptr;  // null: same-rank delivery (S=1)
+    const std::vector<MsgTag>* order = nullptr;
+    std::vector<tensor::Tensor> buf;  // landing buffer of message k
+    std::vector<collective::RecvHandle> handles;
+    std::size_t posted = 0;
+    std::size_t waited = 0;
+    // (chunk, micro) -> channel position k
+    std::map<std::pair<int, int>, std::size_t> index;
+    // S == 1: payloads delivered locally, keyed by consumer (chunk, micro)
+    std::map<std::pair<int, int>, tensor::Tensor> local;
+  };
 
-  tp::Env env_;
-  nn::Module& stage_;
-  tensor::Shape input_shape_;
-  Schedule schedule_;
-  std::vector<tensor::Tensor> held_inputs_;  // per-micro stage inputs
-  int in_flight_ = 0;
-  int peak_in_flight_ = 0;
-  std::int64_t held_bytes_ = 0;
-  // pre-posted-recv state for the running step
-  int micros_ = 0;
-  int fwd_posted_ = 0;
-  tensor::Tensor next_fwd_;          // landing buffer of the posted recv
-  collective::RecvHandle fwd_h_;
-  tensor::Shape out_shape_;          // stage output shape (for dy recvs)
-};
+  void reset_step(int micros);
+  void post_one(ChanState& c, bool fwd_dir);
+  /// Wait for message (chunk, micro) on `c` (forcing any missing posts —
+  /// causality guarantees the shapes are known by now) and hand back its
+  /// payload. Records one wait-histogram sample per message waited.
+  tensor::Tensor obtain(ChanState& c, int chunk, int micro, bool fwd_dir);
+  void send_payload(const tensor::Tensor& t, bool fwd_dir, int consumer_chunk,
+                    int micro);
 
-/// Pipeline with `V` model chunks per rank (virtual / interleaved stages, as
-/// in Megatron-LM): virtual stage vs = v*S + s runs on rank s, so
-/// consecutive virtual stages alternate ranks and the activation wraps from
-/// the last rank back to rank 0 between chunks. Runs a chunk-major
-/// fill-drain schedule with activation recomputation; gradients equal the
-/// serial model over all V*S chunks.
-class ChunkedPipeline {
- public:
-  /// `chunks[v]` is this rank's v-th model chunk; `input_shapes[v]` the
-  /// shape of one incoming micro-batch for that chunk.
-  ChunkedPipeline(const tp::Env& env, std::vector<nn::Module*> chunks,
-                  std::vector<tensor::Shape> input_shapes);
+  void exec_fwd(const PipeTask& tk, bool send_next,
+                std::span<const tensor::Tensor> inputs);
+  void exec_bwd(const PipeTask& tk, bool send_dx, bool fused_wgrad,
+                const LossFn& loss);
+  void exec_wgrad(const PipeTask& tk);
 
-  using LossFn = Pipeline::LossFn;
-
-  /// One training step over `micros` micro-batches; inputs are read on rank
-  /// 0 (the first virtual stage), the loss runs on the last virtual stage
-  /// (rank S-1, chunk V-1). Returns the mean loss there, 0.0 elsewhere.
-  float train_step(int micros, std::span<const tensor::Tensor> inputs,
-                   const LossFn& loss);
-
- private:
   tp::Env env_;
   std::vector<nn::Module*> chunks_;
   std::vector<tensor::Shape> input_shapes_;
-  // held inputs indexed [chunk][micro]
-  std::vector<std::vector<tensor::Tensor>> held_;
+  Schedule schedule_;
+
+  // resolved topology (constant per instance)
+  int stages_ = 1;
+  int rank_ = 0;       // pipeline rank s
+  bool first_vs_ = true;   // owns the entry virtual stage (s == 0)
+  bool last_vs_ = true;    // owns the exit virtual stage (s == S-1)
+  int fwd_src_ = -1, fwd_dst_ = -1;  // global ranks ((s-1)%S, (s+1)%S)
+  tensor::Dtype wire_ = tensor::Dtype::kF32;
+
+  // per-step state
+  std::shared_ptr<const PipeSchedule> prog_;
+  int micros_ = 0;
+  ChanState fwd_in_, bwd_in_;
+  std::vector<std::vector<tensor::Tensor>> held_;        // [chunk][micro]
+  std::vector<std::vector<std::int64_t>> stash_bytes_;   // [chunk][micro]
+  std::vector<tensor::Shape> out_shapes_;                // per chunk
+  tensor::Tensor pending_y_;   // kFwd -> kSendFwd
+  tensor::Tensor pending_dx_;  // kBwdInput -> kSendBwd
+  float loss_sum_ = 0.0f;
+  double wait_s_ = 0.0;
+
+  int in_flight_ = 0;
+  int peak_in_flight_ = 0;
+  std::int64_t held_bytes_ = 0;
+  std::int64_t peak_held_bytes_ = 0;
 };
 
 }  // namespace ca::pp

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "collective/cost.hpp"
+
+namespace ca::pp {
+
+/// Pipeline schedule selector. Alias of the collective-layer enum so the
+/// analytic cost model (collective/cost.hpp) and the autop chooser can rank
+/// schedules without depending on the executor; existing call sites keep
+/// spelling pp::Schedule::kOneFOneB.
+using Schedule = collective::PipeSched;
+
+/// One executor instruction. A schedule compiles to a per-rank ordered list
+/// of these; the executor walks the list and owns all channel/memory state
+/// (DESIGN.md section 12).
+enum class TaskKind : std::uint8_t {
+  kRecvFwd,    ///< post activation recvs through message (chunk, micro)
+  kFwd,        ///< run chunk forward for one micro-batch (holds its input)
+  kSendFwd,    ///< async-send the forward output downstream
+  kRecvBwd,    ///< post dy recvs through message (chunk, micro)
+  kRecompute,  ///< re-run the chunk forward from the held input
+  kBwdInput,   ///< dgrad: obtain dy (loss on the exit stage), compute dx
+  kSendBwd,    ///< async-send dx upstream
+  kBwdWeight,  ///< wgrad: accumulate parameter gradients (no-op if unsplit)
+};
+
+[[nodiscard]] const char* task_name(TaskKind k);
+
+/// One task of one rank's program: act on micro `micro` of local chunk
+/// `chunk` (virtual stage chunk * stages + rank).
+struct PipeTask {
+  TaskKind kind;
+  std::int16_t chunk = 0;
+  std::int16_t micro = 0;
+};
+
+/// A message tag on one of a rank's two incoming FIFO channels, named by the
+/// *consumer*: the payload feeding (chunk, micro) on this rank.
+struct MsgTag {
+  std::int16_t chunk = 0;
+  std::int16_t micro = 0;
+};
+
+/// Per-rank compiled program plus the arrival order of both incoming
+/// channels. All forward traffic into rank s comes from stage (s-1) mod S
+/// (the wrap channel S-1 -> 0 carries chunk transitions) and all backward
+/// traffic from stage (s+1) mod S, each a single ordered FIFO; `in_fwd` /
+/// `in_bwd` list the consumer tags in exactly the producer's send order, so
+/// the executor can pre-post recvs FIFO-correctly even when its own
+/// consumption order differs across chunks.
+struct RankProgram {
+  std::vector<PipeTask> tasks;
+  std::vector<MsgTag> in_fwd;
+  std::vector<MsgTag> in_bwd;
+};
+
+/// A fully compiled schedule: every rank's program for one training step of
+/// `micros` micro-batches over `stages` ranks with `chunks` virtual stages
+/// per rank. Immutable after compilation; shared across Pipeline instances
+/// via the (schedule, stages, micros, chunks) cache.
+struct PipeSchedule {
+  Schedule kind = Schedule::kOneFOneB;
+  int stages = 1;
+  int micros = 1;
+  int chunks = 1;
+  std::vector<RankProgram> ranks;
+  /// Makespan of the compile-time list-scheduling simulation in forward-time
+  /// units (fwd = 1, dgrad = 1, wgrad = 1, recompute = 1) — a unit-cost
+  /// preview of the bubble the traced executor measures.
+  int makespan = 0;
+};
+
+/// Compile (or fetch from the process-wide cache) the program set for one
+/// schedule shape. Thread/fiber-safe; the result is immutable and shared.
+///
+/// The compiler runs a deterministic greedy list-scheduling simulation over
+/// the virtual-stage task DAG — F(vs,m) needs F(vs-1,m), B(vs,m) needs
+/// B(vs+1,m) (or F(VS-1,m) at the exit), W(vs,m) needs B(vs,m) — with
+/// per-schedule priorities and in-flight caps, then inserts recv-posting
+/// markers. Guarantees, for every schedule: per (rank, chunk) the dgrad and
+/// wgrad task sequences are micro-ascending (the bit-identity contract with
+/// the serial oracle), and each program's send order matches its consumer's
+/// recv-post order (the FIFO channel contract).
+std::shared_ptr<const PipeSchedule> compile_schedule(Schedule kind, int stages,
+                                                     int micros, int chunks);
+
+}  // namespace ca::pp

@@ -223,3 +223,49 @@ TEST(Conversion, CostsScaleLinearlyWithTensorSize) {
   const auto big = ap::plan_greedy(from, to, mesh, 4 << 20);
   EXPECT_NEAR(big.total_cost / small.total_cost, 4.0, 1e-9);
 }
+
+TEST(PipeScheduleChooser, UnconstrainedPrefersZeroBubble) {
+  ca::collective::PipeCostParams p;
+  p.stages = 4;
+  p.micros = 8;
+  p.chunks = 2;
+  p.fwd_s = 1.0;
+  p.bwd_input_s = 1.0;
+  p.bwd_weight_s = 1.0;
+  const auto pick = ap::best_pipeline_schedule(p, 1 << 20, /*budget=*/0);
+  EXPECT_EQ(pick.sched, ca::collective::PipeSched::kZeroBubble);
+  EXPECT_TRUE(pick.feasible);
+  // it wins by shrinking the bubble below the classic (S-1)/(M+S-1)
+  const auto f1b = ca::collective::pipeline_schedule_cost(
+      ca::collective::PipeSched::kOneFOneB, p);
+  EXPECT_LT(pick.cost.bubble_fraction, f1b.bubble_fraction);
+}
+
+TEST(PipeScheduleChooser, TightMemoryFallsBackToOneFOneB) {
+  ca::collective::PipeCostParams p;
+  p.stages = 4;
+  p.micros = 8;
+  p.chunks = 1;
+  p.fwd_s = 1.0;
+  p.bwd_input_s = 1.0;
+  p.bwd_weight_s = 1.0;
+  const std::int64_t per_micro = 1 << 20;
+  // enough for 1F1B's min(M, S) resident micros but not zero-bubble's 2S-1
+  const auto pick = ap::best_pipeline_schedule(p, per_micro, 4 * per_micro);
+  EXPECT_EQ(pick.sched, ca::collective::PipeSched::kOneFOneB);
+  EXPECT_TRUE(pick.feasible);
+  EXPECT_LE(pick.peak_bytes, 4 * per_micro);
+}
+
+TEST(PipeScheduleChooser, NothingFitsReportsInfeasibleMinimum) {
+  ca::collective::PipeCostParams p;
+  p.stages = 4;
+  p.micros = 8;
+  p.fwd_s = 1.0;
+  p.bwd_input_s = 1.0;
+  p.bwd_weight_s = 1.0;
+  const auto pick = ap::best_pipeline_schedule(p, 1 << 20, /*budget=*/1);
+  EXPECT_FALSE(pick.feasible);
+  // the least-memory candidate is the 1F1B cap
+  EXPECT_EQ(pick.sched, ca::collective::PipeSched::kOneFOneB);
+}

@@ -148,6 +148,9 @@ TEST(FailureInjection, PipelineWithFewerMicrosThanStages) {
   core::Config cfg;
   cfg.pipeline_parallel_size = 2;
   core::ParallelContext ctx(backend, cfg);
+  // activations cross stages in the comm wire dtype; pin fp32 so the
+  // serial comparison below stays exact under the CA_COMM_DTYPE=bf16 sweep
+  ctx.set_comm_dtype(t::Dtype::kF32);
 
   auto x = t::randn(t::Shape{2, 4}, 5);
   const std::vector<std::int64_t> labels{0, 1};

@@ -390,6 +390,60 @@ TEST(MetricsPipeline, ExposedWaitPerMicroIsRecorded) {
   EXPECT_EQ(hists.at("pp.fwd_wait_s").count(), micros);
   ASSERT_EQ(hists.count("pp.bwd_wait_s"), 1u);
   EXPECT_EQ(hists.at("pp.bwd_wait_s").count(), micros);
+
+  // the executor publishes its bubble estimate as a per-rank gauge, which the
+  // Prometheus exporter carries with a rank label
+  for (int g = 0; g < 2; ++g) {
+    const auto& gauges = reg.rank(g).gauges();
+    ASSERT_EQ(gauges.count("pp.bubble_fraction"), 1u);
+    const double b = gauges.at("pp.bubble_fraction").value;
+    EXPECT_GE(b, 0.0);
+    EXPECT_LT(b, 1.0);
+  }
+  TempFile f("test_metrics_pp.prom");
+  ASSERT_TRUE(obs::write_prometheus(reg, f.path));
+  const std::string body = slurp(f.path);
+  EXPECT_NE(body.find("ca_pp_bubble_fraction{rank=\"0\"}"), std::string::npos);
+  EXPECT_NE(body.find("ca_pp_fwd_wait_s_count"), std::string::npos);
+}
+
+TEST(MetricsPipeline, EnablingMetricsNeverChangesPipelineClocks) {
+  auto wall = [](bool metrics_on) {
+    core::Config cfg;
+    cfg.pipeline_parallel_size = 2;
+    cfg.pp_schedule = "zero_bubble";
+    World w(cfg);
+    if (metrics_on) w.cluster.enable_metrics();
+    const int micros = 4;
+    std::vector<t::Tensor> inputs;
+    for (int m = 0; m < micros; ++m)
+      inputs.push_back(
+          t::randn(t::Shape{2, 4}, 300 + static_cast<std::uint64_t>(m)));
+    const std::vector<std::int64_t> labels{0, 1};
+    w.cluster.run([&](int g) {
+      if (g == 0) {
+        nn::Linear stage("s1", 4, 6, 11);
+        pp::Pipeline pipe(w.env(0), stage, t::Shape{2, 4});
+        pipe.train_step(micros, inputs, {});
+      } else {
+        nn::Linear stage("s2", 6, 2, 12);
+        pp::Pipeline pipe(w.env(1), stage, t::Shape{2, 6});
+        pipe.train_step(micros, {},
+                        [&](const t::Tensor& y, t::Tensor& dy, int) {
+                          t::Tensor dl;
+                          const float loss = t::cross_entropy(y, labels, dl);
+                          t::scale_(dl, 1.0f / static_cast<float>(micros));
+                          dy = dl;
+                          return loss;
+                        });
+      }
+    });
+    return w.cluster.max_clock();
+  };
+  const double off = wall(false);
+  const double on = wall(true);
+  EXPECT_EQ(off, on);  // bit-identical: observation must not perturb the sim
+  EXPECT_GT(on, 0.0);
 }
 
 TEST(MetricsFault, TransientCommRetriesAreCounted) {

@@ -259,3 +259,42 @@ TEST(Gpt, VocabParallelScalesToFourRanks) {
   for (int g = 0; g < 4; ++g)
     EXPECT_NEAR(losses[static_cast<std::size_t>(g)], ref, 1e-4f) << g;
 }
+
+// ---- pipeline stage partitioning --------------------------------------------------
+
+#include "models/pp_stages.hpp"
+
+TEST(PpStages, BalancedContiguousPartition) {
+  // 10 layers over 4 stages: 3,3,2,2 — contiguous and exhaustive
+  const auto p = models::partition_layers(10, 4);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p[0].begin, 0);
+  EXPECT_EQ(p[0].size(), 3);
+  EXPECT_EQ(p[1].size(), 3);
+  EXPECT_EQ(p[2].size(), 2);
+  EXPECT_EQ(p[3].size(), 2);
+  for (std::size_t i = 1; i < p.size(); ++i)
+    EXPECT_EQ(p[i].begin, p[i - 1].end);
+  EXPECT_EQ(p.back().end, 10);
+}
+
+TEST(PpStages, InterleavedChunksAlternateRanks) {
+  // 9 layers, 2 stages x 2 chunks: virtual stages get 3,2,2,2 layers and
+  // rank s owns virtual stages s and 2 + s
+  const auto p = models::partition_layers(9, 2, 2);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p[0].size(), 3);
+  EXPECT_EQ(p[1].size(), 2);
+  const auto r0 = models::rank_stage_ranges(p, 2, 0);
+  const auto r1 = models::rank_stage_ranges(p, 2, 1);
+  ASSERT_EQ(r0.size(), 2u);
+  EXPECT_EQ(r0[0].begin, p[0].begin);
+  EXPECT_EQ(r0[1].begin, p[2].begin);  // chunk 1 = virtual stage 2
+  EXPECT_EQ(r1[0].begin, p[1].begin);
+  EXPECT_EQ(r1[1].begin, p[3].begin);
+  // the union of both ranks' chunk ranges covers every layer exactly once
+  int covered = 0;
+  for (const auto& r : r0) covered += r.size();
+  for (const auto& r : r1) covered += r.size();
+  EXPECT_EQ(covered, 9);
+}

@@ -228,4 +228,110 @@ PipeScheduleChoice best_pipeline_schedule(collective::PipeCostParams base,
   return *best;
 }
 
+// ---- elastic survivor layout ------------------------------------------------
+
+namespace {
+
+/// Coarse per-device activation-communication volume (elements, fwd+bwd)
+/// of one rows x hidden x hidden layer on `n` tensor ranks — the Table 1
+/// asymptotics, enough to rank candidate layouts.
+double tp_comm_elems(core::TpMode mode, double rows, double hidden, int n,
+                     int depth) {
+  const double act = rows * hidden;
+  switch (mode) {
+    case core::TpMode::kNone:
+      return 0.0;
+    case core::TpMode::k1d:
+      return 2.0 * act * (n - 1) / n;
+    case core::TpMode::k2d: {
+      const int q = core::Config::exact_sqrt(n);
+      return 4.0 * act / q;
+    }
+    case core::TpMode::k2p5d: {
+      const int q = core::Config::exact_sqrt(n / depth);
+      return 4.0 * act / (q * depth) + 2.0 * hidden * hidden / n;
+    }
+    case core::TpMode::k3d: {
+      const int l = core::Config::exact_cbrt(n);
+      return 6.0 * act / (l * l);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+ElasticLayout best_survivor_layout(int survivors, std::int64_t rows,
+                                   std::int64_t hidden, int max_data,
+                                   double flops_per_sec, double bandwidth) {
+  const auto drows = static_cast<double>(rows);
+  const auto dh = static_cast<double>(hidden);
+  ElasticLayout best;
+  auto consider = [&](core::TpMode mode, int n, int depth, int dp) {
+    ElasticLayout c;
+    c.mode = mode;
+    c.tensor = n;
+    c.depth = depth;
+    c.data = dp;
+    c.ranks_used = dp * n;
+    c.feasible = true;
+    const double brows = drows / dp;  // rows per data replica
+    const double compute = 6.0 * brows * dh * dh / n / flops_per_sec;
+    const double tp_comm =
+        4.0 * tp_comm_elems(mode, brows, dh, n, depth) / bandwidth;
+    const double dp_comm =
+        dp > 1 ? 4.0 * 2.0 * dh * dh / n * (dp - 1) / dp / bandwidth : 0.0;
+    // A tiny per-member latency term so equal-volume candidates break
+    // deterministically toward the smaller group.
+    c.step_seconds = compute + tp_comm + dp_comm + 1e-6 * c.ranks_used;
+    if (!best.feasible) {
+      best = c;
+      return;
+    }
+    // Deterministic preference: more ranks used, then faster, then the
+    // simpler mode (enum order: none < 1d < 2d < 2.5d < 3d).
+    if (c.ranks_used != best.ranks_used) {
+      if (c.ranks_used > best.ranks_used) best = c;
+      return;
+    }
+    if (c.step_seconds != best.step_seconds) {
+      if (c.step_seconds < best.step_seconds) best = c;
+      return;
+    }
+    if (static_cast<int>(c.mode) < static_cast<int>(best.mode)) best = c;
+  };
+
+  for (int dp = 1; dp <= std::min(max_data, survivors); ++dp) {
+    if (rows % dp != 0) continue;
+    const int max_n = survivors / dp;
+    for (int n = 1; n <= max_n; ++n) {
+      const double brows = drows / dp;
+      if (n == 1) {
+        consider(core::TpMode::kNone, 1, 1, dp);
+        continue;
+      }
+      if (hidden % n == 0) consider(core::TpMode::k1d, n, 1, dp);
+      if (const int q = core::Config::exact_sqrt(n);
+          q > 1 && hidden % q == 0 &&
+          static_cast<std::int64_t>(brows) % q == 0) {
+        consider(core::TpMode::k2d, n, 1, dp);
+      }
+      for (int depth = 2; depth <= n; ++depth) {
+        if (n % depth != 0) continue;
+        const int q = core::Config::exact_sqrt(n / depth);
+        if (q > 1 && hidden % (q * depth) == 0 &&
+            static_cast<std::int64_t>(brows) % (q * depth) == 0) {
+          consider(core::TpMode::k2p5d, n, depth, dp);
+        }
+      }
+      if (const int l = core::Config::exact_cbrt(n);
+          l > 1 && hidden % (l * l) == 0 &&
+          static_cast<std::int64_t>(brows) % (l * l) == 0) {
+        consider(core::TpMode::k3d, n, 1, dp);
+      }
+    }
+  }
+  return best;
+}
+
 }  // namespace ca::autop

@@ -6,6 +6,7 @@
 
 #include "autop/conversion.hpp"
 #include "collective/cost.hpp"
+#include "core/config.hpp"
 
 namespace ca::autop {
 
@@ -91,5 +92,32 @@ struct PipeScheduleChoice {
 PipeScheduleChoice best_pipeline_schedule(collective::PipeCostParams base,
                                           std::int64_t held_bytes_per_micro,
                                           std::int64_t memory_budget);
+
+/// The layout the elastic coordinator re-plans onto after ranks die
+/// (DESIGN.md section 13): which TP mode x tensor size x data replicas to
+/// run on `survivors` ranks.
+struct ElasticLayout {
+  core::TpMode mode = core::TpMode::kNone;
+  int tensor = 1;      ///< tensor_parallel_size
+  int depth = 1;       ///< tensor_depth (2.5D only)
+  int data = 1;        ///< data_parallel_size
+  int ranks_used = 1;  ///< data * tensor (<= survivors)
+  double step_seconds = 0.0;
+  bool feasible = false;
+};
+
+/// Enumerate every (dp, mode, tensor size) that satisfies the mode's
+/// topology requirement (2D: q^2, 2.5D: d*q^2, 3D: l^3) AND the model's
+/// divisibility constraints for `rows` x `hidden` layers, then pick the
+/// cheapest per coarse compute + Table-1-style comm volumes. Preference
+/// order is deterministic: more ranks used first, then lower modeled step
+/// time, then the simpler mode — so the same survivor count always yields
+/// the same layout on every rank (the consensus property recovery needs).
+/// `max_data` caps the data-parallel factor (pass the pre-failure dp to
+/// keep the global batch bounded); feasible=false means not even 1 rank
+/// works (rows/hidden were degenerate).
+ElasticLayout best_survivor_layout(int survivors, std::int64_t rows,
+                                   std::int64_t hidden, int max_data,
+                                   double flops_per_sec, double bandwidth);
 
 }  // namespace ca::autop

@@ -78,6 +78,15 @@ struct Config {
   int checkpoint_interval = 0;
   /// Where CheckpointHook writes (`checkpoint.dir`).
   std::string checkpoint_dir = ".";
+  /// In-flight elastic continuation: "on" lets run_elastic survive rank
+  /// fail-stops by re-planning onto the survivors (`elastic` /
+  /// `elastic.enabled`; the CA_ELASTIC environment variable wins over this
+  /// field). "off" keeps the PR 5 behavior: abort + rethrow.
+  std::string elastic = "off";
+  /// Fewest survivors worth continuing with; recovery below this floor
+  /// rethrows the original failure (`elastic.min_world`;
+  /// CA_ELASTIC_MIN_WORLD wins over this field).
+  int elastic_min_world = 1;
 
   [[nodiscard]] int world_size() const {
     return data_parallel_size * pipeline_parallel_size * tensor_parallel_size *
@@ -127,6 +136,9 @@ struct Config {
     require(metrics_hist_buckets >= 0 && metrics_hist_buckets <= 4096,
             "metrics.hist_buckets must be in 0..4096");
     require(checkpoint_interval >= 0, "checkpoint.interval must be >= 0");
+    require(elastic == "on" || elastic == "off",
+            "unknown elastic '" + elastic + "' (want on|off)");
+    require(elastic_min_world >= 1, "elastic.min_world must be >= 1");
     switch (tensor_mode) {
       case TpMode::kNone:
         require(tensor_parallel_size == 1,

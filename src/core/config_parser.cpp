@@ -89,6 +89,10 @@ Config parse_config(const std::string& text) {
       cfg.checkpoint_interval = parse_int(key, value);
     } else if (key == "checkpoint.dir") {
       cfg.checkpoint_dir = value;
+    } else if (key == "elastic" || key == "elastic.enabled") {
+      cfg.elastic = value;
+    } else if (key == "elastic.min_world") {
+      cfg.elastic_min_world = parse_int(key, value);
     } else {
       throw std::invalid_argument("unknown configuration key '" + key + "'");
     }

@@ -19,14 +19,45 @@ int ParallelContext::tp_slot() const {
 }
 
 ParallelContext::ParallelContext(collective::Backend& backend, Config config)
-    : backend_(backend), config_(config) {
+    : ParallelContext(backend, std::move(config), std::vector<int>{}) {}
+
+ParallelContext::ParallelContext(collective::Backend& backend, Config config,
+                                 std::vector<int> members)
+    : backend_(backend), config_(config), members_(std::move(members)) {
   config_.validate();
   const int world = config_.world_size();
-  if (world != backend.cluster().world_size()) {
-    throw std::invalid_argument(
-        "config world size " + std::to_string(world) + " != cluster size " +
-        std::to_string(backend.cluster().world_size()));
+  const int cluster_world = backend.cluster().world_size();
+  if (members_.empty()) {
+    // Identity mapping: virtual rank v == physical rank v.
+    if (world != cluster_world) {
+      throw std::invalid_argument(
+          "config world size " + std::to_string(world) + " != cluster size " +
+          std::to_string(backend.cluster().world_size()));
+    }
+    members_.resize(static_cast<std::size_t>(world));
+    for (int v = 0; v < world; ++v) members_[static_cast<std::size_t>(v)] = v;
   }
+  if (static_cast<int>(members_.size()) != world) {
+    throw std::invalid_argument(
+        "member list size " + std::to_string(members_.size()) +
+        " != config world size " + std::to_string(world));
+  }
+  virt_of_.assign(static_cast<std::size_t>(cluster_world), -1);
+  for (int v = 0; v < world; ++v) {
+    const int g = members_[static_cast<std::size_t>(v)];
+    if (g < 0 || g >= cluster_world ||
+        virt_of_[static_cast<std::size_t>(g)] != -1) {
+      throw std::invalid_argument(
+          "member list must hold distinct cluster ranks; bad entry " +
+          std::to_string(g));
+    }
+    virt_of_[static_cast<std::size_t>(g)] = v;
+  }
+  bool identity = true;
+  for (int v = 0; v < world; ++v) {
+    identity = identity && members_[static_cast<std::size_t>(v)] == v;
+  }
+  identity = identity && world == cluster_world;
   const int tp = tp_slot();
   const int pp = config_.pipeline_parallel_size;
   const int dp = config_.data_parallel_size;
@@ -53,23 +84,33 @@ ParallelContext::ParallelContext(collective::Backend& backend, Config config)
     comm_dtype_ = *tensor::parse_dtype(config_.comm_dtype);
   }
 
-  data_groups_.resize(static_cast<std::size_t>(world), nullptr);
-  data_node_groups_.resize(static_cast<std::size_t>(world), nullptr);
-  data_leader_groups_.resize(static_cast<std::size_t>(world), nullptr);
-  tensor_groups_.resize(static_cast<std::size_t>(world), nullptr);
-  row_groups_.resize(static_cast<std::size_t>(world), nullptr);
-  col_groups_.resize(static_cast<std::size_t>(world), nullptr);
-  depth_groups_.resize(static_cast<std::size_t>(world), nullptr);
-  cube_i_groups_.resize(static_cast<std::size_t>(world), nullptr);
-  cube_j_groups_.resize(static_cast<std::size_t>(world), nullptr);
-  cube_k_groups_.resize(static_cast<std::size_t>(world), nullptr);
+  data_groups_.resize(static_cast<std::size_t>(cluster_world), nullptr);
+  data_node_groups_.resize(static_cast<std::size_t>(cluster_world), nullptr);
+  data_leader_groups_.resize(static_cast<std::size_t>(cluster_world), nullptr);
+  tensor_groups_.resize(static_cast<std::size_t>(cluster_world), nullptr);
+  row_groups_.resize(static_cast<std::size_t>(cluster_world), nullptr);
+  col_groups_.resize(static_cast<std::size_t>(cluster_world), nullptr);
+  depth_groups_.resize(static_cast<std::size_t>(cluster_world), nullptr);
+  cube_i_groups_.resize(static_cast<std::size_t>(cluster_world), nullptr);
+  cube_j_groups_.resize(static_cast<std::size_t>(cluster_world), nullptr);
+  cube_k_groups_.resize(static_cast<std::size_t>(cluster_world), nullptr);
+
+  // Every loop below enumerates VIRTUAL ranks and maps them to physical
+  // cluster ranks through `phys` before the group is created, so the same
+  // layout arithmetic drives both the identity and the elastic form.
+  const auto phys = [this](int v) {
+    return members_[static_cast<std::size_t>(v)];
+  };
+
+  world_group_ = identity ? &backend_.world()
+                          : &backend_.create_group(members_, "world");
 
   // Data groups: same (pipe, tp) slot across all data replicas.
   for (int p = 0; p < pp; ++p) {
     for (int t = 0; t < tp; ++t) {
       std::vector<int> ranks;
       ranks.reserve(static_cast<std::size_t>(dp));
-      for (int d = 0; d < dp; ++d) ranks.push_back((d * pp + p) * tp + t);
+      for (int d = 0; d < dp; ++d) ranks.push_back(phys((d * pp + p) * tp + t));
       auto& g = backend_.create_group(std::move(ranks), "data");
       assign(data_groups_, g);
 
@@ -105,7 +146,7 @@ ParallelContext::ParallelContext(collective::Backend& backend, Config config)
       const int base = (d * pp + p) * tp;
       std::vector<int> ranks;
       ranks.reserve(static_cast<std::size_t>(tp));
-      for (int t = 0; t < tp; ++t) ranks.push_back(base + t);
+      for (int t = 0; t < tp; ++t) ranks.push_back(phys(base + t));
       auto& g = backend_.create_group(std::move(ranks), "tensor");
       assign(tensor_groups_, g);
 
@@ -119,12 +160,12 @@ ParallelContext::ParallelContext(collective::Backend& backend, Config config)
           grid_side_ = q;
           for (int r = 0; r < q; ++r) {  // rows
             std::vector<int> row;
-            for (int c = 0; c < q; ++c) row.push_back(base + r * q + c);
+            for (int c = 0; c < q; ++c) row.push_back(phys(base + r * q + c));
             assign(row_groups_, backend_.create_group(std::move(row), "row"));
           }
           for (int c = 0; c < q; ++c) {  // columns
             std::vector<int> col;
-            for (int r = 0; r < q; ++r) col.push_back(base + r * q + c);
+            for (int r = 0; r < q; ++r) col.push_back(phys(base + r * q + c));
             assign(col_groups_, backend_.create_group(std::move(col), "col"));
           }
           break;
@@ -138,18 +179,24 @@ ParallelContext::ParallelContext(collective::Backend& backend, Config config)
             const int lbase = base + dd * layer;
             for (int r = 0; r < q; ++r) {
               std::vector<int> row;
-              for (int c = 0; c < q; ++c) row.push_back(lbase + r * q + c);
+              for (int c = 0; c < q; ++c) {
+                row.push_back(phys(lbase + r * q + c));
+              }
               assign(row_groups_, backend_.create_group(std::move(row), "row"));
             }
             for (int c = 0; c < q; ++c) {
               std::vector<int> col;
-              for (int r = 0; r < q; ++r) col.push_back(lbase + r * q + c);
+              for (int r = 0; r < q; ++r) {
+                col.push_back(phys(lbase + r * q + c));
+              }
               assign(col_groups_, backend_.create_group(std::move(col), "col"));
             }
           }
           for (int cell = 0; cell < layer; ++cell) {
             std::vector<int> dg;
-            for (int dd = 0; dd < depth; ++dd) dg.push_back(base + dd * layer + cell);
+            for (int dd = 0; dd < depth; ++dd) {
+              dg.push_back(phys(base + dd * layer + cell));
+            }
             assign(depth_groups_, backend_.create_group(std::move(dg), "depth"));
           }
           break;
@@ -161,19 +208,25 @@ ParallelContext::ParallelContext(collective::Backend& backend, Config config)
           for (int j = 0; j < l; ++j)
             for (int k = 0; k < l; ++k) {  // vary i
               std::vector<int> g3;
-              for (int i = 0; i < l; ++i) g3.push_back(base + (i * l + j) * l + k);
+              for (int i = 0; i < l; ++i) {
+                g3.push_back(phys(base + (i * l + j) * l + k));
+              }
               assign(cube_i_groups_, backend_.create_group(std::move(g3), "cube_i"));
             }
           for (int i = 0; i < l; ++i)
             for (int k = 0; k < l; ++k) {  // vary j
               std::vector<int> g3;
-              for (int j = 0; j < l; ++j) g3.push_back(base + (i * l + j) * l + k);
+              for (int j = 0; j < l; ++j) {
+                g3.push_back(phys(base + (i * l + j) * l + k));
+              }
               assign(cube_j_groups_, backend_.create_group(std::move(g3), "cube_j"));
             }
           for (int i = 0; i < l; ++i)
             for (int j = 0; j < l; ++j) {  // vary k
               std::vector<int> g3;
-              for (int k = 0; k < l; ++k) g3.push_back(base + (i * l + j) * l + k);
+              for (int k = 0; k < l; ++k) {
+                g3.push_back(phys(base + (i * l + j) * l + k));
+              }
               assign(cube_k_groups_, backend_.create_group(std::move(g3), "cube_k"));
             }
           break;
@@ -183,24 +236,39 @@ ParallelContext::ParallelContext(collective::Backend& backend, Config config)
   }
 }
 
+int ParallelContext::virtual_rank(int grank) const {
+  const int v = virt_of_.at(static_cast<std::size_t>(grank));
+  if (v < 0) {
+    throw std::logic_error("rank " + std::to_string(grank) +
+                           " is not a member of this parallel context");
+  }
+  return v;
+}
+
 int ParallelContext::data_rank(int grank) const {
-  return grank / (config_.pipeline_parallel_size * tp_slot());
+  return virtual_rank(grank) / (config_.pipeline_parallel_size * tp_slot());
 }
 
 int ParallelContext::pipeline_rank(int grank) const {
-  return (grank / tp_slot()) % config_.pipeline_parallel_size;
+  return (virtual_rank(grank) / tp_slot()) % config_.pipeline_parallel_size;
 }
 
-int ParallelContext::tensor_rank(int grank) const { return grank % tp_slot(); }
+int ParallelContext::tensor_rank(int grank) const {
+  return virtual_rank(grank) % tp_slot();
+}
 
 int ParallelContext::pipeline_prev(int grank) const {
-  return pipeline_rank(grank) == 0 ? -1 : grank - tp_slot();
+  return pipeline_rank(grank) == 0
+             ? -1
+             : members_[static_cast<std::size_t>(virtual_rank(grank) -
+                                                 tp_slot())];
 }
 
 int ParallelContext::pipeline_next(int grank) const {
   return pipeline_rank(grank) == config_.pipeline_parallel_size - 1
              ? -1
-             : grank + tp_slot();
+             : members_[static_cast<std::size_t>(virtual_rank(grank) +
+                                                 tp_slot())];
 }
 
 bool ParallelContext::is_first_stage(int grank) const {

@@ -24,11 +24,37 @@ namespace ca::core {
 /// query methods are then safe to call concurrently from rank threads.
 class ParallelContext {
  public:
+  /// Identity mapping: the config world must equal the cluster world and
+  /// virtual rank v lives on physical rank v.
   ParallelContext(collective::Backend& backend, Config config);
+
+  /// Elastic form: run the config's (possibly smaller) world on an explicit
+  /// survivor set. `members[v]` is the physical cluster rank hosting virtual
+  /// rank v; members must be distinct, within the cluster, and exactly
+  /// config.world_size() long. Every group is built over physical ranks, so
+  /// query methods keep taking physical granks (the id the rank thread
+  /// already holds); non-members simply own no groups.
+  ParallelContext(collective::Backend& backend, Config config,
+                  std::vector<int> members);
 
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] collective::Backend& backend() { return backend_; }
   [[nodiscard]] int world_size() const { return config_.world_size(); }
+
+  /// members()[v] = physical rank of virtual rank v (identity by default).
+  [[nodiscard]] const std::vector<int>& members() const { return members_; }
+  [[nodiscard]] bool is_member(int grank) const {
+    return virt_of_.at(static_cast<std::size_t>(grank)) >= 0;
+  }
+  /// Virtual rank of a physical member (throws std::logic_error otherwise).
+  [[nodiscard]] int virtual_rank(int grank) const;
+
+  /// Group spanning every member of THIS context's world — the backend's
+  /// whole-cluster group under the identity mapping, a dedicated group on a
+  /// shrunk world. World-scoped engine collectives (NaN consensus, the
+  /// checkpoint barrier) go through here so they keep working after an
+  /// elastic rebuild excludes dead ranks.
+  [[nodiscard]] collective::Group& world_group() { return *world_group_; }
 
   /// The wire element type product comm paths (engine gradient sync, ZeRO,
   /// TP/SP activation exchanges) pass to their collectives. Resolved once at
@@ -111,8 +137,11 @@ class ParallelContext {
   Config config_;
   tensor::Dtype comm_dtype_ = tensor::Dtype::kF32;
   int grid_side_ = 0;
+  std::vector<int> members_;  ///< virtual -> physical
+  std::vector<int> virt_of_;  ///< physical -> virtual, -1 for non-members
+  collective::Group* world_group_ = nullptr;
 
-  // one entry per global rank
+  // one entry per physical cluster rank (nullptr on non-members)
   std::vector<collective::Group*> data_groups_;
   std::vector<collective::Group*> data_node_groups_;
   std::vector<collective::Group*> data_leader_groups_;

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ca::core {
+
+/// CRC-32 (IEEE 802.3 / zlib polynomial, reflected), table-driven.
+/// Header-only so the checkpoint layer and tools can share one
+/// implementation without a new link dependency.
+namespace detail {
+inline constexpr std::array<std::uint32_t, 256> crc32_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+inline constexpr auto kCrc32Table = crc32_table();
+}  // namespace detail
+
+/// One-shot CRC of a byte range. `seed` allows incremental chaining by
+/// passing a previous result.
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = detail::kCrc32Table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace ca::core

@@ -1,12 +1,15 @@
 #include "engine/checkpoint.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/crc32.hpp"
 #include "core/serialize.hpp"
+#include "tp/relayout.hpp"
 
 namespace ca::engine {
 
@@ -20,27 +23,87 @@ class NullBuf : public std::streambuf {
   std::streamsize xsputn(const char*, std::streamsize n) override { return n; }
 };
 
-void write_header(std::ostream& os, std::int64_t step) {
-  os.write(kCheckpointMagic, sizeof(kCheckpointMagic));
-  core::write_i64(os, step);
+// ---- v2 section framing -----------------------------------------------------
+
+void write_section(std::ostream& os, const std::string& name,
+                   const std::string& payload) {
+  core::write_str(os, name);
+  core::write_i64(os, static_cast<std::int64_t>(payload.size()));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  core::write_i64(os, static_cast<std::int64_t>(
+                          core::crc32(payload.data(), payload.size())));
 }
 
-std::int64_t read_header(std::istream& is, const std::string& path) {
+/// Read one framed section and verify its CRC. Every structural failure —
+/// wrong name, negative/truncated length, short payload, CRC mismatch — is
+/// surfaced as a CheckpointCorruptError anchored at the section's offset.
+std::string read_section(std::istream& is, const std::string& expect,
+                         const std::string& path) {
+  const auto offset = static_cast<std::int64_t>(is.tellg());
+  try {
+    const std::string name = core::read_str(is);
+    if (name != expect) {
+      throw std::runtime_error("expected section '" + expect + "', found '" +
+                               name + "'");
+    }
+    const std::int64_t len = core::read_i64(is);
+    if (len < 0) throw std::runtime_error("negative section length");
+    std::string payload(static_cast<std::size_t>(len), '\0');
+    is.read(payload.data(), len);
+    if (!is || is.gcount() != len) {
+      throw std::runtime_error("truncated payload (" +
+                               std::to_string(is.gcount()) + " of " +
+                               std::to_string(len) + " bytes)");
+    }
+    const auto stored =
+        static_cast<std::uint32_t>(core::read_i64(is) & 0xffffffffll);
+    const std::uint32_t actual = core::crc32(payload.data(), payload.size());
+    if (stored != actual) {
+      throw std::runtime_error("crc mismatch (stored " +
+                               std::to_string(stored) + ", actual " +
+                               std::to_string(actual) + ")");
+    }
+    return payload;
+  } catch (const CheckpointCorruptError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw CheckpointCorruptError(path, expect, offset, e.what());
+  }
+}
+
+/// "CACKPT01" => 1, "CACKPT02" => 2; throws on anything else.
+int read_magic(std::istream& is, const std::string& path) {
   char magic[sizeof(kCheckpointMagic)] = {};
   is.read(magic, sizeof(magic));
-  if (!is || std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0) {
-    throw std::runtime_error("checkpoint: bad magic in " + path);
+  if (is && std::memcmp(magic, kCheckpointMagicV2, sizeof(magic)) == 0) {
+    return 2;
   }
-  return core::read_i64(is);
+  if (is && std::memcmp(magic, kCheckpointMagic, sizeof(magic)) == 0) {
+    return 1;
+  }
+  throw CheckpointCorruptError(path, "magic", 0, "bad or truncated magic");
 }
 
-void write_params(std::ostream& os, nn::Module& model) {
+// ---- parameter re-layout ----------------------------------------------------
+
+bool needs_gather(const nn::Parameter& p) {
+  return p.shard.has_value() && p.shard->partitioned();
+}
+
+void write_params(std::ostream& os, const tp::Env& env, nn::Module& model) {
   const auto params = model.parameters();
   core::write_i64(os, static_cast<std::int64_t>(params.size()));
   for (const nn::Parameter* p : params) {
     core::write_str(os, p->name);
-    core::write_i64(os, p->numel());
-    core::write_f32s(os, p->value.data().data(), p->numel());
+    if (needs_gather(*p)) {
+      auto full = tp::gather_full(env.ctx->tensor_group(env.grank), env.grank,
+                                  *p->shard, p->value);
+      core::write_i64(os, full.numel());
+      core::write_f32s(os, full.data().data(), full.numel());
+    } else {
+      core::write_i64(os, p->numel());
+      core::write_f32s(os, p->value.data().data(), p->numel());
+    }
   }
 }
 
@@ -52,21 +115,101 @@ void read_params(std::istream& is, nn::Module& model) {
   for (nn::Parameter* p : params) {
     const std::string name = core::read_str(is);
     const std::int64_t n = core::read_i64(is);
-    if (name != p->name || n != p->numel()) {
+    if (name != p->name) {
       throw std::runtime_error("checkpoint: parameter mismatch: file has '" +
-                               name + "' (" + std::to_string(n) +
-                               "), model has '" + p->name + "' (" +
-                               std::to_string(p->numel()) + ")");
+                               name + "', model has '" + p->name + "'");
     }
-    core::read_f32s(is, p->value.data().data(), n);
+    if (n == p->numel() && !needs_gather(*p)) {
+      core::read_f32s(is, p->value.data().data(), n);
+    } else if (p->shard.has_value() && n == p->shard->full_numel()) {
+      // Full-form entry restored onto a (possibly different) shard layout.
+      std::vector<float> full(static_cast<std::size_t>(n));
+      core::read_f32s(is, full.data(), n);
+      tp::slice_from_full(*p->shard, full, p->value.data());
+    } else {
+      throw std::runtime_error(
+          "checkpoint: parameter '" + name + "' has " + std::to_string(n) +
+          " elements; model expects " + std::to_string(p->numel()) +
+          (p->shard.has_value()
+               ? " local / " + std::to_string(p->shard->full_numel()) + " full"
+               : ""));
+    }
   }
 }
 
-/// Run `body(os)` with rank 0 writing to `path` (temp + atomic rename) and
-/// every other rank writing to a discarding stream, then barrier the world.
+/// Spec-aware optimizer-state hooks: sharded parameters' per-element state
+/// (Adam moments, SGD velocity) goes through the same gather/slice as the
+/// parameter itself, so moments survive a tensor-grid change.
+optim::Optimizer::TensorWriter state_writer(const tp::Env& env,
+                                            optim::Optimizer& opt) {
+  return [&env, &opt](std::ostream& os, std::size_t idx,
+                      const tensor::Tensor& x) {
+    const nn::Parameter& p = *opt.params().at(idx);
+    if (needs_gather(p)) {
+      auto full = tp::gather_full(env.ctx->tensor_group(env.grank), env.grank,
+                                  *p.shard, x);
+      core::write_i64(os, full.numel());
+      core::write_f32s(os, full.data().data(), full.numel());
+    } else {
+      core::write_i64(os, x.numel());
+      core::write_f32s(os, x.data().data(), x.numel());
+    }
+  };
+}
+
+optim::Optimizer::TensorReader state_reader(optim::Optimizer& opt) {
+  return [&opt](std::istream& is, std::size_t idx, tensor::Tensor& x) {
+    const nn::Parameter& p = *opt.params().at(idx);
+    const std::int64_t n = core::read_i64(is);
+    if (n == x.numel() && !needs_gather(p)) {
+      core::read_f32s(is, x.data().data(), n);
+    } else if (p.shard.has_value() && n == p.shard->full_numel()) {
+      std::vector<float> full(static_cast<std::size_t>(n));
+      core::read_f32s(is, full.data(), n);
+      tp::slice_from_full(*p.shard, full, x.data());
+    } else {
+      throw std::runtime_error("optimizer state: tensor size mismatch");
+    }
+  };
+}
+
+// ---- file plumbing ----------------------------------------------------------
+
+/// Flip one bit of the freshly-written temp file when a kCkptCorrupt fault
+/// matured at `step` — past the magic, so the CRC framing (not a bad-magic
+/// error) is what catches it. Offset -1 picks a seeded position.
+void maybe_corrupt(const tp::Env& env, const std::string& tmp,
+                   std::int64_t step) {
+  const sim::FaultInjector* fi = env.dev().fault();
+  std::int64_t off = -1;
+  if (fi == nullptr || !fi->corrupt_checkpoint(step, &off)) return;
+  std::fstream f(tmp, std::ios::binary | std::ios::in | std::ios::out);
+  if (!f) throw std::runtime_error("checkpoint: cannot reopen " + tmp);
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<std::int64_t>(f.tellg());
+  const std::int64_t lo = sizeof(kCheckpointMagicV2);
+  if (size <= lo) return;
+  if (off < 0) {
+    off = lo + static_cast<std::int64_t>(
+                   fi->plan().jitter(static_cast<std::uint64_t>(step)) *
+                   static_cast<double>(size - lo));
+  }
+  off = std::min(std::max(off, lo), size - 1);
+  f.seekg(off);
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x20);
+  f.seekp(off);
+  f.write(&byte, 1);
+}
+
+/// Run `body(os)` with the virtual root writing to `path` (temp + atomic
+/// rename) and every other rank writing to a discarding stream, then
+/// barrier the context world.
 template <class Body>
-void spmd_save(const tp::Env& env, const std::string& path, Body body) {
-  if (env.grank == 0) {
+void spmd_save(const tp::Env& env, const std::string& path, std::int64_t step,
+               Body body) {
+  if (env.ctx->virtual_rank(env.grank) == 0) {
     const std::string tmp = path + ".tmp";
     {
       std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
@@ -75,6 +218,7 @@ void spmd_save(const tp::Env& env, const std::string& path, Body body) {
       os.flush();
       if (!os) throw std::runtime_error("checkpoint: write failed: " + tmp);
     }
+    maybe_corrupt(env, tmp, step);
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
       throw std::runtime_error("checkpoint: rename failed: " + path);
     }
@@ -83,20 +227,62 @@ void spmd_save(const tp::Env& env, const std::string& path, Body body) {
     std::ostream os(&sink);
     body(os);
   }
-  env.ctx->backend().world().barrier(env.grank);
+  env.ctx->world_group().barrier(env.grank);
 }
 
 }  // namespace
 
+// ---- DP/TP variant ----------------------------------------------------------
+
+void serialize_checkpoint(const tp::Env& env, nn::Module& model,
+                          optim::Optimizer& opt, std::int64_t step,
+                          std::ostream& os) {
+  os.write(kCheckpointMagicV2, sizeof(kCheckpointMagicV2));
+  {
+    std::ostringstream meta;
+    core::write_i64(meta, step);
+    write_section(os, "meta", meta.str());
+  }
+  {
+    std::ostringstream ps;
+    write_params(ps, env, model);
+    write_section(os, "params", ps.str());
+  }
+  {
+    std::ostringstream opts;
+    opt.save_state(opts, state_writer(env, opt));
+    write_section(os, "optim", opts.str());
+  }
+}
+
+std::int64_t deserialize_checkpoint(const tp::Env& env, nn::Module& model,
+                                    optim::Optimizer& opt, std::istream& is) {
+  (void)env;  // pure local reads: shard specs live on the parameters
+  const std::string path = "<memory>";
+  const int version = read_magic(is, path);
+  if (version == 1) {
+    const std::int64_t step = core::read_i64(is);
+    read_params(is, model);
+    opt.load_state(is, state_reader(opt));
+    return step;
+  }
+  std::istringstream meta(read_section(is, "meta", path));
+  const std::int64_t step = core::read_i64(meta);
+  std::istringstream ps(read_section(is, "params", path));
+  read_params(ps, model);
+  std::istringstream opts(read_section(is, "optim", path));
+  opt.load_state(opts, state_reader(opt));
+  return step;
+}
+
 void save_checkpoint(const tp::Env& env, nn::Module& model,
                      optim::Optimizer& opt, std::int64_t step,
                      const std::string& path) {
-  // DP-replicated state is identical on every rank, so only rank 0's copy is
-  // gathered-free and canonical; the others just hit the closing barrier.
-  spmd_save(env, path, [&](std::ostream& os) {
-    write_header(os, step);
-    write_params(os, model);
-    opt.save_state(os);
+  // Gathered full-form state is identical on every rank, so only the virtual
+  // root's stream reaches the file; the others run the same gathers into a
+  // discarding sink.
+  spmd_save(env, path, step, [&](std::ostream& os) {
+    serialize_checkpoint(env, model, opt, step, os);
   });
 }
 
@@ -105,20 +291,45 @@ std::int64_t load_checkpoint(const tp::Env& env, nn::Module& model,
   (void)env;  // pure local reads: every rank loads the same file
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("checkpoint: cannot read " + path);
-  const std::int64_t step = read_header(is, path);
-  read_params(is, model);
-  opt.load_state(is);
+  const int version = read_magic(is, path);
+  if (version == 1) {
+    const std::int64_t step = core::read_i64(is);
+    read_params(is, model);
+    opt.load_state(is, state_reader(opt));
+    return step;
+  }
+  std::istringstream meta(read_section(is, "meta", path));
+  const std::int64_t step = core::read_i64(meta);
+  std::istringstream ps(read_section(is, "params", path));
+  read_params(ps, model);
+  std::istringstream opts(read_section(is, "optim", path));
+  opt.load_state(opts, state_reader(opt));
   return step;
 }
+
+// ---- ZeRO variant -----------------------------------------------------------
 
 void save_checkpoint(const tp::Env& env, nn::Module& model,
                      zero::ZeroOptimizer& opt, std::int64_t step,
                      const std::string& path) {
   (void)model;  // parameter values ARE the gathered master weights
-  spmd_save(env, path, [&](std::ostream& os) {
-    write_header(os, step);
-    core::write_i64(os, 0);  // empty params section
-    opt.save_state(os);      // SPMD: every rank joins the gathers
+  spmd_save(env, path, step, [&](std::ostream& os) {
+    os.write(kCheckpointMagicV2, sizeof(kCheckpointMagicV2));
+    {
+      std::ostringstream meta;
+      core::write_i64(meta, step);
+      write_section(os, "meta", meta.str());
+    }
+    {
+      std::ostringstream ps;
+      core::write_i64(ps, 0);  // empty params section
+      write_section(os, "params", ps.str());
+    }
+    {
+      std::ostringstream opts;
+      opt.save_state(opts);  // SPMD: every rank joins the gathers
+      write_section(os, "optim", opts.str());
+    }
   });
 }
 
@@ -129,20 +340,36 @@ std::int64_t load_checkpoint(const tp::Env& env, nn::Module& model,
   (void)model;
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("checkpoint: cannot read " + path);
-  const std::int64_t step = read_header(is, path);
-  if (core::read_i64(is) != 0) {
-    throw std::runtime_error(
-        "checkpoint: expected a ZeRO checkpoint (empty params section) in " +
-        path);
+  const int version = read_magic(is, path);
+  auto check_empty_params = [&](std::istream& s) {
+    if (core::read_i64(s) != 0) {
+      throw std::runtime_error(
+          "checkpoint: expected a ZeRO checkpoint (empty params section) in " +
+          path);
+    }
+  };
+  if (version == 1) {
+    const std::int64_t step = core::read_i64(is);
+    check_empty_params(is);
+    opt.load_state(is);  // SPMD: stages 1-2 re-gather parameter values
+    return step;
   }
-  opt.load_state(is);  // SPMD: stages 1-2 re-gather parameter values
+  std::istringstream meta(read_section(is, "meta", path));
+  const std::int64_t step = core::read_i64(meta);
+  std::istringstream ps(read_section(is, "params", path));
+  check_empty_params(ps);
+  std::istringstream opts(read_section(is, "optim", path));
+  opt.load_state(opts);
   return step;
 }
 
 std::int64_t checkpoint_step(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("checkpoint: cannot read " + path);
-  return read_header(is, path);
+  const int version = read_magic(is, path);
+  if (version == 1) return core::read_i64(is);
+  std::istringstream meta(read_section(is, "meta", path));
+  return core::read_i64(meta);
 }
 
 }  // namespace ca::engine

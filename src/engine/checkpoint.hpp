@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "engine/trainer.hpp"
@@ -11,32 +13,74 @@
 
 namespace ca::engine {
 
-/// Checkpoint/restore for fault-tolerant training (DESIGN.md section 7).
+/// Checkpoint/restore for fault-tolerant training (DESIGN.md sections 7/13).
 ///
-/// Format (binary, little-endian, magic "CACKPT01"): the header carries the
-/// resume step; the body holds every parameter in FULL (unsharded) form plus
-/// the optimizer's full-form state blob. World-size-agnostic by
-/// construction: a file written by an 8-rank run restores onto 7 survivors —
-/// the new ZeroOptimizer re-slices the full tensors by its own shard layout.
-/// TP-sharded parameters are out of scope (the checkpoint covers
-/// DP-replicated and ZeRO-partitioned state).
+/// Format (binary, little-endian). v2 ("CACKPT02", written by default) holds
+/// three CRC32-framed sections — "meta" (resume step), "params", "optim" —
+/// each as [name][i64 length][payload][i64 crc32], so truncation or bit rot
+/// raises a structured CheckpointCorruptError instead of silently loading
+/// garbage. v1 ("CACKPT01", unframed) is still accepted on read.
 ///
-/// save_checkpoint is SPMD over the world: rank 0 streams to `path` via a
-/// temp file + atomic rename (a crash mid-write never corrupts the previous
-/// checkpoint); other ranks participate in the gathers and discard their
-/// bytes. A world barrier at the end keeps no rank racing past an
-/// in-progress save. load_checkpoint has every rank read the same file and
-/// returns the step to resume from.
+/// The body holds every parameter in FULL (unsharded) form plus the
+/// optimizer's state re-laid the same way: TP-sharded parameters (and their
+/// Adam/SGD moments) are gathered across the tensor group through their
+/// nn::ShardSpec on save and re-sliced per-rank on load. Layout- and
+/// world-size-agnostic by construction: a file written by an 8-rank 2D run
+/// restores onto a 6-rank 1D survivor layout (the elastic continuation
+/// path), and ZeRO state re-slices by the new shard layout as before.
+///
+/// save_checkpoint is SPMD over the context world: the virtual root streams
+/// to `path` via a temp file + atomic rename (a crash mid-write never
+/// corrupts the previous checkpoint); other ranks participate in the
+/// gathers and discard their bytes. A world barrier at the end keeps no
+/// rank racing past an in-progress save. load_checkpoint has every rank
+/// read the same file and returns the step to resume from.
 
 inline constexpr char kCheckpointMagic[8] = {'C', 'A', 'C', 'K',
                                              'P', 'T', '0', '1'};
+inline constexpr char kCheckpointMagicV2[8] = {'C', 'A', 'C', 'K',
+                                               'P', 'T', '0', '2'};
 
-/// DP-replicated variant (Engine with Adam/AdamW/Sgd/HybridAdam underneath).
+/// A checkpoint failed its structural or CRC validation: the file is
+/// truncated, bit-flipped, or otherwise not what the writer produced.
+/// Carries where the damage was detected so tooling can report it.
+class CheckpointCorruptError : public std::runtime_error {
+ public:
+  CheckpointCorruptError(std::string path, std::string section,
+                         std::int64_t offset, const std::string& detail)
+      : std::runtime_error("checkpoint corrupt: " + path + " (section '" +
+                           section + "' at offset " + std::to_string(offset) +
+                           "): " + detail),
+        path_(std::move(path)),
+        section_(std::move(section)),
+        offset_(offset) {}
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const std::string& section() const { return section_; }
+  [[nodiscard]] std::int64_t offset() const { return offset_; }
+
+ private:
+  std::string path_, section_;
+  std::int64_t offset_;
+};
+
+/// DP/TP variant (Engine with Adam/AdamW/Sgd/HybridAdam underneath).
 void save_checkpoint(const tp::Env& env, nn::Module& model,
                      optim::Optimizer& opt, std::int64_t step,
                      const std::string& path);
 std::int64_t load_checkpoint(const tp::Env& env, nn::Module& model,
                              optim::Optimizer& opt, const std::string& path);
+
+/// Stream forms backing the in-memory checkpoint store the elastic
+/// coordinator keeps (engine/elastic.hpp). serialize_checkpoint is SPMD
+/// over the context world and produces bit-identical bytes on EVERY member
+/// (the gathers are exact fp32), so each rank can keep its own copy;
+/// deserialize_checkpoint is a pure local read of those bytes.
+void serialize_checkpoint(const tp::Env& env, nn::Module& model,
+                          optim::Optimizer& opt, std::int64_t step,
+                          std::ostream& os);
+std::int64_t deserialize_checkpoint(const tp::Env& env, nn::Module& model,
+                                    optim::Optimizer& opt, std::istream& is);
 
 /// ZeRO variant: parameter values live inside the optimizer blob (the
 /// gathered fp32 master weights), so the params section is empty.
@@ -47,7 +91,8 @@ std::int64_t load_checkpoint(const tp::Env& env, nn::Module& model,
                              zero::ZeroOptimizer& opt,
                              const std::string& path);
 
-/// Read just the resume step from a checkpoint header (validates the magic).
+/// Read just the resume step from a checkpoint header (validates the magic
+/// and, for v2 files, the meta section's CRC).
 [[nodiscard]] std::int64_t checkpoint_step(const std::string& path);
 
 /// Trainer hook that checkpoints every `interval` steps (after the step

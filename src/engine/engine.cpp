@@ -132,7 +132,7 @@ void Engine::step() {
     }
     // World-wide consensus so every rank skips or none does; the skipped
     // step leaves parameters untouched (replicas stay bit-identical).
-    if (any_rank_nonfinite(env_.ctx->backend().world(), env_.grank, bad)) {
+    if (any_rank_nonfinite(env_.ctx->world_group(), env_.grank, bad)) {
       ++skipped_steps_;
       if (mx != nullptr) mx->counter("engine.nan_skips").inc();
       if (tb != nullptr) {

@@ -70,7 +70,7 @@ class ZeroEngine {
           break;
         }
       }
-      if (any_rank_nonfinite(env_.ctx->backend().world(), env_.grank, bad)) {
+      if (any_rank_nonfinite(env_.ctx->world_group(), env_.grank, bad)) {
         ++skipped_steps_;
         if (obs::TraceBuffer* tb = env_.dev().trace()) {
           const double t = env_.dev().clock();

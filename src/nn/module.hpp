@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,40 @@
 
 namespace ca::nn {
 
+/// How one rank's local parameter tensor maps into the full (unsharded)
+/// tensor — the layout-independent description every TP layer attaches to
+/// its parameters so checkpoints can gather shards into full form on save
+/// and re-slice them onto ANY other tensor grid on load (elastic re-layout,
+/// DESIGN.md section 13).
+///
+/// The full tensor is (full_rows x full_cols), split first into
+/// `col_sections` equal column sections (fused QKV stores are "[q|k|v]"
+/// column slices, so each section is partitioned independently); inside
+/// every section this rank owns row block `row_index` of `row_blocks` and
+/// column block `col_index` of `col_blocks`. A 1-D tensor (bias) sets
+/// full_cols = 0 and uses the row fields on its only dimension. Replicated
+/// tensors keep the default single-block spec; `primary` marks the one rank
+/// per distinct shard whose copy feeds the gather (false on redundant
+/// replicas, e.g. a row-parallel bias held by every column rank).
+struct ShardSpec {
+  std::int64_t full_rows = 0;
+  std::int64_t full_cols = 0;  ///< 0 => 1-D tensor of full_rows elements
+  int row_blocks = 1;
+  int row_index = 0;
+  int col_blocks = 1;
+  int col_index = 0;
+  int col_sections = 1;
+  bool primary = true;
+
+  [[nodiscard]] std::int64_t full_numel() const {
+    return full_cols == 0 ? full_rows : full_rows * full_cols;
+  }
+  /// Whether this spec describes an actual partition (vs pure replication).
+  [[nodiscard]] bool partitioned() const {
+    return row_blocks > 1 || col_blocks > 1 || col_sections > 1;
+  }
+};
+
 /// A learnable tensor with its gradient accumulator and a hierarchical name
 /// (e.g. "block0.attn.qkv.weight") used by the optimizer and the ZeRO
 /// sharding module.
@@ -18,6 +53,8 @@ struct Parameter {
   std::string name;
   tensor::Tensor value;
   tensor::Tensor grad;
+  /// Set by tensor-parallel layers; nullopt = full-form (DP-replicated).
+  std::optional<ShardSpec> shard;
 
   Parameter(std::string n, tensor::Tensor v)
       : name(std::move(n)), value(std::move(v)), grad(value.shape(), 0.0f) {}

@@ -12,31 +12,46 @@ namespace t = ca::tensor;
 
 namespace {
 
-void write_tensors(std::ostream& os, const std::vector<t::Tensor>& ts) {
+void write_tensors(std::ostream& os, const std::vector<t::Tensor>& ts,
+                   const Optimizer::TensorWriter& write) {
   core::write_i64(os, static_cast<std::int64_t>(ts.size()));
-  for (const t::Tensor& x : ts) {
-    core::write_i64(os, x.numel());
-    core::write_f32s(os, x.data().data(), x.numel());
-  }
+  for (std::size_t i = 0; i < ts.size(); ++i) write(os, i, ts[i]);
 }
 
-void read_tensors(std::istream& is, std::vector<t::Tensor>& ts) {
+void read_tensors(std::istream& is, std::vector<t::Tensor>& ts,
+                  const Optimizer::TensorReader& read) {
   const std::int64_t n = core::read_i64(is);
   if (n != static_cast<std::int64_t>(ts.size())) {
     throw std::runtime_error("optimizer state: tensor count mismatch");
   }
-  for (t::Tensor& x : ts) {
-    if (core::read_i64(is) != x.numel()) {
-      throw std::runtime_error("optimizer state: tensor size mismatch");
-    }
-    core::read_f32s(is, x.data().data(), x.numel());
-  }
+  for (std::size_t i = 0; i < ts.size(); ++i) read(is, i, ts[i]);
 }
 
 }  // namespace
 
-void Optimizer::save_state(std::ostream&) const {}
-void Optimizer::load_state(std::istream&) {}
+Optimizer::TensorWriter Optimizer::raw_writer() {
+  return [](std::ostream& os, std::size_t, const t::Tensor& x) {
+    core::write_i64(os, x.numel());
+    core::write_f32s(os, x.data().data(), x.numel());
+  };
+}
+
+Optimizer::TensorReader Optimizer::raw_reader() {
+  return [](std::istream& is, std::size_t, t::Tensor& x) {
+    if (core::read_i64(is) != x.numel()) {
+      throw std::runtime_error("optimizer state: tensor size mismatch");
+    }
+    core::read_f32s(is, x.data().data(), x.numel());
+  };
+}
+
+void Optimizer::save_state(std::ostream& os) const {
+  save_state(os, raw_writer());
+}
+void Optimizer::load_state(std::istream& is) { load_state(is, raw_reader()); }
+
+void Optimizer::save_state(std::ostream&, const TensorWriter&) const {}
+void Optimizer::load_state(std::istream&, const TensorReader&) {}
 
 // ---- Sgd -----------------------------------------------------------------------
 
@@ -72,8 +87,12 @@ void Sgd::step() {
   }
 }
 
-void Sgd::save_state(std::ostream& os) const { write_tensors(os, velocity_); }
-void Sgd::load_state(std::istream& is) { read_tensors(is, velocity_); }
+void Sgd::save_state(std::ostream& os, const TensorWriter& write) const {
+  write_tensors(os, velocity_, write);
+}
+void Sgd::load_state(std::istream& is, const TensorReader& read) {
+  read_tensors(is, velocity_, read);
+}
 
 // ---- Adam ----------------------------------------------------------------------
 
@@ -124,16 +143,16 @@ void Adam::step() {
   }
 }
 
-void Adam::save_state(std::ostream& os) const {
+void Adam::save_state(std::ostream& os, const TensorWriter& write) const {
   core::write_i64(os, t_);
-  write_tensors(os, m_);
-  write_tensors(os, v_);
+  write_tensors(os, m_, write);
+  write_tensors(os, v_, write);
 }
 
-void Adam::load_state(std::istream& is) {
+void Adam::load_state(std::istream& is, const TensorReader& read) {
   t_ = core::read_i64(is);
-  read_tensors(is, m_);
-  read_tensors(is, v_);
+  read_tensors(is, m_, read);
+  read_tensors(is, v_, read);
 }
 
 std::int64_t Adam::state_bytes() const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <vector>
 
@@ -23,8 +24,27 @@ class Optimizer {
   /// restores at another (the shrunk-cluster recovery path). Stateless
   /// optimizers write nothing. Restores must target an optimizer built over
   /// the same parameter list (same order and shapes).
-  virtual void save_state(std::ostream& os) const;
-  virtual void load_state(std::istream& is);
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
+
+  /// Hook form the checkpoint layer uses to re-layout per-parameter state
+  /// tensors (Adam moments, SGD velocity) across tensor grids: the writer /
+  /// reader is invoked once per state tensor with the index of the owning
+  /// parameter in params(), and may gather the shard into full form on the
+  /// way out or slice the full form on the way in. The default hooks stream
+  /// the tensor verbatim ([i64 numel][raw f32s]), so the on-disk format is
+  /// unchanged when no re-layout is needed. Scalar state (step counters)
+  /// bypasses the hooks.
+  using TensorWriter =
+      std::function<void(std::ostream&, std::size_t, const tensor::Tensor&)>;
+  using TensorReader =
+      std::function<void(std::istream&, std::size_t, tensor::Tensor&)>;
+  virtual void save_state(std::ostream& os, const TensorWriter& write) const;
+  virtual void load_state(std::istream& is, const TensorReader& read);
+
+  /// The verbatim hooks save_state(os) / load_state(is) use.
+  static TensorWriter raw_writer();
+  static TensorReader raw_reader();
 
   void zero_grad() {
     for (nn::Parameter* p : params_) p->grad.fill(0.0f);
@@ -43,8 +63,10 @@ class Sgd : public Optimizer {
  public:
   Sgd(std::vector<nn::Parameter*> params, float lr, float momentum = 0.0f);
   void step() override;
-  void save_state(std::ostream& os) const override;
-  void load_state(std::istream& is) override;
+  void save_state(std::ostream& os, const TensorWriter& write) const override;
+  void load_state(std::istream& is, const TensorReader& read) override;
+  using Optimizer::load_state;
+  using Optimizer::save_state;
 
  private:
   float lr_, momentum_;
@@ -66,8 +88,10 @@ class Adam : public Optimizer {
 
   Adam(std::vector<nn::Parameter*> params, Hyper hyper);
   void step() override;
-  void save_state(std::ostream& os) const override;
-  void load_state(std::istream& is) override;
+  void save_state(std::ostream& os, const TensorWriter& write) const override;
+  void load_state(std::istream& is, const TensorReader& read) override;
+  using Optimizer::load_state;
+  using Optimizer::save_state;
 
   /// Bytes of optimizer state (two fp32 moments per element) — the "three
   /// times larger than parameters" model-data pressure the paper attributes

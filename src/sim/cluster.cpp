@@ -142,7 +142,27 @@ void Cluster::run(const std::function<void(int)>& fn) {
       first = r;
     }
   }
-  if (first >= 0) std::rethrow_exception(errors[static_cast<std::size_t>(first)]);
+  if (first < 0) return;
+  // Elastic recovery: when the coordinator re-armed the region mid-run, the
+  // dead ranks' DeviceFailures were already absorbed — the survivors regrouped
+  // and kept training. Only swallow if *every* recorded escape is a death; any
+  // other exception (including a survivor's timeout that recovery failed to
+  // catch) still surfaces.
+  if (fault_state_.recovered()) {
+    bool all_deaths = true;
+    for (int r = 0; r < n && all_deaths; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      if (!errors[i]) continue;
+      try {
+        std::rethrow_exception(errors[i]);
+      } catch (const DeviceFailure&) {
+      } catch (...) {
+        all_deaths = false;
+      }
+    }
+    if (all_deaths) return;
+  }
+  std::rethrow_exception(errors[static_cast<std::size_t>(first)]);
 }
 
 FaultInjector& Cluster::install_faults(FaultPlan plan) {

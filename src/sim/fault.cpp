@@ -1,6 +1,7 @@
 #include "sim/fault.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
 
 namespace ca::sim {
@@ -107,6 +108,17 @@ std::optional<FaultPlan> FaultPlan::from_env() {
     plan.transient_comm(s[0], s[1]);
     any = true;
   }
+  if (const char* v = env("CA_FAULT_CKPT_CORRUPT")) {
+    const auto s = split_scalars(v);
+    if (s.empty() || s.size() > 2) {
+      throw std::invalid_argument(
+          "CA_FAULT_CKPT_CORRUPT: expected '<step>' or '<step>:<offset>'");
+    }
+    plan.corrupt_checkpoint(static_cast<std::int64_t>(s[0]),
+                            s.size() == 2 ? static_cast<std::int64_t>(s[1])
+                                          : -1);
+    any = true;
+  }
   return any ? std::optional<FaultPlan>(std::move(plan)) : std::nullopt;
 }
 
@@ -164,26 +176,56 @@ bool FaultInjector::corrupt_grads(int rank, std::int64_t step) const {
 
 FaultInjector::RetryResult FaultInjector::transient_delay(double t) const {
   RetryResult r;
+  std::size_t si = 0;
   for (const FaultSpec& s : plan_.specs) {
+    const std::size_t spec_index = si++;
     if (s.kind != FaultKind::kTransientComm) continue;
-    // Exponential backoff: attempt k fires at t + sum_{i<k} base*2^i; the op
-    // succeeds at the first attempt outside the fault window. Every member
-    // computes this from the same symmetric start time, so all members agree
-    // on the delay (or on giving up) without extra communication.
+    // Decorrelated-jitter backoff (seeded): the first retry waits exactly
+    // retry_base; retry k then draws d_k uniform in [retry_base, 3*d_{k-1})
+    // from the plan's splitmix64 stream, capped at retry_base*2^max_retries.
+    // Pure exponential backoff kept every concurrent collective in lockstep,
+    // so retry storms re-collided on the degraded link; jittering spreads
+    // them out. The draw is keyed on (start time, spec, attempt) only —
+    // every member of one collective passes the same symmetric start time,
+    // so all members still agree on the delays (or on giving up) without
+    // extra communication, and the whole schedule is reproducible from
+    // CA_FAULT_SEED.
+    const std::uint64_t key = std::bit_cast<std::uint64_t>(t) ^
+                              0x517cc1b727220a95ULL * (spec_index + 1);
+    const double cap = plan_.retry_base *
+                       static_cast<double>(std::int64_t{1} << plan_.max_retries);
     double now = t;
+    double prev = plan_.retry_base;
     while (now >= s.at && now < s.at + s.duration) {
       if (r.retries >= plan_.max_retries) {
         r.gave_up = true;
         return r;
       }
-      const double backoff =
-          plan_.retry_base * static_cast<double>(std::int64_t{1} << r.retries);
+      double backoff = plan_.retry_base;
+      if (r.retries > 0) {
+        const double u =
+            plan_.jitter(key + static_cast<std::uint64_t>(r.retries));
+        backoff = plan_.retry_base + u * (3.0 * prev - plan_.retry_base);
+        backoff = std::min(backoff, cap);
+      }
+      prev = backoff;
       now += backoff;
       r.delay += backoff;
       ++r.retries;
     }
   }
   return r;
+}
+
+bool FaultInjector::corrupt_checkpoint(std::int64_t step,
+                                       std::int64_t* offset) const {
+  for (const FaultSpec& s : plan_.specs) {
+    if (s.kind == FaultKind::kCkptCorrupt && s.step == step) {
+      if (offset != nullptr) *offset = static_cast<std::int64_t>(s.at);
+      return true;
+    }
+  }
+  return false;
 }
 
 // ---- FaultState -------------------------------------------------------------
@@ -224,8 +266,18 @@ void FaultState::unregister_waker(const void* key) {
 void FaultState::reset() {
   std::lock_guard<std::mutex> lk(mu_);
   aborted_.store(false, std::memory_order_release);
+  recovered_.store(false, std::memory_order_release);
   cause_.clear();
   dead_ranks_.clear();
+}
+
+void FaultState::rearm() {
+  std::lock_guard<std::mutex> lk(mu_);
+  aborted_.store(false, std::memory_order_release);
+  recovered_.store(true, std::memory_order_release);
+  cause_.clear();
+  // dead_ranks_ intentionally kept: the survivor consensus for any later
+  // failure in this region must still exclude everyone who already died.
 }
 
 }  // namespace ca::sim

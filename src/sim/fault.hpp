@@ -79,6 +79,7 @@ enum class FaultKind : std::uint8_t {
   kLinkDegrade,    ///< all collectives run `factor`x slower inside a window
   kGradCorrupt,    ///< NaN written into a rank's gradient buffer at a step
   kTransientComm,  ///< collectives starting inside the window fail and retry
+  kCkptCorrupt,    ///< flip one bit in the checkpoint written at a step
 };
 
 /// One scheduled fault. Triggers are either a step index (`step >= 0`,
@@ -102,8 +103,10 @@ struct FaultPlan {
   /// Sim-time the watchdog waits at a broken rendezvous before raising
   /// CommTimeoutError on the survivors (CA_FAULT_WATCHDOG).
   double watchdog = 1.0;
-  /// First retry backoff for transient comm faults; retry k waits
-  /// retry_base * 2^k sim-seconds (CA_FAULT_RETRY_BASE).
+  /// Minimum retry backoff for transient comm faults; the first retry waits
+  /// exactly this, later retries draw seeded decorrelated jitter in
+  /// [retry_base, 3 * previous) capped at retry_base * 2^max_retries
+  /// (CA_FAULT_RETRY_BASE).
   double retry_base = 0.25;
   /// Retries before a transient fault is promoted to CommTimeoutError
   /// (CA_FAULT_RETRIES).
@@ -133,6 +136,14 @@ struct FaultPlan {
     specs.push_back({FaultKind::kTransientComm, -1, -1, from, duration, 1.0});
     return *this;
   }
+  /// Flip one bit in the checkpoint file written at `step`. `offset` < 0
+  /// picks a seeded position past the magic; >= 0 pins the byte (stored in
+  /// `at` since clock triggers do not apply to this kind).
+  FaultPlan& corrupt_checkpoint(std::int64_t step, std::int64_t offset = -1) {
+    specs.push_back({FaultKind::kCkptCorrupt, -1, step,
+                     static_cast<double>(offset), 0.0, 1.0});
+    return *this;
+  }
 
   /// Deterministic uniform [0,1) stream derived from `seed` (splitmix64):
   /// jitter(k) is stable across runs/platforms, so randomized plans are
@@ -145,6 +156,7 @@ struct FaultPlan {
   ///   CA_FAULT_LINK      = "<from>:<duration>:<factor>"
   ///   CA_FAULT_NAN       = "<rank>@<step>"
   ///   CA_FAULT_TRANSIENT = "<from>:<duration>"
+  ///   CA_FAULT_CKPT_CORRUPT = "<step>" or "<step>:<byte-offset>"
   ///   CA_FAULT_WATCHDOG / CA_FAULT_RETRY_BASE / CA_FAULT_RETRIES /
   ///   CA_FAULT_SEED      = scalars
   static std::optional<FaultPlan> from_env();
@@ -178,6 +190,11 @@ class FaultInjector {
 
   /// Whether `rank` should see its gradients corrupted (NaN) at `step`.
   [[nodiscard]] bool corrupt_grads(int rank, std::int64_t step) const;
+
+  /// Whether the checkpoint written at `step` should be bit-flipped. On a
+  /// match `offset` receives the pinned byte offset (-1 = pick a seeded one).
+  [[nodiscard]] bool corrupt_checkpoint(std::int64_t step,
+                                        std::int64_t* offset) const;
 
   /// Transient-fault retry simulation for a collective whose (symmetric)
   /// start time is `t`: the total backoff delay spent retrying, how many
@@ -231,8 +248,22 @@ class FaultState {
   /// Re-arm for a fresh SPMD region (Cluster::run calls this on entry).
   void reset();
 
+  /// Clear the abort flag *mid-region* after an elastic recovery round has
+  /// agreed on the survivor set: the cause is dropped but dead_ranks stays
+  /// (it is the consensus input for any later failure), and the region is
+  /// marked recovered so Cluster::run can swallow the dead ranks' expected
+  /// DeviceFailure unwinds. Call only from the single recovery leader while
+  /// every survivor is parked in the coordinator.
+  void rearm();
+
+  /// Whether rearm() ran at least once since the last reset().
+  [[nodiscard]] bool recovered() const {
+    return recovered_.load(std::memory_order_acquire);
+  }
+
  private:
   std::atomic<bool> aborted_{false};
+  std::atomic<bool> recovered_{false};
   double watchdog_ = 1.0;
   mutable std::mutex mu_;
   std::string cause_;

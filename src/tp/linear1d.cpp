@@ -38,6 +38,12 @@ Linear1DCol::Linear1DCol(const Env& env, std::string name, std::int64_t in,
             t::zeros(t::Shape{out / env.ctx->tensor_group(env.grank).size()})),
       acts_(env.mem()) {
   assert(out % env_.ctx->tensor_group(env_.grank).size() == 0);
+  {
+    auto& g = env_.ctx->tensor_group(env_.grank);
+    const int p = g.size(), idx = g.index_of(env_.grank);
+    weight_.shard = nn::ShardSpec{in, out, 1, 0, p, idx};
+    bias_.shard = nn::ShardSpec{out, 0, p, idx};
+  }
   param_bytes_ = 2 * (weight_.numel() + (with_bias_ ? bias_.numel() : 0)) * kF;
   env_.mem().alloc(param_bytes_);  // parameters + gradients
 }
@@ -95,6 +101,13 @@ Linear1DRow::Linear1DRow(const Env& env, std::string name, std::int64_t in,
       bias_(name + ".bias", t::zeros(t::Shape{out})),
       acts_(env.mem()) {
   assert(in % env_.ctx->tensor_group(env_.grank).size() == 0);
+  {
+    auto& g = env_.ctx->tensor_group(env_.grank);
+    const int p = g.size(), idx = g.index_of(env_.grank);
+    weight_.shard = nn::ShardSpec{in, out, p, idx, 1, 0};
+    // bias is replicated: rank 0 of the group is the gather primary
+    bias_.shard = nn::ShardSpec{out, 0, 1, 0, 1, 0, 1, idx == 0};
+  }
   param_bytes_ = 2 * (weight_.numel() + (with_bias_ ? bias_.numel() : 0)) * kF;
   env_.mem().alloc(param_bytes_);
 }
@@ -194,6 +207,13 @@ Attention1D::Attention1D(const Env& env, std::string name, std::int64_t hidden,
   proj_weight_.grad = t::zeros(proj_weight_.value.shape());
   proj_bias_.value = t::zeros(t::Shape{hidden});
   proj_bias_.grad = t::zeros(t::Shape{hidden});
+
+  // The fused qkv store is three independent column partitions ([q|k|v]
+  // slices), hence col_sections = 3.
+  qkv_weight_.shard = nn::ShardSpec{hidden, 3 * hidden, 1, 0, p, idx, 3};
+  qkv_bias_.shard = nn::ShardSpec{3 * hidden, 0, p, idx, 1, 0, 3};
+  proj_weight_.shard = nn::ShardSpec{hidden, hidden, p, idx, 1, 0};
+  proj_bias_.shard = nn::ShardSpec{hidden, 0, 1, 0, 1, 0, 1, idx == 0};
 
   param_bytes_ = 2 * (qkv_weight_.numel() + qkv_bias_.numel() +
                       proj_weight_.numel() + proj_bias_.numel()) * kF;

@@ -39,6 +39,11 @@ Linear2p5D::Linear2p5D(const Env& env, std::string name,
   weight_.grad = t::zeros(weight_.value.shape());
   bias_.value = t::zeros(t::Shape{out_ / q_});
   bias_.grad = t::zeros(t::Shape{out_ / q_});
+  // depth row-slab dd of grid block (r, c) == row block r*d+dd of q*d
+  weight_.shard = nn::ShardSpec{in_, out_, q_ * d_, r_ * d_ + dd_, q_, c_};
+  // bias holds column block c, replicated along grid rows and depth
+  bias_.shard =
+      nn::ShardSpec{out_, 0, q_, c_, 1, 0, 1, r_ == 0 && dd_ == 0};
   param_bytes_ = 2 * (weight_.numel() + (with_bias_ ? bias_.numel() : 0)) * kF;
   env_.mem().alloc(param_bytes_);
 }

@@ -39,6 +39,10 @@ Linear3D::Linear3D(const Env& env, std::string name,
   weight_.grad = t::zeros(weight_.value.shape());
   bias_.value = t::zeros(t::Shape{out_ / l_});
   bias_.grad = t::zeros(t::Shape{out_ / l_});
+  weight_.shard = nn::ShardSpec{in_, out_, l_, k_, l_ * l_, j_ * l_ + i_};
+  // bias holds chunk j of l, replicated over the i and k cube axes
+  bias_.shard =
+      nn::ShardSpec{out_, 0, l_, j_, 1, 0, 1, i_ == 0 && k_ == 0};
   param_bytes_ = 2 * (weight_.numel() + (with_bias_ ? bias_.numel() : 0)) * kF;
   env_.mem().alloc(param_bytes_);
 }

@@ -8,10 +8,14 @@
 
 #include <array>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <optional>
+#include <sstream>
 
 #include "collective/p2p.hpp"
 #include "core/launch.hpp"
+#include "core/serialize.hpp"
 #include "data/synthetic.hpp"
 #include "engine/checkpoint.hpp"
 #include "engine/zero_engine.hpp"
@@ -452,9 +456,9 @@ TEST(FaultMatrix, LinkDegradeStretchesCommButPreservesData) {
 }
 
 TEST(FaultMatrix, TransientCommRetriesThenSucceeds) {
-  // Collectives starting inside the transient window back off exponentially
-  // (0.25, then 0.5) until the attempt lands outside it; the data is intact
-  // and the backoff shows up on the fault lane of the trace.
+  // Collectives starting inside the transient window back off (base 0.25,
+  // then decorrelated jitter >= base) until the attempt lands outside it;
+  // the data is intact and the backoff shows up on the fault trace lane.
   sim::Cluster cluster(sim::Topology::uniform(2, 100e9));
   sim::FaultPlan plan;
   plan.transient_comm(0.0, 0.4);  // retry_base 0.25: succeeds on attempt 3
@@ -466,7 +470,9 @@ TEST(FaultMatrix, TransientCommRetriesThenSucceeds) {
     backend.world().all_reduce(g, buf);
     EXPECT_EQ(buf[0], 3.0f);
   });
-  EXPECT_GE(cluster.max_clock(), 0.75);  // 0.25 + 0.5 of backoff charged
+  // Retry 1 charges exactly base (0.25, still inside the window), retry 2
+  // draws jitter in [base, 3*base) and lands past 0.4 — at least 0.5 total.
+  EXPECT_GE(cluster.max_clock(), 0.5);
   bool saw_retry_span = false;
   for (const auto& e : cluster.tracer()->rank(0).events()) {
     if (e.cat == obs::Category::kFault &&
@@ -475,6 +481,36 @@ TEST(FaultMatrix, TransientCommRetriesThenSucceeds) {
     }
   }
   EXPECT_TRUE(saw_retry_span);
+}
+
+TEST(FaultMatrix, TransientBackoffDecorrelatedButSeeded) {
+  // Two collectives hitting the same window from different start times must
+  // draw different backoff schedules (no synchronized retry storm), while
+  // the same (seed, start time) always reproduces the same schedule and a
+  // different CA_FAULT_SEED moves it.
+  sim::FaultPlan plan;
+  plan.seed = 7;
+  plan.max_retries = 8;
+  plan.transient_comm(0.0, 2.0);
+  sim::FaultInjector fi(plan);
+
+  const auto a = fi.transient_delay(0.0);
+  const auto b = fi.transient_delay(0.125);
+  ASSERT_FALSE(a.gave_up);
+  ASSERT_FALSE(b.gave_up);
+  ASSERT_GE(a.retries, 3);  // enough attempts for jitter to kick in
+  EXPECT_NE(a.delay, b.delay);  // schedules decorrelate by start time
+  // Reproducible: identical arguments yield a bit-identical schedule.
+  const auto a2 = fi.transient_delay(0.0);
+  EXPECT_EQ(std::memcmp(&a.delay, &a2.delay, sizeof(double)), 0);
+  EXPECT_EQ(a.retries, a2.retries);
+  // Seed-sensitive: a different seed shifts the jittered attempts.
+  sim::FaultPlan other = plan;
+  other.seed = 8;
+  const auto c = sim::FaultInjector(other).transient_delay(0.0);
+  EXPECT_NE(a.delay, c.delay);
+  // Every backoff respects the floor: k retries cost at least k * base.
+  EXPECT_GE(a.delay, plan.retry_base * a.retries);
 }
 
 TEST(FaultMatrix, TransientCommGivesUpSymmetrically) {
@@ -1033,4 +1069,169 @@ TEST(FaultMatrix, ConfigKeysParsedAndValidated) {
   EXPECT_THROW(core::parse_config("fault.watchdog=abc"), std::invalid_argument);
   EXPECT_THROW(core::parse_config("checkpoint.interval=-1"),
                std::invalid_argument);
+}
+
+// ---- checkpoint integrity (v2 CRC framing) ----------------------------------
+
+namespace {
+
+/// Single-rank world + trained Linear/Adam pair, checkpointed to `path`.
+/// Returns the saved step so callers can assert the round trip.
+void write_small_checkpoint(const std::string& path, std::int64_t step,
+                            sim::FaultPlan* faults = nullptr) {
+  core::Config cfg;
+  sim::Cluster cluster(sim::Topology::uniform(1, 100e9));
+  if (faults != nullptr) cluster.install_faults(*faults);
+  col::Backend backend(cluster);
+  core::ParallelContext ctx(backend, cfg);
+  cluster.run([&](int g) {
+    tp::Env env{&ctx, g};
+    nn::Linear net("m", 6, 3, 122);
+    optim::Adam opt(net.parameters(), optim::Adam::Hyper{0.01f});
+    for (nn::Parameter* p : net.parameters()) p->grad.fill(0.5f);
+    opt.step();
+    engine::save_checkpoint(env, net, opt, step, path);
+  });
+}
+
+}  // namespace
+
+TEST(FaultMatrix, CorruptCheckpointRaisesStructuredError) {
+  const std::string path = ::testing::TempDir() + "ca_ckpt_corrupt.bin";
+  write_small_checkpoint(path, 3);
+
+  // Flip one byte inside the params payload: the section layout is fixed
+  // (magic 8, then the framed "meta" section of 8+4 + 8 + 8 + 8 = 36 bytes),
+  // so offset 80 is well past the params frame header.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(80);
+    char b = 0;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x20);
+    f.seekp(80);
+    f.write(&b, 1);
+  }
+
+  sim::Cluster cluster(sim::Topology::uniform(1, 100e9));
+  col::Backend backend(cluster);
+  core::Config cfg;
+  core::ParallelContext ctx(backend, cfg);
+  cluster.run([&](int g) {
+    tp::Env env{&ctx, g};
+    nn::Linear net("m", 6, 3, 122);
+    optim::Adam opt(net.parameters(), optim::Adam::Hyper{0.01f});
+    try {
+      engine::load_checkpoint(env, net, opt, path);
+      FAIL() << "corrupt checkpoint loaded silently";
+    } catch (const engine::CheckpointCorruptError& e) {
+      EXPECT_EQ(e.path(), path);
+      EXPECT_EQ(e.section(), "params");
+      EXPECT_GE(e.offset(), 8);  // anchored past the magic
+      EXPECT_NE(std::string(e.what()).find("crc mismatch"), std::string::npos);
+    }
+  });
+}
+
+TEST(FaultMatrix, TruncatedCheckpointRaises) {
+  const std::string path = ::testing::TempDir() + "ca_ckpt_trunc.bin";
+  write_small_checkpoint(path, 3);
+  // Chop the tail: the optim section's payload can no longer satisfy its
+  // declared length, which must surface as corruption, not a silent zero-fill.
+  std::string bytes;
+  {
+    std::ifstream f(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    bytes = ss.str();
+  }
+  ASSERT_GT(bytes.size(), 16u);
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 9));
+  }
+  sim::Cluster cluster(sim::Topology::uniform(1, 100e9));
+  col::Backend backend(cluster);
+  core::Config cfg;
+  core::ParallelContext ctx(backend, cfg);
+  cluster.run([&](int g) {
+    tp::Env env{&ctx, g};
+    nn::Linear net("m", 6, 3, 122);
+    optim::Adam opt(net.parameters(), optim::Adam::Hyper{0.01f});
+    EXPECT_THROW(engine::load_checkpoint(env, net, opt, path),
+                 engine::CheckpointCorruptError);
+  });
+}
+
+TEST(FaultMatrix, CkptCorruptFaultInjected) {
+  // The CA_FAULT_CKPT_CORRUPT path end to end: the injector flips a bit in
+  // the file written at the matching step, and the next load detects it.
+  const std::string path = ::testing::TempDir() + "ca_ckpt_injected.bin";
+  auto plan = sim::FaultPlan{}.corrupt_checkpoint(2);
+  write_small_checkpoint(path, 2, &plan);
+
+  sim::Cluster cluster(sim::Topology::uniform(1, 100e9));
+  col::Backend backend(cluster);
+  core::Config cfg;
+  core::ParallelContext ctx(backend, cfg);
+  cluster.run([&](int g) {
+    tp::Env env{&ctx, g};
+    nn::Linear net("m", 6, 3, 122);
+    optim::Adam opt(net.parameters(), optim::Adam::Hyper{0.01f});
+    EXPECT_THROW(engine::load_checkpoint(env, net, opt, path),
+                 engine::CheckpointCorruptError);
+  });
+
+  // A non-matching step writes a pristine file that loads fine.
+  auto plan5 = sim::FaultPlan{}.corrupt_checkpoint(5);
+  write_small_checkpoint(path, 2, &plan5);
+  cluster.run([&](int g) {
+    tp::Env env{&ctx, g};
+    nn::Linear net("m", 6, 3, 122);
+    optim::Adam opt(net.parameters(), optim::Adam::Hyper{0.01f});
+    EXPECT_EQ(engine::load_checkpoint(env, net, opt, path), 2);
+  });
+}
+
+TEST(FaultMatrix, CheckpointV1StillReadable) {
+  // Hand-craft a v1 ("CACKPT01", unframed) stream: magic, step, raw params,
+  // raw optimizer state. The v2 reader must accept it unchanged.
+  nn::Linear src("m", 6, 3, 122);
+  optim::Adam src_opt(src.parameters(), optim::Adam::Hyper{0.01f});
+  for (nn::Parameter* p : src.parameters()) p->grad.fill(0.25f);
+  src_opt.step();
+
+  std::ostringstream os;
+  os.write(engine::kCheckpointMagic, sizeof(engine::kCheckpointMagic));
+  core::write_i64(os, 7);  // resume step
+  const auto params = src.parameters();
+  core::write_i64(os, static_cast<std::int64_t>(params.size()));
+  for (const nn::Parameter* p : params) {
+    core::write_str(os, p->name);
+    core::write_i64(os, p->numel());
+    core::write_f32s(os, p->value.data().data(), p->numel());
+  }
+  src_opt.save_state(os);  // the raw [i64 numel][f32s] hook v1 used
+  const std::string v1 = os.str();
+
+  sim::Cluster cluster(sim::Topology::uniform(1, 100e9));
+  col::Backend backend(cluster);
+  core::Config cfg;
+  core::ParallelContext ctx(backend, cfg);
+  cluster.run([&](int g) {
+    tp::Env env{&ctx, g};
+    nn::Linear net("m", 6, 3, 999);  // different seed: restore must win
+    optim::Adam opt(net.parameters(), optim::Adam::Hyper{0.01f});
+    std::istringstream is(v1);
+    EXPECT_EQ(engine::deserialize_checkpoint(env, net, opt, is), 7);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      EXPECT_EQ(t::max_diff(net.parameters()[i]->value, params[i]->value),
+                0.0f);
+    }
+    std::ostringstream a, b;
+    opt.save_state(a);
+    src_opt.save_state(b);
+    EXPECT_EQ(a.str(), b.str());  // moments restored bit-identically
+  });
 }
